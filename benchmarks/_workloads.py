@@ -1,0 +1,138 @@
+"""Shared workload builders for the benchmark suite.
+
+Workloads follow Section 6 of the paper, scaled down by a constant factor
+so the whole suite runs in minutes on a laptop (the paper's testbed was a
+2007 Pentium D; absolute numbers are not the target — the *shapes* are).
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to stretch the sweeps, e.g.
+``REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only`` approaches the
+paper's full constraint counts.
+
+All builders are deterministic in (scale, seed) and cached per session.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from functools import lru_cache
+
+from repro.core.violations import ConstraintSet
+from repro.generator.constraint_gen import (
+    ConstraintConfig,
+    consistent_constraints,
+    random_constraints,
+)
+from repro.generator.schema_gen import random_schema
+
+#: Global scale knob (1.0 = default quick run, 10.0 ≈ paper-sized sweeps).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Scale a sweep point, keeping at least 1."""
+    return max(1, int(n * SCALE))
+
+
+# The paper's Fig. 11 setting: 20 relations, <= 15 attributes, F in [0, 20]%.
+FIG11_RELATIONS = 20
+FIG11_FINITE_RATIO = 0.20
+
+#: Constraint-count sweep for Fig. 11(a)-(c) (paper: up to 20000).
+FIG11_SWEEP = [scaled(250), scaled(500), scaled(1000), scaled(2000)]
+
+#: CFDs-per-relation sweep for Fig. 10(a) (paper: up to 1200).
+FIG10A_SWEEP = [scaled(15), scaled(30), scaled(60), scaled(120)]
+
+#: K_CFD sweep for Fig. 10(b) (paper: 100 .. 1600+).
+FIG10B_SWEEP = [1, 4, 16, 64, 256]
+
+#: Relation-count sweep for Fig. 11(d) (paper: up to 100 at |Σ|/|R| = 1000).
+FIG11D_SWEEP = [5, 10, 20, 40]
+FIG11D_RATIO = scaled(50)
+
+#: Seeds for accuracy trials (the paper averages 6 runs).
+TRIAL_SEEDS = (1, 5, 9)
+
+
+@lru_cache(maxsize=None)
+def fig11_schema(seed: int = 1):
+    return random_schema(
+        n_relations=FIG11_RELATIONS,
+        seed=seed,
+        finite_ratio=FIG11_FINITE_RATIO,
+    )
+
+
+@lru_cache(maxsize=None)
+def fig11_consistent(n_constraints: int, seed: int = 1) -> ConstraintSet:
+    sigma, __witness = consistent_constraints(
+        fig11_schema(seed), n_constraints, rng=random.Random(seed)
+    )
+    return sigma
+
+
+@lru_cache(maxsize=None)
+def fig11_random(n_constraints: int, seed: int = 1) -> ConstraintSet:
+    return random_constraints(
+        fig11_schema(seed), n_constraints, rng=random.Random(seed)
+    )
+
+
+@lru_cache(maxsize=None)
+def fig10a_schema(seed: int = 1):
+    # The Fig. 10(a) setting: 20 relations, F = 25%.
+    return random_schema(n_relations=20, seed=seed, finite_ratio=0.25)
+
+
+@lru_cache(maxsize=None)
+def fig10a_cfds(per_relation: int, seed: int = 1) -> ConstraintSet:
+    """A consistent, CFD-only Σ with *per_relation* CFDs per relation."""
+    schema = fig10a_schema(seed)
+    sigma, __ = consistent_constraints(
+        schema,
+        per_relation * len(schema),
+        rng=random.Random(seed),
+        config=ConstraintConfig(cfd_fraction=1.0),
+    )
+    return sigma
+
+
+@lru_cache(maxsize=None)
+def fig10b_schema(seed: int = 1):
+    """Finite-domain-heavy schema so K_CFD actually bites."""
+    return random_schema(
+        n_relations=10,
+        seed=seed,
+        min_arity=6,
+        max_arity=10,
+        finite_ratio=0.6,
+        finite_domain_size=(2, 4),
+    )
+
+
+@lru_cache(maxsize=None)
+def fig10b_cfds(total: int, seed: int = 1) -> ConstraintSet:
+    """Random (unconstrained) CFD-only Σ — the Fig. 10(b) workload."""
+    return random_constraints(
+        fig10b_schema(seed),
+        total,
+        rng=random.Random(seed),
+        config=ConstraintConfig(cfd_fraction=1.0, wildcard_prob=0.25),
+    )
+
+
+@lru_cache(maxsize=None)
+def fig11d_workload(n_relations: int, seed: int = 1):
+    schema = random_schema(
+        n_relations=n_relations, seed=seed, finite_ratio=FIG11_FINITE_RATIO
+    )
+    sigma, __ = consistent_constraints(
+        schema, FIG11D_RATIO * n_relations, rng=random.Random(seed)
+    )
+    return schema, sigma
+
+
+def record(benchmark, **extra) -> None:
+    """Attach metadata to a pytest-benchmark entry (shows up in JSON)."""
+    if benchmark is not None:
+        benchmark.extra_info.update(extra)

@@ -1,0 +1,73 @@
+"""X4 (ablation): the chase parameters N (var pool size) and T (threshold).
+
+Section 6 states: "The experiments show that N, the maximum size of
+var[A], has a negligible impact on the accuracy of the algorithms. This is
+why we set N = 2"; and T (the chaseI tuple threshold) "ranges between 2K
+and 4K". This benchmark tests both claims on the Fig. 11(a) workload:
+accuracy and runtime as N ∈ {1, 2, 4, 8} and as T ∈ {50, 500, 2000}.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.random_checking import random_checking
+
+from _workloads import TRIAL_SEEDS, fig11_consistent, fig11_schema, record, scaled
+
+N_CONSTRAINTS = scaled(1000)
+
+EXPERIMENT_N = "x4a: accuracy/runtime vs var-pool size N"
+EXPERIMENT_T = "x4b: accuracy/runtime vs chase threshold T"
+
+
+def _accuracy(var_pool_size: int, max_tuples: int) -> float:
+    hits = 0
+    for seed in TRIAL_SEEDS:
+        schema = fig11_schema(seed)
+        sigma = fig11_consistent(N_CONSTRAINTS, seed)
+        decision = random_checking(
+            schema,
+            sigma,
+            k=20,
+            var_pool_size=var_pool_size,
+            max_tuples=max_tuples,
+            rng=random.Random(seed + 300),
+        )
+        hits += bool(decision.consistent)
+    return hits / len(TRIAL_SEEDS)
+
+
+@pytest.mark.parametrize("n_pool", [1, 2, 4, 8])
+def test_x4_pool_size(benchmark, series, n_pool):
+    for seed in TRIAL_SEEDS:
+        fig11_consistent(N_CONSTRAINTS, seed)
+
+    accuracy = benchmark.pedantic(
+        _accuracy, args=(n_pool, 2000), rounds=1, iterations=1
+    )
+    record(benchmark, n_pool=n_pool, accuracy=accuracy)
+    series.add(EXPERIMENT_N, "accuracy", n_pool, accuracy)
+    series.add(EXPERIMENT_N, "runtime (s)", n_pool, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT_N,
+        "paper claim: N has negligible impact on accuracy (they fix N = 2)",
+    )
+
+
+@pytest.mark.parametrize("max_tuples", [50, 500, 2000])
+def test_x4_threshold(benchmark, series, max_tuples):
+    for seed in TRIAL_SEEDS:
+        fig11_consistent(N_CONSTRAINTS, seed)
+
+    accuracy = benchmark.pedantic(
+        _accuracy, args=(2, max_tuples), rounds=1, iterations=1
+    )
+    record(benchmark, max_tuples=max_tuples, accuracy=accuracy)
+    series.add(EXPERIMENT_T, "accuracy", max_tuples, accuracy)
+    series.add(EXPERIMENT_T, "runtime (s)", max_tuples, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT_T,
+        "a too-small T aborts growing chases (overflow = run failure); the "
+        "paper uses T in [2000, 4000]",
+    )

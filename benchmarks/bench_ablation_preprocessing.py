@@ -1,0 +1,62 @@
+"""X2 (ablation): what preProcessing and the avoid-trigger probe buy.
+
+The paper's Section 6 summary claims preProcessing "not only increases
+accuracy but also improves the scalability". We quantify it on the
+Fig. 11(a) workload with three configurations:
+
+* ``random_checking``   — no dependency-graph analysis at all;
+* ``checking_no_probe`` — preProcessing as literally written in Fig. 7
+  (line 5 checks only the witness CFD_Checking happened to return);
+* ``checking``          — preProcessing plus our avoid-trigger probe
+  (search for a witness that provably triggers no CIND).
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.checking import checking
+from repro.consistency.random_checking import random_checking
+
+from _workloads import TRIAL_SEEDS, fig11_consistent, fig11_schema, record, scaled
+
+EXPERIMENT = "x2: preProcessing ablation (accuracy / runtime)"
+
+N_CONSTRAINTS = scaled(1000)
+
+CONFIGS = ["random_checking", "checking_no_probe", "checking"]
+
+
+def _decide(config: str, seed: int) -> bool:
+    schema = fig11_schema(seed)
+    sigma = fig11_consistent(N_CONSTRAINTS, seed)
+    rng = random.Random(seed + 200)
+    if config == "random_checking":
+        return bool(random_checking(schema, sigma, k=20, rng=rng))
+    if config == "checking_no_probe":
+        return bool(
+            checking(schema, sigma, k=20, rng=rng, avoid_trigger_probe=False)
+        )
+    return bool(checking(schema, sigma, k=20, rng=rng))
+
+
+def _accuracy(config: str) -> float:
+    return sum(_decide(config, seed) for seed in TRIAL_SEEDS) / len(TRIAL_SEEDS)
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_x2_ablation(benchmark, series, config):
+    for seed in TRIAL_SEEDS:
+        fig11_consistent(N_CONSTRAINTS, seed)  # warm caches
+
+    accuracy = benchmark.pedantic(_accuracy, args=(config,), rounds=1, iterations=1)
+    record(benchmark, config=config, accuracy=accuracy,
+           n_constraints=N_CONSTRAINTS)
+    series.add(EXPERIMENT, f"{config} accuracy", N_CONSTRAINTS, accuracy)
+    series.add(EXPERIMENT, f"{config} runtime (s, {len(TRIAL_SEEDS)} trials)",
+               N_CONSTRAINTS, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT,
+        "expected: checking >= checking_no_probe >= random_checking in "
+        "accuracy; preProcessing also reduces runtime on decidable inputs",
+    )

@@ -1,0 +1,54 @@
+"""Fig. 11(a): accuracy of RandomChecking vs Checking on consistent sets.
+
+Paper setting: 20 relations, ≤15 attributes, F ∈ [0, 20]%, Σ = 75% CFDs /
+25% CINDs, K = 20, consistent sets of up to 20000 constraints; accuracy =
+fraction of consistent inputs recognised as consistent. Expected shape:
+Checking ≈ 100% throughout; RandomChecking high but never above Checking.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.checking import checking
+from repro.consistency.random_checking import random_checking
+
+from _workloads import FIG11_SWEEP, TRIAL_SEEDS, fig11_consistent, fig11_schema, record
+
+EXPERIMENT = "fig11a: accuracy (fraction of consistent sets recognised)"
+
+
+def _accuracy(algorithm: str, n_constraints: int) -> float:
+    hits = 0
+    for seed in TRIAL_SEEDS:
+        schema = fig11_schema(seed)
+        sigma = fig11_consistent(n_constraints, seed)
+        rng = random.Random(seed + 100)
+        if algorithm == "checking":
+            decision = checking(schema, sigma, k=20, rng=rng)
+        else:
+            decision = random_checking(schema, sigma, k=20, rng=rng)
+        hits += bool(decision.consistent)
+    return hits / len(TRIAL_SEEDS)
+
+
+@pytest.mark.parametrize("n_constraints", FIG11_SWEEP)
+@pytest.mark.parametrize("algorithm", ["random_checking", "checking"])
+def test_fig11a_accuracy(benchmark, series, algorithm, n_constraints):
+    for seed in TRIAL_SEEDS:
+        fig11_consistent(n_constraints, seed)  # warm caches
+
+    accuracy = benchmark.pedantic(
+        _accuracy, args=(algorithm, n_constraints), rounds=1, iterations=1
+    )
+    record(benchmark, algorithm=algorithm, n_constraints=n_constraints,
+           accuracy=accuracy)
+    series.add(EXPERIMENT, algorithm, n_constraints, accuracy)
+    series.note(
+        EXPERIMENT,
+        "paper shape: Checking ~100% throughout; RandomChecking at or below it",
+    )
+    # Sound algorithms on consistent inputs: expect high accuracy; Checking
+    # in particular should not collapse.
+    if algorithm == "checking":
+        assert accuracy >= 0.5

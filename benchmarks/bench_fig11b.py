@@ -1,0 +1,42 @@
+"""Fig. 11(b): runtime on *consistent* CFD+CIND sets.
+
+Same workload as Fig. 11(a); y-axis is wall-clock seconds per decision.
+Expected shape: roughly linear in the number of constraints, with Checking
+at or below RandomChecking (preProcessing resolves most inputs early).
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.checking import checking
+from repro.consistency.random_checking import random_checking
+
+from _workloads import FIG11_SWEEP, fig11_consistent, fig11_schema, record
+
+EXPERIMENT = "fig11b: runtime (s) on consistent sets vs #constraints"
+
+
+def _decide(algorithm: str, n_constraints: int) -> bool:
+    schema = fig11_schema(1)
+    sigma = fig11_consistent(n_constraints, 1)
+    rng = random.Random(7)
+    if algorithm == "checking":
+        return bool(checking(schema, sigma, k=20, rng=rng))
+    return bool(random_checking(schema, sigma, k=20, rng=rng))
+
+
+@pytest.mark.parametrize("n_constraints", FIG11_SWEEP)
+@pytest.mark.parametrize("algorithm", ["random_checking", "checking"])
+def test_fig11b_runtime_consistent(benchmark, series, algorithm, n_constraints):
+    fig11_consistent(n_constraints, 1)  # warm cache
+
+    benchmark.pedantic(
+        _decide, args=(algorithm, n_constraints), rounds=3, iterations=1
+    )
+    record(benchmark, algorithm=algorithm, n_constraints=n_constraints)
+    series.add(EXPERIMENT, algorithm, n_constraints, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT,
+        "paper shape: near-linear growth; Checking at or below RandomChecking",
+    )

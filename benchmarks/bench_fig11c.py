@@ -1,0 +1,43 @@
+"""Fig. 11(c): runtime on *random* (possibly inconsistent) CFD+CIND sets.
+
+Same axes as Fig. 11(b) but with the unconstrained generator. Expected
+shape: similar near-linear growth; random sets often fail fast (an
+inconsistent CFD(R) is detected in preProcessing) or exhaust K runs.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.checking import checking
+from repro.consistency.random_checking import random_checking
+
+from _workloads import FIG11_SWEEP, fig11_random, fig11_schema, record
+
+EXPERIMENT = "fig11c: runtime (s) on random sets vs #constraints"
+
+
+def _decide(algorithm: str, n_constraints: int) -> bool:
+    schema = fig11_schema(1)
+    sigma = fig11_random(n_constraints, 1)
+    rng = random.Random(7)
+    if algorithm == "checking":
+        return bool(checking(schema, sigma, k=20, rng=rng))
+    return bool(random_checking(schema, sigma, k=20, rng=rng))
+
+
+@pytest.mark.parametrize("n_constraints", FIG11_SWEEP)
+@pytest.mark.parametrize("algorithm", ["random_checking", "checking"])
+def test_fig11c_runtime_random(benchmark, series, algorithm, n_constraints):
+    fig11_random(n_constraints, 1)  # warm cache
+
+    benchmark.pedantic(
+        _decide, args=(algorithm, n_constraints), rounds=3, iterations=1
+    )
+    record(benchmark, algorithm=algorithm, n_constraints=n_constraints)
+    series.add(EXPERIMENT, algorithm, n_constraints, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT,
+        "paper shape: comparable to Fig. 11b; both algorithms scale "
+        "near-linearly on random sets",
+    )

@@ -1,0 +1,42 @@
+"""Fig. 11(d): runtime vs number of relations at fixed |Σ|/|R| ratio.
+
+Paper setting: the ratio |Σ|/|R| is held at 1000 (scaled here) while the
+relation count grows to 100. Expected shape: runtime grows with the
+relation count for both algorithms; Checking stays below RandomChecking.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.checking import checking
+from repro.consistency.random_checking import random_checking
+
+from _workloads import FIG11D_RATIO, FIG11D_SWEEP, fig11d_workload, record
+
+EXPERIMENT = f"fig11d: runtime (s) vs #relations at |Sigma|/|R| = {FIG11D_RATIO}"
+
+
+def _decide(algorithm: str, n_relations: int) -> bool:
+    schema, sigma = fig11d_workload(n_relations)
+    rng = random.Random(7)
+    if algorithm == "checking":
+        return bool(checking(schema, sigma, k=20, rng=rng))
+    return bool(random_checking(schema, sigma, k=20, rng=rng))
+
+
+@pytest.mark.parametrize("n_relations", FIG11D_SWEEP)
+@pytest.mark.parametrize("algorithm", ["random_checking", "checking"])
+def test_fig11d_runtime_vs_relations(benchmark, series, algorithm, n_relations):
+    fig11d_workload(n_relations)  # warm cache
+
+    benchmark.pedantic(
+        _decide, args=(algorithm, n_relations), rounds=3, iterations=1
+    )
+    record(benchmark, algorithm=algorithm, n_relations=n_relations)
+    series.add(EXPERIMENT, algorithm, n_relations, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT,
+        "paper shape: runtime grows with #relations; Checking below "
+        "RandomChecking",
+    )

@@ -1,0 +1,85 @@
+"""X5 (extension): incremental vs full violation detection under updates.
+
+A cleaning tool watching a live database re-checks after every update. The
+full engine rescans everything; the incremental checker updates only the
+touched groups/witness counts. This benchmark applies a stream of random
+inserts/deletes to the scaled bank database and measures the cost of
+keeping the violation report current both ways.
+"""
+
+import random
+
+import pytest
+
+from repro.cleaning.incremental import IncrementalChecker
+from repro.core.violations import check_database
+from repro.datasets.bank import bank_constraints, scaled_bank_instance
+
+from _workloads import record, scaled
+
+EXPERIMENT = "x5: per-update violation maintenance (s per 100 updates)"
+
+N_ACCOUNTS = scaled(2000)
+N_UPDATES = 100
+
+
+def _update_stream(schema, rng):
+    ops = []
+    for __ in range(N_UPDATES):
+        branch = rng.choice(("NYC", "EDI"))
+        i = rng.randint(0, 10_000)
+        ops.append(
+            (
+                rng.choice(("saving", "checking")),
+                (f"{i:06d}", f"Cust {i}", f"{branch}, {i}", f"555-{i:07d}", branch),
+            )
+        )
+    return ops
+
+
+def test_x5_full_recheck(benchmark, series):
+    sigma = bank_constraints()
+    db = scaled_bank_instance(N_ACCOUNTS, error_rate=0.02, seed=31)
+    ops = _update_stream(db.schema, random.Random(31))
+
+    def run():
+        work = db.copy()
+        total = 0
+        for relation, row in ops:
+            work[relation].add(row)
+            total = check_database(work, sigma).total
+        return total
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, engine="full", n_accounts=N_ACCOUNTS)
+    series.add(EXPERIMENT, "full recheck", N_ACCOUNTS, benchmark.stats.stats.mean)
+
+
+def test_x5_incremental(benchmark, series):
+    sigma = bank_constraints()
+    db = scaled_bank_instance(N_ACCOUNTS, error_rate=0.02, seed=31)
+    ops = _update_stream(db.schema, random.Random(31))
+
+    def run():
+        checker = IncrementalChecker(db.copy(), sigma)
+        total = 0
+        for relation, row in ops:
+            checker.insert(relation, row)
+            total = checker.violation_count
+        return total
+
+    incremental_total = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Cross-check the final count against a full recheck.
+    work = db.copy()
+    for relation, row in ops:
+        work[relation].add(row)
+    normalized = sigma.normalized()
+    assert incremental_total == check_database(work, normalized).total
+    record(benchmark, engine="incremental", n_accounts=N_ACCOUNTS)
+    series.add(EXPERIMENT, "incremental", N_ACCOUNTS, benchmark.stats.stats.mean)
+    series.note(
+        EXPERIMENT,
+        "incremental maintenance should beat per-update full rescans by "
+        "orders of magnitude at this size",
+    )

@@ -1,0 +1,66 @@
+"""X1: the Example 3.4 derivation and its semantic counterpart.
+
+Not a paper figure, but the paper's only fully worked reasoning example —
+worth timing: replaying + re-validating the seven-step I-proof, and the
+bounded-chase implication test for the same goal.
+"""
+
+import pytest
+
+from repro.core.cind import CIND
+from repro.core.implication import ImplicationStatus, implies
+from repro.core.inference import Derivation, derives
+from repro.core.normalize import normalize_cind
+from repro.datasets.bank import bank_cinds, bank_schema
+from repro.relational.values import WILDCARD as _
+
+from _workloads import record
+
+EXPERIMENT = "x1: Example 3.4 reasoning"
+
+
+def _build_proof():
+    schema = bank_schema()
+    cinds = {c.name: c for c in bank_cinds(schema)}
+    proof = Derivation()
+    p1 = proof.premise(cinds["psi1[EDI]"])
+    p2 = proof.premise(cinds["psi2[EDI]"])
+    p5 = proof.premise(normalize_cind(cinds["psi5"])[0])
+    p6 = proof.premise(normalize_cind(cinds["psi6"])[0])
+    s1 = proof.apply("CIND2", [p1], indices=[])
+    s2 = proof.apply("CIND2", [p2], indices=[])
+    s3 = proof.apply("CIND6", [p5], keep_yp=["at"])
+    s4 = proof.apply("CIND6", [p6], keep_yp=["at"])
+    s5 = proof.apply("CIND3", [s1, s3])
+    s6 = proof.apply("CIND3", [s2, s4])
+    proof.apply("CIND8", [s5, s6], lhs_attribute="at", rhs_attribute="at")
+    return schema, proof
+
+
+def test_x1_derivation_replay(benchmark, series):
+    def run():
+        schema, proof = _build_proof()
+        account = schema.relation("account_EDI")
+        interest = schema.relation("interest")
+        goal = CIND(account, ("at",), (), interest, ("at",), (), [((_,), (_,))])
+        return derives(proof, goal)
+
+    assert benchmark(run) is True
+    series.add(EXPERIMENT, "I-proof build+check (s)", "7 steps",
+               benchmark.stats.stats.mean)
+
+
+def test_x1_semantic_implication(benchmark, series):
+    schema = bank_schema()
+    cinds = bank_cinds(schema)
+    account = schema.relation("account_EDI")
+    interest = schema.relation("interest")
+    goal = CIND(account, ("at",), (), interest, ("at",), (), [((_,), (_,))])
+
+    def run():
+        return implies(schema, cinds, goal, max_tuples=400).status
+
+    assert benchmark(run) is ImplicationStatus.IMPLIED
+    series.add(EXPERIMENT, "bounded-chase implication (s)", "Example 3.3",
+               benchmark.stats.stats.mean)
+    series.note(EXPERIMENT, "axiomatic and semantic routes agree: Σ |= ψ")

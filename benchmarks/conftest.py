@@ -1,0 +1,75 @@
+"""Benchmark-suite configuration.
+
+Adds a session-scoped results collector: benchmarks register the series
+points they measured (experiment id, x value, algorithm, y value) and a
+terminal summary prints the paper-style series tables at the end of the
+run, in addition to pytest-benchmark's own timing table. The same rows are
+written to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class SeriesCollector:
+    """Accumulates (experiment, series, x, y) points across benchmarks."""
+
+    def __init__(self) -> None:
+        self.points: dict[str, list[tuple[str, object, object]]] = defaultdict(list)
+        self.notes: dict[str, str] = {}
+
+    def add(self, experiment: str, series: str, x, y) -> None:
+        self.points[experiment].append((series, x, y))
+
+    def note(self, experiment: str, text: str) -> None:
+        self.notes[experiment] = text
+
+    def render(self, experiment: str) -> str:
+        lines = [f"== {experiment} =="]
+        if experiment in self.notes:
+            lines.append(self.notes[experiment])
+        by_series: dict[str, list[tuple[object, object]]] = defaultdict(list)
+        for series, x, y in self.points[experiment]:
+            by_series[series].append((x, y))
+        for series in sorted(by_series):
+            lines.append(f"  series {series}:")
+            for x, y in by_series[series]:
+                if isinstance(y, float):
+                    lines.append(f"    x={x:<8} y={y:.4f}")
+                else:
+                    lines.append(f"    x={x:<8} y={y}")
+        return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def series(request) -> SeriesCollector:
+    collector = SeriesCollector()
+
+    def finalize() -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        chunks = []
+        for experiment in sorted(collector.points):
+            text = collector.render(experiment)
+            chunks.append(text)
+            name = experiment.split(":")[0].replace("/", "_")
+            (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if chunks:
+            print("\n\n" + "=" * 70)
+            print("PAPER-SERIES SUMMARY (also in benchmarks/results/)")
+            print("=" * 70)
+            for chunk in chunks:
+                print(chunk)
+                print()
+
+    request.addfinalizer(finalize)
+    return collector

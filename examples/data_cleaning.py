@@ -1,0 +1,77 @@
+"""Data cleaning at scale (the Example 1.2 workflow, scaled up).
+
+Generates a bank database with thousands of accounts and a controlled
+error rate, then
+
+1. detects violations with the in-memory engine *and* the SQL engine
+   (pattern tableaux shipped as data tables, per [9]) and checks they
+   agree;
+2. shows what the *traditional* FDs/INDs would have caught (nothing);
+3. repairs the database and re-checks.
+
+Run:  python examples/data_cleaning.py [n_accounts] [error_rate]
+"""
+
+import sys
+import time
+
+from repro.cleaning.detect import (
+    compare_with_traditional,
+    detect_errors,
+    detect_errors_sql,
+)
+from repro.cleaning.repair import repair
+from repro.datasets.bank import bank_constraints, scaled_bank_instance
+
+
+def main(n_accounts: int = 2000, error_rate: float = 0.05) -> None:
+    sigma = bank_constraints()
+    db = scaled_bank_instance(n_accounts, error_rate=error_rate, seed=7)
+    print(f"database: {db!r}")
+    print(f"constraints: {sigma!r}\n")
+
+    print("=== 1. Detection (in-memory engine) ===")
+    started = time.perf_counter()
+    detection = detect_errors(db, sigma)
+    elapsed = time.perf_counter() - started
+    print(f"{detection.report.total} violation(s) in {elapsed * 1000:.1f} ms")
+    for name, count in sorted(detection.report.by_constraint().items()):
+        print(f"  {name}: {count}")
+
+    print("\n=== 1b. Detection (SQL engine, sqlite3) ===")
+    started = time.perf_counter()
+    sql_report = detect_errors_sql(db, sigma)
+    elapsed = time.perf_counter() - started
+    sql_total = sum(len(rows) for rows in sql_report.values())
+    print(f"{sql_total} violating row(s) in {elapsed * 1000:.1f} ms")
+    agree = set(sql_report) == set(detection.report.by_constraint())
+    print(f"engines agree on which constraints are violated: {agree}")
+
+    print("\n=== 2. Conditional vs traditional dependencies ===")
+    comparison = compare_with_traditional(db, sigma)
+    for kind, stats in comparison.items():
+        print(f"  {kind:>12}: {stats['constraints']} constraints, "
+              f"{stats['violations']} violations detected")
+    missed = (
+        comparison["conditional"]["violations"]
+        - comparison["traditional"]["violations"]
+    )
+    print(f"  the conditional dependencies catch {missed} error(s) the "
+          f"traditional FD/IND core misses\n  (on the paper's Fig. 1 "
+          f"instance the traditional core sees nothing at all — "
+          f"Example 1.2)")
+
+    print("\n=== 3. Repair ===")
+    started = time.perf_counter()
+    result = repair(db, sigma, cind_policy="insert", max_rounds=15)
+    elapsed = time.perf_counter() - started
+    print(f"clean: {result.clean}; {result.cost} edit(s) in "
+          f"{elapsed * 1000:.1f} ms; rounds: {result.rounds}")
+    post = detect_errors(result.db, sigma)
+    print(f"violations after repair: {post.report.total}")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    rate = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+    main(n, rate)

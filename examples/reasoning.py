@@ -1,0 +1,110 @@
+"""Reasoning about CINDs: derivations, implication, minimal covers.
+
+Replays Section 3 of the paper:
+
+* Example 3.4 — the seven-step I-proof that the bank CINDs entail
+  `account_B[at] ⊆ interest[at]` when dom(at) = {saving, checking};
+* the same implication decided semantically by the bounded chase
+  (Theorems 3.4/3.5's decision problem);
+* a minimal-cover computation removing redundant dependencies
+  (the Section 8 "future work" item).
+
+Run:  python examples/reasoning.py
+"""
+
+from repro.core.cind import CIND, standard_ind
+from repro.core.cover import minimal_cover_cinds
+from repro.core.implication import ImplicationStatus, implies
+from repro.core.inference import Derivation, derives
+from repro.core.normalize import normalize_cind
+from repro.datasets.bank import bank_cinds, bank_schema
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+def example_3_4_proof() -> None:
+    print("=== Example 3.4: an I-proof, step by step ===")
+    schema = bank_schema()
+    cinds = {c.name: c for c in bank_cinds(schema)}
+    account = schema.relation("account_EDI")
+    interest = schema.relation("interest")
+
+    proof = Derivation()
+    p1 = proof.premise(cinds["psi1[EDI]"])
+    p2 = proof.premise(cinds["psi2[EDI]"])
+    p5 = proof.premise(normalize_cind(cinds["psi5"])[0])  # the EDI row
+    p6 = proof.premise(normalize_cind(cinds["psi6"])[0])
+
+    s1 = proof.apply("CIND2", [p1], indices=[])
+    s2 = proof.apply("CIND2", [p2], indices=[])
+    s3 = proof.apply("CIND6", [p5], keep_yp=["at"])
+    s4 = proof.apply("CIND6", [p6], keep_yp=["at"])
+    s5 = proof.apply("CIND3", [s1, s3])
+    s6 = proof.apply("CIND3", [s2, s4])
+    proof.apply("CIND8", [s5, s6], lhs_attribute="at", rhs_attribute="at")
+
+    print(proof)
+    goal = CIND(account, ("at",), (), interest, ("at",), (), [((_,), (_,))])
+    print(f"\nderivation checked and concludes the goal: "
+          f"{derives(proof, goal)}")
+    print("(dom(at) = {saving, checking} is what lets CIND8 fire)\n")
+
+
+def semantic_implication() -> None:
+    print("=== The same implication, decided by the bounded chase ===")
+    schema = bank_schema()
+    cinds = bank_cinds(schema)
+    account = schema.relation("account_EDI")
+    interest = schema.relation("interest")
+    goal = CIND(account, ("at",), (), interest, ("at",), (), [((_,), (_,))])
+    result = implies(schema, cinds, goal, max_tuples=400)
+    print(f"  Sigma |= psi ?  {result.status.value} "
+          f"({result.branches_explored} chase branch(es))\n")
+
+
+def counterexample_demo() -> None:
+    print("=== A non-implication, with an explicit countermodel ===")
+    r = RelationSchema("R", ["A", "B"])
+    s = RelationSchema("S", ["C", "D"])
+    schema = DatabaseSchema([r, s])
+    sigma = [standard_ind(r, ("A",), s, ("C",), name="given")]
+    goal = standard_ind(s, ("C",), r, ("A",), name="converse")
+    result = implies(schema, sigma, goal)
+    print(f"  status: {result.status.value}")
+    print(f"  countermodel: {result.counterexample!r}")
+    for inst in result.counterexample:
+        for t in inst:
+            print("   ", t)
+    print()
+
+
+def minimal_cover_demo() -> None:
+    print("=== Minimal cover (Section 8 future work) ===")
+    r = RelationSchema("R", ["A", "B"])
+    s = RelationSchema("S", ["C", "D"])
+    t = RelationSchema("T", ["E", "F"])
+    schema = DatabaseSchema([r, s, t])
+    sigma = [
+        standard_ind(r, ("A",), s, ("C",), name="r->s"),
+        standard_ind(s, ("C",), t, ("E",), name="s->t"),
+        standard_ind(r, ("A",), t, ("E",), name="r->t (transitively redundant)"),
+        standard_ind(r, ("A", "B"), s, ("C", "D"), name="wide r->s"),
+    ]
+    result = minimal_cover_cinds(schema, sigma)
+    print(f"  input: {len(sigma)} CINDs")
+    print(f"  cover: {[c.name for c in result.cover]}")
+    print(f"  removed as redundant: {[c.name for c in result.removed]}")
+    if result.undecided:
+        print(f"  kept (redundancy undecided within budget): "
+              f"{[c.name for c in result.undecided]}")
+
+
+def main() -> None:
+    example_3_4_proof()
+    semantic_implication()
+    counterexample_demo()
+    minimal_cover_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Constraint propagation through views (Section 8 future work, built).
+
+A downstream consumer sees only a *view* of the bank's data — say, the
+Edinburgh checking accounts. Which of the source constraints still hold on
+the view, and in what form? This script derives them:
+
+* inherited CFDs (specialised against the view's selection conditions);
+* new constant CFDs from the selection itself;
+* source-side CINDs re-rooted at the view — including ψ6, which keeps
+  catching the paper's t10 error *through the view*.
+
+Run:  python examples/view_propagation.py
+"""
+
+from repro.core.parser import format_cfd, format_cind
+from repro.datasets.bank import (
+    bank_cfds,
+    bank_cinds,
+    bank_instance,
+    bank_schema,
+    clean_bank_instance,
+)
+from repro.views.spc import SPView, materialize, propagate_cfds, propagate_cinds
+
+
+def main() -> None:
+    schema = bank_schema()
+    db = bank_instance(schema)
+    cfds = bank_cfds(schema)
+    cinds = bank_cinds(schema)
+
+    view = SPView(
+        name="edi_checking",
+        base=schema.relation("checking"),
+        keep=("an", "cn", "ab"),
+        conditions={"ab": "EDI"},
+    )
+    print("=== The view ===")
+    print(f"  {view.name} = π(an, cn, ab) σ(ab = 'EDI') (checking)")
+    materialised = view.evaluate(db)
+    for t in materialised:
+        print(f"  {t!r}")
+
+    print("\n=== Propagated CFDs ===")
+    for cfd in propagate_cfds(view, cfds):
+        for line in format_cfd(cfd):
+            print(" ", line)
+
+    print("\n=== Propagated CINDs (source side) ===")
+    propagated_cinds = propagate_cinds(view, cinds)
+    for cind in propagated_cinds:
+        for line in format_cind(cind):
+            print(" ", line)
+
+    print("\n=== The t10 error is still caught through the view ===")
+    extended = materialize(db, [view])
+    for cind in propagated_cinds:
+        status = "OK" if cind.satisfied_by(extended) else "VIOLATED"
+        print(f"  {cind.name}: {status}")
+
+    clean = materialize(clean_bank_instance(schema), [view])
+    print("\nafter repairing the base data:")
+    for cind in propagated_cinds:
+        status = "OK" if cind.satisfied_by(clean) else "VIOLATED"
+        print(f"  {cind.name}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs where the `wheel` package
+(and hence PEP 660 editable builds) is unavailable. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

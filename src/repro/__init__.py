@@ -1,0 +1,58 @@
+"""repro — conditional dependencies (CINDs + CFDs) for data quality.
+
+A from-scratch reproduction of Bravo, Fan & Ma, *Extending Dependencies with
+Conditions* (VLDB 2007): conditional inclusion dependencies, their static
+analyses, the chase, and the heuristic consistency-checking algorithms, with
+data-cleaning and schema-matching application layers on top.
+
+Quickstart::
+
+    from repro.datasets import bank_instance, bank_constraints
+    from repro.core import check_database
+
+    report = check_database(bank_instance(), bank_constraints())
+    print(report.summary())   # finds the t10 / t12 errors of the paper
+"""
+
+from repro.core.cfd import CFD, standard_fd
+from repro.core.cind import CIND, standard_ind
+from repro.core.patterns import PatternTableau, PatternTuple, matches
+from repro.core.violations import ConstraintSet, check_database
+from repro.relational.domains import BOOL, INTEGER, STRING, FiniteDomain, enum_domain
+from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    database,
+    schema,
+)
+from repro.relational.values import WILDCARD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOL",
+    "CFD",
+    "CIND",
+    "ConstraintSet",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "FiniteDomain",
+    "INTEGER",
+    "PatternTableau",
+    "PatternTuple",
+    "RelationInstance",
+    "RelationSchema",
+    "STRING",
+    "Tuple",
+    "WILDCARD",
+    "Attribute",
+    "check_database",
+    "database",
+    "enum_domain",
+    "matches",
+    "schema",
+    "standard_fd",
+    "standard_ind",
+]

@@ -1,0 +1,27 @@
+"""The chase with CFDs and CINDs (Section 5.1)."""
+
+from repro.chase.engine import (
+    ChaseEngine,
+    ChaseResult,
+    ChaseStatus,
+    ground_template,
+)
+from repro.chase.valuation import (
+    apply_valuation,
+    enumerate_valuations,
+    finite_domain_variables,
+    sample_valuations,
+    valuation_space_size,
+)
+
+__all__ = [
+    "ChaseEngine",
+    "ChaseResult",
+    "ChaseStatus",
+    "apply_valuation",
+    "enumerate_valuations",
+    "finite_domain_variables",
+    "ground_template",
+    "sample_valuations",
+    "valuation_space_size",
+]

@@ -1,0 +1,634 @@
+"""The chase with CFDs and CINDs over bounded variable pools (Section 5.1).
+
+The paper extends the classical chase in three ways so that it can drive the
+heuristic consistency checkers:
+
+* **Bounded variable pools.** For every attribute ``A`` there is a finite
+  pool ``var[A]`` of at most ``N`` distinct variables; tuples created by the
+  IND step draw their unknown fields from these pools. Because values come
+  from a fixed finite set, the chase always terminates.
+* **A total order on values** with ``v < a`` for every variable ``v`` and
+  constant ``a``. The FD step replaces the *smaller* value with the larger,
+  so constants always win over variables and the rewriting is confluent
+  enough for our purposes.
+* **The instantiated chase** ``chaseI`` (Section 5.2): (a) when the IND step
+  would place a variable in a *finite-domain* column, a domain constant is
+  used instead; (b) if any relation exceeds a tuple threshold ``T``, the
+  chase is declared undefined (overflow).
+
+Chase operations:
+
+* ``FD(φ)`` for a normal-form CFD ``(R: X → A, tp)``: for tuples ``t1, t2``
+  (possibly equal) with ``t1[X] = t2[X] ≍ tp[X]`` whose ``A`` values are
+  unequal or fail to match ``tp[A]``, unify variables (or instantiate them
+  to the pattern constant); two conflicting *constants* make the chase
+  **undefined** — the template cannot satisfy Σ.
+* ``IND(ψ)`` for a normal-form CIND ``(Ra[X; Xp] ⊆ Rb[Y; Yp], tp)``: for a
+  tuple ``ta`` with ``ta[Xp] = tp[Xp]`` lacking a witness, insert ``tb``
+  with ``tb[Y] = ta[X]``, ``tb[Yp] = tp[Yp]`` and pool variables (or domain
+  constants, see above) elsewhere.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.normalize import normalize_cfds, normalize_cinds
+from repro.core.patterns import matches, matches_all
+from repro.core.violations import ConstraintSet
+from repro.errors import ChaseError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import Variable, is_variable, value_order_key
+
+
+class ChaseStatus(enum.Enum):
+    """Outcome of a chase run."""
+
+    #: Terminal: no chase operation changes the database, FD steps all hold.
+    DEFINED = "defined"
+    #: An FD step hit two conflicting constants — chase(D, Σ) is undefined.
+    UNDEFINED = "undefined"
+    #: chaseI's tuple threshold ``T`` was exceeded (treated as undefined by
+    #: the consistency checkers, but distinguished for diagnostics).
+    OVERFLOW = "overflow"
+    #: The step budget ran out before reaching a terminal state.
+    BUDGET = "budget"
+
+
+@dataclass
+class ChaseResult:
+    """The final template plus how the chase got there."""
+
+    status: ChaseStatus
+    db: DatabaseInstance
+    steps: int = 0
+    reason: str = ""
+    #: Count of IND-step insertions (used by benchmarks/diagnostics).
+    insertions: int = 0
+
+    @property
+    def is_defined(self) -> bool:
+        return self.status is ChaseStatus.DEFINED
+
+
+@dataclass
+class _NormalizedSigma:
+    cfds: list[CFD] = field(default_factory=list)
+    cinds: list[CIND] = field(default_factory=list)
+
+
+class ChaseEngine:
+    """Chases database templates with a fixed set of CFDs and CINDs.
+
+    Parameters
+    ----------
+    schema:
+        The database schema.
+    constraints:
+        The Σ to chase with (any mix of CFDs and CINDs; normalised
+        internally via Prop. 3.1).
+    var_pool_size:
+        ``N`` — maximum pool size per attribute. The paper observes N has
+        negligible accuracy impact and fixes N = 2 in the experiments.
+    max_tuples:
+        ``T`` — per-relation tuple threshold of the instantiated chase.
+        ``None`` disables the threshold (plain chase).
+    instantiate_finite:
+        Use a random domain constant instead of a variable for
+        finite-domain columns of inserted tuples (simplification (a) of
+        Section 5.2; requires *rng*).
+    rng:
+        Randomness source for the above and for operation selection.
+    max_steps:
+        Safety budget on total chase operations.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        constraints: ConstraintSet | None = None,
+        cfds: Iterable[CFD] = (),
+        cinds: Iterable[CIND] = (),
+        var_pool_size: int = 2,
+        max_tuples: int | None = None,
+        instantiate_finite: bool = False,
+        rng: random.Random | None = None,
+        max_steps: int = 100_000,
+    ):
+        if var_pool_size < 1:
+            raise ChaseError(f"var_pool_size must be >= 1, got {var_pool_size}")
+        self.schema = schema
+        if constraints is not None:
+            cfds = list(cfds) + list(constraints.cfds)
+            cinds = list(cinds) + list(constraints.cinds)
+        self.sigma = _NormalizedSigma(
+            cfds=normalize_cfds(cfds), cinds=normalize_cinds(cinds)
+        )
+        self.var_pool_size = var_pool_size
+        self.max_tuples = max_tuples
+        self.instantiate_finite = instantiate_finite
+        self.rng = rng or random.Random(0)
+        self.max_steps = max_steps
+        self._pools: dict[tuple[str, str], list[Variable]] = {}
+        self._fresh_counter = 0
+
+    # -- variable pools ------------------------------------------------------
+
+    def pool(self, relation: str, attribute: str) -> list[Variable]:
+        """``var[A]`` for the given column (created lazily, size N)."""
+        key = (relation, attribute)
+        if key not in self._pools:
+            self._pools[key] = [
+                Variable(f"{relation}.{attribute}", i)
+                for i in range(self.var_pool_size)
+            ]
+        return self._pools[key]
+
+    def fresh_tuple(self, relation: RelationSchema) -> Tuple:
+        """A template tuple of brand-new variables (RandomChecking, line 1).
+
+        The initial tuple uses variables *outside* the pools so that its
+        fields are not accidentally unified with later insertions.
+        """
+        self._fresh_counter += 1
+        values = [
+            Variable(f"{relation.name}.{a.name}#init", self._fresh_counter)
+            for a in relation
+        ]
+        return Tuple(relation, values)
+
+    # -- FD steps ---------------------------------------------------------------
+
+    def _fd_step(
+        self,
+        db: DatabaseInstance,
+        on_rewrite: "Callable[[Tuple], None] | None" = None,
+    ) -> tuple[str, str]:
+        """Apply FD(φ) rules until stable.
+
+        Returns ``(outcome, detail)`` where outcome is ``"ok"`` (stable) or
+        ``"failed"`` (chase undefined, detail says which CFD clashed).
+        *on_rewrite* is invoked with every tuple produced by a value
+        replacement, so the IND worklist can re-enqueue its obligations.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for cfd in self.sigma.cfds:
+                outcome = self._apply_one_cfd(db, cfd, on_rewrite)
+                if outcome == "failed":
+                    return "failed", f"conflicting constants under {cfd!r}"
+                if outcome == "changed":
+                    changed = True
+        return "ok", ""
+
+    def _replace(
+        self,
+        db: DatabaseInstance,
+        old: Any,
+        new: Any,
+        on_rewrite: "Callable[[Tuple], None] | None",
+    ) -> None:
+        rewritten = db.replace_value_tracked(old, new)
+        if on_rewrite is not None:
+            for tuples in rewritten.values():
+                for t in tuples:
+                    on_rewrite(t)
+
+    def _apply_one_cfd(
+        self,
+        db: DatabaseInstance,
+        cfd: CFD,
+        on_rewrite: "Callable[[Tuple], None] | None" = None,
+    ) -> str:
+        """One pass of FD(φ). Returns 'none' | 'changed' | 'failed'."""
+        instance = db[cfd.relation.name]
+        pattern = cfd.pattern
+        lhs_pattern = pattern.lhs_projection(cfd.lhs)
+        rhs_attr = cfd.rhs_attribute
+        rhs_pattern = pattern.rhs_value(rhs_attr)
+
+        groups: dict[tuple[Any, ...], list[Tuple]] = {}
+        for t in instance:
+            key = t.project(cfd.lhs)
+            if matches_all(key, lhs_pattern):
+                groups.setdefault(key, []).append(t)
+
+        changed = False
+        for group in groups.values():
+            values = {t[rhs_attr] for t in group}
+            constants = {v for v in values if not is_variable(v)}
+            variables = {v for v in values if is_variable(v)}
+            if not is_variable(rhs_pattern) and not _is_wildcard(rhs_pattern):
+                # tp[A] = a: all group members must take the constant a.
+                target = rhs_pattern
+                if any(c != target for c in constants):
+                    return "failed"
+                for v in variables:
+                    self._replace(db, v, target, on_rewrite)
+                    changed = True
+            else:
+                # tp[A] = '_': the group must agree; unify towards the
+                # largest value (constants beat variables).
+                if len(constants) > 1:
+                    return "failed"
+                if len(values) <= 1:
+                    continue
+                target = max(values, key=value_order_key)
+                for v in values:
+                    if v != target:
+                        self._replace(db, v, target, on_rewrite)
+                        changed = True
+        return "changed" if changed else "none"
+
+    def _fd_resolve(
+        self,
+        db: DatabaseInstance,
+        dirty: "deque[Tuple]",
+        on_new: "Callable[[Tuple], None]",
+    ) -> tuple[str, str]:
+        """Incremental FD saturation: resolve only groups touched by *dirty*.
+
+        Only a group containing a changed tuple can newly violate an FD
+        step, so processing the dirty queue (rewrites re-enter it through
+        *on_new*) reaches the same fixpoint as a full pass over a template
+        whose every tuple was enqueued once.
+        """
+        cfds_on: dict[str, list[CFD]] = {}
+        for cfd in self.sigma.cfds:
+            cfds_on.setdefault(cfd.relation.name, []).append(cfd)
+        while dirty:
+            t = dirty.popleft()
+            instance = db[t.schema.name]
+            if t not in instance:
+                continue  # rewritten away; replacements are queued
+            for cfd in cfds_on.get(t.schema.name, ()):
+                if t not in instance:
+                    break  # this tuple was itself rewritten mid-loop
+                pattern = cfd.pattern
+                lhs_pattern = pattern.lhs_projection(cfd.lhs)
+                key = t.project(cfd.lhs)
+                if not matches_all(key, lhs_pattern):
+                    continue
+                group = instance.lookup(cfd.lhs, key)
+                rhs_attr = cfd.rhs_attribute
+                rhs_pattern = pattern.rhs_value(rhs_attr)
+                values = {g[rhs_attr] for g in group}
+                constants = {v for v in values if not is_variable(v)}
+                variables = {v for v in values if is_variable(v)}
+                if not is_variable(rhs_pattern) and not _is_wildcard(rhs_pattern):
+                    if any(c != rhs_pattern for c in constants):
+                        return "failed", f"conflicting constants under {cfd!r}"
+                    for v in variables:
+                        self._replace(db, v, rhs_pattern, on_new)
+                else:
+                    if len(constants) > 1:
+                        return "failed", f"conflicting constants under {cfd!r}"
+                    if len(values) > 1:
+                        target = max(values, key=value_order_key)
+                        for v in values:
+                            if v != target:
+                                self._replace(db, v, target, on_new)
+        return "ok", ""
+
+    # -- smart finite-domain instantiation (the Section 5.2 "Improvement") ----
+
+    def _single_tuple_propagate(
+        self, relation: RelationSchema, values: dict[str, Any]
+    ) -> bool:
+        """Single-tuple CFD propagation on a candidate tuple (mutates values).
+
+        Mirrors procedure CFD_Checking's core: matched constant premises
+        force RHS constants; a forced conflict means no completion of the
+        current constants satisfies ``CFD(R)``.
+        """
+        cfds = [c for c in self.sigma.cfds if c.relation.name == relation.name]
+        changed = True
+        while changed:
+            changed = False
+            for cfd in cfds:
+                pattern = cfd.pattern
+                premise = True
+                for attr in cfd.lhs:
+                    p = pattern.lhs_value(attr)
+                    if _is_wildcard(p):
+                        continue
+                    current = values[attr]
+                    if is_variable(current) or current != p:
+                        premise = False
+                        break
+                if not premise:
+                    continue
+                rhs_attr = cfd.rhs_attribute
+                target = pattern.rhs_value(rhs_attr)
+                if _is_wildcard(target):
+                    continue
+                current = values[rhs_attr]
+                if is_variable(current):
+                    values[rhs_attr] = target
+                    changed = True
+                elif current != target:
+                    return False
+        return True
+
+    def choose_finite_values(
+        self,
+        relation: RelationSchema,
+        values: dict[str, Any],
+        search_limit: int = 64,
+    ) -> dict[str, Any] | None:
+        """Pick constants for the finite-domain variables of one tuple.
+
+        This is the paper's improved instantiation: rather than valuating
+        finite-domain columns blindly, invoke the CFD chase on the tuple and
+        *search* (up to *search_limit* valuations, random order) for values
+        under which ``CFD(R)`` does not immediately fail. Returns a mapping
+        for the finite columns only (infinite-domain variables are left for
+        the global chase to unify), or ``None`` when every tried valuation
+        fails.
+        """
+        probe = dict(values)
+        if not self._single_tuple_propagate(relation, probe):
+            return None
+        free = [
+            a.name
+            for a in relation
+            if is_variable(probe[a.name]) and isinstance(a.domain, FiniteDomain)
+        ]
+        finite_choices = {
+            a: v for a, v in probe.items()
+            if a in values and not is_variable(v) and is_variable(values[a])
+            and isinstance(relation.attribute(a).domain, FiniteDomain)
+        }
+        if not free:
+            return finite_choices
+        pools = [list(relation.attribute(a).domain.values) for a in free]
+        space = 1
+        for pool in pools:
+            space *= len(pool)
+        if space <= search_limit:
+            combos = list(itertools.product(*pools))
+            self.rng.shuffle(combos)
+        else:
+            combos = [
+                tuple(self.rng.choice(pool) for pool in pools)
+                for __ in range(search_limit)
+            ]
+        for combo in combos:
+            candidate = dict(probe)
+            candidate.update(zip(free, combo))
+            if self._single_tuple_propagate(relation, candidate):
+                out = dict(finite_choices)
+                out.update(zip(free, combo))
+                return out
+        return None
+
+    # -- IND steps -----------------------------------------------------------------
+
+    def _applicable_ind(
+        self, db: DatabaseInstance
+    ) -> tuple[CIND, Tuple] | None:
+        """Find some (ψ, ta) with a matched premise and no witness."""
+        for cind in self.sigma.cinds:
+            lhs_instance = db[cind.lhs_relation.name]
+            pattern = cind.pattern
+            xp_pattern = pattern.lhs_projection(cind.xp)
+            for ta in lhs_instance:
+                if ta.project(cind.xp) != xp_pattern:
+                    continue
+                if cind.find_witness(db, ta, pattern) is None:
+                    return cind, ta
+        return None
+
+    def _insert_witness(
+        self, db: DatabaseInstance, cind: CIND, ta: Tuple
+    ) -> Tuple | None:
+        """IND(ψ): build and insert the witness tuple for *ta*.
+
+        With ``instantiate_finite`` (the instantiated chase), finite-domain
+        gaps are filled by :meth:`choose_finite_values` — the CFD-driven
+        search of the paper's improved algorithm. Returns ``None`` when no
+        tried valuation lets the new tuple satisfy ``CFD(Rb)`` (the chase
+        run is then undefined).
+        """
+        pattern = cind.pattern
+        rb = cind.rhs_relation
+        fixed: dict[str, Any] = {}
+        for a, b in zip(cind.x, cind.y):
+            fixed[b] = ta[a]
+        for b in cind.yp:
+            fixed[b] = pattern.rhs_value(b)
+        free = [attr.name for attr in rb if attr.name not in fixed]
+
+        # Try a few pool-variable assignments for the unconstrained columns
+        # and keep one that does not immediately clash with an existing
+        # tuple under some FD step (two tuples agreeing on a CFD's LHS but
+        # carrying different RHS constants would make the chase undefined;
+        # picking different variables keeps the groups apart).
+        best: dict[str, Any] | None = None
+        for __ in range(8):
+            values = dict(fixed)
+            for name in free:
+                values[name] = self.rng.choice(self.pool(rb.name, name))
+            if self.instantiate_finite:
+                chosen = self.choose_finite_values(rb, values)
+                if chosen is None:
+                    continue
+                values.update(chosen)
+            if best is None:
+                best = values
+            if not self._fd_conflict_with_existing(db, rb, values):
+                best = values
+                break
+        if best is None:
+            return None
+        tb = Tuple(rb, best)
+        db[rb.name].add(tb)
+        return tb
+
+    def _fd_conflict_with_existing(
+        self, db: DatabaseInstance, relation: RelationSchema, values: dict[str, Any]
+    ) -> bool:
+        """Would inserting *values* force an FD step onto two constants?
+
+        Only constant-vs-constant disagreements are fatal (variables can be
+        unified); those are what the assignment search tries to dodge.
+        """
+        instance = db[relation.name]
+        for cfd in self.sigma.cfds:
+            if cfd.relation.name != relation.name:
+                continue
+            pattern = cfd.pattern
+            lhs_pattern = pattern.lhs_projection(cfd.lhs)
+            key = tuple(values[a] for a in cfd.lhs)
+            if not matches_all(key, lhs_pattern):
+                continue
+            rhs_attr = cfd.rhs_attribute
+            mine = values[rhs_attr]
+            rhs_target = pattern.rhs_value(rhs_attr)
+            if (
+                not _is_wildcard(rhs_target)
+                and not is_variable(mine)
+                and mine != rhs_target
+            ):
+                return True
+            for other in instance.lookup(cfd.lhs, key):
+                theirs = other[rhs_attr]
+                if (
+                    not is_variable(mine)
+                    and not is_variable(theirs)
+                    and mine != theirs
+                ):
+                    return True
+        return False
+
+    # -- the chase loop ----------------------------------------------------------------
+
+    def chase(self, db: DatabaseInstance) -> ChaseResult:
+        """Run the chase to a terminal state (mutating a copy of *db*).
+
+        Implements the improved strategy of Section 5.2 (FD-saturate after
+        every insertion) with a **worklist**: obligations ``(ψ, ta)`` are
+        enqueued when ``ta`` enters the database (insertion or FD rewrite)
+        and processed exactly once. This is sound because
+
+        * a matched obligation is discharged by inserting its witness, and
+          FD rewriting substitutes values *consistently*, so equalities
+          (and pattern-constant matches) that held keep holding;
+        * an unmatched premise can only become matched if ``ta`` itself is
+          rewritten — which re-enqueues the rewritten tuple.
+        """
+        work = db.copy()
+        steps = 0
+        insertions = 0
+        cinds_from: dict[str, list[int]] = {}
+        for idx, cind in enumerate(self.sigma.cinds):
+            cinds_from.setdefault(cind.lhs_relation.name, []).append(idx)
+
+        pending: deque[tuple[int, Tuple]] = deque()
+        fd_dirty: deque[Tuple] = deque()
+
+        def on_new(t: Tuple) -> None:
+            for idx in cinds_from.get(t.schema.name, ()):
+                pending.append((idx, t))
+            fd_dirty.append(t)
+
+        for inst in work:
+            for t in inst:
+                on_new(t)
+        outcome, detail = self._fd_resolve(work, fd_dirty, on_new)
+        if outcome == "failed":
+            return ChaseResult(ChaseStatus.UNDEFINED, work, steps, detail, insertions)
+
+        while pending:
+            steps += 1
+            if steps > self.max_steps:
+                return ChaseResult(
+                    ChaseStatus.BUDGET, work, steps, "step budget exhausted",
+                    insertions,
+                )
+            idx, ta = pending.popleft()
+            cind = self.sigma.cinds[idx]
+            instance = work[cind.lhs_relation.name]
+            if ta not in instance:
+                continue  # rewritten away; its replacement was re-enqueued
+            pattern = cind.pattern
+            if ta.project(cind.xp) != pattern.lhs_projection(cind.xp):
+                continue  # premise unmatched (can only change via rewrite)
+            if cind.find_witness(work, ta, pattern) is not None:
+                continue
+            inserted = self._insert_witness(work, cind, ta)
+            if inserted is None:
+                return ChaseResult(
+                    ChaseStatus.UNDEFINED,
+                    work,
+                    steps,
+                    f"no CFD-consistent finite-domain valuation for a tuple "
+                    f"inserted into {cind.rhs_relation.name!r}",
+                    insertions,
+                )
+            insertions += 1
+            if (
+                self.max_tuples is not None
+                and len(work[cind.rhs_relation.name]) > self.max_tuples
+            ):
+                return ChaseResult(
+                    ChaseStatus.OVERFLOW,
+                    work,
+                    steps,
+                    f"relation {cind.rhs_relation.name!r} exceeded T = "
+                    f"{self.max_tuples}",
+                    insertions,
+                )
+            on_new(inserted)
+            outcome, detail = self._fd_resolve(work, fd_dirty, on_new)
+            if outcome == "failed":
+                return ChaseResult(
+                    ChaseStatus.UNDEFINED, work, steps, detail, insertions
+                )
+        return ChaseResult(ChaseStatus.DEFINED, work, steps, "", insertions)
+
+    def terminal(self, db: DatabaseInstance) -> bool:
+        """No IND step is applicable (FD saturation is assumed done)."""
+        return self._applicable_ind(db) is None
+
+    def chase_cfds_only(self, db: DatabaseInstance) -> ChaseResult:
+        """FD-saturate only (procedure CFD_Checking's chase core)."""
+        work = db.copy()
+        outcome, detail = self._fd_step(work)
+        status = ChaseStatus.DEFINED if outcome == "ok" else ChaseStatus.UNDEFINED
+        return ChaseResult(status, work, 1, detail)
+
+
+def _is_wildcard(value: Any) -> bool:
+    from repro.relational.values import is_wildcard
+
+    return is_wildcard(value)
+
+
+def ground_template(
+    db: DatabaseInstance,
+    exclude_constants: Iterable[Any] = (),
+) -> DatabaseInstance:
+    """Map every remaining variable to a fresh constant of its domain.
+
+    This is the final step of the consistency checkers: a terminal template
+    whose infinite-domain variables are replaced by *distinct fresh*
+    constants (avoiding *exclude_constants*, normally the constants of Σ)
+    still satisfies Σ, because fresh constants match no pattern constant and
+    the substitution is injective (preserving all equalities the chase
+    established).
+
+    Raises :class:`ChaseError` if a finite-domain variable remains — those
+    must be valuated (or instantiated by chaseI) before grounding.
+    """
+    mapping: dict[Variable, Any] = {}
+    taken = set(exclude_constants)
+    for inst in db:
+        for t in inst:
+            for attr, value in zip(inst.schema.attributes, t.values):
+                if not is_variable(value):
+                    taken.add(value)
+    for inst in db:
+        for t in inst:
+            for attr, value in zip(inst.schema.attributes, t.values):
+                if not is_variable(value) or value in mapping:
+                    continue
+                if isinstance(attr.domain, FiniteDomain):
+                    raise ChaseError(
+                        f"finite-domain variable {value!r} left in template; "
+                        f"apply a valuation first"
+                    )
+                fresh = attr.domain.fresh_value(exclude=taken)
+                mapping[value] = fresh
+                taken.add(fresh)
+    return db.substitute(mapping)

@@ -1,0 +1,106 @@
+"""Valuations of finite-domain chase variables (Section 5.2).
+
+``Vfinattr(R)`` in the paper is the set of all valuations ρ mapping every
+finite-domain variable of a database template to a constant of its domain.
+RandomChecking tries up to ``K`` of them. The helpers here enumerate the
+valuation space lazily (it is a cartesian product, potentially exponential)
+and sample it without materialising it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import Variable, is_variable
+
+
+def finite_domain_variables(
+    db: DatabaseInstance,
+) -> dict[Variable, FiniteDomain]:
+    """The finite-domain variables of a template, with their domains.
+
+    A variable's domain is the domain of the attribute position it occupies.
+    The chase only ever places a variable drawn from ``var[A]`` in column
+    ``A``, so the mapping is well-defined.
+    """
+    out: dict[Variable, FiniteDomain] = {}
+    for inst in db:
+        for t in inst:
+            for attr, value in zip(inst.schema.attributes, t.values):
+                if is_variable(value) and isinstance(attr.domain, FiniteDomain):
+                    out[value] = attr.domain
+    return out
+
+
+def enumerate_valuations(
+    variables: Mapping[Variable, FiniteDomain],
+    limit: int | None = None,
+) -> Iterator[dict[Variable, Any]]:
+    """Deterministically enumerate valuations (cartesian-product order).
+
+    With no variables, yields the single empty valuation — the paper's
+    convention that ``Vfinattr(R)`` then contains one empty mapping.
+    """
+    ordered = sorted(variables, key=lambda v: v.sort_key())
+    pools: Sequence[Sequence[Any]] = [tuple(variables[v].values) for v in ordered]
+    count = 0
+    for combo in itertools.product(*pools):
+        if limit is not None and count >= limit:
+            return
+        yield dict(zip(ordered, combo))
+        count += 1
+
+
+def valuation_space_size(variables: Mapping[Variable, FiniteDomain]) -> int:
+    size = 1
+    for domain in variables.values():
+        size *= len(domain)
+    return size
+
+
+def sample_valuations(
+    variables: Mapping[Variable, FiniteDomain],
+    k: int,
+    rng: random.Random,
+) -> Iterator[dict[Variable, Any]]:
+    """Up to *k* distinct random valuations.
+
+    When the space is small (≤ *k*), every valuation is produced exactly
+    once, in random order — matching the paper's "randomly choose ρ ∈
+    Vfinattr and remove it" loop. For larger spaces, draws are random with
+    rejection of repeats (bounded retries, so pathological spaces cannot
+    loop forever).
+    """
+    ordered = sorted(variables, key=lambda v: v.sort_key())
+    space = valuation_space_size(variables)
+    if space <= max(k, 0):
+        all_vals = list(enumerate_valuations(variables))
+        rng.shuffle(all_vals)
+        yield from all_vals
+        return
+    seen: set[tuple[Any, ...]] = set()
+    attempts = 0
+    produced = 0
+    while produced < k and attempts < 20 * k + 100:
+        attempts += 1
+        combo = tuple(rng.choice(variables[v].values) for v in ordered)
+        if combo in seen:
+            continue
+        seen.add(combo)
+        produced += 1
+        yield dict(zip(ordered, combo))
+
+
+def apply_valuation(
+    db: DatabaseInstance, valuation: Mapping[Variable, Any]
+) -> DatabaseInstance:
+    """``ρ(D)``: a copy of the template with the valuation applied.
+
+    Constants and variables outside the valuation are untouched.
+    """
+    return db.substitute(dict(valuation))

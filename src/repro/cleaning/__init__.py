@@ -1,0 +1,21 @@
+"""Data-cleaning layer: violation detection and heuristic repair."""
+
+from repro.cleaning.detect import (
+    DetectionResult,
+    compare_with_traditional,
+    detect_errors,
+    detect_errors_sql,
+)
+from repro.cleaning.incremental import IncrementalChecker
+from repro.cleaning.repair import RepairEdit, RepairResult, repair
+
+__all__ = [
+    "DetectionResult",
+    "IncrementalChecker",
+    "RepairEdit",
+    "RepairResult",
+    "compare_with_traditional",
+    "detect_errors",
+    "detect_errors_sql",
+    "repair",
+]

@@ -1,0 +1,95 @@
+"""Constraint-based error detection (the data-cleaning side of the paper).
+
+Example 1.2's pitch: traditional FDs/INDs miss errors (tuple ``t12``) that
+CFDs/CINDs catch. This module wraps the two violation engines — the
+in-memory one of :mod:`repro.core.violations` and the SQL one of
+:mod:`repro.sql.violations` — behind one call and produces a per-tuple
+error table that the repair step consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.violations import ConstraintSet, ViolationReport, check_database
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.sql.violations import sql_check_database
+
+
+@dataclass
+class DetectionResult:
+    """Violations organised for reporting and repair."""
+
+    report: ViolationReport
+    #: (relation, tuple) -> names of constraints it participates in violating.
+    dirty_tuples: dict[tuple[str, Tuple], list[str]] = field(default_factory=dict)
+
+    @property
+    def is_clean(self) -> bool:
+        return self.report.is_clean
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self.dirty_tuples)
+
+    def summary(self) -> str:
+        lines = [self.report.summary()]
+        if self.dirty_tuples:
+            lines.append(f"{self.dirty_count} distinct dirty tuple(s):")
+            for (relation, t), names in list(self.dirty_tuples.items())[:20]:
+                lines.append(f"  {t!r} <- {', '.join(sorted(set(names)))}")
+            if self.dirty_count > 20:
+                lines.append(f"  ... and {self.dirty_count - 20} more")
+        return "\n".join(lines)
+
+
+def detect_errors(db: DatabaseInstance, sigma: ConstraintSet) -> DetectionResult:
+    """Find every CFD/CIND violation and index the offending tuples."""
+    report = check_database(db, sigma)
+    dirty: dict[tuple[str, Tuple], list[str]] = {}
+    for violation in report.cfd_violations:
+        name = violation.cfd.name or repr(violation.cfd)
+        for t in violation.tuples:
+            dirty.setdefault((violation.cfd.relation.name, t), []).append(name)
+    for violation in report.cind_violations:
+        name = violation.cind.name or repr(violation.cind)
+        key = (violation.cind.lhs_relation.name, violation.tuple_)
+        dirty.setdefault(key, []).append(name)
+    return DetectionResult(report=report, dirty_tuples=dirty)
+
+
+def detect_errors_sql(
+    db: DatabaseInstance, sigma: ConstraintSet
+) -> dict[str, set[tuple[Any, ...]]]:
+    """SQL-backed detection (violating rows per constraint name)."""
+    return sql_check_database(db, sigma)
+
+
+def compare_with_traditional(
+    db: DatabaseInstance, sigma: ConstraintSet
+) -> dict[str, dict[str, int]]:
+    """Example 1.2 quantified: violations under Σ vs its traditional core.
+
+    The "traditional core" keeps only the standard FDs and INDs of Σ
+    (all-wildcard single-row tableaux) — the dependencies pre-CFD/CIND
+    cleaning would use. Returns violation counts under both, showing what
+    the conditional extensions catch that the classical dependencies miss.
+    """
+    traditional = ConstraintSet(
+        sigma.schema,
+        cfds=[c for c in sigma.cfds if c.is_standard_fd],
+        cinds=[c for c in sigma.cinds if c.is_standard_ind],
+    )
+    full = check_database(db, sigma)
+    classic = check_database(db, traditional)
+    return {
+        "conditional": {
+            "constraints": len(sigma),
+            "violations": full.total,
+        },
+        "traditional": {
+            "constraints": len(traditional),
+            "violations": classic.total,
+        },
+    }

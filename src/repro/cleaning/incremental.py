@@ -1,0 +1,240 @@
+"""Incremental violation detection under tuple insertions and deletions.
+
+`check_database` rescans everything; a cleaning tool watching a live
+database wants the *delta*. :class:`IncrementalChecker` owns a database
+instance and a constraint set (normalised on entry) and maintains, per
+constraint, just enough state to update violation sets in time
+proportional to the touched groups:
+
+* per normal-form CFD — the tuples of each LHS-pattern-matching group,
+  keyed by their ``X`` projection, plus the set of violated group keys;
+* per normal-form CIND — a witness count per required ``Y``-projection
+  (counting RHS tuples whose ``Yp`` matches the pattern) and the set of
+  violating LHS tuples.
+
+Every mutation goes through :meth:`insert` / :meth:`delete`, which apply
+it to the underlying database *and* the state. The test-suite
+cross-validates against full rechecks on randomized operation sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.patterns import matches_all
+from repro.core.violations import ConstraintSet
+from repro.errors import ConstraintError
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.values import is_wildcard
+
+
+@dataclass
+class _CFDState:
+    cfd: CFD
+    #: group key (X projection) -> multiset of RHS values in the group
+    groups: dict[tuple, Counter] = field(default_factory=dict)
+    violated: set[tuple] = field(default_factory=set)
+
+    def group_violated(self, key: tuple) -> bool:
+        counter = self.groups.get(key)
+        if not counter:
+            return False
+        if len(counter) > 1:
+            return True
+        pattern_value = self.cfd.pattern.rhs_value(self.cfd.rhs_attribute)
+        if is_wildcard(pattern_value):
+            return False
+        (value,) = counter
+        return value != pattern_value
+
+    def refresh(self, key: tuple) -> None:
+        if self.group_violated(key):
+            self.violated.add(key)
+        else:
+            self.violated.discard(key)
+
+
+@dataclass
+class _CINDState:
+    cind: CIND
+    #: required Y-projection -> number of pattern-matching RHS witnesses
+    witness_count: Counter = field(default_factory=Counter)
+    #: violating LHS tuples (premise matched, no witness)
+    violated: set[Tuple] = field(default_factory=set)
+
+
+class IncrementalChecker:
+    """Violation bookkeeping for one database under single-tuple updates."""
+
+    def __init__(self, db: DatabaseInstance, sigma: ConstraintSet):
+        self.db = db
+        self.sigma = sigma.normalized()
+        self._cfd_states: dict[str, list[_CFDState]] = {}
+        self._cind_lhs: dict[str, list[_CINDState]] = {}
+        self._cind_rhs: dict[str, list[_CINDState]] = {}
+        self._cind_states: list[_CINDState] = []
+        for cfd in self.sigma.cfds:
+            state = _CFDState(cfd)
+            self._cfd_states.setdefault(cfd.relation.name, []).append(state)
+        for cind in self.sigma.cinds:
+            state = _CINDState(cind)
+            self._cind_states.append(state)
+            self._cind_lhs.setdefault(cind.lhs_relation.name, []).append(state)
+            self._cind_rhs.setdefault(cind.rhs_relation.name, []).append(state)
+        for inst in db:
+            for t in inst:
+                self._account_insert(t)
+        # Initial CIND violation sets need the witness counts complete first.
+        for state in self._cind_states:
+            self._rebuild_cind_violations(state)
+
+    # -- public API -----------------------------------------------------------
+
+    def insert(self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> bool:
+        """Insert a tuple; returns False (no-op) if it was already present."""
+        instance = self.db[relation]
+        before = len(instance)
+        instance.add(row)
+        if len(instance) == before:
+            return False
+        t = row if isinstance(row, Tuple) else instance.tuples[-1]
+        self._account_insert(t)
+        self._settle_cinds_after_insert(t)
+        return True
+
+    def delete(self, relation: str, row: Tuple) -> bool:
+        """Delete a tuple; returns False if it was not present."""
+        if not isinstance(row, Tuple):
+            raise ConstraintError("delete expects a Tuple object")
+        if not self.db[relation].discard(row):
+            return False
+        self._account_delete(row)
+        return True
+
+    @property
+    def is_clean(self) -> bool:
+        return self.violation_count == 0
+
+    @property
+    def violation_count(self) -> int:
+        total = sum(
+            len(s.violated)
+            for states in self._cfd_states.values()
+            for s in states
+        )
+        total += sum(len(s.violated) for s in self._cind_states)
+        return total
+
+    def violations(self) -> dict[str, int]:
+        """Current violation counts per constraint name."""
+        out: dict[str, int] = {}
+        for states in self._cfd_states.values():
+            for s in states:
+                if s.violated:
+                    out[s.cfd.name or repr(s.cfd)] = len(s.violated)
+        for s in self._cind_states:
+            if s.violated:
+                out[s.cind.name or repr(s.cind)] = len(s.violated)
+        return out
+
+    def violating_cind_tuples(self) -> set[Tuple]:
+        out: set[Tuple] = set()
+        for s in self._cind_states:
+            out |= s.violated
+        return out
+
+    # -- CFD bookkeeping ----------------------------------------------------------
+
+    def _cfd_key(self, state: _CFDState, t: Tuple) -> tuple | None:
+        cfd = state.cfd
+        key = t.project(cfd.lhs)
+        if not matches_all(key, cfd.pattern.lhs_projection(cfd.lhs)):
+            return None
+        return key
+
+    def _account_insert(self, t: Tuple) -> None:
+        for state in self._cfd_states.get(t.schema.name, ()):
+            key = self._cfd_key(state, t)
+            if key is None:
+                continue
+            state.groups.setdefault(key, Counter())[
+                t[state.cfd.rhs_attribute]
+            ] += 1
+            state.refresh(key)
+        for state in self._cind_rhs.get(t.schema.name, ()):
+            cind = state.cind
+            if matches_all(
+                t.project(cind.yp), cind.pattern.rhs_projection(cind.yp)
+            ):
+                state.witness_count[t.project(cind.y)] += 1
+        for state in self._cind_lhs.get(t.schema.name, ()):
+            cind = state.cind
+            if not cind.lhs_matches(t, cind.pattern):
+                continue
+            # witness_count may not be final during __init__; the
+            # constructor rebuilds afterwards. For live inserts it is exact.
+            if state.witness_count[t.project(cind.x)] == 0:
+                state.violated.add(t)
+
+    def _account_delete(self, t: Tuple) -> None:
+        for state in self._cfd_states.get(t.schema.name, ()):
+            key = self._cfd_key(state, t)
+            if key is None:
+                continue
+            counter = state.groups.get(key)
+            if counter is not None:
+                value = t[state.cfd.rhs_attribute]
+                counter[value] -= 1
+                if counter[value] <= 0:
+                    del counter[value]
+                if not counter:
+                    del state.groups[key]
+            state.refresh(key)
+        for state in self._cind_lhs.get(t.schema.name, ()):
+            state.violated.discard(t)
+        for state in self._cind_rhs.get(t.schema.name, ()):
+            cind = state.cind
+            if not matches_all(
+                t.project(cind.yp), cind.pattern.rhs_projection(cind.yp)
+            ):
+                continue
+            key = t.project(cind.y)
+            state.witness_count[key] -= 1
+            if state.witness_count[key] <= 0:
+                del state.witness_count[key]
+                self._mark_orphans(state, key)
+
+    def _settle_cinds_after_insert(self, t: Tuple) -> None:
+        """A new RHS witness may clear pending LHS violations."""
+        for state in self._cind_rhs.get(t.schema.name, ()):
+            cind = state.cind
+            if not matches_all(
+                t.project(cind.yp), cind.pattern.rhs_projection(cind.yp)
+            ):
+                continue
+            key = t.project(cind.y)
+            if state.witness_count.get(key, 0) > 0 and state.violated:
+                state.violated = {
+                    t1 for t1 in state.violated if t1.project(cind.x) != key
+                }
+
+    def _mark_orphans(self, state: _CINDState, key: tuple) -> None:
+        """The last witness for *key* vanished: LHS tuples become violations."""
+        cind = state.cind
+        lhs_instance = self.db[cind.lhs_relation.name]
+        for t1 in lhs_instance.lookup(cind.x, key):
+            if cind.lhs_matches(t1, cind.pattern):
+                state.violated.add(t1)
+
+    def _rebuild_cind_violations(self, state: _CINDState) -> None:
+        cind = state.cind
+        state.violated = set()
+        for t1 in self.db[cind.lhs_relation.name]:
+            if not cind.lhs_matches(t1, cind.pattern):
+                continue
+            if state.witness_count.get(t1.project(cind.x), 0) == 0:
+                state.violated.add(t1)

@@ -1,0 +1,164 @@
+"""Heuristic repair of CFD/CIND violations.
+
+Constraint-based repairing (the paper's related work [8, 13]) finds a
+database close to the original that satisfies Σ. We implement the two
+classic local moves, iterated to a fixpoint:
+
+* **CFD repairs** — value modification. For a single-tuple violation
+  (constant RHS pattern), rewrite the offending tuple's RHS attribute to
+  the pattern constant. For a pair violation (wildcard RHS), rewrite the
+  minority tuples of the group to the group's most frequent RHS value
+  (cost = number of changed cells, following [8]'s cost intuition).
+* **CIND repairs** — by policy, either *insert* the missing witness tuple
+  on the RHS (``policy="insert"``; unconstrained columns take values from
+  a fill function) or *delete* the violating LHS tuple
+  (``policy="delete"``, the minimal-change tuple-deletion semantics of
+  [13]).
+
+Repairing is not confluent and may not terminate on adversarial Σ (repair
+moves can re-violate other constraints), so rounds are capped; the result
+reports whether a clean database was reached.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.violations import ConstraintSet, check_database
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.schema import RelationSchema
+from repro.relational.values import is_wildcard
+
+
+@dataclass
+class RepairEdit:
+    """One applied repair operation."""
+
+    kind: str                 # "modify" | "insert" | "delete"
+    relation: str
+    before: Tuple | None
+    after: Tuple | None
+    constraint: str
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.relation}: {self.before!r} -> {self.after!r} [{self.constraint}]>"
+
+
+@dataclass
+class RepairResult:
+    db: DatabaseInstance
+    edits: list[RepairEdit] = field(default_factory=list)
+    clean: bool = False
+    rounds: int = 0
+
+    @property
+    def cost(self) -> int:
+        """Number of edit operations applied."""
+        return len(self.edits)
+
+
+def default_fill(relation: RelationSchema, attribute: str, counter: list[int]) -> Any:
+    """Fill value for unconstrained columns of inserted witness tuples."""
+    attr = relation.attribute(attribute)
+    if isinstance(attr.domain, FiniteDomain):
+        return attr.domain.values[0]
+    counter[0] += 1
+    return f"repair#{counter[0]}"
+
+
+def repair(
+    db: DatabaseInstance,
+    sigma: ConstraintSet,
+    cind_policy: str = "insert",
+    max_rounds: int = 10,
+    rng: random.Random | None = None,
+    fill: Callable[[RelationSchema, str, list[int]], Any] | None = None,
+) -> RepairResult:
+    """Iteratively repair *db* (on a copy) until clean or out of rounds."""
+    if cind_policy not in ("insert", "delete"):
+        raise ValueError(f"cind_policy must be insert|delete, got {cind_policy!r}")
+    rng = rng or random.Random(0)
+    fill = fill or default_fill
+    counter = [0]
+    work = db.copy()
+    edits: list[RepairEdit] = []
+
+    for round_no in range(1, max_rounds + 1):
+        report = check_database(work, sigma)
+        if report.is_clean:
+            return RepairResult(work, edits, clean=True, rounds=round_no - 1)
+        changed = False
+
+        for violation in report.cfd_violations:
+            cfd = violation.cfd
+            name = cfd.name or repr(cfd)
+            instance = work[cfd.relation.name]
+            row = cfd.tableau[violation.pattern_index]
+            rhs_pattern = row.rhs_projection(cfd.rhs)
+            group = [t for t in violation.tuples if t in instance]
+            if not group:
+                continue  # already rewritten this round
+            constants = [v for v in rhs_pattern if not is_wildcard(v)]
+            if len(constants) == len(rhs_pattern):
+                target = tuple(rhs_pattern)
+            else:
+                # Wildcard positions: majority vote within the group.
+                votes = Counter(t.project(cfd.rhs) for t in group)
+                majority = votes.most_common(1)[0][0]
+                target = tuple(
+                    value if not is_wildcard(value) else majority[i]
+                    for i, value in enumerate(rhs_pattern)
+                )
+            for t in group:
+                if t.project(cfd.rhs) == target or t not in instance:
+                    continue
+                after = t.replace(**dict(zip(cfd.rhs, target)))
+                instance.discard(t)
+                instance.add(after)
+                edits.append(
+                    RepairEdit("modify", cfd.relation.name, t, after, name)
+                )
+                changed = True
+
+        for violation in report.cind_violations:
+            cind = violation.cind
+            name = cind.name or repr(cind)
+            t1 = violation.tuple_
+            if t1 not in work[cind.lhs_relation.name]:
+                continue  # removed by an earlier repair
+            row = cind.tableau[violation.pattern_index]
+            if cind.find_witness(work, t1, row) is not None:
+                continue  # an earlier insertion already fixed it
+            if cind_policy == "delete":
+                work[cind.lhs_relation.name].discard(t1)
+                edits.append(
+                    RepairEdit("delete", cind.lhs_relation.name, t1, None, name)
+                )
+            else:
+                template = cind.required_rhs_template(t1, row)
+                values = {
+                    attr: (
+                        fill(cind.rhs_relation, attr, counter)
+                        if is_wildcard(value)
+                        else value
+                    )
+                    for attr, value in template.items()
+                }
+                witness = Tuple(cind.rhs_relation, values)
+                work[cind.rhs_relation.name].add(witness)
+                edits.append(
+                    RepairEdit(
+                        "insert", cind.rhs_relation.name, None, witness, name
+                    )
+                )
+            changed = True
+
+        if not changed:
+            break
+
+    final = check_database(work, sigma)
+    return RepairResult(work, edits, clean=final.is_clean, rounds=max_rounds)

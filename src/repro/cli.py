@@ -1,0 +1,204 @@
+"""Command-line interface: check, repair, and analyse CSV data.
+
+Three subcommands, all driven by two small text files plus a directory of
+CSVs (one per relation, named ``<relation>.csv``):
+
+* ``check``       — report CFD/CIND violations (in-memory or SQL engine);
+* ``repair``      — write a repaired copy of the data;
+* ``consistency`` — run the heuristic Checking algorithm on Σ itself.
+
+Schema file syntax (one relation per line, ``#`` comments)::
+
+    relation interest(ab, ct, at: enum[saving|checking], rt)
+    relation orders(id: int, country, total: int)
+
+Attribute types: plain (infinite string), ``int`` (infinite integer), or
+``enum[v1|v2|...]`` (finite domain). Constraint files use the syntax of
+:mod:`repro.core.parser`.
+
+Usage::
+
+    python -m repro check --schema bank.schema --constraints bank.rules \
+        --data ./csv_dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import re
+import sys
+from pathlib import Path
+
+from repro.cleaning.detect import detect_errors, detect_errors_sql
+from repro.cleaning.repair import repair as run_repair
+from repro.consistency.checking import checking
+from repro.core.parser import parse_constraints
+from repro.errors import ParseError, ReproError
+from repro.relational.csvio import read_database_csv, write_database_csv
+from repro.relational.domains import INTEGER, FiniteDomain
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+_RELATION_RE = re.compile(
+    r"^\s*relation\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*"
+    r"\((?P<body>.*)\)\s*$"
+)
+_ATTR_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*"
+    r"(?::\s*(?P<type>int|enum\[(?P<values>[^\]]*)\]))?\s*$"
+)
+
+
+def parse_schema_text(text: str) -> DatabaseSchema:
+    """Parse the schema-file syntax into a :class:`DatabaseSchema`."""
+    relations = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _RELATION_RE.match(line)
+        if not match:
+            raise ParseError(
+                f"line {lineno}: expected 'relation Name(attr, ...)'", raw
+            )
+        attrs = []
+        for chunk in match.group("body").split(","):
+            attr_match = _ATTR_RE.match(chunk)
+            if not attr_match:
+                raise ParseError(
+                    f"line {lineno}: cannot parse attribute {chunk!r}", raw
+                )
+            name = attr_match.group("name")
+            type_spec = attr_match.group("type")
+            if type_spec is None:
+                attrs.append(Attribute(name))
+            elif type_spec == "int":
+                attrs.append(Attribute(name, INTEGER))
+            else:
+                values = [
+                    v.strip()
+                    for v in attr_match.group("values").split("|")
+                    if v.strip()
+                ]
+                domain = FiniteDomain(f"{match.group('name')}.{name}", values)
+                attrs.append(Attribute(name, domain))
+        relations.append(RelationSchema(match.group("name"), attrs))
+    return DatabaseSchema(relations)
+
+
+def _load(args: argparse.Namespace):
+    schema = parse_schema_text(Path(args.schema).read_text())
+    sigma = parse_constraints(Path(args.constraints).read_text(), schema)
+    return schema, sigma
+
+
+def _load_data(schema: DatabaseSchema, args: argparse.Namespace):
+    coercions = {}
+    for rel in schema:
+        per_attr = {
+            a.name: int for a in rel if a.domain is INTEGER
+        }
+        if per_attr:
+            coercions[rel.name] = per_attr
+    return read_database_csv(schema, args.data, coercions)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    schema, sigma = _load(args)
+    db = _load_data(schema, args)
+    if args.engine == "sql":
+        report = detect_errors_sql(db, sigma)
+        total = sum(len(rows) for rows in report.values())
+        print(f"{total} violating row(s) across {len(report)} constraint(s)")
+        for name in sorted(report):
+            print(f"  {name}: {len(report[name])} row(s)")
+            if args.verbose:
+                for row in sorted(report[name], key=repr)[:10]:
+                    print(f"    {row}")
+        return 1 if report else 0
+    detection = detect_errors(db, sigma)
+    print(detection.summary() if args.verbose else detection.report.summary())
+    return 0 if detection.is_clean else 1
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    schema, sigma = _load(args)
+    db = _load_data(schema, args)
+    result = run_repair(
+        db, sigma, cind_policy=args.cind_policy, max_rounds=args.max_rounds
+    )
+    print(f"clean: {result.clean}; {result.cost} edit(s) in "
+          f"{result.rounds} round(s)")
+    if args.verbose:
+        for edit in result.edits:
+            print(f"  {edit}")
+    write_database_csv(result.db, args.out)
+    print(f"repaired data written to {args.out}")
+    return 0 if result.clean else 1
+
+
+def cmd_consistency(args: argparse.Namespace) -> int:
+    schema, sigma = _load(args)
+    decision = checking(
+        schema, sigma, k=args.k, rng=random.Random(args.seed)
+    )
+    print(f"consistent: {decision.consistent} (method: {decision.method})")
+    if decision.consistent and args.verbose and decision.witness is not None:
+        print("witness database:")
+        for inst in decision.witness:
+            for t in inst:
+                print(f"  {t!r}")
+    if not decision.consistent:
+        print(
+            "note: the problem is undecidable in general; a negative answer "
+            "means no witness was found within budget"
+        )
+    return 0 if decision.consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conditional dependencies (CINDs + CFDs): check, repair, analyse.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_data: bool = True) -> None:
+        p.add_argument("--schema", required=True, help="schema file")
+        p.add_argument("--constraints", required=True, help="constraint file")
+        if with_data:
+            p.add_argument("--data", required=True, help="directory of <relation>.csv files")
+        p.add_argument("-v", "--verbose", action="store_true")
+
+    p_check = sub.add_parser("check", help="detect CFD/CIND violations")
+    common(p_check)
+    p_check.add_argument("--engine", choices=("memory", "sql"), default="memory")
+    p_check.set_defaults(func=cmd_check)
+
+    p_repair = sub.add_parser("repair", help="repair violations and write a copy")
+    common(p_repair)
+    p_repair.add_argument("--out", required=True, help="output directory")
+    p_repair.add_argument("--cind-policy", choices=("insert", "delete"), default="insert")
+    p_repair.add_argument("--max-rounds", type=int, default=10)
+    p_repair.set_defaults(func=cmd_repair)
+
+    p_cons = sub.add_parser("consistency", help="check Σ itself for consistency")
+    common(p_cons, with_data=False)
+    p_cons.add_argument("--k", type=int, default=20, help="RandomChecking attempts")
+    p_cons.add_argument("--seed", type=int, default=0)
+    p_cons.set_defaults(func=cmd_consistency)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

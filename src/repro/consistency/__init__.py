@@ -1,0 +1,48 @@
+"""Heuristic consistency checking for CFDs + CINDs (Section 5)."""
+
+from repro.consistency.cfd_checking import (
+    CFDCheckResult,
+    cfd_checking,
+    cfd_checking_all,
+)
+from repro.consistency.cfd_implication import CFDImplicationResult, cfd_implies
+from repro.consistency.checking import checking
+from repro.consistency.depgraph import (
+    DependencyGraph,
+    PreprocessResult,
+    build_dependency_graph,
+    non_triggering_cfds,
+    preprocess,
+)
+from repro.consistency.encode import (
+    CFDEncoding,
+    candidate_values,
+    encode_cfd_consistency,
+    sat_cfd_consistency,
+)
+from repro.consistency.random_checking import ConsistencyDecision, random_checking
+from repro.consistency.sat import SATResult, SATStats, Solver, solve_cnf
+
+__all__ = [
+    "CFDCheckResult",
+    "CFDEncoding",
+    "CFDImplicationResult",
+    "cfd_implies",
+    "ConsistencyDecision",
+    "DependencyGraph",
+    "PreprocessResult",
+    "SATResult",
+    "SATStats",
+    "Solver",
+    "build_dependency_graph",
+    "candidate_values",
+    "cfd_checking",
+    "cfd_checking_all",
+    "checking",
+    "encode_cfd_consistency",
+    "non_triggering_cfds",
+    "preprocess",
+    "random_checking",
+    "sat_cfd_consistency",
+    "solve_cnf",
+]

@@ -1,0 +1,235 @@
+"""Procedure ``CFD_Checking``: single-relation CFD consistency (Section 5.2).
+
+Consistency of a CFD set on one relation reduces to finding a single tuple
+``t`` with ``{t} |= Σ`` (satisfaction is closed under subinstances, so a
+nonempty model can always be cut down to a singleton).
+
+Three backends:
+
+* ``chase`` — the paper's method. Start from a tuple of variables,
+  propagate pattern constants to a fixpoint (each propagation is *forced*:
+  a matched premise with constant RHS pins the value), then enumerate up to
+  ``K_CFD`` valuations of the remaining finite-domain variables, re-running
+  the propagation per valuation. Exact whenever ``K_CFD`` covers the
+  remaining valuation space; otherwise sound-but-incomplete (the knob the
+  Fig. 10(b) accuracy experiment turns).
+* ``sat`` — the SAT4j-style reduction of :mod:`repro.consistency.encode`
+  solved by our DPLL solver. Exact, but a generic search (the slower curve
+  of Fig. 10(a)).
+* ``brute`` — exhaustive enumeration of candidate tuples. Exact; test
+  oracle for small inputs only.
+
+The witness tuple returned is ``τ(R)`` in the paper's dependency-graph
+notation: preProcessing checks whether it triggers any CIND.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.consistency.encode import candidate_values, sat_cfd_consistency
+from repro.core.cfd import CFD
+from repro.core.normalize import normalize_cfds
+from repro.errors import ConstraintError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import RelationInstance, Tuple
+from repro.relational.schema import RelationSchema
+from repro.relational.values import Variable, is_variable, is_wildcard
+
+
+@dataclass
+class CFDCheckResult:
+    """Outcome of CFD_Checking on one relation."""
+
+    consistent: bool
+    witness: Tuple | None = None
+    #: Valuations of finite-domain variables tried (chase backend).
+    valuations_tried: int = 0
+    #: True when the search was exhaustive, i.e. a negative answer is exact.
+    exhaustive: bool = True
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _propagate(
+    relation: RelationSchema,
+    normal_cfds: list[CFD],
+    values: dict[str, Any],
+) -> bool:
+    """Fixpoint constant propagation on a single-tuple template.
+
+    Mutates *values* (attr → constant or Variable). Every assignment is
+    forced, so returning ``False`` (two conflicting constants) means no
+    tuple extending the current constants satisfies the CFDs.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for cfd in normal_cfds:
+            pattern = cfd.pattern
+            premise_holds = True
+            for attr in cfd.lhs:
+                p = pattern.lhs_value(attr)
+                if is_wildcard(p):
+                    continue
+                current = values[attr]
+                if is_variable(current) or current != p:
+                    premise_holds = False
+                    break
+            if not premise_holds:
+                continue
+            rhs_attr = cfd.rhs_attribute
+            target = pattern.rhs_value(rhs_attr)
+            if is_wildcard(target):
+                continue  # vacuous for a single tuple
+            current = values[rhs_attr]
+            if is_variable(current):
+                values[rhs_attr] = target
+                changed = True
+            elif current != target:
+                return False
+    return True
+
+
+def _ground(relation: RelationSchema, values: Mapping[str, Any], exclude: set) -> Tuple:
+    """Replace remaining (infinite-domain) variables by fresh constants."""
+    out: dict[str, Any] = {}
+    taken = set(exclude) | {v for v in values.values() if not is_variable(v)}
+    for attr in relation:
+        value = values[attr.name]
+        if is_variable(value):
+            fresh = attr.domain.fresh_value(exclude=taken)
+            if fresh is None:
+                raise ConstraintError(
+                    f"finite-domain variable for {attr.name!r} survived "
+                    f"valuation — internal error"
+                )
+            out[attr.name] = fresh
+            taken.add(fresh)
+        else:
+            out[attr.name] = value
+    return Tuple(relation, out)
+
+
+def _chase_backend(
+    relation: RelationSchema,
+    cfds: list[CFD],
+    k_cfd: int,
+    rng: random.Random,
+) -> CFDCheckResult:
+    normal = normalize_cfds(cfds)
+    all_constants = set()
+    for cfd in normal:
+        all_constants |= cfd.constants()
+
+    base: dict[str, Any] = {
+        a.name: Variable(f"{relation.name}.{a.name}", i)
+        for i, a in enumerate(relation)
+    }
+    if not _propagate(relation, normal, base):
+        return CFDCheckResult(False, exhaustive=True)
+
+    finite_vars = [
+        a.name
+        for a in relation
+        if is_variable(base[a.name]) and isinstance(a.domain, FiniteDomain)
+    ]
+    if not finite_vars:
+        witness = _ground(relation, base, all_constants)
+        return CFDCheckResult(True, witness, valuations_tried=0)
+
+    pools = [list(relation.attribute(a).domain.values) for a in finite_vars]
+    space = 1
+    for pool in pools:
+        space *= len(pool)
+    exhaustive = space <= k_cfd
+
+    tried = 0
+    if exhaustive:
+        combos: Iterable[tuple] = itertools.product(*pools)
+    else:
+        combos = (
+            tuple(rng.choice(pool) for pool in pools) for __ in range(k_cfd)
+        )
+    for combo in combos:
+        tried += 1
+        values = dict(base)
+        values.update(zip(finite_vars, combo))
+        if _propagate(relation, normal, values):
+            witness = _ground(relation, values, all_constants)
+            return CFDCheckResult(True, witness, valuations_tried=tried)
+    return CFDCheckResult(
+        False, valuations_tried=tried, exhaustive=exhaustive
+    )
+
+
+def _brute_backend(relation: RelationSchema, cfds: list[CFD]) -> CFDCheckResult:
+    normal = normalize_cfds(cfds)
+    candidates = candidate_values(relation, normal)
+    names = list(candidates)
+    total = 0
+    for combo in itertools.product(*(candidates[n] for n in names)):
+        total += 1
+        t = Tuple(relation, dict(zip(names, combo)))
+        singleton = RelationInstance(relation, [t])
+        if all(cfd.satisfied_by(singleton) for cfd in cfds):
+            return CFDCheckResult(True, t, valuations_tried=total)
+    return CFDCheckResult(False, valuations_tried=total)
+
+
+def cfd_checking(
+    relation: RelationSchema,
+    cfds: Iterable[CFD],
+    backend: str = "chase",
+    k_cfd: int = 10_000,
+    rng: random.Random | None = None,
+) -> CFDCheckResult:
+    """Decide whether ``CFD(R)`` admits a single-tuple witness.
+
+    Parameters mirror the paper: *backend* selects Chase vs SAT (Fig. 10a),
+    *k_cfd* caps the finite-domain valuations the chase tries (Fig. 10b).
+    """
+    cfds = list(cfds)
+    for cfd in cfds:
+        if cfd.relation.name != relation.name:
+            raise ConstraintError(
+                f"CFD on {cfd.relation.name!r} passed to CFD_Checking for "
+                f"{relation.name!r}"
+            )
+    if not cfds:
+        # No constraints: any tuple works; build one from fresh values.
+        values = {}
+        for attr in relation:
+            fresh = attr.domain.fresh_value()
+            values[attr.name] = fresh
+        return CFDCheckResult(True, Tuple(relation, values))
+    if backend == "chase":
+        return _chase_backend(relation, cfds, k_cfd, rng or random.Random(0))
+    if backend == "sat":
+        consistent, witness, __ = sat_cfd_consistency(relation, cfds)
+        return CFDCheckResult(consistent, witness)
+    if backend == "brute":
+        return _brute_backend(relation, cfds)
+    raise ValueError(f"unknown backend {backend!r}; use chase | sat | brute")
+
+
+def cfd_checking_all(
+    relations: Iterable[RelationSchema],
+    cfds: Iterable[CFD],
+    backend: str = "chase",
+    k_cfd: int = 10_000,
+    rng: random.Random | None = None,
+) -> dict[str, CFDCheckResult]:
+    """CFD_Checking for every relation; the Fig. 10(a) workload shape."""
+    cfds = list(cfds)
+    out: dict[str, CFDCheckResult] = {}
+    for relation in relations:
+        mine = [c for c in cfds if c.relation.name == relation.name]
+        out[relation.name] = cfd_checking(
+            relation, mine, backend=backend, k_cfd=k_cfd, rng=rng
+        )
+    return out

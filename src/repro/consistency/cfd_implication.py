@@ -1,0 +1,240 @@
+"""Exact CFD implication via a two-tuple SAT encoding.
+
+The paper's Tables 1/2 cite [9] for the CFD cells: implication of CFDs is
+coNP-complete (O(n²) without finite domains). The decision procedure here
+is exact and rests on a small-model property:
+
+    Σ ⊭ φ iff there is a counterexample instance with at most TWO tuples.
+
+*Why:* a violation of ``φ = (R: X → A, tp)`` involves one tuple (constant
+RHS pattern) or a pair; and CFD satisfaction is closed under subinstances,
+so cutting a bigger counterexample down to the violating pair keeps
+``D |= Σ``.
+
+Two SAT calls decide it:
+
+* **single-tuple case** — one tuple ``t`` with ``t[X] ≍ tp[X]`` and
+  ``t[A] ≠ tp[A]`` (constant RHS only), satisfying every CFD of Σ;
+* **pair case** — tuples ``t1, t2`` with per-attribute equality variables
+  ``e[C] ⟺ t1[C] = t2[C]``; the premise of φ holds (``e[C]`` for C ∈ X,
+  plus t1 matching tp[X]'s constants) while the conclusion fails
+  (``¬e[A]``, or the RHS constant mismatches); every CFD of Σ is enforced
+  on both tuples and on the pair.
+
+Candidate pools are the attribute's finite domain, or the constants Σ∪{φ}
+mentions on the attribute plus **two** fresh values (two, so the tuples can
+disagree on an attribute while both dodging every pattern constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.consistency.sat import Solver
+from repro.core.cfd import CFD
+from repro.core.normalize import normalize_cfds
+from repro.errors import ConstraintError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import RelationInstance, Tuple
+from repro.relational.schema import RelationSchema
+from repro.relational.values import is_wildcard
+
+
+@dataclass
+class CFDImplicationResult:
+    implied: bool
+    #: For non-implication: a 1- or 2-tuple instance with D |= Σ, D ⊭ φ.
+    counterexample: RelationInstance | None = None
+
+    def __bool__(self) -> bool:
+        return self.implied
+
+
+def _candidates(relation: RelationSchema, cfds: list[CFD]) -> dict[str, list[Any]]:
+    constants: dict[str, set[Any]] = {a.name: set() for a in relation}
+    all_constants: set[Any] = set()
+    for cfd in cfds:
+        for row in cfd.tableau:
+            for attr, value in list(row.lhs.items()) + list(row.rhs.items()):
+                if not is_wildcard(value):
+                    constants[attr].add(value)
+                    all_constants.add(value)
+    pools: dict[str, list[Any]] = {}
+    for attr in relation:
+        if isinstance(attr.domain, FiniteDomain):
+            pools[attr.name] = list(attr.domain.values)
+        else:
+            pool = sorted(constants[attr.name], key=repr)
+            pool.extend(attr.domain.fresh_values(2, exclude=all_constants))
+            pools[attr.name] = pool
+    return pools
+
+
+class _TwoTupleEncoder:
+    """CNF over one or two candidate tuples plus equality variables."""
+
+    def __init__(self, relation: RelationSchema, pools: dict[str, list[Any]], two: bool):
+        self.relation = relation
+        self.pools = pools
+        self.two = two
+        self.solver = Solver()
+        self.x: dict[tuple[int, str, Any], int] = {}
+        self.e: dict[str, int] = {}
+        tuples = (1, 2) if two else (1,)
+        for i in tuples:
+            for attr, pool in pools.items():
+                for value in pool:
+                    self.x[(i, attr, value)] = self.solver.new_var()
+        for i in tuples:
+            for attr, pool in pools.items():
+                self.solver.add_clause([self.x[(i, attr, v)] for v in pool])
+                for a in range(len(pool)):
+                    for b in range(a + 1, len(pool)):
+                        self.solver.add_clause(
+                            [-self.x[(i, attr, pool[a])], -self.x[(i, attr, pool[b])]]
+                        )
+        if two:
+            for attr, pool in pools.items():
+                ev = self.solver.new_var()
+                self.e[attr] = ev
+                for v in pool:
+                    # e -> (x1v <-> x2v); ¬e -> ¬(x1v ∧ x2v)
+                    self.solver.add_clause([-ev, -self.x[(1, attr, v)], self.x[(2, attr, v)]])
+                    self.solver.add_clause([-ev, -self.x[(2, attr, v)], self.x[(1, attr, v)]])
+                    self.solver.add_clause([ev, -self.x[(1, attr, v)], -self.x[(2, attr, v)]])
+
+    def add_sigma(self, cfds: list[CFD]) -> None:
+        """Enforce every (normal-form) CFD on each tuple and on the pair."""
+        tuples = (1, 2) if self.two else (1,)
+        for cfd in cfds:
+            pattern = cfd.pattern
+            rhs_attr = cfd.rhs_attribute
+            rhs_value = pattern.rhs_value(rhs_attr)
+            lhs_constants = [
+                (attr, pattern.lhs_value(attr))
+                for attr in cfd.lhs
+                if not is_wildcard(pattern.lhs_value(attr))
+            ]
+            # Per-tuple obligation (t, t): matched constants force the RHS.
+            if not is_wildcard(rhs_value):
+                for i in tuples:
+                    clause = [-self.x[(i, a, v)] for a, v in lhs_constants
+                              if (i, a, v) in self.x]
+                    if len(clause) != len(lhs_constants):
+                        continue  # some constant not in the pool: can't match
+                    key = (i, rhs_attr, rhs_value)
+                    if key in self.x:
+                        clause.append(self.x[key])
+                    self.solver.add_clause(clause)
+            # Pair obligation: equal+matching LHS forces equal RHS.
+            if self.two:
+                clause = [-self.e[attr] for attr in cfd.lhs]
+                ok = True
+                for a, v in lhs_constants:
+                    if (1, a, v) not in self.x:
+                        ok = False
+                        break
+                    clause.append(-self.x[(1, a, v)])
+                if ok:
+                    self.solver.add_clause(clause + [self.e[rhs_attr]])
+
+    def decode(self, assignment: dict[int, bool]) -> RelationInstance:
+        instance = RelationInstance(self.relation)
+        tuples = (1, 2) if self.two else (1,)
+        for i in tuples:
+            values = {}
+            for attr, pool in self.pools.items():
+                chosen = [v for v in pool if assignment.get(self.x[(i, attr, v)])]
+                if len(chosen) != 1:
+                    raise ConstraintError("malformed SAT model")
+                values[attr] = chosen[0]
+            instance.add(Tuple(self.relation, values))
+        return instance
+
+
+def _single_tuple_case(
+    relation: RelationSchema, sigma: list[CFD], phi: CFD, pools: dict[str, list[Any]]
+) -> RelationInstance | None:
+    pattern = phi.pattern
+    rhs_attr = phi.rhs_attribute
+    rhs_value = pattern.rhs_value(rhs_attr)
+    if is_wildcard(rhs_value):
+        return None  # wildcard RHS cannot be violated by a lone tuple
+    enc = _TwoTupleEncoder(relation, pools, two=False)
+    enc.add_sigma(sigma)
+    assumptions = []
+    for attr in phi.lhs:
+        value = pattern.lhs_value(attr)
+        if is_wildcard(value):
+            continue
+        key = (1, attr, value)
+        if key not in enc.x:
+            return None  # premise unsatisfiable over the pools
+        assumptions.append(enc.x[key])
+    key = (1, rhs_attr, rhs_value)
+    if key in enc.x:
+        assumptions.append(-enc.x[key])
+    result = enc.solver.solve(assumptions=assumptions)
+    if not result.satisfiable:
+        return None
+    return enc.decode(result.assignment)
+
+
+def _pair_case(
+    relation: RelationSchema, sigma: list[CFD], phi: CFD, pools: dict[str, list[Any]]
+) -> RelationInstance | None:
+    pattern = phi.pattern
+    rhs_attr = phi.rhs_attribute
+    rhs_value = pattern.rhs_value(rhs_attr)
+    enc = _TwoTupleEncoder(relation, pools, two=True)
+    enc.add_sigma(sigma)
+    assumptions = []
+    for attr in phi.lhs:
+        assumptions.append(enc.e[attr])
+        value = pattern.lhs_value(attr)
+        if is_wildcard(value):
+            continue
+        key = (1, attr, value)
+        if key not in enc.x:
+            return None
+        assumptions.append(enc.x[key])
+    # Negated conclusion: ¬e[A] ∨ (RHS constant and t1 misses it).
+    negated: list[int] = [-enc.e[rhs_attr]]
+    if not is_wildcard(rhs_value):
+        key = (1, rhs_attr, rhs_value)
+        if key in enc.x:
+            negated.append(-enc.x[key])
+    enc.solver.add_clause(negated)
+    result = enc.solver.solve(assumptions=assumptions)
+    if not result.satisfiable:
+        return None
+    instance = enc.decode(result.assignment)
+    if len(instance) < 2 and not is_wildcard(rhs_value):
+        # t1 = t2 degenerated into the single-tuple case; still a violation.
+        pass
+    return instance
+
+
+def cfd_implies(
+    relation: RelationSchema, sigma: Iterable[CFD], phi: CFD
+) -> CFDImplicationResult:
+    """Decide exactly whether the CFDs of Σ entail *phi* (same relation).
+
+    Multi-row / multi-RHS *phi* is entailed iff each normal-form part is.
+    """
+    sigma = [c for original in sigma for c in normalize_cfds([original])]
+    for cfd in sigma + [phi]:
+        if cfd.relation.name != relation.name:
+            raise ConstraintError(
+                f"cfd_implies got a CFD on {cfd.relation.name!r}, expected "
+                f"{relation.name!r}"
+            )
+    for part in normalize_cfds([phi]):
+        pools = _candidates(relation, sigma + [part])
+        counterexample = _single_tuple_case(relation, sigma, part, pools)
+        if counterexample is None:
+            counterexample = _pair_case(relation, sigma, part, pools)
+        if counterexample is not None:
+            return CFDImplicationResult(False, counterexample)
+    return CFDImplicationResult(True)

@@ -1,0 +1,239 @@
+"""Dependency graphs ``G[Σ]`` and algorithm ``preProcessing`` (Section 5.3).
+
+``G[Σ]`` has one vertex per relation, carrying the relation's CFDs
+(``CFD(R)``) and a tuple template ``τ(R)``; an edge ``Ri → Rj`` carries the
+CINDs from ``Ri`` to ``Rj``. preProcessing (Fig. 7) peels the graph:
+
+* if ``CFD(R)`` is consistent and its witness ``τ(R)`` triggers no CIND,
+  ``{τ(R)}`` plus empty relations satisfies Σ — answer **1** (consistent);
+* if ``CFD(R)`` is inconsistent, ``R`` must be empty in every model, so
+  predecessors get *non-triggering CFDs* ``CIND(Rj, R)⊥`` denying any tuple
+  that would fire a CIND into ``R``, and ``R`` is deleted;
+* afterwards, indegree-0 nodes are pruned (nothing forces tuples into
+  them), and an empty graph means every relation must be empty — answer
+  **0** (inconsistent). Otherwise **-1**: the reduced graph's components go
+  to ``RandomChecking``.
+
+Beyond the paper we add an *avoid-trigger probe* (on by default, ablated in
+the benchmarks): when the found ``τ(R)`` does trigger CINDs, re-run
+CFD_Checking with non-triggering CFDs for **all** of R's outgoing CINDs; a
+witness of that stronger set provably triggers nothing, letting
+preProcessing answer 1 in cases the paper's line 5 would pass over.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.consistency.cfd_checking import CFDCheckResult, cfd_checking
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.patterns import matches_all
+from repro.core.violations import ConstraintSet
+from repro.errors import ConstraintError
+from repro.graph.digraph import DiGraph
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.schema import RelationSchema
+from repro.relational.values import WILDCARD
+
+
+@dataclass
+class DependencyGraph:
+    """``G[Σ]`` plus the mutable per-node CFD sets preProcessing grows."""
+
+    sigma: ConstraintSet
+    graph: DiGraph = field(default_factory=DiGraph)
+    #: CFD(R) per relation name — grows as non-triggering CFDs are added.
+    cfd_map: dict[str, list[CFD]] = field(default_factory=dict)
+    #: Normalized CINDs, indexed (src, dst) — the edge labels CIND(Ri, Rj).
+    cind_map: dict[tuple[str, str], list[CIND]] = field(default_factory=dict)
+
+    def cinds_from(self, relation: str) -> list[CIND]:
+        return [
+            cind
+            for (src, __), cinds in self.cind_map.items()
+            if src == relation
+            for cind in cinds
+        ]
+
+
+def build_dependency_graph(sigma: ConstraintSet) -> DependencyGraph:
+    """Construct ``G[Σ]`` (Section 5.3), normalising Σ first."""
+    normal = sigma.normalized()
+    dep = DependencyGraph(sigma=normal)
+    for rel in sigma.schema:
+        dep.graph.add_node(rel.name)
+        dep.cfd_map[rel.name] = list(normal.cfds_on(rel.name))
+    for cind in normal.cinds:
+        src = cind.lhs_relation.name
+        dst = cind.rhs_relation.name
+        dep.graph.add_edge(src, dst)
+        dep.cind_map.setdefault((src, dst), []).append(cind)
+    return dep
+
+
+def non_triggering_cfds(cind: CIND) -> list[CFD]:
+    """``CIND(Rj, R)⊥``: two CFDs denying every tuple matching ``tp[Xp]``.
+
+    For a normal-form CIND ``(Rj[X; Xp] ⊆ R[Y; Yp], tp)``, the pair
+    ``(Rj: Xp → A, (tp[Xp] ‖ c1))`` and ``(Rj: Xp → A, (tp[Xp] ‖ c2))``
+    with distinct ``c1, c2 ∈ dom(A)`` forces any matching tuple to carry
+    two different ``A`` values — impossible — so no tuple of ``Rj`` may
+    match the premise of the CIND.
+
+    ``A`` is chosen outside ``Xp`` with at least two domain values,
+    preferring infinite domains (which always have two fresh constants).
+    """
+    rel = cind.lhs_relation
+    if len(cind.tableau) != 1:
+        raise ConstraintError("non_triggering_cfds expects a normal-form CIND")
+    pattern = cind.pattern
+    xp = cind.xp
+    candidates = [a for a in rel if a.name not in xp]
+    if not candidates:
+        # Xp covers every attribute; using an Xp attribute still works as
+        # long as we can pick a constant different from its pattern value.
+        candidates = list(rel.attributes)
+    chosen = None
+    for attr in sorted(
+        candidates, key=lambda a: (isinstance(a.domain, FiniteDomain), a.name)
+    ):
+        if isinstance(attr.domain, FiniteDomain):
+            if len(attr.domain) >= 2:
+                chosen = (attr, attr.domain.values[0], attr.domain.values[1])
+                break
+        else:
+            c1 = attr.domain.fresh_value(exclude=cind.constants())
+            c2 = attr.domain.fresh_value(exclude=set(cind.constants()) | {c1})
+            chosen = (attr, c1, c2)
+            break
+    if chosen is None:
+        raise ConstraintError(
+            f"cannot build non-triggering CFDs on {rel.name!r}: every "
+            f"attribute has a single-valued domain"
+        )
+    attr, c1, c2 = chosen
+    lhs_pattern = [pattern.lhs_value(a) for a in xp]
+    base = cind.name or f"{cind.lhs_relation.name}->{cind.rhs_relation.name}"
+    return [
+        CFD(rel, xp, (attr.name,), [(lhs_pattern, (c1,))], name=f"nt({base})#1"),
+        CFD(rel, xp, (attr.name,), [(lhs_pattern, (c2,))], name=f"nt({base})#2"),
+    ]
+
+
+def _triggers_any(tau: Tuple, cinds: Iterable[CIND]) -> bool:
+    """Does the witness tuple fire the premise of any CIND from its relation?"""
+    for cind in cinds:
+        pattern = cind.pattern
+        lhs_attrs = cind.x + cind.xp
+        if matches_all(tau.project(lhs_attrs), pattern.lhs_projection(lhs_attrs)):
+            return True
+    return False
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of preProcessing (Fig. 7)."""
+
+    #: 1 = consistent (witness in hand), 0 = inconsistent, -1 = undecided.
+    code: int
+    dep: DependencyGraph
+    witness: DatabaseInstance | None = None
+    #: Relations deleted because their CFD set is inconsistent.
+    deleted_inconsistent: list[str] = field(default_factory=list)
+    #: Relations pruned for having indegree 0 after the main loop.
+    pruned: list[str] = field(default_factory=list)
+
+    @property
+    def decided(self) -> bool:
+        return self.code in (0, 1)
+
+
+def preprocess(
+    dep: DependencyGraph,
+    backend: str = "chase",
+    k_cfd: int = 10_000,
+    rng: random.Random | None = None,
+    avoid_trigger_probe: bool = True,
+) -> PreprocessResult:
+    """Algorithm preProcessing (Fig. 7), mutating *dep* in place."""
+    rng = rng or random.Random(0)
+    schema = dep.sigma.schema
+    queue: deque[str] = deque(dep.graph.topological_order_sinks_first())
+    queued = set(queue)
+    deleted: list[str] = []
+
+    def witness_db(tau: Tuple) -> DatabaseInstance:
+        db = DatabaseInstance(schema)
+        db[tau.schema.name].add(tau)
+        return db
+
+    while queue:
+        name = queue.popleft()
+        queued.discard(name)
+        if name not in dep.graph:
+            continue
+        relation = schema.relation(name)
+        result = cfd_checking(
+            relation, dep.cfd_map[name], backend=backend, k_cfd=k_cfd, rng=rng
+        )
+        if result.consistent:
+            outgoing = dep.cinds_from(name)
+            tau = result.witness
+            if tau is not None and not _triggers_any(tau, outgoing):
+                return PreprocessResult(1, dep, witness=witness_db(tau), deleted_inconsistent=deleted)
+            if avoid_trigger_probe and outgoing:
+                probe_cfds = list(dep.cfd_map[name])
+                try:
+                    for cind in outgoing:
+                        probe_cfds.extend(non_triggering_cfds(cind))
+                except ConstraintError:
+                    probe_cfds = None
+                if probe_cfds is not None:
+                    probe = cfd_checking(
+                        relation, probe_cfds, backend=backend, k_cfd=k_cfd, rng=rng
+                    )
+                    if probe.consistent and probe.witness is not None and not _triggers_any(
+                        probe.witness, outgoing
+                    ):
+                        return PreprocessResult(
+                            1,
+                            dep,
+                            witness=witness_db(probe.witness),
+                            deleted_inconsistent=deleted,
+                        )
+        else:
+            # CFD(R) inconsistent: R must be empty; deny all CINDs into R.
+            deleted.append(name)
+            for pred in dep.graph.predecessors(name):
+                if pred == name:
+                    continue
+                for cind in dep.cind_map.get((pred, name), ()):
+                    dep.cfd_map[pred].extend(non_triggering_cfds(cind))
+                if pred not in queued:
+                    queue.append(pred)
+                    queued.add(pred)
+            dep.graph.remove_node(name)
+            # CINDs from/to R are dead with the node.
+            dep.cind_map = {
+                (src, dst): cinds
+                for (src, dst), cinds in dep.cind_map.items()
+                if src != name and dst != name
+            }
+    pruned = dep.graph.prune_zero_indegree()
+    dep.cind_map = {
+        (src, dst): cinds
+        for (src, dst), cinds in dep.cind_map.items()
+        if src in dep.graph and dst in dep.graph
+    }
+    if len(dep.graph) == 0:
+        return PreprocessResult(
+            0, dep, deleted_inconsistent=deleted, pruned=pruned
+        )
+    return PreprocessResult(
+        -1, dep, deleted_inconsistent=deleted, pruned=pruned
+    )

@@ -1,0 +1,164 @@
+"""Reduction of single-relation CFD consistency to SAT (Section 5.2).
+
+A set Σ of CFDs on one relation ``R`` is consistent iff some *single-tuple*
+instance ``{t}`` satisfies it: satisfaction is universally quantified over
+tuple pairs, so any nonempty satisfying instance stays satisfying when cut
+down to one tuple, and conversely a satisfying singleton witnesses
+consistency. The reduction therefore searches for one tuple.
+
+For a single tuple ``t`` a normal-form CFD ``(R: X → A, tp)`` degenerates to
+the implication *"if t[X] matches tp[X] then t[A] matches tp[A]"* (the pair
+``t1 = t2`` case; variable-RHS patterns are vacuous). Each attribute ranges
+over a finite candidate set:
+
+* for a finite domain — the whole domain;
+* for an infinite domain — the constants Σ compares against the attribute,
+  plus one fresh "none of the above" value (an infinite domain can always
+  dodge every pattern constant).
+
+The encoding uses one propositional variable per (attribute, candidate)
+pair, exactly-one constraints per attribute, and one clause per CFD:
+``¬x[B1=c1] ∨ … ∨ ¬x[Bk=ck] ∨ x[A=a]`` (omitting wildcard LHS entries; the
+RHS disjunct disappears when ``a`` is outside the candidate set, i.e. the
+pattern is unsatisfiable for ``t[A]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.cfd import CFD
+from repro.core.normalize import normalize_cfds
+from repro.consistency.sat import SATResult, Solver
+from repro.errors import ConstraintError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import Tuple
+from repro.relational.schema import RelationSchema
+from repro.relational.values import is_wildcard
+
+
+@dataclass
+class CFDEncoding:
+    """The CNF plus enough bookkeeping to decode a model into a tuple."""
+
+    relation: RelationSchema
+    solver: Solver
+    #: var_of[(attribute, candidate_value)] -> SAT variable
+    var_of: dict[tuple[str, Any], int]
+    #: candidates per attribute, in encoding order
+    candidates: dict[str, list[Any]]
+
+    def decode(self, result: SATResult) -> Tuple | None:
+        """Turn a SAT model into the witness tuple (or ``None`` if UNSAT)."""
+        if not result.satisfiable:
+            return None
+        values: dict[str, Any] = {}
+        for attr, pool in self.candidates.items():
+            chosen = [v for v in pool if result.assignment.get(self.var_of[(attr, v)])]
+            if len(chosen) != 1:
+                raise ConstraintError(
+                    f"SAT model selects {len(chosen)} values for {attr!r}"
+                )
+            values[attr] = chosen[0]
+        return Tuple(self.relation, values)
+
+
+def candidate_values(relation: RelationSchema, cfds: Iterable[CFD]) -> dict[str, list[Any]]:
+    """Candidate set per attribute (domain values, or Σ-constants + fresh)."""
+    cfds = list(cfds)
+    constants: dict[str, set[Any]] = {a.name: set() for a in relation}
+    all_constants: set[Any] = set()
+    for cfd in cfds:
+        for row in cfd.tableau:
+            for attr, value in list(row.lhs.items()) + list(row.rhs.items()):
+                if not is_wildcard(value):
+                    constants[attr].add(value)
+                    all_constants.add(value)
+    out: dict[str, list[Any]] = {}
+    for attr in relation:
+        if isinstance(attr.domain, FiniteDomain):
+            out[attr.name] = list(attr.domain.values)
+        else:
+            pool = sorted(constants[attr.name], key=repr)
+            pool.append(attr.domain.fresh_value(exclude=all_constants))
+            out[attr.name] = pool
+    return out
+
+
+def encode_cfd_consistency(
+    relation: RelationSchema, cfds: Iterable[CFD]
+) -> CFDEncoding:
+    """Build the CNF whose models are the satisfying single tuples."""
+    cfds = list(cfds)
+    for cfd in cfds:
+        if cfd.relation.name != relation.name:
+            raise ConstraintError(
+                f"CFD on {cfd.relation.name!r} passed to encoder for "
+                f"{relation.name!r}"
+            )
+    normal = normalize_cfds(cfds)
+    candidates = candidate_values(relation, normal)
+
+    solver = Solver()
+    var_of: dict[tuple[str, Any], int] = {}
+    for attr, pool in candidates.items():
+        for value in pool:
+            var_of[(attr, value)] = solver.new_var()
+
+    # Exactly-one value per attribute.
+    for attr, pool in candidates.items():
+        solver.add_clause([var_of[(attr, v)] for v in pool])
+        for i in range(len(pool)):
+            for j in range(i + 1, len(pool)):
+                solver.add_clause(
+                    [-var_of[(attr, pool[i])], -var_of[(attr, pool[j])]]
+                )
+
+    # One clause per normal-form CFD with a constant RHS pattern.
+    for cfd in normal:
+        pattern = cfd.pattern
+        rhs_attr = cfd.rhs_attribute
+        rhs_value = pattern.rhs_value(rhs_attr)
+        if is_wildcard(rhs_value):
+            continue  # vacuous on a single tuple
+        clause: list[int] = []
+        premise_possible = True
+        for attr in cfd.lhs:
+            value = pattern.lhs_value(attr)
+            if is_wildcard(value):
+                continue
+            key = (attr, value)
+            if key not in var_of:
+                # t[attr] can never equal this constant: premise unsatisfiable.
+                premise_possible = False
+                break
+            clause.append(-var_of[key])
+        if not premise_possible:
+            continue
+        rhs_key = (rhs_attr, rhs_value)
+        if rhs_key in var_of:
+            clause.append(var_of[rhs_key])
+        # If the RHS constant is not a candidate (only possible for finite
+        # domains missing the value — rejected at CFD construction — this
+        # branch is defensive), the clause stays as pure negation.
+        solver.add_clause(clause)
+
+    return CFDEncoding(
+        relation=relation, solver=solver, var_of=var_of, candidates=candidates
+    )
+
+
+def sat_cfd_consistency(
+    relation: RelationSchema, cfds: Iterable[CFD]
+) -> tuple[bool, Tuple | None, SATResult]:
+    """Decide single-relation CFD consistency via the SAT reduction.
+
+    Returns ``(consistent, witness_tuple, sat_result)``. This procedure is
+    **exact** (sound and complete) — the comparison point for the heuristic
+    chase in Fig. 10(a).
+    """
+    encoding = encode_cfd_consistency(relation, cfds)
+    result = encoding.solver.solve()
+    witness = encoding.decode(result)
+    return result.satisfiable, witness, result

@@ -1,0 +1,210 @@
+"""Algorithm ``RandomChecking`` (Fig. 5, with the Section 5.2 improvement).
+
+Given Σ of CFDs and CINDs, try to *build* a nonempty witness database:
+
+1. start from a single tuple of fresh variables in a randomly chosen
+   relation;
+2. chase with the CFDs only, letting pattern constants instantiate
+   variables (the "improvement": valuations are applied only to finite-
+   domain variables the CFD chase leaves free);
+3. apply a random valuation ρ to the remaining finite-domain variables;
+4. run the instantiated chase ``chaseI`` (FD-saturate after every IND
+   insertion, finite-domain columns of inserted tuples get domain
+   constants, per-relation tuple threshold ``T``);
+5. if the chase is defined, ground the remaining (infinite-domain)
+   variables with fresh constants and — belt and braces — verify
+   ``D |= Σ`` before answering ``True``.
+
+Up to ``K`` runs are attempted. ``True`` is **sound** (a verified witness
+exists); ``False`` may be wrong — the problem is undecidable (Thm 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.chase.engine import ChaseEngine, ChaseStatus, ground_template
+from repro.chase.valuation import finite_domain_variables
+from repro.core.violations import ConstraintSet
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass
+class ConsistencyDecision:
+    """Outcome of a heuristic consistency check.
+
+    ``consistent=True`` always comes with a verified witness database.
+    ``consistent=False`` means no witness was found within budget — sound
+    algorithms for an undecidable problem cannot promise more.
+    """
+
+    consistent: bool
+    witness: DatabaseInstance | None = None
+    method: str = ""
+    attempts: int = 0
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _assign_finite_variables(
+    engine: ChaseEngine,
+    db: DatabaseInstance,
+    rng: random.Random,
+) -> DatabaseInstance | None:
+    """Valuate the remaining finite-domain variables, one at a time.
+
+    Each candidate value is validated by FD-saturating the whole template
+    (procedure CFD_Checking's role in the improved algorithm): a value that
+    forces two conflicting constants is discarded and the next domain value
+    is tried. Returns the (FD-saturated) template, or ``None`` when some
+    variable has no workable value.
+
+    Assigning a variable may unify or force others, so the variable list is
+    recomputed after every assignment.
+    """
+    while True:
+        finite_vars = finite_domain_variables(db)
+        if not finite_vars:
+            return db
+        var = min(finite_vars, key=lambda v: v.sort_key())
+        domain = finite_vars[var]
+        values = list(domain.values)
+        rng.shuffle(values)
+        for value in values:
+            candidate = db.substitute({var: value})
+            saturated = engine.chase_cfds_only(candidate)
+            if saturated.status is ChaseStatus.DEFINED:
+                db = saturated.db
+                break
+        else:
+            return None
+
+
+def _one_run(
+    schema: DatabaseSchema,
+    sigma: ConstraintSet,
+    start_relation: str,
+    rng: random.Random,
+    var_pool_size: int,
+    max_tuples: int,
+    improved: bool,
+    verify: bool,
+    max_rounds: int = 8,
+) -> DatabaseInstance | None:
+    """A single randomized chase run; the witness database or ``None``.
+
+    The improved variant instantiates finite-domain variables *lazily*: the
+    chase runs with variables (so FD steps can still unify them with
+    whatever constants the patterns force), and only the variables left
+    free at a terminal state are valuated — each choice validated by the
+    CFD chase. Valuation can fire new CIND premises, so chase+valuate
+    rounds alternate until the template is stable. The plain variant
+    (Fig. 5 as written) valuates everything up front and instantiates
+    finite columns of inserted tuples immediately.
+    """
+    engine = ChaseEngine(
+        schema,
+        constraints=sigma,
+        var_pool_size=var_pool_size,
+        max_tuples=max_tuples,
+        instantiate_finite=not improved,
+        rng=rng,
+    )
+    db = DatabaseInstance(schema)
+    relation = schema.relation(start_relation)
+    db[start_relation].add(engine.fresh_tuple(relation))
+
+    if not improved:
+        finite_vars = finite_domain_variables(db)
+        valuation = {v: rng.choice(dom.values) for v, dom in finite_vars.items()}
+        db = db.substitute(valuation)
+
+    for __ in range(max_rounds):
+        result = engine.chase(db)
+        if result.status is not ChaseStatus.DEFINED:
+            return None
+        db = result.db
+        if not improved:
+            break
+        assigned = _assign_finite_variables(engine, db, rng)
+        if assigned is None:
+            return None
+        db = assigned
+        if engine.terminal(db):
+            break
+    else:
+        return None
+    if finite_domain_variables(db):
+        return None
+
+    witness = ground_template(db, exclude_constants=sigma.all_constants())
+    if verify and not sigma.satisfied_by(witness):
+        # The chase should never hand back a bad witness; treat it as a
+        # failed run rather than an incorrect "consistent".
+        return None
+    return witness
+
+
+def random_checking(
+    schema: DatabaseSchema,
+    sigma: ConstraintSet,
+    k: int = 20,
+    max_tuples: int = 2_000,
+    var_pool_size: int = 2,
+    rng: random.Random | None = None,
+    improved: bool = True,
+    verify: bool = True,
+    candidate_relations: Sequence[str] | None = None,
+) -> ConsistencyDecision:
+    """Run up to *k* randomized chase attempts (Fig. 5).
+
+    Parameters
+    ----------
+    k:
+        Number of runs (the paper's ``K``; their experiments use 20).
+    max_tuples:
+        ``T``, the per-relation threshold of ``chaseI`` (paper: 2K–4K).
+    var_pool_size:
+        ``N`` (paper: 2 — "negligible impact on accuracy").
+    improved:
+        Use the CFD-chase-before-valuation variant the authors implemented.
+    verify:
+        Re-check ``D |= Σ`` before answering ``True``.
+    candidate_relations:
+        Restrict the random start relation (used by ``Checking`` to stay
+        inside one dependency-graph component).
+    """
+    rng = rng or random.Random(0)
+    relations = list(candidate_relations or schema.relation_names)
+    if not relations:
+        return ConsistencyDecision(False, method="random_checking", detail="no relations")
+    for attempt in range(1, k + 1):
+        start = rng.choice(relations)
+        witness = _one_run(
+            schema,
+            sigma,
+            start,
+            rng,
+            var_pool_size,
+            max_tuples,
+            improved,
+            verify,
+        )
+        if witness is not None:
+            return ConsistencyDecision(
+                True,
+                witness=witness,
+                method="random_checking",
+                attempts=attempt,
+            )
+    return ConsistencyDecision(
+        False,
+        method="random_checking",
+        attempts=k,
+        detail=f"no witness within K = {k} runs",
+    )

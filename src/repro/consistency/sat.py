@@ -1,0 +1,206 @@
+"""A small complete SAT solver (DPLL with watched literals).
+
+The paper implements procedure ``CFD_Checking`` two ways: with the chase,
+and "by leveraging existing tools for known NP problems … we reduce it to
+SAT … and then check the consistency of the CFDs by using SAT4j". SAT4j is
+a closed-source-adjacent Java artefact we cannot ship, so this module is
+the substitution: a complete DPLL solver with two-literal watching, unit
+propagation and a simple activity heuristic. It plays exactly the same role
+in the Fig. 10(a) experiment — a generic complete search procedure fed by
+the CNF encoding of :mod:`repro.consistency.encode`.
+
+The CNF interface is conventional: variables are positive integers, a
+literal is ``±v``, a clause is a list of literals, a formula is a list of
+clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class SATStats:
+    """Search statistics, reported by the Fig. 10(a) benchmark."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+
+@dataclass
+class SATResult:
+    satisfiable: bool
+    #: For SAT results: assignment[v] is True/False for every variable v.
+    assignment: dict[int, bool] = field(default_factory=dict)
+    stats: SATStats = field(default_factory=SATStats)
+
+
+class Solver:
+    """DPLL with watched literals.
+
+    Usage::
+
+        solver = Solver()
+        solver.add_clause([1, -2])
+        solver.add_clause([2])
+        result = solver.solve()
+    """
+
+    def __init__(self) -> None:
+        self._clauses: list[list[int]] = []
+        self._num_vars = 0
+        self._has_empty_clause = False
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = sorted(set(literals), key=abs)
+        for lit in clause:
+            self._num_vars = max(self._num_vars, abs(lit))
+        # A clause with both v and -v is a tautology; drop it (its variables
+        # stay registered so models still cover them).
+        lits = set(clause)
+        if any(-l in lits for l in clause):
+            return
+        if not clause:
+            self._has_empty_clause = True
+            return
+        self._clauses.append(clause)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SATResult:
+        """Decide satisfiability (complete search)."""
+        stats = SATStats()
+        if self._has_empty_clause:
+            return SATResult(False, stats=stats)
+
+        n = self._num_vars
+        # assignment: 0 unassigned, 1 true, -1 false (indexed by variable).
+        assign = [0] * (n + 1)
+        # watches: literal -> clause indexes watching it.
+        watches: dict[int, list[int]] = {}
+        clauses = [list(c) for c in self._clauses]
+        trail: list[int] = []       # assigned literals, in order
+        trail_lim: list[int] = []   # decision-level boundaries in the trail
+        reason_units: list[int] = []  # queue of literals to propagate
+
+        def lit_value(lit: int) -> int:
+            v = assign[abs(lit)]
+            if v == 0:
+                return 0
+            return v if lit > 0 else -v
+
+        def enqueue(lit: int) -> bool:
+            value = lit_value(lit)
+            if value == 1:
+                return True
+            if value == -1:
+                return False
+            assign[abs(lit)] = 1 if lit > 0 else -1
+            trail.append(lit)
+            reason_units.append(lit)
+            stats.propagations += 1
+            return True
+
+        # Initialise watches; handle unit clauses immediately.
+        for idx, clause in enumerate(clauses):
+            if len(clause) == 1:
+                if not enqueue(clause[0]):
+                    return SATResult(False, stats=stats)
+                continue
+            for lit in clause[:2]:
+                watches.setdefault(lit, []).append(idx)
+
+        def propagate() -> bool:
+            """Exhaust the unit-propagation queue. False on conflict."""
+            while reason_units:
+                lit = reason_units.pop()
+                falsified = -lit
+                watching = watches.get(falsified, [])
+                i = 0
+                while i < len(watching):
+                    ci = watching[i]
+                    clause = clauses[ci]
+                    # Ensure the falsified literal sits at position 1.
+                    if clause[0] == falsified:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    if lit_value(clause[0]) == 1:
+                        i += 1
+                        continue
+                    # Look for a new literal to watch.
+                    moved = False
+                    for j in range(2, len(clause)):
+                        if lit_value(clause[j]) != -1:
+                            clause[1], clause[j] = clause[j], clause[1]
+                            watches.setdefault(clause[1], []).append(ci)
+                            watching[i] = watching[-1]
+                            watching.pop()
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    # Clause is unit (or conflicting) on clause[0].
+                    if not enqueue(clause[0]):
+                        stats.conflicts += 1
+                        reason_units.clear()
+                        return False
+                    i += 1
+            return True
+
+        def backtrack() -> None:
+            level_start = trail_lim.pop()
+            while len(trail) > level_start:
+                lit = trail.pop()
+                assign[abs(lit)] = 0
+
+        for lit in assumptions:
+            if not enqueue(lit) or not propagate():
+                return SATResult(False, stats=stats)
+
+        if not propagate():
+            return SATResult(False, stats=stats)
+
+        # Decision stack holds the literal tried at each level; a negative
+        # marker means both polarities were exhausted.
+        decision_stack: list[int] = []
+        while True:
+            # Pick the lowest-numbered unassigned variable.
+            var = next((v for v in range(1, n + 1) if assign[v] == 0), None)
+            if var is None:
+                assignment = {v: assign[v] == 1 for v in range(1, n + 1)}
+                return SATResult(True, assignment, stats)
+            stats.decisions += 1
+            trail_lim.append(len(trail))
+            decision_stack.append(var)
+            enqueue(var)  # try positive polarity first
+            while not propagate():
+                # Conflict: flip the most recent un-flipped decision.
+                while decision_stack and decision_stack[-1] < 0:
+                    decision_stack.pop()
+                    backtrack()
+                if not decision_stack:
+                    return SATResult(False, stats=stats)
+                flipped = decision_stack.pop()
+                backtrack()
+                trail_lim.append(len(trail))
+                decision_stack.append(-flipped)
+                enqueue(-flipped)
+
+
+def solve_cnf(clauses: Iterable[Iterable[int]]) -> SATResult:
+    """One-shot convenience wrapper."""
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()

@@ -1,0 +1,107 @@
+"""Core constraint classes and static analyses (CFDs, CINDs, reasoning)."""
+
+from repro.core.acyclic import (
+    chase_size_bound,
+    cind_graph,
+    implies_acyclic,
+    is_acyclic,
+)
+from repro.core.cfd import CFD, CFDViolation, standard_fd
+from repro.core.cind import CIND, CINDViolation, standard_ind
+from repro.core.consistency import (
+    WitnessTooLarge,
+    active_domains,
+    build_cind_witness,
+    is_consistent_cinds,
+)
+from repro.core.cover import CoverResult, minimal_cover_cinds
+from repro.core.implication import (
+    ImplicationResult,
+    ImplicationStatus,
+    implies,
+)
+from repro.core.inference import (
+    RULES,
+    Derivation,
+    DerivationStep,
+    cind1,
+    cind2,
+    cind3,
+    cind4,
+    cind5,
+    cind6,
+    cind7,
+    cind8,
+    derives,
+)
+from repro.core.normalize import (
+    is_normalized_cfd_set,
+    is_normalized_cind_set,
+    normalize_cfd,
+    normalize_cfds,
+    normalize_cind,
+    normalize_cinds,
+)
+from repro.core.parser import (
+    format_cfd,
+    format_cind,
+    parse_cfd,
+    parse_cind,
+    parse_constraint,
+    parse_constraints,
+)
+from repro.core.patterns import PatternTableau, PatternTuple, matches, matches_all
+from repro.core.violations import ConstraintSet, ViolationReport, check_database
+
+__all__ = [
+    "CFD",
+    "CFDViolation",
+    "CIND",
+    "CINDViolation",
+    "ConstraintSet",
+    "CoverResult",
+    "Derivation",
+    "DerivationStep",
+    "ImplicationResult",
+    "ImplicationStatus",
+    "PatternTableau",
+    "PatternTuple",
+    "RULES",
+    "ViolationReport",
+    "WitnessTooLarge",
+    "active_domains",
+    "build_cind_witness",
+    "chase_size_bound",
+    "check_database",
+    "cind1",
+    "cind2",
+    "cind3",
+    "cind4",
+    "cind5",
+    "cind6",
+    "cind7",
+    "cind8",
+    "cind_graph",
+    "derives",
+    "format_cfd",
+    "format_cind",
+    "implies",
+    "implies_acyclic",
+    "is_acyclic",
+    "is_consistent_cinds",
+    "is_normalized_cfd_set",
+    "is_normalized_cind_set",
+    "matches",
+    "matches_all",
+    "minimal_cover_cinds",
+    "normalize_cfd",
+    "normalize_cfds",
+    "normalize_cind",
+    "normalize_cinds",
+    "parse_cfd",
+    "parse_cind",
+    "parse_constraint",
+    "parse_constraints",
+    "standard_fd",
+    "standard_ind",
+]

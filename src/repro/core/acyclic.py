@@ -1,0 +1,118 @@
+"""Acyclicity analysis for CIND sets (Section 8 future work).
+
+The paper closes by asking whether better complexity bounds hold "by
+considering extra assumptions, such as acyclicity of CINDs". The practical
+payoff is immediate: for an **acyclic** set (the graph with an edge
+``R1 → R2`` per CIND ``R1[...] ⊆ R2[...]`` has no directed cycle), every
+chase sequence terminates — each insertion moves strictly down the
+topological order, so the chase depth is bounded by the longest path and
+the bounded implication checker of :mod:`repro.core.implication` becomes a
+*decision procedure* (no UNKNOWN) once its budget covers the worst case.
+
+This module provides the graph construction, the acyclicity test, the
+worst-case chase-size bound, and :func:`implies_acyclic` — implication with
+budgets derived from the bound, raising instead of answering UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.cind import CIND
+from repro.core.implication import ImplicationResult, ImplicationStatus, implies
+from repro.errors import ReproError
+from repro.graph.digraph import DiGraph
+from repro.relational.domains import FiniteDomain
+from repro.relational.schema import DatabaseSchema
+
+
+def cind_graph(cinds: Iterable[CIND]) -> DiGraph:
+    """The relation-level graph with one edge per CIND (LHS → RHS)."""
+    graph: DiGraph = DiGraph()
+    for cind in cinds:
+        graph.add_edge(cind.lhs_relation.name, cind.rhs_relation.name)
+    return graph
+
+
+def is_acyclic(cinds: Iterable[CIND]) -> bool:
+    """True iff the CIND graph has no directed cycle (self-loops count)."""
+    graph = cind_graph(cinds)
+    for component in graph.strongly_connected_components():
+        if len(component) > 1:
+            return False
+        (node,) = component
+        if graph.has_edge(node, node):
+            return False
+    return True
+
+
+def longest_path_length(graph: DiGraph) -> int:
+    """Longest directed path (edge count) in an acyclic graph."""
+    depth: dict = {}
+    # SCC order is reverse-topological; process sinks first.
+    for component in graph.strongly_connected_components():
+        (node,) = component
+        succs = graph.successors(node)
+        depth[node] = 1 + max((depth[s] for s in succs), default=-1)
+    return max(depth.values(), default=0)
+
+
+def chase_size_bound(schema: DatabaseSchema, cinds: Iterable[CIND]) -> int:
+    """An upper bound on tuples any acyclic chase from one tuple can create.
+
+    Each tuple at depth ``d`` can trigger at most one insertion per
+    (CIND, pattern row); finite-domain gaps of an insertion fan out over
+    their domains. The bound is deliberately coarse — it exists to size the
+    implication budget, not to be tight — and is capped to stay usable.
+    """
+    cinds = list(cinds)
+    if not is_acyclic(cinds):
+        raise ReproError("chase_size_bound requires an acyclic CIND set")
+    triggers = sum(len(c.tableau) for c in cinds)
+    max_fanout = 1
+    for cind in cinds:
+        fanout = 1
+        constrained = set(cind.y) | set(cind.yp)
+        for attr in cind.rhs_relation:
+            if attr.name not in constrained and isinstance(attr.domain, FiniteDomain):
+                fanout *= len(attr.domain)
+        max_fanout = max(max_fanout, fanout)
+    depth = longest_path_length(cind_graph(cinds)) + 1
+    bound = 1
+    per_level = 1
+    for __ in range(depth):
+        per_level = per_level * max(triggers, 1)
+        bound += per_level
+        if bound > 1_000_000:
+            return 1_000_000
+    return min(bound * max_fanout, 1_000_000)
+
+
+def implies_acyclic(
+    schema: DatabaseSchema,
+    sigma: Iterable[CIND],
+    psi: CIND,
+    budget_cap: int = 50_000,
+) -> ImplicationResult:
+    """Exact implication for acyclic Σ (within *budget_cap*).
+
+    Sizes the chase budgets from :func:`chase_size_bound`; if the derived
+    bound exceeds *budget_cap* the call still runs but an UNKNOWN outcome
+    raises (the caller asked for a decision the cap cannot guarantee).
+    """
+    sigma = list(sigma)
+    if not is_acyclic(sigma):
+        raise ReproError(
+            "implies_acyclic requires an acyclic CIND set; use "
+            "repro.core.implication.implies for the general (bounded) case"
+        )
+    bound = min(chase_size_bound(schema, sigma), budget_cap)
+    result = implies(
+        schema, sigma, psi, max_tuples=bound, max_branches=max(bound, 256)
+    )
+    if result.status is ImplicationStatus.UNKNOWN:
+        raise ReproError(
+            f"budget cap {budget_cap} too small for the acyclic chase bound; "
+            f"raise budget_cap"
+        )
+    return result

@@ -1,0 +1,155 @@
+"""Consistency of CINDs alone (Theorem 3.2).
+
+Any set of CINDs is consistent: the proof constructs, for each attribute, an
+*active domain* — the constants appearing in Σ plus at most one extra value
+of the attribute's domain — and takes each relation instance to be the cross
+product of the active domains of its attributes. Every existential demand of
+every CIND is then met because the RHS relation contains *every* combination
+of active-domain values.
+
+:func:`build_cind_witness` implements that construction (with a closure pass
+propagating active domains along the embedded INDs so that ``t1[X]`` values
+are guaranteed to exist on the RHS even when matched attributes draw their
+fresh values from different domain objects), and :func:`is_consistent_cinds`
+wraps it as the O(1) decision procedure of Table 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.core.cind import CIND
+from repro.errors import ReproError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import is_constant as is_constant_value
+
+
+class WitnessTooLarge(ReproError):
+    """The cross-product witness would exceed the configured size bound."""
+
+
+def active_domains(
+    schema: DatabaseSchema, cinds: Iterable[CIND]
+) -> dict[tuple[str, str], list]:
+    """Active domain per (relation, attribute) for the Theorem 3.2 witness.
+
+    Starts from the constants of Σ filtered by domain membership, adds one
+    fresh value per attribute where the domain still has room, then closes
+    under the embedded INDs: for each CIND and each matched pair
+    ``(Ai, Bi)``, every active value of ``R1.Ai`` that belongs to
+    ``dom(Bi)`` is added to the active domain of ``R2.Bi``. The closure
+    terminates because values are only ever copied, never invented, after
+    the initial seeding.
+    """
+    cinds = list(cinds)
+    constants = set()
+    for cind in cinds:
+        constants |= cind.constants()
+
+    # Seed each attribute with the constants Σ actually compares it against
+    # (not every constant of Σ — the full pool is also correct but blows the
+    # cross product up by |constants| per attribute for no benefit).
+    per_attribute: dict[tuple[str, str], set] = {}
+    for cind in cinds:
+        for row in cind.tableau:
+            for attr, value in row.lhs.items():
+                if is_constant_value(value):
+                    per_attribute.setdefault(
+                        (cind.lhs_relation.name, attr), set()
+                    ).add(value)
+            for attr, value in row.rhs.items():
+                if is_constant_value(value):
+                    per_attribute.setdefault(
+                        (cind.rhs_relation.name, attr), set()
+                    ).add(value)
+
+    adom: dict[tuple[str, str], list] = {}
+    fresh_by_domain: dict[int, object] = {}
+    for rel in schema:
+        for attr in rel:
+            seeds = per_attribute.get((rel.name, attr.name), set())
+            values = [c for c in sorted(seeds, key=repr) if attr.domain.contains(c)]
+            key = id(attr.domain)
+            if key not in fresh_by_domain:
+                fresh_by_domain[key] = attr.domain.fresh_value(exclude=constants)
+            fresh = fresh_by_domain[key]
+            if fresh is not None and fresh not in values:
+                values.append(fresh)
+            if not values and isinstance(attr.domain, FiniteDomain):
+                # Every domain value is a Σ-constant; use them all.
+                values = list(attr.domain.values)
+            adom[(rel.name, attr.name)] = values
+
+    changed = True
+    while changed:
+        changed = False
+        for cind in cinds:
+            src = cind.lhs_relation.name
+            dst = cind.rhs_relation.name
+            for a, b in zip(cind.x, cind.y):
+                dom_b = cind.rhs_relation.domain_of(b)
+                target = adom[(dst, b)]
+                present = set(map(repr, target))
+                for v in adom[(src, a)]:
+                    if repr(v) not in present and dom_b.contains(v):
+                        target.append(v)
+                        present.add(repr(v))
+                        changed = True
+    return adom
+
+
+def build_cind_witness(
+    schema: DatabaseSchema,
+    cinds: Iterable[CIND],
+    max_tuples_per_relation: int = 100_000,
+) -> DatabaseInstance:
+    """Construct a nonempty instance satisfying every CIND (Theorem 3.2).
+
+    Each relation becomes the cross product of its attributes' active
+    domains. Raises :class:`WitnessTooLarge` if any relation would exceed
+    *max_tuples_per_relation* — the construction is exponential in relation
+    arity, which is fine for the schema sizes the theorem is used on but
+    should not silently eat memory.
+    """
+    cinds = list(cinds)
+    adom = active_domains(schema, cinds)
+    db = DatabaseInstance(schema)
+    for rel in schema:
+        pools = [adom[(rel.name, a.name)] for a in rel]
+        size = 1
+        for pool in pools:
+            size *= max(len(pool), 1)
+        if size > max_tuples_per_relation:
+            raise WitnessTooLarge(
+                f"witness for relation {rel.name!r} would have {size} tuples "
+                f"(> {max_tuples_per_relation}); raise max_tuples_per_relation "
+                f"or reduce the constant count"
+            )
+        for combo in itertools.product(*pools):
+            db[rel.name].add(combo)
+    return db
+
+
+def is_consistent_cinds(
+    schema: DatabaseSchema,
+    cinds: Iterable[CIND],
+    verify: bool = False,
+) -> bool:
+    """Decide consistency of a set of CINDs — always ``True`` (Theorem 3.2).
+
+    With ``verify=True``, actually build the witness and check
+    ``D |= Σ``, turning the theorem into an executable assertion (used by
+    the test suite and the Table 1 benchmark).
+    """
+    if not verify:
+        return True
+    db = build_cind_witness(schema, cinds)
+    if db.is_empty():
+        raise AssertionError("witness construction produced an empty instance")
+    for cind in cinds:
+        if not cind.satisfied_by(db):
+            raise AssertionError(f"witness does not satisfy {cind!r}")
+    return True

@@ -1,0 +1,60 @@
+"""Minimal covers of CIND sets (Section 8, "future work").
+
+A minimal cover ``Σmc`` of Σ is an equivalent subset with no redundant
+member: no ``ψ ∈ Σmc`` with ``Σmc − {ψ} |= ψ``. Computing one exactly
+requires implication tests — undecidable for CFDs + CINDs and EXPTIME for
+CINDs — so, as the paper suggests, we use the *heuristic* (bounded,
+three-valued) implication checker: a dependency is dropped only when the
+checker answers ``IMPLIED``, so the output is always equivalent to the
+input; it merely may keep a redundant member whose redundancy the bounded
+chase could not establish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.cind import CIND
+from repro.core.implication import ImplicationStatus, implies
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass
+class CoverResult:
+    cover: list[CIND]
+    removed: list[CIND] = field(default_factory=list)
+    #: Members whose redundancy test returned UNKNOWN (kept conservatively).
+    undecided: list[CIND] = field(default_factory=list)
+
+
+def minimal_cover_cinds(
+    schema: DatabaseSchema,
+    cinds: Iterable[CIND],
+    max_tuples: int = 200,
+    max_branches: int = 128,
+) -> CoverResult:
+    """Greedily remove CINDs entailed by the rest.
+
+    Scans in reverse insertion order (later, more specific dependencies are
+    tried for removal first), re-testing against the current survivor set so
+    the result is order-dependent but always sound: ``cover ≡ input``.
+    """
+    survivors: list[CIND] = list(cinds)
+    removed: list[CIND] = []
+    undecided: list[CIND] = []
+    index = len(survivors) - 1
+    while index >= 0:
+        candidate = survivors[index]
+        rest = survivors[:index] + survivors[index + 1:]
+        result = implies(
+            schema, rest, candidate,
+            max_tuples=max_tuples, max_branches=max_branches,
+        )
+        if result.status is ImplicationStatus.IMPLIED:
+            removed.append(candidate)
+            survivors.pop(index)
+        elif result.status is ImplicationStatus.UNKNOWN:
+            undecided.append(candidate)
+        index -= 1
+    return CoverResult(cover=survivors, removed=removed, undecided=undecided)

@@ -1,0 +1,233 @@
+"""Implication analysis for CINDs (Section 3.2) via a bounded chase.
+
+``Σ |= ψ`` asks whether every instance satisfying Σ satisfies ψ. The
+decision problem is PSPACE-complete without finite-domain attributes and
+EXPTIME-complete with them (Theorems 3.5/3.4), so this module implements a
+*bounded* canonical-database procedure with three-valued answers:
+
+1. Build a canonical tuple ``t1`` for ψ's premise: pattern constants on
+   ``Xp``, distinct fresh constants on the infinite-domain attributes. Each
+   finite-domain attribute of ``t1`` that the pattern leaves free becomes a
+   *branch point* — one branch per domain value (the disjunctive chase).
+2. Chase each branch with Σ: whenever a CIND premise is matched without a
+   witness, insert the witness (fresh constants for unconstrained infinite
+   columns, a branch per value for finite columns).
+3. A branch **closes** when ψ's conclusion holds for ``t1`` (a matching
+   tuple with ``t2[Y] = t1[X]`` and ``t2[Yp] ≍ tp[Yp]`` exists). A branch
+   that reaches a Σ-terminal state while ψ's conclusion fails is a
+   **countermodel**.
+
+Answers:
+
+* ``NOT_IMPLIED`` — some branch terminated as a countermodel (exact: the
+  branch is a finite instance with ``D |= Σ`` and ``D ⊭ ψ``).
+* ``IMPLIED`` — *every* branch closed (sound: chase steps are logical
+  consequences of Σ, and the finite-domain branching is exhaustive). For
+  CINDs without finite-domain attributes this matches the classical IND
+  chase and is also complete when the chase terminates within budget.
+* ``UNKNOWN`` — some branch exhausted the tuple/branch budget first.
+
+Completeness caveat (documented, deliberate): the canonical ``t1`` is
+*generic* — its ``X`` values are fresh and pairwise distinct. Premises that
+only fire for coincident values are therefore not explored; for the
+standard CIND fragment this matches the textbook IND chase construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.cind import CIND
+from repro.core.normalize import normalize_cinds
+from repro.core.patterns import matches_all
+from repro.errors import ReproError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class ImplicationStatus(enum.Enum):
+    IMPLIED = "implied"
+    NOT_IMPLIED = "not-implied"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ImplicationResult:
+    status: ImplicationStatus
+    #: For NOT_IMPLIED: a finite instance with D |= Σ and D ⊭ ψ.
+    counterexample: DatabaseInstance | None = None
+    branches_explored: int = 0
+
+    def __bool__(self) -> bool:
+        return self.status is ImplicationStatus.IMPLIED
+
+
+class _FreshSupply:
+    """Distinct fresh constants per infinite domain, avoiding Σ's constants."""
+
+    def __init__(self, exclude: set):
+        self._taken = set(exclude)
+        self._counters: dict[int, int] = {}
+
+    def take(self, domain) -> Any:
+        value = domain.fresh_value(exclude=self._taken)
+        if value is None:
+            raise ReproError(f"domain {domain.name!r} exhausted")
+        self._taken.add(value)
+        return value
+
+
+def _conclusion_holds(db: DatabaseInstance, psi: CIND, t1: Tuple) -> bool:
+    return psi.find_witness(db, t1, psi.pattern) is not None
+
+
+def _branch_insertions(
+    relation: RelationSchema,
+    fixed: dict[str, Any],
+    fresh: _FreshSupply,
+) -> list[dict[str, Any]]:
+    """All ways to complete *fixed* into a full tuple over *relation*.
+
+    Infinite-domain gaps take one fresh constant; finite-domain gaps fan
+    out over the whole domain (the disjunctive chase).
+    """
+    completions: list[dict[str, Any]] = [dict(fixed)]
+    for attr in relation:
+        if attr.name in fixed:
+            continue
+        if isinstance(attr.domain, FiniteDomain):
+            completions = [
+                {**c, attr.name: value}
+                for c in completions
+                for value in attr.domain.values
+            ]
+        else:
+            value = fresh.take(attr.domain)
+            for c in completions:
+                c[attr.name] = value
+    return completions
+
+
+def _find_unmet(
+    db: DatabaseInstance, sigma: list[CIND]
+) -> tuple[CIND, Tuple] | None:
+    for cind in sigma:
+        pattern = cind.pattern
+        lhs_attrs = cind.x + cind.xp
+        lhs_pattern = pattern.lhs_projection(lhs_attrs)
+        for ta in db[cind.lhs_relation.name]:
+            if not matches_all(ta.project(lhs_attrs), lhs_pattern):
+                continue
+            if cind.find_witness(db, ta, pattern) is None:
+                return cind, ta
+    return None
+
+
+def implies(
+    schema: DatabaseSchema,
+    sigma: Iterable[CIND],
+    psi: CIND,
+    max_tuples: int = 200,
+    max_branches: int = 256,
+) -> ImplicationResult:
+    """Decide (boundedly) whether the CINDs of Σ entail ψ.
+
+    ψ with a multi-row tableau is entailed iff each normalised row is; the
+    result aggregates accordingly (UNKNOWN dominates NOT_IMPLIED only when
+    no countermodel was found).
+    """
+    sigma_normal = normalize_cinds(sigma)
+    rows = normalize_cinds([psi])
+    overall = ImplicationStatus.IMPLIED
+    branches_total = 0
+    for row in rows:
+        result = _implies_normal(
+            schema, sigma_normal, row, max_tuples, max_branches
+        )
+        branches_total += result.branches_explored
+        if result.status is ImplicationStatus.NOT_IMPLIED:
+            result.branches_explored = branches_total
+            return result
+        if result.status is ImplicationStatus.UNKNOWN:
+            overall = ImplicationStatus.UNKNOWN
+    return ImplicationResult(overall, branches_explored=branches_total)
+
+
+def _implies_normal(
+    schema: DatabaseSchema,
+    sigma: list[CIND],
+    psi: CIND,
+    max_tuples: int,
+    max_branches: int,
+) -> ImplicationResult:
+    constants: set = set()
+    for cind in sigma + [psi]:
+        constants |= cind.constants()
+    fresh = _FreshSupply(constants)
+
+    ra = psi.lhs_relation
+    pattern = psi.pattern
+    seed: dict[str, Any] = {a: pattern.lhs_value(a) for a in psi.xp}
+    # ψ's X attributes take distinct fresh constants; all remaining
+    # attributes are completed like a chase insertion (branching on finite
+    # domains the pattern leaves free).
+    for a in psi.x:
+        domain = ra.domain_of(a)
+        if not isinstance(domain, FiniteDomain):
+            seed[a] = fresh.take(domain)
+    # Each branch is (db, canonical_t1). t1 is never rewritten (the
+    # CIND-only chase has no FD steps), so its identity persists.
+    pending: list[tuple[DatabaseInstance, Tuple]] = []
+    for completion in _branch_insertions(ra, seed, fresh):
+        db = DatabaseInstance(schema)
+        t1 = Tuple(ra, completion)
+        db[ra.name].add(t1)
+        pending.append((db, t1))
+
+    explored = 0
+    budget_hit = False
+    while pending:
+        db, t1 = pending.pop()
+        explored += 1
+        if explored > max_branches:
+            budget_hit = True
+            break
+        # Chase this branch to closure / terminal / budget.
+        while True:
+            if _conclusion_holds(db, psi, t1):
+                break  # branch closed: ψ's conclusion derived for t1
+            unmet = _find_unmet(db, sigma)
+            if unmet is None:
+                return ImplicationResult(
+                    ImplicationStatus.NOT_IMPLIED,
+                    counterexample=db,
+                    branches_explored=explored,
+                )
+            if db.total_tuples() >= max_tuples:
+                budget_hit = True
+                break
+            cind, ta = unmet
+            fixed: dict[str, Any] = {}
+            for a, b in zip(cind.x, cind.y):
+                fixed[b] = ta[a]
+            for b in cind.yp:
+                fixed[b] = cind.pattern.rhs_value(b)
+            completions = _branch_insertions(cind.rhs_relation, fixed, fresh)
+            first, rest = completions[0], completions[1:]
+            for completion in rest:
+                forked = db.copy()
+                forked[cind.rhs_relation.name].add(completion)
+                pending.append((forked, t1))
+            db[cind.rhs_relation.name].add(first)
+        if budget_hit:
+            break
+    if budget_hit:
+        return ImplicationResult(
+            ImplicationStatus.UNKNOWN, branches_explored=explored
+        )
+    return ImplicationResult(
+        ImplicationStatus.IMPLIED, branches_explored=explored
+    )

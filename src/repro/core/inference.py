@@ -1,0 +1,489 @@
+"""The inference system ``I`` for CIND implication (Fig. 3, Theorem 3.3).
+
+Eight rules, each implemented as a function that *validates its side
+conditions* and constructs the conclusion CIND. All rules operate on CINDs
+in normal form (Prop. 3.1 lets us assume this w.l.o.g.):
+
+* **CIND1** (reflexivity): ``(R[X; nil] ⊆ R[X; nil])`` with wildcards.
+* **CIND2** (projection & permutation): project the embedded IND onto a
+  subsequence of index pairs and permute the pattern lists.
+* **CIND3** (transitivity): compose ``Ra → Rb`` and ``Rb → Rc`` when the
+  middle lists *and their pattern values* agree (``t1[Yp] = t2[Yp]``).
+* **CIND4** (instantiation): move a matched pair ``(Aj, Bj)`` from the
+  embedded IND into the patterns, bound to a constant.
+* **CIND5** (LHS augmentation): add an unused attribute to ``Xp`` with any
+  constant — if ψ holds for every value, it holds for a specific one.
+* **CIND6** (RHS reduction): drop attributes from ``Yp``.
+* **CIND7** (finite-domain merge): CINDs identical but for ``tp[A]`` whose
+  values jointly cover the finite ``dom(A)`` collapse to one CIND without
+  ``A``.
+* **CIND8** (finite-domain un-instantiation): the inverse of CIND4 over a
+  full finite domain — premises with ``ti[A] = ti[B]`` covering ``dom(A)``
+  merge into a CIND with ``(A, B)`` back in the embedded IND.
+
+:class:`Derivation` chains rule applications into an auditable proof object;
+``tests/test_inference.py`` replays the seven-step proof of Example 3.4
+verbatim. Rules CIND1–CIND6 alone are sound and complete when no
+finite-domain attributes occur (Theorem 3.5); CIND7/CIND8 handle the
+finite-domain cases that push implication to EXPTIME (Theorem 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.cind import CIND
+from repro.errors import InferenceError
+from repro.relational.domains import FiniteDomain
+from repro.relational.schema import RelationSchema
+from repro.relational.values import WILDCARD, is_constant
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InferenceError(message)
+
+
+def _require_normal(psi: CIND, role: str) -> None:
+    _require(
+        psi.is_normal_form,
+        f"{role} must be in normal form (Prop. 3.1); got {psi!r}",
+    )
+
+
+def _pattern_rows(
+    x: Sequence[str], xp_values: dict[str, Any], y: Sequence[str], yp_values: dict[str, Any]
+):
+    lhs = {a: WILDCARD for a in x}
+    lhs.update(xp_values)
+    rhs = {b: WILDCARD for b in y}
+    rhs.update(yp_values)
+    return [(lhs, rhs)]
+
+
+def cind1(relation: RelationSchema, x: Sequence[str], name: str | None = None) -> CIND:
+    """Reflexivity: ``(R[X; nil] ⊆ R[X; nil], tp)`` with ``tp`` all ``_``."""
+    x = tuple(x)
+    _require(len(x) >= 1, "CIND1 needs a nonempty attribute sequence")
+    return CIND(
+        relation, x, (), relation, x, (),
+        _pattern_rows(x, {}, x, {}),
+        name=name,
+    )
+
+
+def cind2(
+    psi: CIND,
+    indices: Sequence[int],
+    xp_order: Sequence[str] | None = None,
+    yp_order: Sequence[str] | None = None,
+    name: str | None = None,
+) -> CIND:
+    """Projection & permutation.
+
+    *indices* selects a sequence of distinct positions into the embedded
+    IND's lists (0-based); *xp_order* / *yp_order* permute the pattern
+    attribute lists (defaults: unchanged).
+    """
+    _require_normal(psi, "CIND2 premise")
+    m = len(psi.x)
+    indices = tuple(indices)
+    _require(
+        len(set(indices)) == len(indices)
+        and all(0 <= i < m for i in indices),
+        f"indices must be distinct positions in [0, {m}), got {indices}",
+    )
+    xp_order = tuple(xp_order) if xp_order is not None else psi.xp
+    yp_order = tuple(yp_order) if yp_order is not None else psi.yp
+    _require(
+        sorted(xp_order) == sorted(psi.xp),
+        f"xp_order {xp_order} is not a permutation of Xp {psi.xp}",
+    )
+    _require(
+        sorted(yp_order) == sorted(psi.yp),
+        f"yp_order {yp_order} is not a permutation of Yp {psi.yp}",
+    )
+    pattern = psi.pattern
+    new_x = tuple(psi.x[i] for i in indices)
+    new_y = tuple(psi.y[i] for i in indices)
+    xp_values = {a: pattern.lhs_value(a) for a in xp_order}
+    yp_values = {b: pattern.rhs_value(b) for b in yp_order}
+    return CIND(
+        psi.lhs_relation, new_x, xp_order,
+        psi.rhs_relation, new_y, yp_order,
+        _pattern_rows(new_x, xp_values, new_y, yp_values),
+        name=name,
+    )
+
+
+def cind3(psi1: CIND, psi2: CIND, name: str | None = None) -> CIND:
+    """Transitivity: requires ``RHS(ψ1) = LHS(ψ2)`` lists *and* patterns."""
+    _require_normal(psi1, "CIND3 first premise")
+    _require_normal(psi2, "CIND3 second premise")
+    _require(
+        psi1.rhs_relation.name == psi2.lhs_relation.name,
+        f"middle relation mismatch: {psi1.rhs_relation.name} vs "
+        f"{psi2.lhs_relation.name}",
+    )
+    _require(
+        psi1.y == psi2.x,
+        f"ψ2's X {psi2.x} must equal ψ1's Y {psi1.y} (same order)",
+    )
+    _require(
+        psi1.yp == psi2.xp,
+        f"ψ2's Xp {psi2.xp} must equal ψ1's Yp {psi1.yp} (same order)",
+    )
+    t1, t2 = psi1.pattern, psi2.pattern
+    for attr in psi1.yp:
+        _require(
+            t1.rhs_value(attr) == t2.lhs_value(attr),
+            f"pattern mismatch on middle attribute {attr!r}: "
+            f"{t1.rhs_value(attr)!r} vs {t2.lhs_value(attr)!r}",
+        )
+    xp_values = {a: t1.lhs_value(a) for a in psi1.xp}
+    zp_values = {c: t2.rhs_value(c) for c in psi2.yp}
+    return CIND(
+        psi1.lhs_relation, psi1.x, psi1.xp,
+        psi2.rhs_relation, psi2.y, psi2.yp,
+        _pattern_rows(psi1.x, xp_values, psi2.y, zp_values),
+        name=name,
+    )
+
+
+def cind4(psi: CIND, attribute: str, constant: Any, name: str | None = None) -> CIND:
+    """Instantiation: move ``(Aj, Bj)`` into the patterns bound to *constant*."""
+    _require_normal(psi, "CIND4 premise")
+    _require(
+        attribute in psi.x,
+        f"{attribute!r} is not in the embedded IND's X {psi.x}",
+    )
+    j = psi.x.index(attribute)
+    b_attr = psi.y[j]
+    _require(
+        psi.lhs_relation.domain_of(attribute).contains(constant),
+        f"{constant!r} is outside dom({psi.lhs_relation.name}.{attribute})",
+    )
+    pattern = psi.pattern
+    new_x = psi.x[:j] + psi.x[j + 1:]
+    new_y = psi.y[:j] + psi.y[j + 1:]
+    xp_values = {a: pattern.lhs_value(a) for a in psi.xp}
+    xp_values[attribute] = constant
+    yp_values = {b: pattern.rhs_value(b) for b in psi.yp}
+    yp_values[b_attr] = constant
+    return CIND(
+        psi.lhs_relation, new_x, psi.xp + (attribute,),
+        psi.rhs_relation, new_y, psi.yp + (b_attr,),
+        _pattern_rows(new_x, xp_values, new_y, yp_values),
+        name=name,
+    )
+
+
+def cind5(psi: CIND, attribute: str, constant: Any, name: str | None = None) -> CIND:
+    """LHS augmentation: add an unused attribute to ``Xp`` with *constant*."""
+    _require_normal(psi, "CIND5 premise")
+    _require(
+        attribute in psi.lhs_relation,
+        f"{psi.lhs_relation.name!r} has no attribute {attribute!r}",
+    )
+    _require(
+        attribute not in psi.x and attribute not in psi.xp,
+        f"{attribute!r} already occurs in X ∪ Xp",
+    )
+    _require(
+        psi.lhs_relation.domain_of(attribute).contains(constant),
+        f"{constant!r} is outside dom({psi.lhs_relation.name}.{attribute})",
+    )
+    pattern = psi.pattern
+    xp_values = {a: pattern.lhs_value(a) for a in psi.xp}
+    xp_values[attribute] = constant
+    yp_values = {b: pattern.rhs_value(b) for b in psi.yp}
+    return CIND(
+        psi.lhs_relation, psi.x, psi.xp + (attribute,),
+        psi.rhs_relation, psi.y, psi.yp,
+        _pattern_rows(psi.x, xp_values, psi.y, yp_values),
+        name=name,
+    )
+
+
+def cind6(psi: CIND, keep_yp: Sequence[str], name: str | None = None) -> CIND:
+    """RHS reduction: restrict ``Yp`` to the sublist *keep_yp*."""
+    _require_normal(psi, "CIND6 premise")
+    keep = tuple(keep_yp)
+    _require(
+        all(b in psi.yp for b in keep) and len(set(keep)) == len(keep),
+        f"keep_yp {keep} must be distinct attributes of Yp {psi.yp}",
+    )
+    pattern = psi.pattern
+    xp_values = {a: pattern.lhs_value(a) for a in psi.xp}
+    yp_values = {b: pattern.rhs_value(b) for b in keep}
+    return CIND(
+        psi.lhs_relation, psi.x, psi.xp,
+        psi.rhs_relation, psi.y, keep,
+        _pattern_rows(psi.x, xp_values, psi.y, yp_values),
+        name=name,
+    )
+
+
+def _check_uniform_premises(
+    premises: Sequence[CIND], skip_lhs: set[str], skip_rhs: set[str]
+) -> None:
+    """All premises must agree except on the attributes being merged."""
+    first = premises[0]
+    for psi in premises[1:]:
+        _require(
+            psi.lhs_relation.name == first.lhs_relation.name
+            and psi.rhs_relation.name == first.rhs_relation.name
+            and psi.x == first.x
+            and psi.y == first.y
+            and set(psi.xp) == set(first.xp)
+            and set(psi.yp) == set(first.yp),
+            "premises must share relations, embedded IND and pattern "
+            "attribute sets",
+        )
+        for a in first.xp:
+            if a in skip_lhs:
+                continue
+            _require(
+                psi.pattern.lhs_value(a) == first.pattern.lhs_value(a),
+                f"premises disagree on tp[{a}]",
+            )
+        for b in first.yp:
+            if b in skip_rhs:
+                continue
+            _require(
+                psi.pattern.rhs_value(b) == first.pattern.rhs_value(b),
+                f"premises disagree on tp[{b}]",
+            )
+
+
+def _covered_domain(premises: Sequence[CIND], relation: RelationSchema, attribute: str, values: Iterable[Any]) -> None:
+    domain = relation.domain_of(attribute)
+    _require(
+        isinstance(domain, FiniteDomain),
+        f"{relation.name}.{attribute} must have a finite domain",
+    )
+    _require(
+        set(values) == set(domain.values),
+        f"premise values for {attribute!r} must cover dom = "
+        f"{set(domain.values)!r}",
+    )
+
+
+def cind7(premises: Sequence[CIND], attribute: str, name: str | None = None) -> CIND:
+    """Finite-domain merge: drop ``A ∈ Xp`` once its values cover ``dom(A)``."""
+    premises = list(premises)
+    _require(len(premises) >= 1, "CIND7 needs at least one premise")
+    for psi in premises:
+        _require_normal(psi, "CIND7 premise")
+        _require(attribute in psi.xp, f"{attribute!r} must be in every Xp")
+    _check_uniform_premises(premises, skip_lhs={attribute}, skip_rhs=set())
+    first = premises[0]
+    _covered_domain(
+        premises,
+        first.lhs_relation,
+        attribute,
+        (psi.pattern.lhs_value(attribute) for psi in premises),
+    )
+    new_xp = tuple(a for a in first.xp if a != attribute)
+    pattern = first.pattern
+    xp_values = {a: pattern.lhs_value(a) for a in new_xp}
+    yp_values = {b: pattern.rhs_value(b) for b in first.yp}
+    return CIND(
+        first.lhs_relation, first.x, new_xp,
+        first.rhs_relation, first.y, first.yp,
+        _pattern_rows(first.x, xp_values, first.y, yp_values),
+        name=name,
+    )
+
+
+def cind8(
+    premises: Sequence[CIND],
+    lhs_attribute: str,
+    rhs_attribute: str,
+    name: str | None = None,
+) -> CIND:
+    """Finite-domain un-instantiation (inverse of CIND4 over a full domain).
+
+    Premises ``(Ra[X; A Xp] ⊆ Rb[Y; B Yp], ti)`` with ``ti[A] = ti[B]``
+    whose ``ti[A]`` values cover the finite ``dom(A)`` merge into
+    ``(Ra[X A; Xp] ⊆ Rb[Y B; Yp], tp)``.
+    """
+    premises = list(premises)
+    _require(len(premises) >= 1, "CIND8 needs at least one premise")
+    for psi in premises:
+        _require_normal(psi, "CIND8 premise")
+        _require(lhs_attribute in psi.xp, f"{lhs_attribute!r} must be in every Xp")
+        _require(rhs_attribute in psi.yp, f"{rhs_attribute!r} must be in every Yp")
+        _require(
+            psi.pattern.lhs_value(lhs_attribute)
+            == psi.pattern.rhs_value(rhs_attribute),
+            f"ti[{lhs_attribute}] must equal ti[{rhs_attribute}] in every premise",
+        )
+    _check_uniform_premises(
+        premises, skip_lhs={lhs_attribute}, skip_rhs={rhs_attribute}
+    )
+    first = premises[0]
+    _covered_domain(
+        premises,
+        first.lhs_relation,
+        lhs_attribute,
+        (psi.pattern.lhs_value(lhs_attribute) for psi in premises),
+    )
+    new_x = first.x + (lhs_attribute,)
+    new_y = first.y + (rhs_attribute,)
+    new_xp = tuple(a for a in first.xp if a != lhs_attribute)
+    new_yp = tuple(b for b in first.yp if b != rhs_attribute)
+    pattern = first.pattern
+    xp_values = {a: pattern.lhs_value(a) for a in new_xp}
+    yp_values = {b: pattern.rhs_value(b) for b in new_yp}
+    return CIND(
+        first.lhs_relation, new_x, new_xp,
+        first.rhs_relation, new_y, new_yp,
+        _pattern_rows(new_x, xp_values, new_y, yp_values),
+        name=name,
+    )
+
+
+#: Rule registry used by Derivation.apply.
+RULES = {
+    "CIND1": cind1,
+    "CIND2": cind2,
+    "CIND3": cind3,
+    "CIND4": cind4,
+    "CIND5": cind5,
+    "CIND6": cind6,
+    "CIND7": cind7,
+    "CIND8": cind8,
+}
+
+
+@dataclass
+class DerivationStep:
+    """One line of an I-proof."""
+
+    index: int
+    cind: CIND
+    rule: str                       # "premise" or a RULES key
+    premises: tuple[int, ...] = ()  # indexes of earlier steps
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        src = f" from {self.premises}" if self.premises else ""
+        return f"({self.index}) {self.cind!r}   [{self.rule}{src}]"
+
+
+class Derivation:
+    """An auditable I-proof: Σ ⊢_I ψ as an explicit step list.
+
+    Usage (Example 3.4's shape)::
+
+        proof = Derivation()
+        p1 = proof.premise(psi1)
+        s1 = proof.apply("CIND2", [p1], indices=[], ...)
+        ...
+        proof.check()          # re-validates every rule application
+        proof.conclusion       # the last derived CIND
+    """
+
+    def __init__(self) -> None:
+        self.steps: list[DerivationStep] = []
+
+    def premise(self, cind: CIND) -> int:
+        """Introduce a given CIND of Σ (must be in normal form)."""
+        _require_normal(cind, "premise")
+        step = DerivationStep(len(self.steps), cind, "premise")
+        self.steps.append(step)
+        return step.index
+
+    def axiom_cind1(self, relation: RelationSchema, x: Sequence[str]) -> int:
+        """Introduce a reflexivity axiom (CIND1 has no premises)."""
+        step = DerivationStep(
+            len(self.steps),
+            cind1(relation, x),
+            "CIND1",
+            params={"relation": relation, "x": tuple(x)},
+        )
+        self.steps.append(step)
+        return step.index
+
+    def apply(self, rule: str, premises: Sequence[int], **params: Any) -> int:
+        """Apply *rule* to earlier steps; validates side conditions now."""
+        if rule not in RULES or rule == "CIND1":
+            raise InferenceError(
+                f"unknown derivation rule {rule!r} (CIND1 via axiom_cind1)"
+            )
+        cinds = [self._step(i).cind for i in premises]
+        conclusion = self._invoke(rule, cinds, params)
+        step = DerivationStep(
+            len(self.steps), conclusion, rule, tuple(premises), dict(params)
+        )
+        self.steps.append(step)
+        return step.index
+
+    def _step(self, index: int) -> DerivationStep:
+        try:
+            return self.steps[index]
+        except IndexError:
+            raise InferenceError(f"no derivation step {index}") from None
+
+    @staticmethod
+    def _invoke(rule: str, cinds: list[CIND], params: dict[str, Any]) -> CIND:
+        fn = RULES[rule]
+        if rule in ("CIND7", "CIND8"):
+            return fn(cinds, **params)
+        if rule == "CIND3":
+            if len(cinds) != 2:
+                raise InferenceError("CIND3 takes exactly two premises")
+            return fn(cinds[0], cinds[1], **params)
+        if len(cinds) != 1:
+            raise InferenceError(f"{rule} takes exactly one premise")
+        return fn(cinds[0], **params)
+
+    @property
+    def conclusion(self) -> CIND:
+        if not self.steps:
+            raise InferenceError("empty derivation")
+        return self.steps[-1].cind
+
+    def check(self) -> bool:
+        """Re-validate every step (rules recompute their conclusions)."""
+        for step in self.steps:
+            if step.rule == "premise":
+                continue
+            if step.rule == "CIND1":
+                expected = cind1(step.params["relation"], step.params["x"])
+            else:
+                cinds = [self._step(i).cind for i in step.premises]
+                expected = self._invoke(step.rule, cinds, step.params)
+            if not _same_cind(expected, step.cind):
+                raise InferenceError(
+                    f"step {step.index} does not follow from its premises "
+                    f"by {step.rule}"
+                )
+        return True
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(s) for s in self.steps)
+
+
+def _same_cind(a: CIND, b: CIND) -> bool:
+    """Structural equality ignoring names."""
+    return (
+        a.lhs_relation.name == b.lhs_relation.name
+        and a.rhs_relation.name == b.rhs_relation.name
+        and a.x == b.x
+        and a.xp == b.xp
+        and a.y == b.y
+        and a.yp == b.yp
+        and a.tableau == b.tableau
+    )
+
+
+def derives(derivation: Derivation, goal: CIND) -> bool:
+    """Does the (checked) derivation end in *goal* (up to naming)?"""
+    derivation.check()
+    return _same_cind(derivation.conclusion, goal)

@@ -1,0 +1,119 @@
+"""Normal forms for CINDs (Proposition 3.1) and CFDs (Section 4).
+
+A CIND is in **normal form** when its tableau has a single pattern tuple
+``tp`` and ``tp[A]`` is a constant *iff* ``A ∈ Xp ∪ Yp``. Proposition 3.1
+shows every set of CINDs has a linear-size equivalent normal-form set,
+obtained by
+
+1. splitting multi-row tableaux into one CIND per row;
+2. dropping pattern attributes whose entry is ``_`` (they pose no
+   constraint); and
+3. moving each pair ``(Ai, Bi)`` with a constant entry from ``X/Y`` into
+   ``Xp/Yp`` (Example 3.1 rewrites ``(R[A,B;C,D] ⊆ S[E,F;G], (_,h; i,_ ‖
+   _,h; o))`` into ``(R[A;B,C] ⊆ S[E;F,G], (_; h,i ‖ _; h,o))``).
+
+A CFD is in normal form when its tableau has a single row and its RHS is a
+single attribute. Both rewritings preserve semantics exactly; the property
+tests in ``tests/test_normalize.py`` verify equivalence on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.relational.values import is_constant, is_wildcard
+
+
+def normalize_cind(cind: CIND) -> list[CIND]:
+    """Rewrite *cind* into an equivalent list of normal-form CINDs.
+
+    The output has one CIND per pattern tuple of the input; its size is
+    linear in the size of the input (Prop. 3.1).
+    """
+    out: list[CIND] = []
+    multi = len(cind.tableau) > 1
+    for i, row in enumerate(cind.tableau):
+        x: list[str] = []
+        y: list[str] = []
+        xp: list[str] = []
+        yp: list[str] = []
+        lhs_pattern: dict[str, object] = {}
+        rhs_pattern: dict[str, object] = {}
+
+        # Step 3: split (Ai, Bi) pairs by whether the pattern entry is a
+        # constant. tp[X] = tp[Y] is enforced by the CIND constructor, so
+        # looking at the LHS entry suffices.
+        for a, b in zip(cind.x, cind.y):
+            value = row.lhs_value(a)
+            if is_constant(value):
+                xp.append(a)
+                yp.append(b)
+                lhs_pattern[a] = value
+                rhs_pattern[b] = value
+            else:
+                x.append(a)
+                y.append(b)
+
+        # Step 2: keep only constant-valued pattern attributes.
+        for a in cind.xp:
+            value = row.lhs_value(a)
+            if is_constant(value):
+                xp.append(a)
+                lhs_pattern[a] = value
+        for b in cind.yp:
+            value = row.rhs_value(b)
+            if is_constant(value):
+                yp.append(b)
+                rhs_pattern[b] = value
+
+        name = cind.name
+        if name and multi:
+            name = f"{name}#{i}"
+        out.append(
+            CIND(
+                cind.lhs_relation,
+                x,
+                xp,
+                cind.rhs_relation,
+                y,
+                yp,
+                [(lhs_pattern, rhs_pattern)],
+                name=name,
+            )
+        )
+    return out
+
+
+def normalize_cinds(cinds: Iterable[CIND]) -> list[CIND]:
+    """Normalize a whole set, concatenating the per-CIND rewritings."""
+    out: list[CIND] = []
+    for cind in cinds:
+        out.extend(normalize_cind(cind))
+    return out
+
+
+def normalize_cfd(cfd: CFD) -> list[CFD]:
+    """Rewrite *cfd* into an equivalent list of normal-form CFDs.
+
+    One output CFD per (pattern row, RHS attribute) pair. For a row whose
+    ``X`` part is unchanged, ``(X → Y, tp)`` is equivalent to the family
+    ``(X → A, tp[X ‖ A])`` for ``A ∈ Y``.
+    """
+    return cfd.to_normal_form()
+
+
+def normalize_cfds(cfds: Iterable[CFD]) -> list[CFD]:
+    out: list[CFD] = []
+    for cfd in cfds:
+        out.extend(normalize_cfd(cfd))
+    return out
+
+
+def is_normalized_cind_set(cinds: Iterable[CIND]) -> bool:
+    return all(c.is_normal_form for c in cinds)
+
+
+def is_normalized_cfd_set(cfds: Iterable[CFD]) -> bool:
+    return all(c.is_normal_form for c in cfds)

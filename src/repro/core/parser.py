@@ -1,0 +1,296 @@
+"""A textual syntax for CFDs and CINDs, for config files and the examples.
+
+Syntax (one constraint per line; ``#`` starts a comment)::
+
+    # CIND: embedded-IND attributes before ';', pattern attributes after.
+    [psi6] checking[nil ; ab='EDI'] <= interest[nil ; ab='EDI', at='checking', ct='UK', rt='1.5%']
+    [ind3] saving[ab ; nil] <= interest[ab ; nil]
+
+    # CFD: LHS -> RHS, constants attached with ='value'.
+    [phi3] interest: ct='UK', at='checking' -> rt='1.5%'
+    [fd1]  saving: an, ab -> cn, ca, cp
+
+Rules:
+
+* a bare attribute stands for the wildcard ``_``; ``attr='value'`` binds a
+  pattern constant (single- or double-quoted, or a bare token without
+  spaces/punctuation);
+* ``nil`` denotes the empty attribute list (``X``/``Xp``/``Y``/``Yp``);
+* for CINDs, a constant on the i-th ``X`` item and the i-th ``Y`` item must
+  agree (``tp[X] = tp[Y]``); giving it on one side only is allowed and is
+  mirrored automatically;
+* the optional ``[name]`` prefix names the constraint.
+
+Each parsed constraint carries a single pattern tuple; multi-row tableaux
+are expressed as several lines (equivalent by Prop. 3.1) or built via the
+:class:`~repro.core.patterns.PatternTableau` API directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet
+from repro.errors import ParseError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD, is_wildcard
+
+# The [name] prefix; names may themselves contain one level of [...]
+# (the bank dataset uses names like "psi1[NYC]").
+_NAME_RE = re.compile(
+    r"^\s*\[(?P<name>[^\[\]]*(?:\[[^\[\]]*\][^\[\]]*)*)\]\s*(?P<rest>.+)$"
+)
+_ITEM_RE = re.compile(
+    r"^\s*(?P<attr>[A-Za-z_][A-Za-z_0-9.]*)\s*"
+    r"(?:=\s*(?P<value>'[^']*'|\"[^\"]*\"|[^,\s\]]+))?\s*$"
+)
+_CIND_RE = re.compile(
+    r"^\s*(?P<lrel>[A-Za-z_][A-Za-z_0-9]*)\s*\[(?P<lbody>[^\]]*)\]\s*"
+    r"(?:<=|⊆)\s*"
+    r"(?P<rrel>[A-Za-z_][A-Za-z_0-9]*)\s*\[(?P<rbody>[^\]]*)\]\s*$"
+)
+_CFD_HEAD_RE = re.compile(r"^\s*(?P<rel>[A-Za-z_][A-Za-z_0-9]*)\s*:\s*(?P<rest>.*)$")
+
+
+def _split_arrow(body: str) -> tuple[str, str] | None:
+    """Split on the first '->' outside quotes."""
+    quote: str | None = None
+    i = 0
+    while i < len(body) - 1:
+        ch = body[i]
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "-" and body[i + 1] == ">":
+            return body[:i], body[i + 2:]
+        i += 1
+    return None
+
+
+def _unquote(token: str) -> str:
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    return token
+
+
+def _parse_items(body: str, text: str) -> list[tuple[str, Any]]:
+    """Parse ``A, B='b', C`` into (attr, value-or-WILDCARD) pairs."""
+    body = body.strip()
+    if not body or body == "nil":
+        return []
+    items: list[tuple[str, Any]] = []
+    for chunk in _split_commas(body):
+        match = _ITEM_RE.match(chunk)
+        if not match:
+            raise ParseError(f"cannot parse item {chunk!r}", text)
+        value = match.group("value")
+        items.append(
+            (match.group("attr"), _unquote(value) if value is not None else WILDCARD)
+        )
+    return items
+
+
+def _split_commas(body: str) -> list[str]:
+    """Split on commas outside quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in body:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def _split_semicolon(body: str, text: str) -> tuple[str, str]:
+    depth_quote: str | None = None
+    for i, ch in enumerate(body):
+        if depth_quote:
+            if ch == depth_quote:
+                depth_quote = None
+        elif ch in "'\"":
+            depth_quote = ch
+        elif ch == ";":
+            return body[:i], body[i + 1:]
+    raise ParseError(
+        "CIND attribute list needs a ';' separating X from Xp "
+        "(use 'nil' for an empty part)", text
+    )
+
+
+def parse_cind(text: str, schema: DatabaseSchema, name: str | None = None) -> CIND:
+    """Parse one CIND line (see module docstring for the grammar)."""
+    named = _NAME_RE.match(text)
+    body = text
+    if named:
+        name = name or named.group("name").strip()
+        body = named.group("rest")
+    match = _CIND_RE.match(body)
+    if not match:
+        raise ParseError("not a CIND (expected R[..;..] <= S[..;..])", text)
+    lhs_relation = _relation(schema, match.group("lrel"), text)
+    rhs_relation = _relation(schema, match.group("rrel"), text)
+    lx_body, lxp_body = _split_semicolon(match.group("lbody"), text)
+    rx_body, ryp_body = _split_semicolon(match.group("rbody"), text)
+    x_items = _parse_items(lx_body, text)
+    xp_items = _parse_items(lxp_body, text)
+    y_items = _parse_items(rx_body, text)
+    yp_items = _parse_items(ryp_body, text)
+    if len(x_items) != len(y_items):
+        raise ParseError(
+            f"|X| = {len(x_items)} does not match |Y| = {len(y_items)}", text
+        )
+    # Mirror tp[X] = tp[Y] constants given on one side only.
+    x_values: list[Any] = []
+    y_values: list[Any] = []
+    for (xa, xv), (ya, yv) in zip(x_items, y_items):
+        if is_wildcard(xv) and not is_wildcard(yv):
+            xv = yv
+        elif is_wildcard(yv) and not is_wildcard(xv):
+            yv = xv
+        elif not is_wildcard(xv) and xv != yv:
+            raise ParseError(
+                f"tp[{xa}] = {xv!r} conflicts with tp[{ya}] = {yv!r} "
+                f"(tp[X] must equal tp[Y])", text
+            )
+        x_values.append(xv)
+        y_values.append(yv)
+    row = (
+        x_values + [v for __, v in xp_items],
+        y_values + [v for __, v in yp_items],
+    )
+    return CIND(
+        lhs_relation,
+        tuple(a for a, __ in x_items),
+        tuple(a for a, __ in xp_items),
+        rhs_relation,
+        tuple(a for a, __ in y_items),
+        tuple(a for a, __ in yp_items),
+        [row],
+        name=name,
+    )
+
+
+def parse_cfd(text: str, schema: DatabaseSchema, name: str | None = None) -> CFD:
+    """Parse one CFD line (see module docstring for the grammar)."""
+    named = _NAME_RE.match(text)
+    body = text
+    if named:
+        name = name or named.group("name").strip()
+        body = named.group("rest")
+    head = _CFD_HEAD_RE.match(body)
+    if not head:
+        raise ParseError("not a CFD (expected R: X -> Y)", text)
+    split = _split_arrow(head.group("rest"))
+    if split is None:
+        raise ParseError("not a CFD (missing '->')", text)
+    relation = _relation(schema, head.group("rel"), text)
+    lhs_items = _parse_items(split[0], text)
+    rhs_items = _parse_items(split[1], text)
+    if not rhs_items:
+        raise ParseError("CFD RHS must not be empty", text)
+    row = ([v for __, v in lhs_items], [v for __, v in rhs_items])
+    return CFD(
+        relation,
+        tuple(a for a, __ in lhs_items),
+        tuple(a for a, __ in rhs_items),
+        [row],
+        name=name,
+    )
+
+
+def parse_constraint(text: str, schema: DatabaseSchema) -> CFD | CIND:
+    """Parse a line as a CIND (if it contains ``<=``/``⊆``) or a CFD."""
+    stripped = text.strip()
+    if "<=" in stripped or "⊆" in stripped:
+        return parse_cind(stripped, schema)
+    return parse_cfd(stripped, schema)
+
+
+def parse_constraints(text: str, schema: DatabaseSchema) -> ConstraintSet:
+    """Parse a multi-line constraint file into a :class:`ConstraintSet`."""
+    sigma = ConstraintSet(schema)
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        constraint = parse_constraint(line, schema)
+        if isinstance(constraint, CIND):
+            sigma.add_cind(constraint)
+        else:
+            sigma.add_cfd(constraint)
+    return sigma
+
+
+def _relation(schema: DatabaseSchema, name: str, text: str) -> RelationSchema:
+    if name not in schema:
+        raise ParseError(f"unknown relation {name!r}", text)
+    return schema.relation(name)
+
+
+# -- formatting (round-trip support) ------------------------------------------
+
+
+def _format_value(value: Any) -> str:
+    return f"'{value}'"
+
+
+def _format_items(attrs: Iterable[str], values: dict[str, Any]) -> str:
+    attrs = list(attrs)
+    if not attrs:
+        return "nil"
+    parts = []
+    for attr in attrs:
+        value = values.get(attr, WILDCARD)
+        if is_wildcard(value):
+            parts.append(attr)
+        else:
+            parts.append(f"{attr}={_format_value(value)}")
+    return ", ".join(parts)
+
+
+def format_cind(cind: CIND) -> list[str]:
+    """Render a CIND as parser-compatible lines (one per pattern row)."""
+    lines = []
+    for row in cind.tableau:
+        lhs = (
+            f"{_format_items(cind.x, row.lhs)} ; "
+            f"{_format_items(cind.xp, row.lhs)}"
+        )
+        rhs = (
+            f"{_format_items(cind.y, row.rhs)} ; "
+            f"{_format_items(cind.yp, row.rhs)}"
+        )
+        prefix = f"[{cind.name}] " if cind.name else ""
+        lines.append(
+            f"{prefix}{cind.lhs_relation.name}[{lhs}] <= "
+            f"{cind.rhs_relation.name}[{rhs}]"
+        )
+    return lines
+
+
+def format_cfd(cfd: CFD) -> list[str]:
+    """Render a CFD as parser-compatible lines (one per pattern row)."""
+    lines = []
+    for row in cfd.tableau:
+        lhs = _format_items(cfd.lhs, row.lhs) if cfd.lhs else "nil"
+        rhs = _format_items(cfd.rhs, row.rhs)
+        prefix = f"[{cfd.name}] " if cfd.name else ""
+        lines.append(f"{prefix}{cfd.relation.name}: {lhs} -> {rhs}")
+    return lines

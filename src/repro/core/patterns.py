@@ -1,0 +1,261 @@
+"""Pattern tuples, pattern tableaux, and the match order ``≍``.
+
+Section 2 of the paper defines an order ``≍`` on data values and the
+unnamed variable ``_``: ``η1 ≍ η2`` iff ``η1 = η2``, or ``η1`` is a data
+value and ``η2`` is ``_``. Section 5.1 extends the picture with chase
+variables ``v``, for which ``v ≭ a`` for every constant ``a`` but
+``v ≍ _``. :func:`matches` implements exactly this order.
+
+A :class:`PatternTuple` carries *two* ordered attribute→value mappings, one
+for the LHS attribute list and one for the RHS list, mirroring the paper's
+``tp[X, Xp ‖ Y, Yp]`` notation. CFDs use both sides over the same relation
+(X on the left, Y on the right); CINDs use them over two different relations
+(so the same attribute name may appear on both sides with different values,
+as in ψ5 of Fig. 2). A :class:`PatternTableau` is an ordered list of pattern
+tuples over fixed LHS/RHS attribute lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ConstraintError
+from repro.relational.values import WILDCARD, is_constant, is_wildcard
+
+
+def matches(value: Any, pattern: Any) -> bool:
+    """The paper's ``≍`` order: does *value* match *pattern*?
+
+    * ``a ≍ a`` for every value (constants and chase variables alike);
+    * ``a ≍ _`` for every value;
+    * a chase variable never matches a constant (``v ≭ a``), and two
+      distinct variables do not match each other.
+    """
+    if is_wildcard(pattern):
+        return True
+    return value == pattern
+
+
+def matches_all(values: Sequence[Any], patterns: Sequence[Any]) -> bool:
+    """Pointwise ``≍`` over two equal-length sequences."""
+    if len(values) != len(patterns):
+        raise ConstraintError(
+            f"cannot match {len(values)} values against {len(patterns)} patterns"
+        )
+    return all(matches(v, p) for v, p in zip(values, patterns))
+
+
+def pattern_is_constant(pattern: Any) -> bool:
+    """True if *pattern* is a constant (not the wildcard)."""
+    return is_constant(pattern)
+
+
+class PatternTuple:
+    """One row of a pattern tableau: ``tp[lhs ‖ rhs]``.
+
+    Parameters
+    ----------
+    lhs:
+        Ordered mapping from LHS attribute names to constants or
+        :data:`~repro.relational.values.WILDCARD`.
+    rhs:
+        Ordered mapping for the RHS attribute names.
+    """
+
+    __slots__ = ("_lhs", "_rhs", "_hash")
+
+    def __init__(self, lhs: Mapping[str, Any], rhs: Mapping[str, Any]):
+        self._lhs = dict(lhs)
+        self._rhs = dict(rhs)
+        for side in (self._lhs, self._rhs):
+            for attr, value in side.items():
+                if not is_constant(value) and not is_wildcard(value):
+                    raise ConstraintError(
+                        f"pattern value for {attr!r} must be a constant or '_', "
+                        f"got {value!r}"
+                    )
+        self._hash = hash(
+            (tuple(self._lhs.items()), tuple(self._rhs.items()))
+        )
+
+    @property
+    def lhs(self) -> dict[str, Any]:
+        return dict(self._lhs)
+
+    @property
+    def rhs(self) -> dict[str, Any]:
+        return dict(self._rhs)
+
+    @property
+    def lhs_attributes(self) -> tuple[str, ...]:
+        return tuple(self._lhs)
+
+    @property
+    def rhs_attributes(self) -> tuple[str, ...]:
+        return tuple(self._rhs)
+
+    def lhs_value(self, attribute: str) -> Any:
+        try:
+            return self._lhs[attribute]
+        except KeyError:
+            raise ConstraintError(
+                f"pattern tuple has no LHS attribute {attribute!r}"
+            ) from None
+
+    def rhs_value(self, attribute: str) -> Any:
+        try:
+            return self._rhs[attribute]
+        except KeyError:
+            raise ConstraintError(
+                f"pattern tuple has no RHS attribute {attribute!r}"
+            ) from None
+
+    def lhs_projection(self, attributes: Iterable[str]) -> tuple[Any, ...]:
+        return tuple(self.lhs_value(a) for a in attributes)
+
+    def rhs_projection(self, attributes: Iterable[str]) -> tuple[Any, ...]:
+        return tuple(self.rhs_value(a) for a in attributes)
+
+    def lhs_constants(self) -> dict[str, Any]:
+        """LHS attributes bound to constants (drops wildcards)."""
+        return {a: v for a, v in self._lhs.items() if is_constant(v)}
+
+    def rhs_constants(self) -> dict[str, Any]:
+        return {a: v for a, v in self._rhs.items() if is_constant(v)}
+
+    def constants(self) -> set[Any]:
+        """Every constant mentioned anywhere in this pattern tuple."""
+        out = {v for v in self._lhs.values() if is_constant(v)}
+        out |= {v for v in self._rhs.values() if is_constant(v)}
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PatternTuple)
+            and self._lhs == other._lhs
+            and self._rhs == other._rhs
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        def fmt(side: dict[str, Any]) -> str:
+            return ", ".join(
+                "_" if is_wildcard(v) else repr(v) for v in side.values()
+            )
+
+        return f"({fmt(self._lhs)} || {fmt(self._rhs)})"
+
+
+class PatternTableau:
+    """An ordered pattern tableau ``Tp`` over fixed LHS/RHS attribute lists.
+
+    All rows must bind exactly the tableau's LHS and RHS attributes. The
+    constructor accepts rows as :class:`PatternTuple` objects, as
+    ``(lhs_values, rhs_values)`` sequences aligned with the attribute lists,
+    or as ``(lhs_mapping, rhs_mapping)`` pairs.
+    """
+
+    def __init__(
+        self,
+        lhs_attributes: Sequence[str],
+        rhs_attributes: Sequence[str],
+        rows: Iterable[Any] = (),
+    ):
+        self.lhs_attributes = tuple(lhs_attributes)
+        self.rhs_attributes = tuple(rhs_attributes)
+        if len(set(self.lhs_attributes)) != len(self.lhs_attributes):
+            raise ConstraintError(
+                f"duplicate attributes in tableau LHS {self.lhs_attributes}"
+            )
+        if len(set(self.rhs_attributes)) != len(self.rhs_attributes):
+            raise ConstraintError(
+                f"duplicate attributes in tableau RHS {self.rhs_attributes}"
+            )
+        self._rows: list[PatternTuple] = []
+        for row in rows:
+            self.add_row(row)
+
+    def add_row(self, row: Any) -> PatternTuple:
+        """Append a row, coercing sequences/mappings to :class:`PatternTuple`."""
+        pt = self._coerce(row)
+        if tuple(pt.lhs_attributes) != self.lhs_attributes:
+            raise ConstraintError(
+                f"row LHS attributes {pt.lhs_attributes} do not match tableau "
+                f"LHS {self.lhs_attributes}"
+            )
+        if tuple(pt.rhs_attributes) != self.rhs_attributes:
+            raise ConstraintError(
+                f"row RHS attributes {pt.rhs_attributes} do not match tableau "
+                f"RHS {self.rhs_attributes}"
+            )
+        self._rows.append(pt)
+        return pt
+
+    def _coerce(self, row: Any) -> PatternTuple:
+        if isinstance(row, PatternTuple):
+            return row
+        try:
+            lhs_part, rhs_part = row
+        except (TypeError, ValueError):
+            raise ConstraintError(
+                f"tableau row must be a PatternTuple or an (lhs, rhs) pair, "
+                f"got {row!r}"
+            ) from None
+        if isinstance(lhs_part, Mapping):
+            lhs = {a: lhs_part.get(a, WILDCARD) for a in self.lhs_attributes}
+        else:
+            lhs_values = tuple(lhs_part)
+            if len(lhs_values) != len(self.lhs_attributes):
+                raise ConstraintError(
+                    f"row LHS has {len(lhs_values)} values for "
+                    f"{len(self.lhs_attributes)} attributes"
+                )
+            lhs = dict(zip(self.lhs_attributes, lhs_values))
+        if isinstance(rhs_part, Mapping):
+            rhs = {a: rhs_part.get(a, WILDCARD) for a in self.rhs_attributes}
+        else:
+            rhs_values = tuple(rhs_part)
+            if len(rhs_values) != len(self.rhs_attributes):
+                raise ConstraintError(
+                    f"row RHS has {len(rhs_values)} values for "
+                    f"{len(self.rhs_attributes)} attributes"
+                )
+            rhs = dict(zip(self.rhs_attributes, rhs_values))
+        return PatternTuple(lhs, rhs)
+
+    @property
+    def rows(self) -> tuple[PatternTuple, ...]:
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[PatternTuple]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> PatternTuple:
+        return self._rows[index]
+
+    def constants(self) -> set[Any]:
+        out: set[Any] = set()
+        for row in self._rows:
+            out |= row.constants()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PatternTableau)
+            and self.lhs_attributes == other.lhs_attributes
+            and self.rhs_attributes == other.rhs_attributes
+            and self._rows == other._rows
+        )
+
+    def __repr__(self) -> str:
+        header = (
+            f"[{', '.join(self.lhs_attributes)} || "
+            f"{', '.join(self.rhs_attributes)}]"
+        )
+        body = "; ".join(map(repr, self._rows))
+        return f"Tableau{header}{{{body}}}"

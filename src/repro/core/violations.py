@@ -1,0 +1,224 @@
+"""Constraint sets and whole-database violation checking.
+
+:class:`ConstraintSet` is the container the reasoning algorithms share: it
+keeps CFDs and CINDs (normalising lazily on demand), indexes them by
+relation — ``CFD(R)`` and ``CIND(Ri, Rj)`` in the paper's notation — and
+collects the constants each attribute is compared against (needed by the
+SAT encoding, witness constructions and chase).
+
+:func:`check_database` produces a :class:`ViolationReport` covering every
+constraint, which the data-cleaning layer builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.cfd import CFD, CFDViolation
+from repro.core.cind import CIND, CINDViolation
+from repro.core.normalize import normalize_cfds, normalize_cinds
+from repro.errors import ConstraintError
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+
+class ConstraintSet:
+    """A set ``Σ`` of CFDs and CINDs over one database schema."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        cfds: Iterable[CFD] = (),
+        cinds: Iterable[CIND] = (),
+    ):
+        self.schema = schema
+        self.cfds: list[CFD] = []
+        self.cinds: list[CIND] = []
+        for cfd in cfds:
+            self.add_cfd(cfd)
+        for cind in cinds:
+            self.add_cind(cind)
+
+    # -- construction ----------------------------------------------------------
+
+    def _check_relation(self, name: str) -> None:
+        if name not in self.schema:
+            raise ConstraintError(
+                f"constraint mentions relation {name!r} not in the schema"
+            )
+
+    def add_cfd(self, cfd: CFD) -> None:
+        self._check_relation(cfd.relation.name)
+        self.cfds.append(cfd)
+
+    def add_cind(self, cind: CIND) -> None:
+        self._check_relation(cind.lhs_relation.name)
+        self._check_relation(cind.rhs_relation.name)
+        self.cinds.append(cind)
+
+    def __len__(self) -> int:
+        return len(self.cfds) + len(self.cinds)
+
+    def __iter__(self) -> Iterator[CFD | CIND]:
+        yield from self.cfds
+        yield from self.cinds
+
+    # -- normalisation -----------------------------------------------------------
+
+    def normalized(self) -> "ConstraintSet":
+        """An equivalent constraint set in normal form (Prop. 3.1)."""
+        return ConstraintSet(
+            self.schema,
+            cfds=normalize_cfds(self.cfds),
+            cinds=normalize_cinds(self.cinds),
+        )
+
+    # -- indexes -------------------------------------------------------------------
+
+    def cfds_on(self, relation: str) -> list[CFD]:
+        """``CFD(R)``: the CFDs defined on *relation*."""
+        return [c for c in self.cfds if c.relation.name == relation]
+
+    def cinds_from(self, relation: str) -> list[CIND]:
+        """The CINDs whose LHS relation is *relation*."""
+        return [c for c in self.cinds if c.lhs_relation.name == relation]
+
+    def cinds_into(self, relation: str) -> list[CIND]:
+        """The CINDs whose RHS relation is *relation*."""
+        return [c for c in self.cinds if c.rhs_relation.name == relation]
+
+    def cinds_between(self, src: str, dst: str) -> list[CIND]:
+        """``CIND(Ri, Rj)``: CINDs from *src* to *dst*."""
+        return [
+            c
+            for c in self.cinds
+            if c.lhs_relation.name == src and c.rhs_relation.name == dst
+        ]
+
+    def relations_used(self) -> set[str]:
+        out = {c.relation.name for c in self.cfds}
+        for c in self.cinds:
+            out.add(c.lhs_relation.name)
+            out.add(c.rhs_relation.name)
+        return out
+
+    def restricted_to(self, relations: Iterable[str]) -> "ConstraintSet":
+        """The constraints mentioning only the given relations."""
+        keep = set(relations)
+        return ConstraintSet(
+            self.schema,
+            cfds=[c for c in self.cfds if c.relation.name in keep],
+            cinds=[
+                c
+                for c in self.cinds
+                if c.lhs_relation.name in keep and c.rhs_relation.name in keep
+            ],
+        )
+
+    # -- constants ---------------------------------------------------------------
+
+    def constants_for(self, relation: str, attribute: str) -> set[Any]:
+        """Constants compared against ``relation.attribute`` anywhere in Σ."""
+        out: set[Any] = set()
+        for cfd in self.cfds_on(relation):
+            for row in cfd.tableau:
+                if attribute in cfd.lhs:
+                    v = row.lhs_value(attribute)
+                    if v is not None and not _is_wild(v):
+                        out.add(v)
+                if attribute in cfd.rhs:
+                    v = row.rhs_value(attribute)
+                    if not _is_wild(v):
+                        out.add(v)
+        for cind in self.cinds:
+            if cind.lhs_relation.name == relation:
+                for row in cind.tableau:
+                    if attribute in cind.x + cind.xp:
+                        v = row.lhs_value(attribute)
+                        if not _is_wild(v):
+                            out.add(v)
+            if cind.rhs_relation.name == relation:
+                for row in cind.tableau:
+                    if attribute in cind.y + cind.yp:
+                        v = row.rhs_value(attribute)
+                        if not _is_wild(v):
+                            out.add(v)
+        return out
+
+    def all_constants(self) -> set[Any]:
+        """Every constant appearing in any pattern tableau of Σ."""
+        out: set[Any] = set()
+        for c in self:
+            out |= c.constants()
+        return out
+
+    # -- satisfaction ---------------------------------------------------------------
+
+    def satisfied_by(self, db: DatabaseInstance) -> bool:
+        """``D |= Σ``: the conjunction over every constraint."""
+        return all(cfd.satisfied_by(db) for cfd in self.cfds) and all(
+            cind.satisfied_by(db) for cind in self.cinds
+        )
+
+    def __repr__(self) -> str:
+        return f"<ConstraintSet {len(self.cfds)} CFDs, {len(self.cinds)} CINDs>"
+
+
+def _is_wild(value: Any) -> bool:
+    from repro.relational.values import is_wildcard
+
+    return is_wildcard(value)
+
+
+class ViolationReport:
+    """All violations of a constraint set on a database instance."""
+
+    def __init__(
+        self,
+        cfd_violations: list[CFDViolation],
+        cind_violations: list[CINDViolation],
+    ):
+        self.cfd_violations = cfd_violations
+        self.cind_violations = cind_violations
+
+    @property
+    def total(self) -> int:
+        return len(self.cfd_violations) + len(self.cind_violations)
+
+    @property
+    def is_clean(self) -> bool:
+        return self.total == 0
+
+    def by_constraint(self) -> dict[str, int]:
+        """Violation counts keyed by constraint name (or repr)."""
+        counts: dict[str, int] = {}
+        for v in self.cfd_violations:
+            key = v.cfd.name or repr(v.cfd)
+            counts[key] = counts.get(key, 0) + 1
+        for v in self.cind_violations:
+            key = v.cind.name or repr(v.cind)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.total} violation(s): {len(self.cfd_violations)} CFD, "
+            f"{len(self.cind_violations)} CIND"
+        ]
+        for name, count in sorted(self.by_constraint().items()):
+            lines.append(f"  {name}: {count}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ViolationReport {self.total} violations>"
+
+
+def check_database(db: DatabaseInstance, constraints: ConstraintSet) -> ViolationReport:
+    """Find every CFD and CIND violation of *constraints* in *db*."""
+    cfd_violations: list[CFDViolation] = []
+    for cfd in constraints.cfds:
+        cfd_violations.extend(cfd.iter_violations(db))
+    cind_violations: list[CINDViolation] = []
+    for cind in constraints.cinds:
+        cind_violations.extend(cind.iter_violations(db))
+    return ViolationReport(cfd_violations, cind_violations)

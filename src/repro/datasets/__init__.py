@@ -1,0 +1,37 @@
+"""Ready-made datasets: the paper's bank example and an e-commerce domain."""
+
+from repro.datasets.commerce import (
+    ORDER_STATUS,
+    TIER,
+    commerce_constraints,
+    commerce_instance,
+    commerce_schema,
+)
+from repro.datasets.bank import (
+    ACCOUNT_TYPE,
+    INTEREST_RATES,
+    bank_cfds,
+    bank_cinds,
+    bank_constraints,
+    bank_instance,
+    bank_schema,
+    clean_bank_instance,
+    scaled_bank_instance,
+)
+
+__all__ = [
+    "ACCOUNT_TYPE",
+    "INTEREST_RATES",
+    "ORDER_STATUS",
+    "TIER",
+    "commerce_constraints",
+    "commerce_instance",
+    "commerce_schema",
+    "bank_cfds",
+    "bank_cinds",
+    "bank_constraints",
+    "bank_instance",
+    "bank_schema",
+    "clean_bank_instance",
+    "scaled_bank_instance",
+]

@@ -1,0 +1,265 @@
+"""The paper's running example: the multinational bank database.
+
+This module reconstructs, datum for datum, the example of Sections 1–4:
+
+* the source schema ``account_B(an, cn, ca, cp, at)`` with the NYC and EDI
+  branch instances of Fig. 1(a)–(b);
+* the target schema ``saving`` / ``checking`` / ``interest`` with the
+  instances of Fig. 1(c)–(e) — including the deliberately dirty tuple
+  ``t12`` (10.5% interest instead of 1.5%);
+* the CINDs ψ1–ψ6 of Fig. 2 (expressing ind1–ind8 of Examples 1.1/1.2); and
+* the CFDs ϕ1–ϕ3 of Fig. 4 (expressing fd1–fd3, with ϕ3 refined by the four
+  country/type interest-rate rules).
+
+The known facts the test-suite pins down: the instance satisfies ψ1–ψ5 and
+ϕ1–ϕ2, while tuple ``t10`` violates ψ6 (Example 2.2) and tuple ``t12``
+violates ϕ3 (Example 4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.cfd import CFD, standard_fd
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet
+from repro.relational.domains import STRING, FiniteDomain, enum_domain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+#: dom(at) = {saving, checking} — the finite domain Example 3.3 relies on.
+ACCOUNT_TYPE = enum_domain("account_type", ("saving", "checking"))
+
+
+def bank_schema(branches: tuple[str, ...] = ("NYC", "EDI")) -> DatabaseSchema:
+    """The combined source + target schema of Examples 1.1/1.2.
+
+    One ``account_<branch>`` source relation per branch, plus the three
+    target relations. All attributes are strings except ``at``, which has
+    the finite domain {saving, checking}.
+    """
+    relations = [
+        RelationSchema(
+            f"account_{b}",
+            [
+                Attribute("an"),
+                Attribute("cn"),
+                Attribute("ca"),
+                Attribute("cp"),
+                Attribute("at", ACCOUNT_TYPE),
+            ],
+        )
+        for b in branches
+    ]
+    relations += [
+        RelationSchema(
+            "saving",
+            [Attribute(a) for a in ("an", "cn", "ca", "cp", "ab")],
+        ),
+        RelationSchema(
+            "checking",
+            [Attribute(a) for a in ("an", "cn", "ca", "cp", "ab")],
+        ),
+        RelationSchema(
+            "interest",
+            [
+                Attribute("ab"),
+                Attribute("ct"),
+                Attribute("at", ACCOUNT_TYPE),
+                Attribute("rt"),
+            ],
+        ),
+    ]
+    return DatabaseSchema(relations)
+
+
+def bank_instance(schema: DatabaseSchema | None = None) -> DatabaseInstance:
+    """The instance of Fig. 1, *including* the dirty tuple ``t12``."""
+    schema = schema or bank_schema()
+    db = DatabaseInstance(schema)
+    rows: dict[str, list[tuple[Any, ...]]] = {
+        "account_NYC": [
+            ("01", "J. Smith", "NYC, 19087", "212-5820844", "saving"),     # t1
+            ("02", "G. King", "NYC, 19022", "212-3963455", "checking"),    # t2
+            ("03", "J. Lee", "NYC, 02284", "212-5679844", "checking"),     # t3
+        ],
+        "account_EDI": [
+            ("01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "saving"),   # t4
+            ("02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "checking"), # t5
+        ],
+        "saving": [
+            ("01", "J. Smith", "NYC, 19087", "212-5820844", "NYC"),        # t6
+            ("01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "EDI"),      # t7
+        ],
+        "checking": [
+            ("02", "G. King", "NYC, 19022", "212-3963455", "NYC"),         # t8
+            ("03", "J. Lee", "NYC, 02284", "212-5679844", "NYC"),          # t9
+            ("02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "EDI"),      # t10
+        ],
+        "interest": [
+            ("EDI", "UK", "saving", "4.5%"),                               # t11
+            ("EDI", "UK", "checking", "10.5%"),                            # t12 (dirty!)
+            ("NYC", "US", "saving", "4%"),                                 # t13
+            ("NYC", "US", "checking", "1%"),                               # t14
+        ],
+    }
+    for relation, tuples in rows.items():
+        for row in tuples:
+            db.add(relation, row)
+    return db
+
+
+def clean_bank_instance(schema: DatabaseSchema | None = None) -> DatabaseInstance:
+    """Fig. 1 with ``t12`` repaired to the correct 1.5% UK checking rate."""
+    db = bank_instance(schema)
+    interest = db["interest"]
+    dirty = [t for t in interest if t["rt"] == "10.5%"]
+    for t in dirty:
+        interest.discard(t)
+        interest.add(t.replace(rt="1.5%"))
+    return db
+
+
+def bank_cinds(schema: DatabaseSchema | None = None) -> list[CIND]:
+    """ψ1–ψ6 of Fig. 2."""
+    schema = schema or bank_schema()
+    account_nyc = schema.relation("account_NYC")
+    account_edi = schema.relation("account_EDI")
+    saving = schema.relation("saving")
+    checking = schema.relation("checking")
+    interest = schema.relation("interest")
+    xs = ("an", "cn", "ca", "cp")
+
+    cinds = []
+    for account, branch in ((account_nyc, "NYC"), (account_edi, "EDI")):
+        # ψ1: (account_B[an,cn,ca,cp; at] ⊆ saving[an,cn,ca,cp; ab], T1)
+        cinds.append(
+            CIND(
+                account, xs, ("at",), saving, xs, ("ab",),
+                [((_, _, _, _, "saving"), (_, _, _, _, branch))],
+                name=f"psi1[{branch}]",
+            )
+        )
+        # ψ2: likewise into checking.
+        cinds.append(
+            CIND(
+                account, xs, ("at",), checking, xs, ("ab",),
+                [((_, _, _, _, "checking"), (_, _, _, _, branch))],
+                name=f"psi2[{branch}]",
+            )
+        )
+    # ψ3: (saving[ab; nil] ⊆ interest[ab; nil], T3)
+    cinds.append(
+        CIND(saving, ("ab",), (), interest, ("ab",), (), [((_,), (_,))], name="psi3")
+    )
+    # ψ4: (checking[ab; nil] ⊆ interest[ab; nil], T4)
+    cinds.append(
+        CIND(checking, ("ab",), (), interest, ("ab",), (), [((_,), (_,))], name="psi4")
+    )
+    # ψ5: (saving[nil; ab] ⊆ interest[nil; ab, at, ct, rt], T5) — two rows.
+    cinds.append(
+        CIND(
+            saving, (), ("ab",), interest, (), ("ab", "at", "ct", "rt"),
+            [
+                (("EDI",), ("EDI", "saving", "UK", "4.5%")),
+                (("NYC",), ("NYC", "saving", "US", "4%")),
+            ],
+            name="psi5",
+        )
+    )
+    # ψ6: (checking[nil; ab] ⊆ interest[nil; ab, at, ct, rt], T6) — two rows.
+    cinds.append(
+        CIND(
+            checking, (), ("ab",), interest, (), ("ab", "at", "ct", "rt"),
+            [
+                (("EDI",), ("EDI", "checking", "UK", "1.5%")),
+                (("NYC",), ("NYC", "checking", "US", "1%")),
+            ],
+            name="psi6",
+        )
+    )
+    return cinds
+
+
+def bank_cfds(schema: DatabaseSchema | None = None) -> list[CFD]:
+    """ϕ1–ϕ3 of Fig. 4."""
+    schema = schema or bank_schema()
+    saving = schema.relation("saving")
+    checking = schema.relation("checking")
+    interest = schema.relation("interest")
+    phi1 = standard_fd(saving, ("an", "ab"), ("cn", "ca", "cp"), name="phi1")
+    phi2 = standard_fd(checking, ("an", "ab"), ("cn", "ca", "cp"), name="phi2")
+    phi3 = CFD(
+        interest,
+        ("ct", "at"),
+        ("rt",),
+        [
+            ((_, _), (_,)),
+            (("UK", "saving"), ("4.5%",)),
+            (("UK", "checking"), ("1.5%",)),
+            (("US", "saving"), ("4%",)),
+            (("US", "checking"), ("1%",)),
+        ],
+        name="phi3",
+    )
+    return [phi1, phi2, phi3]
+
+
+def bank_constraints(schema: DatabaseSchema | None = None) -> ConstraintSet:
+    """Σ = {ψ1, ..., ψ6, ϕ1, ..., ϕ3} over the bank schema."""
+    schema = schema or bank_schema()
+    return ConstraintSet(schema, cfds=bank_cfds(schema), cinds=bank_cinds(schema))
+
+
+#: The correct per-(country, type) interest rates of the paper's story.
+INTEREST_RATES = {
+    ("UK", "saving"): "4.5%",
+    ("UK", "checking"): "1.5%",
+    ("US", "saving"): "4%",
+    ("US", "checking"): "1%",
+}
+
+_BRANCH_COUNTRY = {"NYC": "US", "EDI": "UK"}
+
+
+def scaled_bank_instance(
+    n_accounts: int,
+    error_rate: float = 0.0,
+    seed: int = 0,
+    schema: DatabaseSchema | None = None,
+) -> DatabaseInstance:
+    """A scaled-up, optionally dirtied bank database for benchmarks.
+
+    Generates *n_accounts* accounts split across the NYC and EDI branches,
+    migrated into ``saving``/``checking`` per their type, with the correct
+    ``interest`` table. With probability *error_rate* per account, one error
+    is injected: either the migrated tuple's branch is corrupted (a ψ5/ψ6
+    violation) or it is dropped entirely (a ψ1/ψ2 violation).
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+    rng = random.Random(seed)
+    schema = schema or bank_schema()
+    db = DatabaseInstance(schema)
+    for branch, country in _BRANCH_COUNTRY.items():
+        for at in ("saving", "checking"):
+            db.add("interest", (branch, country, at, INTEREST_RATES[(country, at)]))
+
+    for i in range(n_accounts):
+        branch = rng.choice(("NYC", "EDI"))
+        at = rng.choice(("saving", "checking"))
+        an = f"{i:06d}"
+        row = (an, f"Customer {i}", f"{branch}, {10000 + i}", f"555-{i:07d}", at)
+        db.add(f"account_{branch}", row)
+        target_row = row[:4] + (branch,)
+        if rng.random() < error_rate:
+            if rng.random() < 0.5:
+                # Corrupt the branch of the migrated tuple.
+                wrong = "EDI" if branch == "NYC" else "NYC"
+                db.add(at, target_row[:4] + (wrong + "-X",))
+            # else: drop the migrated tuple entirely.
+        else:
+            db.add(at, target_row)
+    return db

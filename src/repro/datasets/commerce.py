@@ -1,0 +1,187 @@
+"""A second ready-made domain: an e-commerce orders database.
+
+Where the bank dataset mirrors the paper's figures, this dataset shows the
+same constraint machinery on a different schema shape:
+
+* ``orders(oid, cust, country, item, price, status)``
+* ``customers(cust, country, tier)``
+* ``catalog(item, category, price)``
+* ``shipping(country, zone, fee)``
+
+Constraints (the kind a real shop would enforce):
+
+* CINDs — every order's customer exists (plain foreign key); every order's
+  (item, price) pair appears in the catalog (a *conditional* inclusion:
+  only for status ≠ 'quote' orders, priced quotes may drift); every
+  shipped order's country has a shipping entry with the right zone for EU
+  countries.
+* CFDs — customer country determines shipping zone pricing (pattern rows
+  per zone); 'vip' tier implies zone-0 fee for their country; the catalog
+  key item → (category, price).
+
+`commerce_instance(...)` generates a configurable-size instance with a
+controlled error rate; the planted errors are CIND violations (orders
+whose catalog/shipping rows are missing) and CFD violations (wrong fees).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.cfd import CFD, standard_fd
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet
+from repro.relational.domains import enum_domain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+#: Order lifecycle states (finite domain).
+ORDER_STATUS = enum_domain("order_status", ("quote", "paid", "shipped"))
+
+#: Customer tiers (finite domain).
+TIER = enum_domain("tier", ("standard", "vip"))
+
+_COUNTRIES = ("UK", "FR", "DE", "US", "JP")
+_ZONES = {"UK": "eu", "FR": "eu", "DE": "eu", "US": "na", "JP": "apac"}
+_FEES = {"eu": "5", "na": "9", "apac": "12"}
+_ITEMS = tuple(f"sku{i}" for i in range(8))
+_CATEGORIES = ("books", "tools", "games", "audio")
+
+
+def commerce_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "orders",
+                [
+                    Attribute("oid"),
+                    Attribute("cust"),
+                    Attribute("country"),
+                    Attribute("item"),
+                    Attribute("price"),
+                    Attribute("status", ORDER_STATUS),
+                ],
+            ),
+            RelationSchema(
+                "customers",
+                [Attribute("cust"), Attribute("country"), Attribute("tier", TIER)],
+            ),
+            RelationSchema(
+                "catalog",
+                [Attribute("item"), Attribute("category"), Attribute("price")],
+            ),
+            RelationSchema(
+                "shipping",
+                [Attribute("country"), Attribute("zone"), Attribute("fee")],
+            ),
+        ]
+    )
+
+
+def commerce_constraints(schema: DatabaseSchema | None = None) -> ConstraintSet:
+    schema = schema or commerce_schema()
+    orders = schema.relation("orders")
+    customers = schema.relation("customers")
+    catalog = schema.relation("catalog")
+    shipping = schema.relation("shipping")
+
+    cinds = [
+        # Plain foreign key: orders.cust ⊆ customers.cust.
+        CIND(orders, ("cust",), (), customers, ("cust",), (),
+             [((_,), (_,))], name="fk_customer"),
+        # Conditional: non-quote orders must price-match the catalog.
+        CIND(orders, ("item", "price"), ("status",), catalog, ("item", "price"), (),
+             [((_, _, "paid"), (_, _))], name="paid_price_in_catalog"),
+        CIND(orders, ("item", "price"), ("status",), catalog, ("item", "price"), (),
+             [((_, _, "shipped"), (_, _))], name="shipped_price_in_catalog"),
+        # Shipped orders need a shipping row for their country; EU countries
+        # must sit in the 'eu' zone with the EU fee (ψ5/ψ6 style).
+        CIND(orders, ("country",), ("status",), shipping, ("country",), (),
+             [((_, "shipped"), (_,))], name="shipped_country_has_shipping"),
+        CIND(orders, (), ("country", "status"), shipping, (), ("country", "zone", "fee"),
+             [(("UK", "shipped"), ("UK", "eu", "5"))], name="uk_shipping_row"),
+        CIND(orders, (), ("country", "status"), shipping, (), ("country", "zone", "fee"),
+             [(("US", "shipped"), ("US", "na", "9"))], name="us_shipping_row"),
+    ]
+    cfds = [
+        standard_fd(catalog, ("item",), ("category", "price"), name="catalog_key"),
+        standard_fd(customers, ("cust",), ("country", "tier"), name="customer_key"),
+        # Zone determines fee, with one constant row per zone.
+        CFD(
+            shipping, ("zone",), ("fee",),
+            [
+                ((_,), (_,)),
+                (("eu",), ("5",)),
+                (("na",), ("9",)),
+                (("apac",), ("12",)),
+            ],
+            name="zone_fee",
+        ),
+        # Country determines zone.
+        CFD(
+            shipping, ("country",), ("zone",),
+            [((_,), (_,))] + [((c,), (z,)) for c, z in _ZONES.items()],
+            name="country_zone",
+        ),
+    ]
+    return ConstraintSet(schema, cfds=cfds, cinds=cinds)
+
+
+def commerce_instance(
+    n_orders: int = 200,
+    error_rate: float = 0.0,
+    seed: int = 0,
+    schema: DatabaseSchema | None = None,
+) -> DatabaseInstance:
+    """A consistent (or controllably dirty) instance of the shop database.
+
+    Errors planted per dirty order (probability *error_rate*): a paid order
+    whose price disagrees with the catalog, a shipped order into a country
+    with no shipping row, or a shipping row with the wrong fee.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+    rng = random.Random(seed)
+    schema = schema or commerce_schema()
+    db = DatabaseInstance(schema)
+
+    prices = {}
+    for i, item in enumerate(_ITEMS):
+        price = str(10 + 3 * i)
+        prices[item] = price
+        db.add("catalog", (item, _CATEGORIES[i % len(_CATEGORIES)], price))
+    for country, zone in _ZONES.items():
+        db.add("shipping", (country, zone, _FEES[zone]))
+
+    n_customers = max(3, n_orders // 6)
+    customer_country = {}
+    for c in range(n_customers):
+        cust = f"c{c:04d}"
+        country = rng.choice(_COUNTRIES)
+        customer_country[cust] = country
+        db.add("customers", (cust, country, rng.choice(TIER.values)))
+
+    for o in range(n_orders):
+        cust = f"c{rng.randrange(n_customers):04d}"
+        country = customer_country[cust]
+        item = rng.choice(_ITEMS)
+        status = rng.choice(ORDER_STATUS.values)
+        price = prices[item]
+        if rng.random() < error_rate:
+            kind = rng.randrange(3)
+            if kind == 0:
+                status = "paid"
+                price = "999"  # price drift on a paid order
+            elif kind == 1:
+                status = "shipped"
+                country = "ATLANTIS"  # no shipping row for this country
+            else:
+                # Corrupt a shipping fee (CFD zone_fee violation).
+                victim = rng.choice(list(_ZONES))
+                rows = [t for t in db["shipping"] if t["country"] == victim]
+                if rows:
+                    db["shipping"].discard(rows[0])
+                    db.add("shipping", (victim, _ZONES[victim], "0"))
+        db.add("orders", (f"o{o:05d}", cust, country, item, price, status))
+    return db

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the layer
+that raises them (schema definition, constraint definition, parsing, chase,
+and SQL backends).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or database schema is ill-formed.
+
+    Raised for duplicate attribute names, unknown relations/attributes,
+    and incompatible attribute lists.
+    """
+
+
+class DomainError(ReproError):
+    """A value is outside its attribute's domain, or a domain is ill-formed."""
+
+
+class ConstraintError(ReproError):
+    """A CFD or CIND is syntactically ill-formed.
+
+    Examples: a pattern tableau whose attributes do not match the embedded
+    dependency, ``tp[X] != tp[Y]`` on a CIND pattern tuple, or overlapping
+    ``X``/``Xp`` lists.
+    """
+
+
+class ParseError(ReproError):
+    """The textual dependency syntax could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class ChaseError(ReproError):
+    """The chase was mis-configured (e.g. empty variable pool)."""
+
+
+class InferenceError(ReproError):
+    """An inference-rule application is invalid.
+
+    Raised when a :class:`~repro.core.inference.Derivation` step does not
+    satisfy the side conditions of the rule it claims to apply.
+    """
+
+
+class SQLBackendError(ReproError):
+    """The sqlite3 violation-detection backend failed."""
+
+
+class GenerationError(ReproError):
+    """The random schema/constraint generator was given impossible parameters."""

@@ -1,0 +1,34 @@
+"""Random schema / constraint / data generation (the Section 6 workloads)."""
+
+from repro.generator.constraint_gen import (
+    ConstraintConfig,
+    consistent_cfd,
+    consistent_cind,
+    consistent_constraints,
+    random_cfd,
+    random_cind,
+    random_constraints,
+)
+from repro.generator.data_gen import (
+    InjectionReport,
+    inject_cfd_violations,
+    inject_cind_violations,
+    populate_clean,
+)
+from repro.generator.schema_gen import SchemaConfig, random_schema
+
+__all__ = [
+    "ConstraintConfig",
+    "InjectionReport",
+    "SchemaConfig",
+    "consistent_cfd",
+    "consistent_cind",
+    "consistent_constraints",
+    "inject_cfd_violations",
+    "inject_cind_violations",
+    "populate_clean",
+    "random_cfd",
+    "random_cind",
+    "random_constraints",
+    "random_schema",
+]

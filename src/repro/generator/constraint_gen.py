@@ -1,0 +1,363 @@
+"""Random CFD/CIND generation (the Σ generator of Section 6).
+
+The paper evaluates on two kinds of constraint sets over a random schema:
+
+* **random** sets — unconstrained draws, which may or may not be
+  consistent (used for the runtime experiments, Fig. 10b / 11c);
+* **consistent** sets — generated "by ensuring that there exists at least
+  one possible value for each attribute so as to make a witness database".
+  We implement that by fixing a hidden one-tuple-per-relation witness ``W``
+  up front and only emitting dependencies that ``W`` satisfies; the
+  generator asserts ``W |= Σ`` before returning (used for the accuracy
+  experiments, Fig. 10a / 11a / 11b).
+
+Σ follows the paper's mix: 75% CFDs, 25% CINDs, normal form throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet
+from repro.errors import GenerationError
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD
+
+
+@dataclass
+class ConstraintConfig:
+    """Knobs of the random constraint generator."""
+
+    #: Fraction of CFDs in Σ (paper: 75% CFDs / 25% CINDs).
+    cfd_fraction: float = 0.75
+    #: LHS sizes for CFDs and Xp/Yp sizes for CINDs.
+    max_lhs: int = 3
+    max_pattern: int = 2
+    max_ind_width: int = 2
+    #: Shared constant pool size for infinite-domain attributes.
+    constant_pool: int = 5
+    #: Probability that a CFD LHS pattern entry is a wildcard.
+    wildcard_prob: float = 0.4
+
+
+def _pool(attribute: Attribute, config: ConstraintConfig) -> list[Any]:
+    if isinstance(attribute.domain, FiniteDomain):
+        # Cap huge finite domains: patterns only ever mention a few values.
+        return list(attribute.domain.values[: max(config.constant_pool, 2)])
+    return [f"c{i}" for i in range(config.constant_pool)]
+
+
+def _compatible_pairs(
+    lhs: RelationSchema, rhs: RelationSchema
+) -> list[tuple[str, str]]:
+    """(Ai, Bi) pairs with dom(Ai) ⊆ dom(Bi) under the generator's domains."""
+    pairs = []
+    for a in lhs:
+        for b in rhs:
+            if a.domain is b.domain:
+                pairs.append((a.name, b.name))
+            elif isinstance(a.domain, FiniteDomain) and not isinstance(
+                b.domain, FiniteDomain
+            ):
+                pairs.append((a.name, b.name))  # finite strings ⊆ string
+            elif not isinstance(a.domain, FiniteDomain) and not isinstance(
+                b.domain, FiniteDomain
+            ):
+                pairs.append((a.name, b.name))  # same infinite STRING domain
+    return pairs
+
+
+# -- unconstrained (possibly inconsistent) generation ---------------------------
+
+
+def random_cfd(
+    schema: DatabaseSchema,
+    rng: random.Random,
+    config: ConstraintConfig | None = None,
+    relation: RelationSchema | None = None,
+) -> CFD:
+    """One random normal-form CFD."""
+    config = config or ConstraintConfig()
+    relation = relation or rng.choice(schema.relations)
+    names = list(relation.attribute_names)
+    rng.shuffle(names)
+    rhs_attr = names[0]
+    lhs_size = rng.randint(0, min(config.max_lhs, len(names) - 1))
+    lhs = tuple(sorted(names[1 : 1 + lhs_size]))
+    lhs_values = []
+    for attr in lhs:
+        if rng.random() < config.wildcard_prob:
+            lhs_values.append(WILDCARD)
+        else:
+            lhs_values.append(rng.choice(_pool(relation.attribute(attr), config)))
+    rhs_value = (
+        WILDCARD
+        if rng.random() < 0.3
+        else rng.choice(_pool(relation.attribute(rhs_attr), config))
+    )
+    return CFD(relation, lhs, (rhs_attr,), [(lhs_values, (rhs_value,))])
+
+
+def random_cind(
+    schema: DatabaseSchema,
+    rng: random.Random,
+    config: ConstraintConfig | None = None,
+) -> CIND:
+    """One random normal-form CIND."""
+    config = config or ConstraintConfig()
+    for __ in range(50):
+        lhs_rel = rng.choice(schema.relations)
+        rhs_rel = rng.choice(schema.relations)
+        pairs = _compatible_pairs(lhs_rel, rhs_rel)
+        rng.shuffle(pairs)
+        x: list[str] = []
+        y: list[str] = []
+        for a, b in pairs:
+            if len(x) >= config.max_ind_width:
+                break
+            if a not in x and b not in y:
+                x.append(a)
+                y.append(b)
+        lhs_rest = [a.name for a in lhs_rel if a.name not in x]
+        rhs_rest = [b.name for b in rhs_rel if b.name not in y]
+        rng.shuffle(lhs_rest)
+        rng.shuffle(rhs_rest)
+        xp = tuple(lhs_rest[: rng.randint(0, min(config.max_pattern, len(lhs_rest)))])
+        yp = tuple(rhs_rest[: rng.randint(0, min(config.max_pattern, len(rhs_rest)))])
+        if not x and not xp and not yp:
+            continue  # degenerate; redraw
+        lhs_pattern = {
+            a: rng.choice(_pool(lhs_rel.attribute(a), config)) for a in xp
+        }
+        rhs_pattern = {
+            b: rng.choice(_pool(rhs_rel.attribute(b), config)) for b in yp
+        }
+        return CIND(
+            lhs_rel, tuple(x), xp, rhs_rel, tuple(y), yp,
+            [(lhs_pattern, rhs_pattern)],
+        )
+    raise GenerationError("could not draw a CIND after 50 attempts")
+
+
+def random_constraints(
+    schema: DatabaseSchema,
+    count: int,
+    rng: random.Random | None = None,
+    config: ConstraintConfig | None = None,
+) -> ConstraintSet:
+    """A random Σ with the paper's 75/25 CFD/CIND mix."""
+    rng = rng or random.Random(0)
+    config = config or ConstraintConfig()
+    sigma = ConstraintSet(schema)
+    relations = list(schema.relations)
+    for i in range(count):
+        if rng.random() < config.cfd_fraction:
+            # Round-robin over relations so every relation gets CFDs.
+            relation = relations[i % len(relations)]
+            sigma.add_cfd(random_cfd(schema, rng, config, relation=relation))
+        else:
+            sigma.add_cind(random_cind(schema, rng, config))
+    return sigma
+
+
+# -- consistent-by-construction generation ----------------------------------------
+
+
+def _make_witness(
+    schema: DatabaseSchema, rng: random.Random, config: ConstraintConfig
+) -> dict[str, dict[str, Any]]:
+    """A hidden witness tuple per relation, biased towards a shared pool so
+    that cross-relation value alignments (needed for CINDs with X ≠ nil)
+    occur frequently."""
+    witness: dict[str, dict[str, Any]] = {}
+    for relation in schema:
+        row: dict[str, Any] = {}
+        for attr in relation:
+            row[attr.name] = rng.choice(_pool(attr, config))
+        witness[relation.name] = row
+    return witness
+
+
+def consistent_cfd(
+    schema: DatabaseSchema,
+    witness: dict[str, dict[str, Any]],
+    rng: random.Random,
+    config: ConstraintConfig,
+    relation: RelationSchema | None = None,
+) -> CFD:
+    """A random CFD satisfied by the witness database.
+
+    Either the pattern *matches* the witness tuple (then the RHS pattern is
+    the witness value or a wildcard), or the LHS contains a constant the
+    witness dodges (then everything else is unconstrained). Since the
+    witness has one tuple per relation, pair violations cannot arise.
+    """
+    relation = relation or rng.choice(schema.relations)
+    w = witness[relation.name]
+    names = list(relation.attribute_names)
+    rng.shuffle(names)
+    rhs_attr = names[0]
+    lhs_size = rng.randint(0, min(config.max_lhs, len(names) - 1))
+    lhs = tuple(sorted(names[1 : 1 + lhs_size]))
+    matching = rng.random() < 0.5 or not lhs
+    lhs_values: list[Any] = []
+    if matching:
+        for attr in lhs:
+            lhs_values.append(
+                WILDCARD if rng.random() < config.wildcard_prob else w[attr]
+            )
+        rhs_value = w[rhs_attr] if rng.random() < 0.7 else WILDCARD
+    else:
+        dodge_at = rng.randrange(len(lhs))
+        for i, attr in enumerate(lhs):
+            if i == dodge_at:
+                pool = [
+                    v for v in _pool(relation.attribute(attr), config)
+                    if v != w[attr]
+                ]
+                if not pool:
+                    lhs_values.append(w[attr])  # cannot dodge; fall back
+                else:
+                    lhs_values.append(rng.choice(pool))
+            elif rng.random() < config.wildcard_prob:
+                lhs_values.append(WILDCARD)
+            else:
+                lhs_values.append(rng.choice(_pool(relation.attribute(attr), config)))
+        rhs_value = rng.choice(
+            _pool(relation.attribute(rhs_attr), config) + [WILDCARD]
+        )
+        if all(v is WILDCARD or v == w[a] for a, v in zip(lhs, lhs_values)):
+            # The dodge degenerated into a match; force a safe RHS.
+            rhs_value = w[rhs_attr]
+    return CFD(relation, lhs, (rhs_attr,), [(lhs_values, (rhs_value,))])
+
+
+def consistent_cind(
+    schema: DatabaseSchema,
+    witness: dict[str, dict[str, Any]],
+    rng: random.Random,
+    config: ConstraintConfig,
+) -> CIND:
+    """A random CIND satisfied by the witness database."""
+    for __ in range(50):
+        lhs_rel = rng.choice(schema.relations)
+        rhs_rel = rng.choice(schema.relations)
+        w1 = witness[lhs_rel.name]
+        w2 = witness[rhs_rel.name]
+        matching = rng.random() < 0.5
+        if matching:
+            # X pairs restricted to positions where the witnesses agree.
+            pairs = [
+                (a, b)
+                for a, b in _compatible_pairs(lhs_rel, rhs_rel)
+                if w1[a] == w2[b]
+            ]
+            rng.shuffle(pairs)
+            x: list[str] = []
+            y: list[str] = []
+            for a, b in pairs:
+                if len(x) >= config.max_ind_width:
+                    break
+                if a not in x and b not in y:
+                    x.append(a)
+                    y.append(b)
+            lhs_rest = [a.name for a in lhs_rel if a.name not in x]
+            rhs_rest = [b.name for b in rhs_rel if b.name not in y]
+            rng.shuffle(lhs_rest)
+            rng.shuffle(rhs_rest)
+            xp = tuple(
+                lhs_rest[: rng.randint(0, min(config.max_pattern, len(lhs_rest)))]
+            )
+            yp = tuple(
+                rhs_rest[: rng.randint(0, min(config.max_pattern, len(rhs_rest)))]
+            )
+            if not x and not xp and not yp:
+                continue
+            lhs_pattern = {a: w1[a] for a in xp}
+            rhs_pattern = {b: w2[b] for b in yp}
+        else:
+            # Non-triggering: some Xp constant dodges the witness.
+            lhs_rest = list(lhs_rel.attribute_names)
+            rng.shuffle(lhs_rest)
+            xp_size = rng.randint(1, min(config.max_pattern, len(lhs_rest)))
+            xp = tuple(lhs_rest[:xp_size])
+            dodged = False
+            lhs_pattern = {}
+            for attr in xp:
+                pool = [
+                    v for v in _pool(lhs_rel.attribute(attr), config)
+                    if v != w1[attr]
+                ]
+                if pool and (not dodged or rng.random() < 0.5):
+                    lhs_pattern[attr] = rng.choice(pool)
+                    dodged = dodged or lhs_pattern[attr] != w1[attr]
+                else:
+                    lhs_pattern[attr] = w1[attr]
+            if not dodged:
+                continue  # redraw: could not dodge
+            pairs = [
+                (a, b)
+                for a, b in _compatible_pairs(lhs_rel, rhs_rel)
+                if a not in xp
+            ]
+            rng.shuffle(pairs)
+            x, y = [], []
+            for a, b in pairs:
+                if len(x) >= config.max_ind_width:
+                    break
+                if a not in x and b not in y:
+                    x.append(a)
+                    y.append(b)
+            rhs_rest = [b.name for b in rhs_rel if b.name not in y]
+            rng.shuffle(rhs_rest)
+            yp = tuple(
+                rhs_rest[: rng.randint(0, min(config.max_pattern, len(rhs_rest)))]
+            )
+            rhs_pattern = {
+                b: rng.choice(_pool(rhs_rel.attribute(b), config)) for b in yp
+            }
+        return CIND(
+            lhs_rel, tuple(x), xp, rhs_rel, tuple(y), yp,
+            [(lhs_pattern, rhs_pattern)],
+        )
+    raise GenerationError("could not draw a consistent CIND after 50 attempts")
+
+
+def consistent_constraints(
+    schema: DatabaseSchema,
+    count: int,
+    rng: random.Random | None = None,
+    config: ConstraintConfig | None = None,
+) -> tuple[ConstraintSet, DatabaseInstance]:
+    """A consistent Σ plus the witness database it was built around.
+
+    The witness (one tuple per relation) is verified against Σ before
+    returning — the generator is consistent *by construction*, not by hope.
+    """
+    rng = rng or random.Random(0)
+    config = config or ConstraintConfig()
+    witness = _make_witness(schema, rng, config)
+    sigma = ConstraintSet(schema)
+    relations = list(schema.relations)
+    for i in range(count):
+        if rng.random() < config.cfd_fraction:
+            relation = relations[i % len(relations)]
+            sigma.add_cfd(
+                consistent_cfd(schema, witness, rng, config, relation=relation)
+            )
+        else:
+            sigma.add_cind(consistent_cind(schema, witness, rng, config))
+    db = DatabaseInstance(
+        schema, {name: [row] for name, row in witness.items()}
+    )
+    if not sigma.satisfied_by(db):
+        raise GenerationError(
+            "internal error: generated witness does not satisfy Σ"
+        )
+    return sigma, db

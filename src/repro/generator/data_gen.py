@@ -1,0 +1,191 @@
+"""Synthetic data generation: clean instances and violation injection.
+
+Used by the data-cleaning example and the violation-detection benchmark
+(X3). Two pieces:
+
+* :func:`populate_clean` grows a consistent witness database into a larger
+  instance that still satisfies Σ, by cloning the witness tuple of each
+  relation and re-randomising only the attributes Σ never mentions (a
+  change to an unconstrained attribute cannot fire any pattern, break any
+  FD group, or lose any CIND witness — the original witness tuple stays in
+  place for every CIND probe).
+* :func:`inject_cfd_violations` / :func:`inject_cind_violations` plant a
+  controlled number of errors: CFD violations by rewriting the RHS of
+  tuples matching a pattern, CIND violations by deleting/corrupting the
+  witness side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.violations import ConstraintSet
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.values import is_wildcard
+
+
+def _unconstrained_attributes(sigma: ConstraintSet) -> dict[str, set[str]]:
+    """Per relation: attributes not mentioned by any constraint of Σ."""
+    used: dict[str, set[str]] = {}
+    for cfd in sigma.cfds:
+        used.setdefault(cfd.relation.name, set()).update(cfd.attributes_used())
+    for cind in sigma.cinds:
+        used.setdefault(cind.lhs_relation.name, set()).update(
+            cind.lhs_attributes_used()
+        )
+        used.setdefault(cind.rhs_relation.name, set()).update(
+            cind.rhs_attributes_used()
+        )
+    free: dict[str, set[str]] = {}
+    for relation in sigma.schema:
+        mentioned = used.get(relation.name, set())
+        free[relation.name] = {
+            a.name for a in relation if a.name not in mentioned
+        }
+    return free
+
+
+def populate_clean(
+    sigma: ConstraintSet,
+    witness: DatabaseInstance,
+    tuples_per_relation: int,
+    rng: random.Random | None = None,
+) -> DatabaseInstance:
+    """Grow *witness* to ~tuples_per_relation rows per relation, keeping Σ.
+
+    Requires ``witness |= Σ`` (as produced by
+    :func:`~repro.generator.constraint_gen.consistent_constraints`). New
+    rows are witness clones with fresh values on Σ-unconstrained
+    attributes; when a relation has no unconstrained attribute, it keeps
+    just its witness tuples (duplicates collapse under set semantics).
+    """
+    rng = rng or random.Random(0)
+    free = _unconstrained_attributes(sigma)
+    db = witness.copy()
+    counter = 0
+    for relation in sigma.schema:
+        base_rows = list(db[relation.name])
+        if not base_rows:
+            continue
+        free_attrs = sorted(free[relation.name])
+        if not free_attrs:
+            continue
+        # Bound the attempts: when every free attribute has a small finite
+        # domain, the distinct-clone space can run out below the target
+        # (set semantics absorbs duplicates), so blind looping would never
+        # terminate.
+        attempts = 0
+        max_attempts = 10 * tuples_per_relation + 50
+        while len(db[relation.name]) < tuples_per_relation and attempts < max_attempts:
+            attempts += 1
+            base = rng.choice(base_rows)
+            updates: dict[str, Any] = {}
+            for attr_name in free_attrs:
+                attr = relation.attribute(attr_name)
+                counter += 1
+                if isinstance(attr.domain, FiniteDomain):
+                    updates[attr_name] = rng.choice(attr.domain.values)
+                else:
+                    updates[attr_name] = f"fill#{counter}"
+            db[relation.name].add(base.replace(**updates))
+    return db
+
+
+@dataclass
+class InjectionReport:
+    """What the violation injector actually planted."""
+
+    cfd_edits: list[tuple[str, Tuple, Tuple]] = field(default_factory=list)
+    cind_deletions: list[tuple[str, Tuple]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cfd_edits) + len(self.cind_deletions)
+
+
+def inject_cfd_violations(
+    db: DatabaseInstance,
+    sigma: ConstraintSet,
+    count: int,
+    rng: random.Random | None = None,
+) -> InjectionReport:
+    """Plant up to *count* CFD violations by corrupting RHS values in place.
+
+    Picks constant-RHS normal-form CFDs whose pattern some tuple matches
+    and rewrites that tuple's RHS attribute to a different value.
+    """
+    rng = rng or random.Random(0)
+    report = InjectionReport()
+    normal = [c for cfd in sigma.cfds for c in cfd.to_normal_form()]
+    candidates = [
+        c for c in normal if c.is_constant_cfd and c.rhs_attribute not in c.lhs
+    ]
+    rng.shuffle(candidates)
+    for cfd in candidates:
+        if len(report.cfd_edits) >= count:
+            break
+        instance = db[cfd.relation.name]
+        pattern = cfd.pattern
+        rhs_attr = cfd.rhs_attribute
+        target = pattern.rhs_value(rhs_attr)
+        matching = [
+            t
+            for t in instance
+            if all(
+                is_wildcard(pattern.lhs_value(a)) or t[a] == pattern.lhs_value(a)
+                for a in cfd.lhs
+            )
+            and t[rhs_attr] == target
+        ]
+        if not matching:
+            continue
+        victim = rng.choice(matching)
+        corrupted = victim.replace(**{rhs_attr: f"BAD#{len(report.cfd_edits)}"})
+        instance.discard(victim)
+        instance.add(corrupted)
+        report.cfd_edits.append((cfd.relation.name, victim, corrupted))
+    return report
+
+
+def inject_cind_violations(
+    db: DatabaseInstance,
+    sigma: ConstraintSet,
+    count: int,
+    rng: random.Random | None = None,
+) -> InjectionReport:
+    """Plant up to *count* CIND violations by deleting RHS witnesses.
+
+    For a CIND with a triggered LHS tuple, removes every witness of that
+    tuple from the RHS relation (when those witnesses are not themselves
+    needed as LHS tuples of the same relation's other obligations, removal
+    is a pure CIND violation).
+    """
+    rng = rng or random.Random(0)
+    report = InjectionReport()
+    normal = sigma.normalized()
+    cinds = list(normal.cinds)
+    rng.shuffle(cinds)
+    for cind in cinds:
+        if len(report.cind_deletions) >= count:
+            break
+        pattern = cind.pattern
+        lhs_instance = db[cind.lhs_relation.name]
+        for t1 in list(lhs_instance):
+            if len(report.cind_deletions) >= count:
+                break
+            if not cind.lhs_matches(t1, pattern):
+                continue
+            witness = cind.find_witness(db, t1, pattern)
+            if witness is None:
+                continue  # already violated
+            removed_any = False
+            while witness is not None:
+                db[cind.rhs_relation.name].discard(witness)
+                removed_any = True
+                witness = cind.find_witness(db, t1, pattern)
+            if removed_any:
+                report.cind_deletions.append((cind.rhs_relation.name, t1))
+    return report

@@ -1,0 +1,69 @@
+"""Random schema generation (the experimental setting of Section 6).
+
+The paper's experiments use schemas of up to 100 relations with up to 15
+attributes each, a ratio ``F`` of finite-domain attributes between 0% and
+25%, and finite domains of 2–100 elements. :func:`random_schema`
+reproduces that generator. Attribute names are globally unique
+(``R3_A7``), which keeps chase variable pools and SQL columns unambiguous.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.relational.domains import numbered_finite_domain
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+@dataclass
+class SchemaConfig:
+    """Knobs of the random schema generator (paper defaults)."""
+
+    n_relations: int = 20
+    min_arity: int = 2
+    max_arity: int = 15
+    #: F — fraction of attributes with a finite domain (0.0 – 0.25 in §6).
+    finite_ratio: float = 0.25
+    #: Finite domains have between these many elements (paper: 2–100).
+    finite_domain_size: tuple[int, int] = (2, 100)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n_relations < 1:
+            raise GenerationError("n_relations must be >= 1")
+        if not 1 <= self.min_arity <= self.max_arity:
+            raise GenerationError("need 1 <= min_arity <= max_arity")
+        if not 0.0 <= self.finite_ratio <= 1.0:
+            raise GenerationError("finite_ratio must be in [0, 1]")
+        lo, hi = self.finite_domain_size
+        if not 2 <= lo <= hi:
+            raise GenerationError("finite domains need >= 2 elements")
+
+
+def random_schema(config: SchemaConfig | None = None, **overrides) -> DatabaseSchema:
+    """Generate a random database schema per *config*.
+
+    Keyword overrides are applied on top of the (default) config, so
+    ``random_schema(n_relations=5, seed=3)`` works without building a
+    config object.
+    """
+    config = config or SchemaConfig()
+    if overrides:
+        config = SchemaConfig(**{**config.__dict__, **overrides})
+    config.validate()
+    rng = random.Random(config.seed)
+    relations = []
+    for i in range(config.n_relations):
+        arity = rng.randint(config.min_arity, config.max_arity)
+        attrs = []
+        for j in range(arity):
+            name = f"R{i}_A{j}"
+            if rng.random() < config.finite_ratio:
+                size = rng.randint(*config.finite_domain_size)
+                attrs.append(Attribute(name, numbered_finite_domain(f"dom_{name}", size)))
+            else:
+                attrs.append(Attribute(name))
+        relations.append(RelationSchema(f"R{i}", attrs))
+    return DatabaseSchema(relations)

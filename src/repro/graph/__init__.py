@@ -1,0 +1,5 @@
+"""Directed-graph substrate used by the dependency-graph analysis."""
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DiGraph"]

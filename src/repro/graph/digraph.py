@@ -1,0 +1,224 @@
+"""A small directed-graph substrate.
+
+The dependency-graph analysis of Section 5.3 needs three graph operations:
+
+* a topological order that tolerates cycles — the paper's preProcessing
+  (Fig. 7, line 1) sorts nodes so that if there is an edge ``Ri -> Rj`` then
+  ``Rj`` precedes ``Ri`` (sinks first), breaking cycles arbitrarily;
+* node deletion with indegree bookkeeping (lines 12–13);
+* strongly connected components, because the reduced graph is analysed one
+  SCC at a time by the combined ``Checking`` algorithm (Fig. 9).
+
+The implementation is self-contained (iterative Tarjan SCC, Kahn-style
+ordering with cycle tolerance) so the core library has no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+class DiGraph(Generic[N]):
+    """A mutable directed graph over hashable nodes.
+
+    Parallel edges collapse (edge sets); self-loops are allowed — a CIND from
+    a relation to itself produces one.
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[N, set[N]] = {}
+        self._pred: dict[N, set[N]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: N) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: N, dst: N) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_node(self, node: N) -> None:
+        """Delete *node* and every incident edge."""
+        for succ in self._succ.pop(node, ()):
+            self._pred[succ].discard(node)
+        for pred in self._pred.pop(node, ()):
+            self._succ[pred].discard(node)
+
+    def remove_edge(self, src: N, dst: N) -> None:
+        self._succ.get(src, set()).discard(dst)
+        self._pred.get(dst, set()).discard(src)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, node: N) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[N]:
+        return iter(self._succ)
+
+    @property
+    def nodes(self) -> tuple[N, ...]:
+        return tuple(self._succ)
+
+    def edges(self) -> Iterator[tuple[N, N]]:
+        for src, succs in self._succ.items():
+            for dst in succs:
+                yield (src, dst)
+
+    def successors(self, node: N) -> set[N]:
+        return set(self._succ.get(node, ()))
+
+    def predecessors(self, node: N) -> set[N]:
+        return set(self._pred.get(node, ()))
+
+    def out_degree(self, node: N) -> int:
+        return len(self._succ.get(node, ()))
+
+    def in_degree(self, node: N) -> int:
+        return len(self._pred.get(node, ()))
+
+    def has_edge(self, src: N, dst: N) -> bool:
+        return dst in self._succ.get(src, ())
+
+    def copy(self) -> "DiGraph[N]":
+        g: DiGraph[N] = DiGraph()
+        for node in self._succ:
+            g.add_node(node)
+        for src, dst in self.edges():
+            g.add_edge(src, dst)
+        return g
+
+    # -- algorithms ---------------------------------------------------------
+
+    def topological_order_sinks_first(self) -> list[N]:
+        """Order nodes so edge ``u -> v`` implies ``v`` comes before ``u``.
+
+        This is the order required by preProcessing (Fig. 7): process a
+        relation only after the relations its CINDs point *to*. On cyclic
+        graphs the order within a cycle is arbitrary but deterministic
+        (we peel SCCs in reverse topological order of the condensation).
+        """
+        order: list[N] = []
+        for component in self.strongly_connected_components():
+            order.extend(component)
+        return order
+
+    def strongly_connected_components(self) -> list[list[N]]:
+        """Tarjan's SCC algorithm, iteratively (no recursion-depth limits).
+
+        Components are returned in reverse topological order of the
+        condensation: every edge between components goes from a later
+        component in the list to an earlier one. Within a component, nodes
+        appear in a deterministic order.
+        """
+        index_of: dict[N, int] = {}
+        lowlink: dict[N, int] = {}
+        on_stack: set[N] = set()
+        stack: list[N] = []
+        components: list[list[N]] = []
+        counter = 0
+
+        for root in self._succ:
+            if root in index_of:
+                continue
+            # Iterative DFS: work holds (node, iterator over successors).
+            work: list[tuple[N, Iterator[N]]] = []
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            work.append((root, iter(sorted(self._succ[root], key=repr))))
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index_of:
+                        index_of[succ] = lowlink[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(self._succ[succ], key=repr))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: list[N] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def weakly_connected_components(self) -> list[list[N]]:
+        """Connected components ignoring edge direction."""
+        seen: set[N] = set()
+        components: list[list[N]] = []
+        for start in self._succ:
+            if start in seen:
+                continue
+            component: list[N] = []
+            frontier = [start]
+            seen.add(start)
+            while frontier:
+                node = frontier.pop()
+                component.append(node)
+                for neighbour in self._succ[node] | self._pred[node]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(component)
+        return components
+
+    def subgraph(self, nodes: Iterable[N]) -> "DiGraph[N]":
+        """The induced subgraph on *nodes*."""
+        keep = set(nodes)
+        g: DiGraph[N] = DiGraph()
+        for node in self._succ:
+            if node in keep:
+                g.add_node(node)
+        for src, dst in self.edges():
+            if src in keep and dst in keep:
+                g.add_edge(src, dst)
+        return g
+
+    def prune_zero_indegree(self) -> list[N]:
+        """Iteratively delete nodes with indegree 0 (self-loops count).
+
+        This is line 13 of preProcessing: a relation nothing points to can be
+        left empty without affecting the consistency of the rest, so its node
+        (and consequently anything only it pointed to) can be removed.
+        Returns the deleted nodes in deletion order.
+        """
+        deleted: list[N] = []
+        changed = True
+        while changed:
+            changed = False
+            for node in list(self._succ):
+                if self.in_degree(node) == 0:
+                    self.remove_node(node)
+                    deleted.append(node)
+                    changed = True
+        return deleted
+
+    def __repr__(self) -> str:
+        return f"<DiGraph {len(self)} nodes, {sum(len(s) for s in self._succ.values())} edges>"

@@ -1,0 +1,5 @@
+"""Logical renderings: CFDs/CINDs as first-order sentences (TGD-style)."""
+
+from repro.logic.fo import cfd_to_fo, cind_to_fo, constraint_set_to_fo
+
+__all__ = ["cfd_to_fo", "cind_to_fo", "constraint_set_to_fo"]

@@ -1,0 +1,106 @@
+"""First-order logic renderings of CFDs and CINDs.
+
+The paper remarks (Section 1) that CINDs "can be expressed in a form
+similar to tuple-generating dependencies". This module makes that
+translation concrete: every CFD becomes an equality-generating implication
+and every CIND a TGD with constants, rendered as a readable FO sentence.
+Useful for documentation, for interop with TGD-based tooling, and for the
+tests that sanity-check the quantifier structure.
+
+Conventions: one universally quantified variable per LHS attribute
+(``x_an, x_cn, ...``; a second copy ``x2_*`` for CFD pairs), existential
+``y_*`` variables for the RHS tuple of a CIND, and constants inlined as
+``'...'`` literals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.relational.values import is_wildcard
+
+
+def _const(value) -> str:
+    return f"'{value}'"
+
+
+def cfd_to_fo(cfd: CFD) -> list[str]:
+    """One FO sentence per pattern row of *cfd*.
+
+    ``(R: X → Y, tp)`` becomes, for each row::
+
+        ∀ x̄, x̄' ( R(x̄) ∧ R(x̄') ∧ ⋀_{B∈X} (x_B = x'_B ∧ [x_B = tp[B]])
+                   → ⋀_{A∈Y} (x_A = x'_A ∧ [x_A = tp[A]]) )
+    """
+    attrs = cfd.relation.attribute_names
+    t1 = {a: f"x_{a}" for a in attrs}
+    t2 = {a: f"x2_{a}" for a in attrs}
+    sentences = []
+    for row in cfd.tableau:
+        premise = [
+            f"{cfd.relation.name}({', '.join(t1[a] for a in attrs)})",
+            f"{cfd.relation.name}({', '.join(t2[a] for a in attrs)})",
+        ]
+        for attr in cfd.lhs:
+            premise.append(f"{t1[attr]} = {t2[attr]}")
+            value = row.lhs_value(attr)
+            if not is_wildcard(value):
+                premise.append(f"{t1[attr]} = {_const(value)}")
+        conclusion = []
+        for attr in cfd.rhs:
+            conclusion.append(f"{t1[attr]} = {t2[attr]}")
+            value = row.rhs_value(attr)
+            if not is_wildcard(value):
+                conclusion.append(f"{t1[attr]} = {_const(value)}")
+        all_vars = [t1[a] for a in attrs] + [t2[a] for a in attrs]
+        sentences.append(
+            f"∀ {', '.join(all_vars)} ({' ∧ '.join(premise)} → "
+            f"{' ∧ '.join(conclusion)})"
+        )
+    return sentences
+
+
+def cind_to_fo(cind: CIND) -> list[str]:
+    """One TGD-with-constants per pattern row of *cind*.
+
+    ``(R1[X; Xp] ⊆ R2[Y; Yp], tp)`` becomes, for each row::
+
+        ∀ x̄ ( R1(x̄) ∧ ⋀_{A∈X∪Xp} [x_A = tp[A]]
+               → ∃ ȳ ( R2(ȳ) ∧ ⋀_i y_{Bi} = x_{Ai} ∧ ⋀_{B∈Yp} y_B = tp[B] ) )
+    """
+    lhs_attrs = cind.lhs_relation.attribute_names
+    rhs_attrs = cind.rhs_relation.attribute_names
+    xs = {a: f"x_{a}" for a in lhs_attrs}
+    ys = {b: f"y_{b}" for b in rhs_attrs}
+    sentences = []
+    for row in cind.tableau:
+        premise = [f"{cind.lhs_relation.name}({', '.join(xs[a] for a in lhs_attrs)})"]
+        for attr in cind.x + cind.xp:
+            value = row.lhs_value(attr)
+            if not is_wildcard(value):
+                premise.append(f"{xs[attr]} = {_const(value)}")
+        body = [f"{cind.rhs_relation.name}({', '.join(ys[b] for b in rhs_attrs)})"]
+        for a, b in zip(cind.x, cind.y):
+            body.append(f"{ys[b]} = {xs[a]}")
+        for attr in cind.yp:
+            value = row.rhs_value(attr)
+            if not is_wildcard(value):
+                body.append(f"{ys[attr]} = {_const(value)}")
+        sentences.append(
+            f"∀ {', '.join(xs[a] for a in lhs_attrs)} "
+            f"({' ∧ '.join(premise)} → ∃ {', '.join(ys[b] for b in rhs_attrs)} "
+            f"({' ∧ '.join(body)}))"
+        )
+    return sentences
+
+
+def constraint_set_to_fo(cfds: Iterable[CFD] = (), cinds: Iterable[CIND] = ()) -> list[str]:
+    """Render a whole constraint set, CFDs first."""
+    out: list[str] = []
+    for cfd in cfds:
+        out.extend(cfd_to_fo(cfd))
+    for cind in cinds:
+        out.extend(cind_to_fo(cind))
+    return out

@@ -1,0 +1,10 @@
+"""Contextual schema matching: CIND-driven data migration."""
+
+from repro.matching.migrate import (
+    MigrationResult,
+    default_fill,
+    migrate,
+    verify_migration,
+)
+
+__all__ = ["MigrationResult", "default_fill", "migrate", "verify_migration"]

@@ -1,0 +1,94 @@
+"""CSV import/export for relation and database instances.
+
+The quickstart and the cleaning examples load small datasets from CSV.
+Values are read back as strings unless a coercion map is supplied; chase
+variables are never serialised (templates are in-memory artefacts only).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def write_relation_csv(instance: RelationInstance, path: str | Path) -> None:
+    """Write *instance* to *path* with a header row of attribute names."""
+    if not instance.is_ground():
+        raise SchemaError("cannot serialise a template containing variables")
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(instance.schema.attribute_names)
+        for t in instance:
+            writer.writerow(t.values)
+
+
+def read_relation_csv(
+    schema: RelationSchema,
+    path: str | Path,
+    coercions: Mapping[str, Callable[[str], Any]] | None = None,
+) -> RelationInstance:
+    """Read a relation instance from *path*.
+
+    The CSV header must list exactly the schema's attributes (any order).
+    *coercions* optionally maps attribute names to parsers (e.g. ``int``).
+    """
+    coercions = dict(coercions or {})
+    path = Path(path)
+    instance = RelationInstance(schema)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty (missing header)") from None
+        if sorted(header) != sorted(schema.attribute_names):
+            raise SchemaError(
+                f"CSV header {header} does not match attributes "
+                f"{list(schema.attribute_names)} of relation {schema.name!r}"
+            )
+        for row in reader:
+            if not row:
+                continue
+            record = dict(zip(header, row))
+            for name, parse in coercions.items():
+                if name in record:
+                    record[name] = parse(record[name])
+            instance.add(record)
+    return instance
+
+
+def write_database_csv(db: DatabaseInstance, directory: str | Path) -> None:
+    """Write every relation of *db* to ``directory/<relation>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for inst in db:
+        write_relation_csv(inst, directory / f"{inst.schema.name}.csv")
+
+
+def read_database_csv(
+    schema: DatabaseSchema,
+    directory: str | Path,
+    coercions: Mapping[str, Mapping[str, Callable[[str], Any]]] | None = None,
+) -> DatabaseInstance:
+    """Read ``directory/<relation>.csv`` for every relation of *schema*.
+
+    Missing files are treated as empty relations. *coercions* maps relation
+    name to a per-attribute parser map.
+    """
+    directory = Path(directory)
+    coercions = dict(coercions or {})
+    db = DatabaseInstance(schema)
+    for rel in schema:
+        path = directory / f"{rel.name}.csv"
+        if not path.exists():
+            continue
+        loaded = read_relation_csv(rel, path, coercions.get(rel.name))
+        for t in loaded:
+            db[rel.name].add(t)
+    return db

@@ -1,0 +1,352 @@
+"""Relation and database instances (possibly containing chase variables).
+
+Instances follow the paper's set semantics: a relation instance is a *set*
+of tuples. We keep insertion order for deterministic iteration, and we
+maintain per-attribute-list hash indexes so that CIND satisfaction checks
+(``exists t2 with t2[Y] = t1[X]``) run in expected constant time per probe
+instead of scanning the relation.
+
+A *database template* (Section 5.1) is just a database instance whose tuples
+may contain :class:`~repro.relational.values.Variable` objects; the chase
+engine manipulates templates through the same API plus
+:meth:`RelationInstance.replace_value`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import DomainError, SchemaError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import is_constant, is_variable
+
+
+class Tuple:
+    """An immutable row over a relation schema.
+
+    Values may be constants or chase variables. Equality and hashing are by
+    (relation name, values), so tuples behave as the paper's set elements.
+    """
+
+    __slots__ = ("schema", "_values", "_hash")
+
+    def __init__(self, schema: RelationSchema, values: Mapping[str, Any] | Sequence[Any]):
+        self.schema = schema
+        names = schema.attribute_names
+        if isinstance(values, Mapping):
+            missing = [n for n in names if n not in values]
+            if missing:
+                raise SchemaError(
+                    f"tuple for {schema.name!r} is missing attributes {missing}"
+                )
+            extra = [n for n in values if n not in schema]
+            if extra:
+                raise SchemaError(
+                    f"tuple for {schema.name!r} has unknown attributes {extra}"
+                )
+            vals = tuple(values[n] for n in names)
+        else:
+            vals = tuple(values)
+            if len(vals) != len(names):
+                raise SchemaError(
+                    f"tuple for {schema.name!r} needs {len(names)} values, "
+                    f"got {len(vals)}"
+                )
+        self._values = vals
+        self._hash = hash((schema.name, vals))
+
+    def __getitem__(self, attribute: str) -> Any:
+        try:
+            idx = self.schema.attribute_names.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.schema.name!r} has no attribute {attribute!r}"
+            ) from None
+        return self._values[idx]
+
+    def project(self, attributes: Iterable[str]) -> tuple[Any, ...]:
+        """``t[A1, ..., Ak]`` as a value tuple, in the order given."""
+        return tuple(self[a] for a in attributes)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self.schema.attribute_names, self._values))
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def has_variables(self) -> bool:
+        return any(is_variable(v) for v in self._values)
+
+    def variables(self) -> set[Any]:
+        return {v for v in self._values if is_variable(v)}
+
+    def is_ground(self) -> bool:
+        """True if every value is a constant (no chase variables)."""
+        return all(is_constant(v) for v in self._values)
+
+    def substitute(self, mapping: Mapping[Any, Any]) -> "Tuple":
+        """Return a copy with every value replaced via *mapping* (if present)."""
+        return Tuple(self.schema, tuple(mapping.get(v, v) for v in self._values))
+
+    def replace(self, **updates: Any) -> "Tuple":
+        """Return a copy with named attributes replaced."""
+        d = self.as_dict()
+        for k, v in updates.items():
+            if k not in self.schema:
+                raise SchemaError(
+                    f"relation {self.schema.name!r} has no attribute {k!r}"
+                )
+            d[k] = v
+        return Tuple(self.schema, d)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tuple)
+            and self.schema.name == other.schema.name
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self.schema.attribute_names, self._values))
+        return f"{self.schema.name}({inner})"
+
+
+class RelationInstance:
+    """A set of tuples over one relation schema, with projection indexes.
+
+    ``index_on(attrs)`` builds (and caches) a hash index from projections on
+    *attrs* to the matching tuples; CIND checking uses it for its existential
+    probes. Indexes are maintained incrementally on insert and invalidated on
+    value replacement (which rewrites tuples wholesale).
+    """
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[Tuple | Sequence[Any] | Mapping[str, Any]] = ()):
+        self.schema = schema
+        self._tuples: dict[Tuple, None] = {}
+        self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[Tuple]]] = {}
+        for t in tuples:
+            self.add(t)
+
+    def _coerce(self, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> Tuple:
+        if isinstance(row, Tuple):
+            if row.schema.name != self.schema.name:
+                raise SchemaError(
+                    f"tuple of {row.schema.name!r} inserted into {self.schema.name!r}"
+                )
+            return row
+        return Tuple(self.schema, row)
+
+    def add(self, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> bool:
+        """Insert a tuple; return ``True`` if it was new (set semantics)."""
+        t = self._coerce(row)
+        if t in self._tuples:
+            return False
+        self._tuples[t] = None
+        for attrs, index in self._indexes.items():
+            index.setdefault(t.project(attrs), []).append(t)
+        return True
+
+    def discard(self, row: Tuple) -> bool:
+        """Remove a tuple if present; return ``True`` if it was removed."""
+        if row not in self._tuples:
+            return False
+        del self._tuples[row]
+        for attrs, index in self._indexes.items():
+            bucket = index.get(row.project(attrs))
+            if bucket is not None:
+                bucket[:] = [t for t in bucket if t != row]
+        return True
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: Tuple) -> bool:
+        return row in self._tuples
+
+    @property
+    def tuples(self) -> tuple[Tuple, ...]:
+        return tuple(self._tuples)
+
+    def index_on(self, attributes: Sequence[str]) -> dict[tuple[Any, ...], list[Tuple]]:
+        """Hash index mapping projections on *attributes* to tuples."""
+        key = tuple(attributes)
+        index = self._indexes.get(key)
+        if index is None:
+            for name in key:
+                if name not in self.schema:
+                    raise SchemaError(
+                        f"relation {self.schema.name!r} has no attribute {name!r}"
+                    )
+            index = {}
+            for t in self._tuples:
+                index.setdefault(t.project(key), []).append(t)
+            self._indexes[key] = index
+        return index
+
+    def lookup(self, attributes: Sequence[str], values: Sequence[Any]) -> list[Tuple]:
+        """All tuples ``t`` with ``t[attributes] == values``."""
+        if not attributes:
+            return list(self._tuples)
+        return list(self.index_on(attributes).get(tuple(values), ()))
+
+    def replace_value(self, old: Any, new: Any) -> int:
+        """Replace every occurrence of *old* by *new* across the relation.
+
+        This is the chase's FD-step primitive (variable unification). Returns
+        the number of tuples rewritten. Rewriting may merge tuples (set
+        semantics), shrinking the relation.
+        """
+        return len(self.replace_value_tracked(old, new))
+
+    def replace_value_tracked(self, old: Any, new: Any) -> list[Tuple]:
+        """Like :meth:`replace_value`, returning the rewritten tuples.
+
+        The chase worklist uses the returned (new) tuples to re-enqueue
+        dependency obligations without rescanning the relation.
+        """
+        affected = [t for t in self._tuples if old in t.values]
+        if not affected:
+            return []
+        mapping = {old: new}
+        for t in affected:
+            del self._tuples[t]
+        self._indexes.clear()
+        rewritten = []
+        for t in affected:
+            replacement = t.substitute(mapping)
+            self._tuples[replacement] = None
+            rewritten.append(replacement)
+        return rewritten
+
+    def variables(self) -> set[Any]:
+        out: set[Any] = set()
+        for t in self._tuples:
+            out |= t.variables()
+        return out
+
+    def is_ground(self) -> bool:
+        return all(t.is_ground() for t in self._tuples)
+
+    def validate_domains(self) -> None:
+        """Check every constant against its attribute domain."""
+        for t in self._tuples:
+            for attr, value in zip(self.schema.attributes, t.values):
+                if is_constant(value) and not attr.domain.contains(value):
+                    raise DomainError(
+                        f"value {value!r} for {self.schema.name}.{attr.name} "
+                        f"is outside domain {attr.domain.name}"
+                    )
+
+    def copy(self) -> "RelationInstance":
+        return RelationInstance(self.schema, self._tuples)
+
+    def __repr__(self) -> str:
+        return f"<RelationInstance {self.schema.name}: {len(self)} tuples>"
+
+
+class DatabaseInstance:
+    """A database instance ``D = (I1, ..., In)`` over a database schema.
+
+    Every relation of the schema is always present (possibly empty), so
+    ``db[name]`` never fails for a valid relation name.
+    """
+
+    def __init__(self, schema: DatabaseSchema, relations: Mapping[str, Iterable[Any]] | None = None):
+        self.schema = schema
+        self._relations: dict[str, RelationInstance] = {
+            rel.name: RelationInstance(rel) for rel in schema
+        }
+        if relations:
+            for name, rows in relations.items():
+                inst = self[name]
+                for row in rows:
+                    inst.add(row)
+
+    def __getitem__(self, name: str) -> RelationInstance:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no relation {name!r}; relations are "
+                f"{list(self._relations)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[RelationInstance]:
+        return iter(self._relations.values())
+
+    def relations(self) -> dict[str, RelationInstance]:
+        return dict(self._relations)
+
+    def add(self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> bool:
+        return self[relation].add(row)
+
+    def total_tuples(self) -> int:
+        return sum(len(inst) for inst in self._relations.values())
+
+    def is_empty(self) -> bool:
+        return self.total_tuples() == 0
+
+    def is_ground(self) -> bool:
+        return all(inst.is_ground() for inst in self._relations.values())
+
+    def variables(self) -> set[Any]:
+        out: set[Any] = set()
+        for inst in self._relations.values():
+            out |= inst.variables()
+        return out
+
+    def replace_value(self, old: Any, new: Any) -> int:
+        """Replace *old* by *new* in every relation (chase unification step)."""
+        return sum(inst.replace_value(old, new) for inst in self._relations.values())
+
+    def replace_value_tracked(self, old: Any, new: Any) -> dict[str, list[Tuple]]:
+        """Global replacement returning the rewritten tuples per relation."""
+        out: dict[str, list[Tuple]] = {}
+        for name, inst in self._relations.items():
+            rewritten = inst.replace_value_tracked(old, new)
+            if rewritten:
+                out[name] = rewritten
+        return out
+
+    def substitute(self, mapping: Mapping[Any, Any]) -> "DatabaseInstance":
+        """A copy of the database with values rewritten through *mapping*."""
+        out = DatabaseInstance(self.schema)
+        for name, inst in self._relations.items():
+            target = out[name]
+            for t in inst:
+                target.add(t.substitute(mapping))
+        return out
+
+    def copy(self) -> "DatabaseInstance":
+        out = DatabaseInstance(self.schema)
+        for name, inst in self._relations.items():
+            target = out[name]
+            for t in inst:
+                target.add(t)
+        return out
+
+    def validate_domains(self) -> None:
+        for inst in self._relations.values():
+            inst.validate_domains()
+
+    def map_values(self, fn: Callable[[str, str, Any], Any]) -> "DatabaseInstance":
+        """A copy with every value passed through ``fn(relation, attribute, value)``."""
+        out = DatabaseInstance(self.schema)
+        for name, inst in self._relations.items():
+            target = out[name]
+            for t in inst:
+                target.add(
+                    [fn(name, a, v) for a, v in zip(inst.schema.attribute_names, t.values)]
+                )
+        return out
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}:{len(i)}" for n, i in self._relations.items())
+        return f"<DatabaseInstance {sizes}>"

@@ -1,0 +1,224 @@
+"""Relation schemas and database schemas.
+
+A :class:`RelationSchema` is a named, ordered list of typed attributes; a
+:class:`DatabaseSchema` is a named collection of relation schemas (the
+paper's ``R = (R1, ..., Rn)``). ``finattr(R)`` — the set of attributes with
+finite domains — is exposed on both, because the complexity results and all
+of Section 5's algorithms branch on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.domains import STRING, Domain
+
+
+class Attribute:
+    """A typed attribute of a relation schema.
+
+    Attributes are value objects: equal iff name and domain object are equal.
+    The domain defaults to the infinite string domain, which matches the
+    paper's convention that attributes are infinite unless stated otherwise.
+    """
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Domain = STRING):
+        if not name:
+            raise SchemaError("attribute name must be nonempty")
+        self.name = name
+        self.domain = domain
+
+    @property
+    def is_finite(self) -> bool:
+        return self.domain.is_finite
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.domain is other.domain
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self.domain)))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, {self.domain.name})"
+
+
+class RelationSchema:
+    """A relation schema ``R(A1, ..., Ak)``.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a database schema.
+    attributes:
+        Either :class:`Attribute` objects or bare strings (which get the
+        default infinite string domain). Order matters — attribute lists in
+        dependencies are positional.
+    """
+
+    def __init__(self, name: str, attributes: Iterable[Attribute | str]):
+        if not name:
+            raise SchemaError("relation name must be nonempty")
+        self.name = name
+        attrs: dict[str, Attribute] = {}
+        for spec in attributes:
+            attr = Attribute(spec) if isinstance(spec, str) else spec
+            if attr.name in attrs:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in relation {name!r}"
+                )
+            attrs[attr.name] = attr
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        self._attributes = attrs
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in declaration order (``attr(R)``)."""
+        return tuple(self._attributes.values())
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes.values())
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name, raising SchemaError if absent."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {name!r}; "
+                f"attributes are {list(self._attributes)}"
+            ) from None
+
+    def domain_of(self, name: str) -> Domain:
+        return self.attribute(name).domain
+
+    def finite_attributes(self) -> tuple[Attribute, ...]:
+        """``finattr(R)``: the attributes of this relation with finite domains."""
+        return tuple(a for a in self._attributes.values() if a.is_finite)
+
+    def check_attribute_list(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Validate that *names* are distinct attributes of this relation.
+
+        Returns the names as a tuple. Used by the dependency constructors.
+        """
+        names = tuple(names)
+        seen: set[str] = set()
+        for n in names:
+            if n not in self._attributes:
+                raise SchemaError(
+                    f"relation {self.name!r} has no attribute {n!r}"
+                )
+            if n in seen:
+                raise SchemaError(
+                    f"attribute {n!r} listed twice for relation {self.name!r}"
+                )
+            seen.add(n)
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self.attribute_names)
+        return f"RelationSchema({self.name}({inner}))"
+
+
+class DatabaseSchema:
+    """A database schema ``R = (R1, ..., Rn)``."""
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        rels: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in rels:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            rels[rel.name] = rel
+        self._relations = rels
+
+    @property
+    def relations(self) -> tuple[RelationSchema, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name, raising SchemaError if absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no relation {name!r}; relations are "
+                f"{list(self._relations)}"
+            ) from None
+
+    def finite_attributes(self) -> dict[str, tuple[Attribute, ...]]:
+        """``finattr(R)`` per relation name (only nonempty entries)."""
+        out: dict[str, tuple[Attribute, ...]] = {}
+        for rel in self._relations.values():
+            finite = rel.finite_attributes()
+            if finite:
+                out[rel.name] = finite
+        return out
+
+    def has_finite_attributes(self) -> bool:
+        """True if any relation has an attribute with a finite domain."""
+        return any(rel.finite_attributes() for rel in self._relations.values())
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({', '.join(self._relations)})"
+
+
+def schema(name: str, *attributes: Attribute | str) -> RelationSchema:
+    """Terse constructor: ``schema('R', 'A', Attribute('B', BOOL))``."""
+    return RelationSchema(name, attributes)
+
+
+def database(*relations: RelationSchema | Mapping[str, Iterable[str]]) -> DatabaseSchema:
+    """Terse constructor for a database schema.
+
+    Accepts :class:`RelationSchema` objects and/or mappings of the form
+    ``{'R': ['A', 'B']}`` (all-string-domain relations).
+    """
+    rels: list[RelationSchema] = []
+    for item in relations:
+        if isinstance(item, RelationSchema):
+            rels.append(item)
+        else:
+            for rel_name, attr_names in item.items():
+                rels.append(RelationSchema(rel_name, attr_names))
+    return DatabaseSchema(rels)

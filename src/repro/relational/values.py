@@ -1,0 +1,123 @@
+"""Values that may appear in tuples and pattern tableaux.
+
+Three kinds of values occur in this library:
+
+* **Constants** — plain Python scalars (``str``, ``int``, ``float``, ``bool``).
+  These are the data values of the paper.
+* **Variables** — :class:`Variable` objects. Variables only appear in
+  *database templates* built by the chase (Section 5.1 of the paper); they
+  stand for an unknown value of a particular attribute domain. The paper
+  fixes a total order ``<`` on variables and postulates ``v < a`` for every
+  variable ``v`` and constant ``a``; :func:`value_order_key` realises that
+  order.
+* **The wildcard** ``_`` — the singleton :data:`WILDCARD`. It only appears
+  in pattern tuples and matches any value under the paper's ``≍`` order.
+
+The ``≍`` order itself ("matches") lives in :mod:`repro.core.patterns`
+because it is a property of patterns, not of bare values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _Wildcard:
+    """The unnamed variable '_' of pattern tableaux (singleton)."""
+
+    _instance: "_Wildcard | None" = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "_"
+
+    def __copy__(self) -> "_Wildcard":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_Wildcard":
+        return self
+
+
+#: The unnamed variable '_' used in pattern tuples.
+WILDCARD = _Wildcard()
+
+
+class Variable:
+    """A chase variable drawn from a per-attribute pool ``var[A]``.
+
+    Variables are identified by the attribute name they were created for and
+    an index within that attribute's pool. Two variables are equal iff they
+    have the same attribute name and index. The paper's total order on
+    variables is (attribute, index) lexicographically, and every variable is
+    smaller than every constant (``v < a``).
+
+    Parameters
+    ----------
+    attribute:
+        Name of the attribute whose pool this variable belongs to. The pool
+        is keyed by attribute name only, matching the paper's ``var[A]``.
+    index:
+        Position of this variable within the pool (0-based).
+    """
+
+    __slots__ = ("attribute", "index", "_hash")
+
+    def __init__(self, attribute: str, index: int):
+        self.attribute = attribute
+        self.index = index
+        self._hash = hash((attribute, index))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Variable)
+            and self.attribute == other.attribute
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"?{self.attribute}{self.index}"
+
+    def sort_key(self) -> tuple[str, int]:
+        """Key realising the paper's total order on variables."""
+        return (self.attribute, self.index)
+
+
+def is_variable(value: Any) -> bool:
+    """Return ``True`` if *value* is a chase variable."""
+    return isinstance(value, Variable)
+
+
+def is_wildcard(value: Any) -> bool:
+    """Return ``True`` if *value* is the pattern wildcard ``_``."""
+    return value is WILDCARD or isinstance(value, _Wildcard)
+
+
+def is_constant(value: Any) -> bool:
+    """Return ``True`` if *value* is a data constant (not a variable or ``_``)."""
+    return not is_variable(value) and not is_wildcard(value)
+
+
+def value_order_key(value: Any) -> tuple[int, Any]:
+    """Total-order key over variables and constants.
+
+    The paper assumes ``v < a`` for every variable ``v`` and constant ``a``
+    (Section 5.1); the chase's FD step replaces the *smaller* value with the
+    larger one so that constants win over variables. Constants are ordered
+    among themselves by ``(type name, repr)`` — the paper imposes no order on
+    constants, we only need *a* deterministic one.
+    """
+    if is_variable(value):
+        return (0, value.sort_key())
+    return (1, (type(value).__name__, repr(value)))
+
+
+def fresh_variables(attribute: str, count: int) -> list[Variable]:
+    """Create the pool ``var[A]`` of *count* distinct variables for *attribute*."""
+    return [Variable(attribute, i) for i in range(count)]

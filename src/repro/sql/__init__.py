@@ -1,0 +1,23 @@
+"""SQL backend: DDL, loading, and violation detection on sqlite3."""
+
+from repro.sql.ddl import (
+    create_schema_sql,
+    create_table_sql,
+    insert_sql,
+    quote_identifier,
+    sql_type,
+)
+from repro.sql.loader import connect_memory, load_database
+from repro.sql.violations import SQLViolationDetector, sql_check_database
+
+__all__ = [
+    "SQLViolationDetector",
+    "connect_memory",
+    "create_schema_sql",
+    "create_table_sql",
+    "insert_sql",
+    "load_database",
+    "quote_identifier",
+    "sql_check_database",
+    "sql_type",
+]

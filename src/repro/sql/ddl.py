@@ -1,0 +1,40 @@
+"""SQL DDL generation for relational schemas (sqlite3 dialect).
+
+Identifiers are double-quoted; the INTEGER domain maps to sqlite INTEGER
+affinity, everything else to TEXT. Pattern tableaux are shipped as data
+tables (the [9] technique), with the wildcard ``_`` encoded as NULL.
+"""
+
+from __future__ import annotations
+
+from repro.relational.domains import INTEGER, Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier, escaping embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sql_type(domain: Domain) -> str:
+    if domain is INTEGER:
+        return "INTEGER"
+    return "TEXT"
+
+
+def create_table_sql(relation: RelationSchema) -> str:
+    columns = ", ".join(
+        f"{quote_identifier(a.name)} {sql_type(a.domain)}" for a in relation
+    )
+    return f"CREATE TABLE {quote_identifier(relation.name)} ({columns})"
+
+
+def create_schema_sql(schema: DatabaseSchema) -> list[str]:
+    return [create_table_sql(rel) for rel in schema]
+
+
+def insert_sql(relation: RelationSchema) -> str:
+    placeholders = ", ".join("?" for __ in range(relation.arity))
+    return (
+        f"INSERT INTO {quote_identifier(relation.name)} VALUES ({placeholders})"
+    )

@@ -1,0 +1,33 @@
+"""Loading in-memory instances into sqlite3."""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import SQLBackendError
+from repro.relational.instance import DatabaseInstance
+from repro.sql.ddl import create_table_sql, insert_sql
+
+
+def connect_memory() -> sqlite3.Connection:
+    """A fresh in-memory sqlite connection."""
+    return sqlite3.connect(":memory:")
+
+
+def load_database(conn: sqlite3.Connection, db: DatabaseInstance) -> None:
+    """Create one table per relation and bulk-insert every tuple.
+
+    Templates (instances containing chase variables) are rejected: SQL
+    violation detection operates on ground data only.
+    """
+    if not db.is_ground():
+        raise SQLBackendError(
+            "cannot load a template with chase variables into SQL"
+        )
+    cursor = conn.cursor()
+    for relation in db.schema:
+        cursor.execute(create_table_sql(relation))
+        rows = [t.values for t in db[relation.name]]
+        if rows:
+            cursor.executemany(insert_sql(relation), rows)
+    conn.commit()

@@ -1,0 +1,5 @@
+"""Selection-projection views and constraint propagation through them."""
+
+from repro.views.spc import SPView, materialize, propagate_cfds, propagate_cinds
+
+__all__ = ["SPView", "materialize", "propagate_cfds", "propagate_cinds"]

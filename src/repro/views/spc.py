@@ -1,0 +1,181 @@
+"""Propagation of CFDs and CINDs through selection-projection views.
+
+Section 8 of the paper lists "propagation of CFDs and CINDs through SQL
+views" as future work ("needed when deriving schema mapping from the
+constraints"). This module implements the sound core for the
+selection-projection fragment — views of the form
+
+    V  =  π_keep ( σ_{A1 = c1 ∧ ... ∧ Ak = ck} (R) )
+
+Propagation rules (each provably sound; the test-suite property-checks
+them on random instances):
+
+* **CFD inheritance** — CFD satisfaction is closed under subinstances, and
+  a V-tuple agrees with its originating R-tuple on every kept attribute;
+  so any CFD of R whose attributes are all kept holds on V. Rows whose LHS
+  constants contradict a selection condition are dropped (they are vacuous
+  on V), and wildcard LHS entries on selection attributes are specialised
+  to the selection constant (an equivalent, tighter pattern on V).
+* **Selection constants** — for each condition ``A = c`` with ``A`` kept,
+  V satisfies the constant CFD ``(V: ∅ → A, (‖ c))``.
+* **CIND source-side propagation** — a CIND ``R[X; Xp] ⊆ S[Y; Yp]`` with
+  ``X ∪ Xp`` kept propagates to ``V[X; Xp] ⊆ S[Y; Yp]``: a V-tuple
+  matching the premise comes from an R-tuple matching it, whose witness in
+  S also serves the V-tuple.
+
+Target-side propagation (CINDs *into* a view) is **not** sound in general
+— the view may project away or filter out every witness — and is
+deliberately not offered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.errors import SchemaError
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import is_wildcard
+
+
+@dataclass
+class SPView:
+    """A named selection-projection view over one base relation."""
+
+    name: str
+    base: RelationSchema
+    keep: tuple[str, ...]
+    conditions: Mapping[str, Any]
+
+    def __post_init__(self):
+        self.keep = tuple(self.keep)
+        self.conditions = dict(self.conditions)
+        self.base.check_attribute_list(self.keep)
+        for attr, value in self.conditions.items():
+            if attr not in self.base:
+                raise SchemaError(
+                    f"selection attribute {attr!r} not in {self.base.name!r}"
+                )
+            if not self.base.domain_of(attr).contains(value):
+                raise SchemaError(
+                    f"selection constant {value!r} outside "
+                    f"dom({self.base.name}.{attr})"
+                )
+        if not self.keep:
+            raise SchemaError("a view must keep at least one attribute")
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The view's relation schema (kept attributes, base domains)."""
+        return RelationSchema(
+            self.name,
+            [Attribute(a, self.base.domain_of(a)) for a in self.keep],
+        )
+
+    def evaluate(self, db: DatabaseInstance) -> RelationInstance:
+        """Materialise the view over *db* (set semantics deduplicates)."""
+        out = RelationInstance(self.schema)
+        for t in db[self.base.name]:
+            if all(t[a] == v for a, v in self.conditions.items()):
+                out.add(t.project(self.keep))
+        return out
+
+
+def materialize(db: DatabaseInstance, views: Iterable[SPView]) -> DatabaseInstance:
+    """A database over the extended schema (base relations + views)."""
+    views = list(views)
+    relations = list(db.schema.relations) + [v.schema for v in views]
+    extended = DatabaseInstance(DatabaseSchema(relations))
+    for inst in db:
+        for t in inst:
+            extended[inst.schema.name].add(t.values)
+    for view in views:
+        for t in view.evaluate(db):
+            extended[view.name].add(t.values)
+    return extended
+
+
+def propagate_cfds(view: SPView, cfds: Iterable[CFD]) -> list[CFD]:
+    """CFDs guaranteed to hold on *view* whenever the inputs hold on base.
+
+    Includes the inherited (specialised) CFDs plus the selection-constant
+    CFDs. Constraints mentioning non-kept attributes do not propagate.
+    """
+    kept = set(view.keep)
+    view_schema = view.schema
+    out: list[CFD] = []
+    for cfd in cfds:
+        if cfd.relation.name != view.base.name:
+            continue
+        if not (set(cfd.lhs) | set(cfd.rhs)) <= kept:
+            continue
+        rows = []
+        for row in cfd.tableau:
+            compatible = True
+            lhs_values = []
+            for attr in cfd.lhs:
+                value = row.lhs_value(attr)
+                condition = view.conditions.get(attr)
+                if condition is not None:
+                    if is_wildcard(value):
+                        value = condition  # specialise: V only holds A = c
+                    elif value != condition:
+                        compatible = False  # row vacuous on the view
+                        break
+                lhs_values.append(value)
+            if not compatible:
+                continue
+            rows.append((lhs_values, row.rhs_projection(cfd.rhs)))
+        if rows:
+            out.append(
+                CFD(view_schema, cfd.lhs, cfd.rhs, rows,
+                    name=f"{cfd.name or 'cfd'}@{view.name}")
+            )
+    for attr, value in view.conditions.items():
+        if attr in kept:
+            out.append(
+                CFD(view_schema, (), (attr,), [((), (value,))],
+                    name=f"sel({attr})@{view.name}")
+            )
+    return out
+
+
+def propagate_cinds(view: SPView, cinds: Iterable[CIND]) -> list[CIND]:
+    """Source-side CIND propagation: ``V[X; Xp] ⊆ S[Y; Yp]`` variants."""
+    kept = set(view.keep)
+    view_schema = view.schema
+    out: list[CIND] = []
+    for cind in cinds:
+        if cind.lhs_relation.name != view.base.name:
+            continue
+        if not (set(cind.x) | set(cind.xp)) <= kept:
+            continue
+        rows = []
+        for row in cind.tableau:
+            compatible = True
+            for attr, condition in view.conditions.items():
+                if attr in cind.x or attr in cind.xp:
+                    value = row.lhs_value(attr)
+                    if not is_wildcard(value) and value != condition:
+                        compatible = False  # premise vacuous on the view
+                        break
+            if compatible:
+                rows.append(
+                    (
+                        row.lhs_projection(cind.x + cind.xp),
+                        row.rhs_projection(cind.y + cind.yp),
+                    )
+                )
+        if rows:
+            out.append(
+                CIND(
+                    view_schema, cind.x, cind.xp,
+                    cind.rhs_relation, cind.y, cind.yp,
+                    rows,
+                    name=f"{cind.name or 'cind'}@{view.name}",
+                )
+            )
+    return out

@@ -1,0 +1,121 @@
+"""Shared fixtures: the paper's examples, small schemas, RNG seeds."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet
+from repro.datasets.bank import (
+    bank_cfds,
+    bank_cinds,
+    bank_constraints,
+    bank_instance,
+    bank_schema,
+    clean_bank_instance,
+)
+from repro.relational.domains import BOOL, enum_domain
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20070923)  # VLDB'07 started on 2007-09-23
+
+
+@pytest.fixture(scope="session")
+def bank():
+    """The bank schema plus everything defined over it, as a namespace."""
+
+    class Bank:
+        schema = bank_schema()
+
+    Bank.db = bank_instance(Bank.schema)
+    Bank.clean_db = clean_bank_instance(Bank.schema)
+    Bank.cinds = bank_cinds(Bank.schema)
+    Bank.cfds = bank_cfds(Bank.schema)
+    Bank.constraints = bank_constraints(Bank.schema)
+    Bank.by_name = {c.name: c for c in Bank.cinds + Bank.cfds}
+    return Bank
+
+
+@pytest.fixture
+def ab_schema():
+    """Example 3.2's schema: R(A: bool, B: string)."""
+    return DatabaseSchema(
+        [RelationSchema("R", [Attribute("A", BOOL), Attribute("B")])]
+    )
+
+
+@pytest.fixture
+def example_3_2_cfds(ab_schema):
+    """The four conflicting CFDs of Example 3.2 (inconsistent set)."""
+    r = ab_schema.relation("R")
+    return [
+        CFD(r, ("A",), ("B",), [((True,), ("b1",))], name="phi1"),
+        CFD(r, ("A",), ("B",), [((False,), ("b2",))], name="phi2"),
+        CFD(r, ("B",), ("A",), [(("b1",), (False,))], name="phi3"),
+        CFD(r, ("B",), ("A",), [(("b2",), (True,))], name="phi4"),
+    ]
+
+
+@pytest.fixture
+def example_4_2(ab_schema):
+    """Example 4.2: CFD φ and CIND ψ, separately consistent, jointly not.
+
+    Uses R(A: string, B: string) — the example needs no finite domains.
+    """
+    schema = DatabaseSchema(
+        [RelationSchema("R", [Attribute("A"), Attribute("B")])]
+    )
+    r = schema.relation("R")
+    phi = CFD(r, ("A",), ("B",), [((_,), ("a",))], name="phi")
+    # ψ = (R[nil; nil] ⊆ R[nil; B], ( ‖ b)): any nonempty instance must
+    # contain a tuple with B = b — which φ (forcing B = a) forbids.
+    psi = CIND(r, (), (), r, (), ("B",), [((), ("b",))], name="psi")
+    return schema, phi, psi
+
+
+@pytest.fixture
+def example_5_1():
+    """Example 5.1: R1(E,F), R2(G,H), all infinite, Σ = {φ1,φ2,ψ1,ψ2,ψ3}."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R1", [Attribute("E"), Attribute("F")]),
+            RelationSchema("R2", [Attribute("G"), Attribute("H")]),
+        ]
+    )
+    r1 = schema.relation("R1")
+    r2 = schema.relation("R2")
+    phi1 = CFD(r1, ("E",), ("F",), [((_,), (_,))], name="phi1")
+    phi2 = CFD(r2, ("H",), ("G",), [((_,), ("c",))], name="phi2")
+    psi1 = CIND(r1, ("E",), (), r2, ("G",), (), [((_,), (_,))], name="psi1")
+    psi2 = CIND(r2, (), ("H",), r1, (), ("F",), [(("0",), ("a",))], name="psi2")
+    psi3 = CIND(r2, (), ("H",), r1, (), ("F",), [(("1",), ("b",))], name="psi3")
+    sigma = ConstraintSet(schema, cfds=[phi1, phi2], cinds=[psi1, psi2, psi3])
+    return schema, sigma
+
+
+@pytest.fixture
+def example_5_1_finite_h():
+    """Example 5.2/5.3's variant: dom(H) = {0, 1} (finite)."""
+    dom_h = enum_domain("H01", ("0", "1"))
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R1", [Attribute("E"), Attribute("F")]),
+            RelationSchema("R2", [Attribute("G"), Attribute("H", dom_h)]),
+        ]
+    )
+    r1 = schema.relation("R1")
+    r2 = schema.relation("R2")
+    phi1 = CFD(r1, ("E",), ("F",), [((_,), (_,))], name="phi1")
+    phi2 = CFD(r2, ("H",), ("G",), [((_,), ("c",))], name="phi2")
+    psi1 = CIND(r1, ("E",), (), r2, ("G",), (), [((_,), (_,))], name="psi1")
+    psi2 = CIND(r2, (), ("H",), r1, (), ("F",), [(("0",), ("a",))], name="psi2")
+    psi3 = CIND(r2, (), ("H",), r1, (), ("F",), [(("1",), ("b",))], name="psi3")
+    sigma = ConstraintSet(schema, cfds=[phi1, phi2], cinds=[psi1, psi2, psi3])
+    return schema, sigma

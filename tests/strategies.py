@@ -1,0 +1,141 @@
+"""Hypothesis strategies for schemas, instances, and dependencies.
+
+Kept in a plain module (not conftest) so test files can import the
+strategies explicitly. The strategies build *small* but structurally
+varied objects: 1–3 relations, arity 1–5, mixed finite/infinite domains,
+instances of up to ~12 tuples, and dependencies whose patterns draw from a
+small constant pool so that premises actually fire.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.relational.domains import STRING, FiniteDomain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD
+
+#: Small shared constant pool so patterns and data overlap frequently.
+CONSTS = ["a", "b", "c", "d"]
+
+#: A shared finite domain reused across generated finite attributes, so the
+#: dom(Ai) ⊆ dom(Bi) requirement of CINDs is satisfiable.
+FIN_DOM = FiniteDomain("fin", ("a", "b"))
+
+
+@st.composite
+def relation_schemas(draw, name: str = "R", max_arity: int = 5, allow_finite: bool = True):
+    arity = draw(st.integers(min_value=1, max_value=max_arity))
+    attrs = []
+    for i in range(arity):
+        finite = allow_finite and draw(st.booleans())
+        domain = FIN_DOM if finite else STRING
+        attrs.append(Attribute(f"{name}_A{i}", domain))
+    return RelationSchema(name, attrs)
+
+
+@st.composite
+def database_schemas(draw, max_relations: int = 3, allow_finite: bool = True):
+    n = draw(st.integers(min_value=1, max_value=max_relations))
+    return DatabaseSchema(
+        [
+            draw(relation_schemas(name=f"R{i}", allow_finite=allow_finite))
+            for i in range(n)
+        ]
+    )
+
+
+def _value_strategy(attribute: Attribute):
+    if isinstance(attribute.domain, FiniteDomain):
+        return st.sampled_from(list(attribute.domain.values))
+    return st.sampled_from(CONSTS)
+
+
+@st.composite
+def instances(draw, schema: DatabaseSchema, max_tuples: int = 12):
+    db = DatabaseInstance(schema)
+    for rel in schema:
+        n = draw(st.integers(min_value=0, max_value=max_tuples))
+        for __ in range(n):
+            row = [draw(_value_strategy(a)) for a in rel]
+            db[rel.name].add(row)
+    return db
+
+
+def _pattern_value(attribute: Attribute):
+    return st.one_of(st.just(WILDCARD), _value_strategy(attribute))
+
+
+@st.composite
+def cfds(draw, relation: RelationSchema, max_rows: int = 3):
+    """A random (possibly multi-row, multi-RHS) CFD on *relation*."""
+    names = list(relation.attribute_names)
+    lhs_size = draw(st.integers(min_value=0, max_value=max(0, len(names) - 1)))
+    shuffled = draw(st.permutations(names))
+    lhs = tuple(shuffled[:lhs_size])
+    rest = [n for n in shuffled if n not in lhs]
+    rhs_size = draw(st.integers(min_value=1, max_value=len(rest)))
+    rhs = tuple(rest[:rhs_size])
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = []
+    for __ in range(n_rows):
+        lhs_vals = [draw(_pattern_value(relation.attribute(a))) for a in lhs]
+        rhs_vals = [draw(_pattern_value(relation.attribute(a))) for a in rhs]
+        rows.append((lhs_vals, rhs_vals))
+    return CFD(relation, lhs, rhs, rows)
+
+
+def _compatible(src: Attribute, dst: Attribute) -> bool:
+    """Is dom(src) ⊆ dom(dst) under our generator's domains?"""
+    if src.domain is dst.domain:
+        return True
+    if isinstance(src.domain, FiniteDomain) and dst.domain is STRING:
+        return all(isinstance(v, str) for v in src.domain.values)
+    return False
+
+
+@st.composite
+def cinds(draw, lhs_relation: RelationSchema, rhs_relation: RelationSchema, max_rows: int = 3):
+    """A random (possibly multi-row) CIND between two relations.
+
+    X/Y pairs are drawn only among domain-compatible attribute pairs, so the
+    constructor's dom(Ai) ⊆ dom(Bi) check always passes.
+    """
+    lhs_names = list(draw(st.permutations(list(lhs_relation.attribute_names))))
+    rhs_names = list(draw(st.permutations(list(rhs_relation.attribute_names))))
+    x: list[str] = []
+    y: list[str] = []
+    for a in lhs_names:
+        for b in rhs_names:
+            if b in y or a in x:
+                continue
+            if _compatible(lhs_relation.attribute(a), rhs_relation.attribute(b)):
+                if draw(st.booleans()):
+                    x.append(a)
+                    y.append(b)
+                break
+    remaining_lhs = [a for a in lhs_names if a not in x]
+    remaining_rhs = [b for b in rhs_names if b not in y]
+    xp_size = draw(st.integers(min_value=0, max_value=len(remaining_lhs)))
+    yp_size = draw(st.integers(min_value=0, max_value=len(remaining_rhs)))
+    xp = tuple(remaining_lhs[:xp_size])
+    yp = tuple(remaining_rhs[:yp_size])
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    rows = []
+    for __ in range(n_rows):
+        x_vals = [
+            draw(_pattern_value(lhs_relation.attribute(a))) for a in x
+        ]
+        # tp[X] = tp[Y] is required; constants must be in dom(Bi) too, which
+        # _compatible guarantees.
+        lhs_vals = list(x_vals) + [
+            draw(_pattern_value(lhs_relation.attribute(a))) for a in xp
+        ]
+        rhs_vals = list(x_vals) + [
+            draw(_pattern_value(rhs_relation.attribute(b))) for b in yp
+        ]
+        rows.append((lhs_vals, rhs_vals))
+    return CIND(lhs_relation, tuple(x), xp, rhs_relation, tuple(y), yp, rows)

@@ -1,0 +1,112 @@
+"""Tests for acyclicity analysis and exact acyclic implication."""
+
+import pytest
+
+from repro.core.acyclic import (
+    chase_size_bound,
+    cind_graph,
+    implies_acyclic,
+    is_acyclic,
+    longest_path_length,
+)
+from repro.core.cind import CIND, standard_ind
+from repro.core.implication import ImplicationStatus
+from repro.errors import ReproError
+from repro.relational.domains import FiniteDomain
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+@pytest.fixture
+def chain():
+    r = RelationSchema("R", ["A", "B"])
+    s = RelationSchema("S", ["C", "D"])
+    t = RelationSchema("T", ["E", "F"])
+    schema = DatabaseSchema([r, s, t])
+    sigma = [
+        standard_ind(r, ("A",), s, ("C",)),
+        standard_ind(s, ("C",), t, ("E",)),
+    ]
+    return schema, sigma, (r, s, t)
+
+
+class TestAcyclicity:
+    def test_chain_is_acyclic(self, chain):
+        __, sigma, __rels = chain
+        assert is_acyclic(sigma)
+
+    def test_cycle_detected(self, chain):
+        schema, sigma, (r, s, t) = chain
+        sigma = sigma + [standard_ind(t, ("E",), r, ("A",))]
+        assert not is_acyclic(sigma)
+
+    def test_self_loop_detected(self, chain):
+        __, __, (r, *_rest) = chain
+        loop = CIND(r, ("A",), (), r, ("B",), (), [((_,), (_,))])
+        assert not is_acyclic([loop])
+
+    def test_empty_set_acyclic(self):
+        assert is_acyclic([])
+
+    def test_bank_cinds_cyclic_or_not(self, bank):
+        # account -> saving/checking -> interest: a DAG.
+        assert is_acyclic(bank.cinds)
+
+    def test_longest_path(self, chain):
+        __, sigma, __rels = chain
+        assert longest_path_length(cind_graph(sigma)) == 2
+
+
+class TestChaseSizeBound:
+    def test_positive_and_monotone(self, chain):
+        schema, sigma, __rels = chain
+        small = chase_size_bound(schema, sigma[:1])
+        large = chase_size_bound(schema, sigma)
+        assert 1 <= small <= large
+
+    def test_finite_fanout_counted(self):
+        dom = FiniteDomain("d4", ("1", "2", "3", "4"))
+        r = RelationSchema("R", ["A"])
+        s = RelationSchema("S", ["C", Attribute("D", dom)])
+        schema = DatabaseSchema([r, s])
+        sigma = [standard_ind(r, ("A",), s, ("C",))]
+        assert chase_size_bound(schema, sigma) >= 4
+
+    def test_cyclic_rejected(self, chain):
+        schema, sigma, (r, s, t) = chain
+        sigma = sigma + [standard_ind(t, ("E",), r, ("A",))]
+        with pytest.raises(ReproError):
+            chase_size_bound(schema, sigma)
+
+
+class TestImpliesAcyclic:
+    def test_decides_transitivity(self, chain):
+        schema, sigma, (r, __s, t) = chain
+        goal = standard_ind(r, ("A",), t, ("E",))
+        result = implies_acyclic(schema, sigma, goal)
+        assert result.status is ImplicationStatus.IMPLIED
+
+    def test_decides_non_implication(self, chain):
+        schema, sigma, (r, __s, t) = chain
+        goal = standard_ind(t, ("E",), r, ("A",))
+        result = implies_acyclic(schema, sigma, goal)
+        assert result.status is ImplicationStatus.NOT_IMPLIED
+
+    def test_never_unknown(self, bank):
+        # The bank CINDs are acyclic; any goal gets a definite answer.
+        from repro.core.cind import CIND
+
+        account = bank.schema.relation("account_EDI")
+        interest = bank.schema.relation("interest")
+        goal = CIND(account, ("at",), (), interest, ("at",), (), [((_,), (_,))])
+        result = implies_acyclic(bank.schema, bank.cinds, goal)
+        assert result.status in (
+            ImplicationStatus.IMPLIED, ImplicationStatus.NOT_IMPLIED
+        )
+        assert result.status is ImplicationStatus.IMPLIED
+
+    def test_cyclic_rejected(self, chain):
+        schema, sigma, (r, s, t) = chain
+        sigma = sigma + [standard_ind(t, ("E",), r, ("A",))]
+        with pytest.raises(ReproError):
+            implies_acyclic(schema, sigma, sigma[0])

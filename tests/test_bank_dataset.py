@@ -1,0 +1,93 @@
+"""Tests pinning the bank dataset to the paper's Figures 1, 2 and 4."""
+
+import pytest
+
+from repro.core.violations import check_database
+from repro.datasets.bank import (
+    INTEREST_RATES,
+    bank_constraints,
+    bank_instance,
+    bank_schema,
+    clean_bank_instance,
+    scaled_bank_instance,
+)
+
+
+class TestSchema:
+    def test_relations(self, bank):
+        assert set(bank.schema.relation_names) == {
+            "account_NYC", "account_EDI", "saving", "checking", "interest"
+        }
+
+    def test_at_is_finite(self, bank):
+        at = bank.schema.relation("interest").attribute("at")
+        assert at.is_finite
+        assert set(at.domain.values) == {"saving", "checking"}
+
+    def test_custom_branches(self):
+        schema = bank_schema(branches=("NYC", "EDI", "PAR"))
+        assert "account_PAR" in schema
+
+
+class TestInstance:
+    def test_tuple_counts_match_fig1(self, bank):
+        assert len(bank.db["account_NYC"]) == 3
+        assert len(bank.db["account_EDI"]) == 2
+        assert len(bank.db["saving"]) == 2
+        assert len(bank.db["checking"]) == 3
+        assert len(bank.db["interest"]) == 4
+
+    def test_t12_is_dirty(self, bank):
+        rates = {t["rt"] for t in bank.db["interest"]}
+        assert "10.5%" in rates  # the planted error
+        assert "1.5%" not in rates
+
+    def test_clean_instance_fixed(self, bank):
+        rates = {t["rt"] for t in bank.clean_db["interest"]}
+        assert "1.5%" in rates
+        assert "10.5%" not in rates
+
+
+class TestConstraints:
+    def test_full_report_matches_paper(self, bank):
+        report = check_database(bank.db, bank.constraints)
+        assert report.total == 2
+        assert report.by_constraint() == {"phi3": 1, "psi6": 1}
+
+    def test_clean_instance_is_clean(self, bank):
+        report = check_database(bank.clean_db, bank.constraints)
+        assert report.is_clean
+
+    def test_summary_mentions_both(self, bank):
+        text = check_database(bank.db, bank.constraints).summary()
+        assert "phi3" in text and "psi6" in text
+
+
+class TestScaledInstance:
+    def test_clean_scaled_satisfies_constraints(self):
+        db = scaled_bank_instance(60, error_rate=0.0, seed=7)
+        sigma = bank_constraints()
+        report = check_database(db, sigma)
+        assert report.is_clean, report.summary()
+
+    def test_dirty_scaled_has_violations(self):
+        db = scaled_bank_instance(200, error_rate=0.3, seed=7)
+        report = check_database(db, bank_constraints())
+        assert report.total > 0
+
+    def test_deterministic_by_seed(self):
+        a = scaled_bank_instance(50, error_rate=0.2, seed=3)
+        b = scaled_bank_instance(50, error_rate=0.2, seed=3)
+        for rel in a.schema:
+            assert {t.values for t in a[rel.name]} == {
+                t.values for t in b[rel.name]
+            }
+
+    def test_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            scaled_bank_instance(10, error_rate=1.5)
+
+    def test_interest_table_correct(self):
+        db = scaled_bank_instance(10, seed=1)
+        for t in db["interest"]:
+            assert t["rt"] == INTEREST_RATES[(t["ct"], t["at"])]

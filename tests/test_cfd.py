@@ -1,0 +1,201 @@
+"""Tests for CFDs: syntax validation, semantics, violations (Section 4)."""
+
+import pytest
+
+from repro.core.cfd import CFD, standard_fd
+from repro.errors import ConstraintError
+from repro.relational.domains import BOOL
+from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+@pytest.fixture
+def r():
+    return RelationSchema("R", ["A", "B", "C"])
+
+
+@pytest.fixture
+def db_schema(r):
+    return DatabaseSchema([r])
+
+
+class TestConstruction:
+    def test_basic(self, r):
+        cfd = CFD(r, ("A",), ("B",), [(("x",), ("y",))])
+        assert cfd.lhs == ("A",)
+        assert cfd.rhs == ("B",)
+
+    def test_unknown_attribute_rejected(self, r):
+        with pytest.raises(Exception):
+            CFD(r, ("Z",), ("B",), [((_,), (_,))])
+
+    def test_empty_rhs_rejected(self, r):
+        with pytest.raises(ConstraintError):
+            CFD(r, ("A",), (), [((_,), ())])
+
+    def test_empty_tableau_rejected(self, r):
+        with pytest.raises(ConstraintError):
+            CFD(r, ("A",), ("B",), [])
+
+    def test_pattern_constant_outside_domain_rejected(self):
+        rel = RelationSchema("R", [Attribute("A", BOOL), "B"])
+        with pytest.raises(ConstraintError):
+            CFD(rel, ("A",), ("B",), [(("not-bool",), (_,))])
+
+    def test_empty_lhs_allowed(self, r):
+        # A constant CFD with empty LHS constrains every tuple.
+        cfd = CFD(r, (), ("B",), [((), ("b",))])
+        assert cfd.lhs == ()
+
+
+class TestStructuralProperties:
+    def test_standard_fd_detection(self, r):
+        fd = standard_fd(r, ("A",), ("B", "C"))
+        assert fd.is_standard_fd
+        assert not fd.is_constant_cfd
+
+    def test_non_standard(self, r):
+        cfd = CFD(r, ("A",), ("B",), [(("x",), (_,))])
+        assert not cfd.is_standard_fd
+
+    def test_constant_cfd(self, r):
+        cfd = CFD(r, ("A",), ("B",), [((_,), ("b",))])
+        assert cfd.is_constant_cfd
+
+    def test_normal_form_flag(self, r):
+        nf = CFD(r, ("A",), ("B",), [((_,), ("b",))])
+        assert nf.is_normal_form
+        multi_rhs = CFD(r, ("A",), ("B", "C"), [((_,), (_, _))])
+        assert not multi_rhs.is_normal_form
+
+    def test_normal_form_accessors(self, r):
+        nf = CFD(r, ("A",), ("B",), [(("x",), ("b",))])
+        assert nf.rhs_attribute == "B"
+        assert nf.pattern.lhs_value("A") == "x"
+
+    def test_normal_form_accessors_reject_non_normal(self, r):
+        multi = CFD(r, ("A",), ("B",), [((_,), (_,)), (("x",), ("y",))])
+        with pytest.raises(ConstraintError):
+            multi.pattern
+
+    def test_to_normal_form_counts(self, r):
+        cfd = CFD(
+            r, ("A",), ("B", "C"), [((_,), (_, _)), (("x",), ("y", "z"))]
+        )
+        nf = cfd.to_normal_form()
+        assert len(nf) == 4  # 2 rows x 2 RHS attributes
+        assert all(c.is_normal_form for c in nf)
+
+    def test_constants(self, r):
+        cfd = CFD(r, ("A",), ("B",), [(("x",), ("y",))])
+        assert cfd.constants() == {"x", "y"}
+
+    def test_equality_and_hash(self, r):
+        a = CFD(r, ("A",), ("B",), [(("x",), ("y",))])
+        b = CFD(r, ("A",), ("B",), [(("x",), ("y",))])
+        c = CFD(r, ("A",), ("B",), [(("x",), ("z",))])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestSemantics:
+    """Satisfaction per Section 4, pinned to the paper's examples."""
+
+    def test_standard_fd_violation_needs_two_tuples(self, r, db_schema):
+        fd = standard_fd(r, ("A",), ("B",))
+        db = DatabaseInstance(db_schema, {"R": [("1", "x", "p")]})
+        assert fd.satisfied_by(db)
+        db.add("R", ("1", "y", "q"))
+        assert not fd.satisfied_by(db)
+
+    def test_single_tuple_violates_constant_cfd(self, r, db_schema):
+        # Example 4.1: a single tuple alone may violate a CFD.
+        cfd = CFD(r, ("A",), ("B",), [(("k",), ("good",))])
+        db = DatabaseInstance(db_schema, {"R": [("k", "bad", "p")]})
+        violations = list(cfd.iter_violations(db))
+        assert len(violations) == 1
+        assert violations[0].kind == "single"
+
+    def test_pattern_scopes_the_fd(self, r, db_schema):
+        # The FD applies only to tuples matching tp[X].
+        cfd = CFD(r, ("A",), ("B",), [(("k",), (_,))])
+        db = DatabaseInstance(
+            db_schema, {"R": [("other", "x", "p"), ("other", "y", "q")]}
+        )
+        assert cfd.satisfied_by(db)  # conflicting pair does not match pattern
+        db.add("R", ("k", "x", "p"))
+        db.add("R", ("k", "y", "q"))
+        assert not cfd.satisfied_by(db)
+
+    def test_pair_violation_kind(self, r, db_schema):
+        cfd = CFD(r, ("A",), ("B",), [((_,), (_,))])
+        db = DatabaseInstance(db_schema, {"R": [("1", "x", "p"), ("1", "y", "p")]})
+        violations = list(cfd.iter_violations(db))
+        assert len(violations) == 1
+        assert violations[0].kind == "pair"
+        assert violations[0].lhs_values == ("1",)
+        assert len(violations[0].tuples) == 2
+
+    def test_empty_lhs_constant_cfd(self, r, db_schema):
+        cfd = CFD(r, (), ("B",), [((), ("only",))])
+        db = DatabaseInstance(db_schema, {"R": [("1", "only", "p")]})
+        assert cfd.satisfied_by(db)
+        db.add("R", ("2", "nope", "q"))
+        assert not cfd.satisfied_by(db)
+
+    def test_multi_row_tableau_all_rows_enforced(self, r, db_schema):
+        cfd = CFD(
+            r, ("A",), ("B",), [(("1",), ("x",)), (("2",), ("y",))]
+        )
+        db = DatabaseInstance(db_schema, {"R": [("1", "x", "p"), ("2", "y", "q")]})
+        assert cfd.satisfied_by(db)
+        db.add("R", ("2", "x", "w"))  # violates second row
+        assert not cfd.satisfied_by(db)
+
+    def test_violating_tuples_collects_group(self, r, db_schema):
+        cfd = CFD(r, ("A",), ("B",), [((_,), (_,))])
+        db = DatabaseInstance(db_schema, {"R": [("1", "x", "p"), ("1", "y", "p")]})
+        assert len(cfd.violating_tuples(db)) == 2
+
+    def test_tuple_violates_single(self, r):
+        cfd = CFD(r, ("A",), ("B",), [(("k",), ("good",))])
+        assert cfd.tuple_violates(Tuple(r, ("k", "bad", "p")))
+        assert not cfd.tuple_violates(Tuple(r, ("k", "good", "p")))
+        assert not cfd.tuple_violates(Tuple(r, ("other", "bad", "p")))
+
+    def test_accepts_relation_instance_directly(self, r):
+        cfd = CFD(r, ("A",), ("B",), [((_,), ("b",))])
+        inst = RelationInstance(r, [("1", "b", "c")])
+        assert cfd.satisfied_by(inst)
+
+    def test_wrong_relation_rejected(self, r):
+        cfd = CFD(r, ("A",), ("B",), [((_,), (_,))])
+        other = RelationInstance(RelationSchema("S", ["A", "B", "C"]))
+        with pytest.raises(ConstraintError):
+            list(cfd.iter_violations(other))
+
+
+class TestPaperExample41:
+    """ϕ3 and tuple t12 (Example 4.1), via the bank fixtures."""
+
+    def test_phi3_violated_by_t12(self, bank):
+        phi3 = bank.by_name["phi3"]
+        violations = list(phi3.iter_violations(bank.db))
+        assert len(violations) == 1
+        (violation,) = violations
+        assert violation.kind == "single"
+        assert violation.tuples[0]["rt"] == "10.5%"
+        # The violated row is the (UK, checking) -> 1.5% pattern.
+        row = phi3.tableau[violation.pattern_index]
+        assert row.lhs_value("ct") == "UK"
+        assert row.lhs_value("at") == "checking"
+
+    def test_phi3_satisfied_after_repair(self, bank):
+        phi3 = bank.by_name["phi3"]
+        assert phi3.satisfied_by(bank.clean_db)
+
+    def test_standard_fds_satisfied_even_on_dirty_data(self, bank):
+        # Example 1.2: the dirty instance satisfies fd1-fd3 (and ϕ1, ϕ2).
+        assert bank.by_name["phi1"].satisfied_by(bank.db)
+        assert bank.by_name["phi2"].satisfied_by(bank.db)

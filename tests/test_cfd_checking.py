@@ -1,0 +1,213 @@
+"""Tests for CFD_Checking: chase vs SAT vs brute force, Example 3.2, K_CFD."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.cfd_checking import cfd_checking, cfd_checking_all
+from repro.consistency.encode import encode_cfd_consistency, sat_cfd_consistency
+from repro.core.cfd import CFD, standard_fd
+from repro.errors import ConstraintError
+from repro.relational.domains import BOOL, FiniteDomain
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+from tests.strategies import cfds as cfd_strategy
+from tests.strategies import relation_schemas
+
+BACKENDS = ("chase", "sat", "brute")
+
+
+def witness_satisfies(relation, cfds, witness):
+    singleton = RelationInstance(relation, [witness])
+    return all(cfd.satisfied_by(singleton) for cfd in cfds)
+
+
+class TestExample32:
+    """The four CFDs of Example 3.2 are inconsistent (finite bool domain)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_inconsistent(self, ab_schema, example_3_2_cfds, backend):
+        r = ab_schema.relation("R")
+        result = cfd_checking(r, example_3_2_cfds, backend=backend)
+        assert not result.consistent
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_consistent_with_infinite_domain(self, example_3_2_cfds, backend):
+        # Example 3.2's remark: with infinite dom(A) a tuple dodging all
+        # the constants exists.
+        r = RelationSchema("R", ["A", "B"])
+        cfds = [
+            CFD(r, ("A",), ("B",), [(("true",), ("b1",))]),
+            CFD(r, ("A",), ("B",), [(("false",), ("b2",))]),
+            CFD(r, ("B",), ("A",), [(("b1",), ("false",))]),
+            CFD(r, ("B",), ("A",), [(("b2",), ("true",))]),
+        ]
+        result = cfd_checking(r, cfds, backend=backend)
+        assert result.consistent
+        assert witness_satisfies(r, cfds, result.witness)
+
+
+class TestBasicCases:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_set_consistent(self, backend):
+        r = RelationSchema("R", ["A"])
+        result = cfd_checking(r, [], backend=backend)
+        assert result.consistent
+        assert result.witness is not None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_standard_fds_always_consistent(self, backend):
+        r = RelationSchema("R", ["A", "B"])
+        result = cfd_checking(r, [standard_fd(r, ("A",), ("B",))], backend=backend)
+        assert result.consistent
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_direct_constant_conflict(self, backend):
+        # (nil -> A, a) and (nil -> A, b): no tuple can satisfy both.
+        r = RelationSchema("R", ["A"])
+        cfds = [
+            CFD(r, (), ("A",), [((), ("a",))]),
+            CFD(r, (), ("A",), [((), ("b",))]),
+        ]
+        assert not cfd_checking(r, cfds, backend=backend).consistent
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_propagation_chain(self, backend):
+        # nil -> A = a; A=a -> B = b; B=b -> C = c : consistent, forced tuple.
+        r = RelationSchema("R", ["A", "B", "C"])
+        cfds = [
+            CFD(r, (), ("A",), [((), ("a",))]),
+            CFD(r, ("A",), ("B",), [(("a",), ("b",))]),
+            CFD(r, ("B",), ("C",), [(("b",), ("c",))]),
+        ]
+        result = cfd_checking(r, cfds, backend=backend)
+        assert result.consistent
+        assert result.witness["A"] == "a"
+        assert result.witness["B"] == "b"
+        assert result.witness["C"] == "c"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_propagation_chain_conflict(self, backend):
+        r = RelationSchema("R", ["A", "B"])
+        cfds = [
+            CFD(r, (), ("A",), [((), ("a",))]),
+            CFD(r, ("A",), ("B",), [(("a",), ("b1",))]),
+            CFD(r, ("A",), ("B",), [(("a",), ("b2",))]),
+        ]
+        assert not cfd_checking(r, cfds, backend=backend).consistent
+
+    def test_wrong_relation_rejected(self):
+        r = RelationSchema("R", ["A"])
+        s = RelationSchema("S", ["A"])
+        cfd = CFD(s, (), ("A",), [((), ("a",))])
+        with pytest.raises(ConstraintError):
+            cfd_checking(r, [cfd])
+
+    def test_unknown_backend_rejected(self):
+        r = RelationSchema("R", ["A"])
+        with pytest.raises(ValueError):
+            cfd_checking(r, [CFD(r, (), ("A",), [((), ("a",))])], backend="nope")
+
+
+class TestFiniteDomainCases:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_finite_domain_fully_blocked(self, backend):
+        dom = FiniteDomain("d2", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", dom), "B"])
+        # Each domain value of A forces a B conflict.
+        cfds = [
+            CFD(r, ("A",), ("B",), [(("x",), ("p",))]),
+            CFD(r, ("A",), ("B",), [(("x",), ("q",))]),
+            CFD(r, ("A",), ("B",), [(("y",), ("p",))]),
+            CFD(r, ("A",), ("B",), [(("y",), ("q",))]),
+        ]
+        assert not cfd_checking(r, cfds, backend=backend).consistent
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_finite_domain_one_escape(self, backend):
+        dom = FiniteDomain("d3", ("x", "y", "z"))
+        r = RelationSchema("R", [Attribute("A", dom), "B"])
+        cfds = [
+            CFD(r, ("A",), ("B",), [(("x",), ("p",))]),
+            CFD(r, ("A",), ("B",), [(("x",), ("q",))]),
+            CFD(r, ("A",), ("B",), [(("y",), ("p",))]),
+            CFD(r, ("A",), ("B",), [(("y",), ("q",))]),
+        ]
+        result = cfd_checking(r, cfds, backend=backend)
+        assert result.consistent
+        assert result.witness["A"] == "z"
+
+    def test_k_cfd_limits_search(self):
+        # With K_CFD = 1 the chase tries a single valuation of a 2^10 space;
+        # on an inconsistent-looking-but-consistent set it may answer False.
+        dom = FiniteDomain("d2", ("x", "y"))
+        attrs = [Attribute(f"A{i}", dom) for i in range(10)] + [Attribute("B")]
+        r = RelationSchema("R", attrs)
+        # Consistent only when every Ai = y.
+        cfds = []
+        for i in range(10):
+            cfds.append(
+                CFD(r, (f"A{i}",), ("B",), [(("x",), ("p",))])
+            )
+            cfds.append(
+                CFD(r, (f"A{i}",), ("B",), [(("x",), ("q",))])
+            )
+        exhaustive = cfd_checking(r, cfds, backend="chase", k_cfd=2**10)
+        assert exhaustive.consistent
+        limited = cfd_checking(r, cfds, backend="chase", k_cfd=1, rng=random.Random(0))
+        assert limited.valuations_tried <= 1
+        if not limited.consistent:
+            assert not limited.exhaustive  # a negative under budget is tentative
+
+    def test_chase_reports_exhaustive_small_space(self, ab_schema, example_3_2_cfds):
+        r = ab_schema.relation("R")
+        result = cfd_checking(r, example_3_2_cfds, backend="chase", k_cfd=100)
+        assert not result.consistent
+        assert result.exhaustive  # bool space of size 2 fully explored
+
+
+class TestCheckingAll:
+    def test_per_relation_results(self, ab_schema, example_3_2_cfds):
+        r2 = RelationSchema("S", ["X"])
+        schema = DatabaseSchema([ab_schema.relation("R"), r2])
+        results = cfd_checking_all(schema, example_3_2_cfds)
+        assert not results["R"].consistent
+        assert results["S"].consistent  # no CFDs on S
+
+
+class TestEncoding:
+    def test_encoding_shape(self, ab_schema, example_3_2_cfds):
+        r = ab_schema.relation("R")
+        enc = encode_cfd_consistency(r, example_3_2_cfds)
+        # A has domain {True, False}; B has constants {b1, b2} + 1 fresh.
+        assert len(enc.candidates["A"]) == 2
+        assert len(enc.candidates["B"]) == 3
+        assert enc.solver.num_vars == 5
+
+    def test_sat_witness_decoded(self):
+        r = RelationSchema("R", ["A", "B"])
+        cfds = [CFD(r, (), ("A",), [((), ("a",))])]
+        consistent, witness, __ = sat_cfd_consistency(r, cfds)
+        assert consistent
+        assert witness["A"] == "a"
+        assert witness_satisfies(r, cfds, witness)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_backends_agree_on_random_cfds(data):
+    """Chase (exhaustive K), SAT and brute force must agree; witnesses valid."""
+    relation = data.draw(relation_schemas(name="R", max_arity=4))
+    n = data.draw(st.integers(min_value=1, max_value=5))
+    sigma = [data.draw(cfd_strategy(relation)) for __ in range(n)]
+    chase = cfd_checking(relation, sigma, backend="chase", k_cfd=10_000)
+    sat = cfd_checking(relation, sigma, backend="sat")
+    brute = cfd_checking(relation, sigma, backend="brute")
+    assert chase.consistent == sat.consistent == brute.consistent
+    for result in (chase, sat, brute):
+        if result.consistent:
+            assert witness_satisfies(relation, sigma, result.witness)

@@ -1,0 +1,163 @@
+"""Tests for exact CFD implication (the coNP cell of Tables 1/2).
+
+Includes a brute-force cross-check on random inputs: Σ |= φ iff no 1- or
+2-tuple instance over the candidate pools satisfies Σ and violates φ.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.cfd_implication import cfd_implies, _candidates
+from repro.core.cfd import CFD, standard_fd
+from repro.core.normalize import normalize_cfds
+from repro.errors import ConstraintError
+from repro.relational.domains import BOOL, FiniteDomain
+from repro.relational.instance import RelationInstance, Tuple
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+from tests.strategies import cfds as cfd_strategy
+from tests.strategies import relation_schemas
+
+
+@pytest.fixture
+def r():
+    return RelationSchema("R", ["A", "B", "C"])
+
+
+class TestClassicalFDRules:
+    def test_reflexivity(self, r):
+        # A, B -> A is implied by nothing.
+        phi = standard_fd(r, ("A", "B"), ("A",))
+        assert cfd_implies(r, [], phi)
+
+    def test_transitivity(self, r):
+        sigma = [standard_fd(r, ("A",), ("B",)), standard_fd(r, ("B",), ("C",))]
+        assert cfd_implies(r, sigma, standard_fd(r, ("A",), ("C",)))
+
+    def test_augmentation(self, r):
+        sigma = [standard_fd(r, ("A",), ("B",))]
+        assert cfd_implies(r, sigma, standard_fd(r, ("A", "C"), ("B",)))
+
+    def test_no_reverse(self, r):
+        sigma = [standard_fd(r, ("A",), ("B",))]
+        result = cfd_implies(r, sigma, standard_fd(r, ("B",), ("A",)))
+        assert not result.implied
+        ce = result.counterexample
+        assert ce is not None and len(ce) == 2
+        for cfd in sigma:
+            assert cfd.satisfied_by(ce)
+        assert not standard_fd(r, ("B",), ("A",)).satisfied_by(ce)
+
+    def test_unrelated_not_implied(self, r):
+        result = cfd_implies(r, [], standard_fd(r, ("A",), ("B",)))
+        assert not result.implied
+
+
+class TestConditionalRules:
+    def test_pattern_weakening_implied(self, r):
+        # (A -> B, (_ || _)) implies (A -> B, (a || _)).
+        general = standard_fd(r, ("A",), ("B",))
+        specific = CFD(r, ("A",), ("B",), [(("a",), (_,))])
+        assert cfd_implies(r, [general], specific)
+        assert not cfd_implies(r, [specific], general)
+
+    def test_constant_propagation(self, r):
+        # (nil -> A, a) and (A=a -> B, b) imply (nil -> B, b).
+        sigma = [
+            CFD(r, (), ("A",), [((), ("a",))]),
+            CFD(r, ("A",), ("B",), [(("a",), ("b",))]),
+        ]
+        goal = CFD(r, (), ("B",), [((), ("b",))])
+        assert cfd_implies(r, sigma, goal)
+
+    def test_constant_mismatch_not_implied(self, r):
+        sigma = [
+            CFD(r, (), ("A",), [((), ("a",))]),
+            CFD(r, ("A",), ("B",), [(("OTHER",), ("b",))]),
+        ]
+        goal = CFD(r, (), ("B",), [((), ("b",))])
+        result = cfd_implies(r, sigma, goal)
+        assert not result.implied
+        assert len(result.counterexample) == 1  # single-tuple counterexample
+
+    def test_finite_domain_case_split(self):
+        # dom(A) = bool; both values force B = b => (nil -> B, b) follows,
+        # the CFD analogue of the CIND7 reasoning.
+        rel = RelationSchema("R", [Attribute("A", BOOL), "B"])
+        sigma = [
+            CFD(rel, ("A",), ("B",), [((True,), ("b",))]),
+            CFD(rel, ("A",), ("B",), [((False,), ("b",))]),
+        ]
+        goal = CFD(rel, (), ("B",), [((), ("b",))])
+        assert cfd_implies(rel, sigma, goal)
+
+    def test_finite_domain_partial_split_fails(self):
+        dom = FiniteDomain("tri", ("x", "y", "z"))
+        rel = RelationSchema("R", [Attribute("A", dom), "B"])
+        sigma = [
+            CFD(rel, ("A",), ("B",), [(("x",), ("b",))]),
+            CFD(rel, ("A",), ("B",), [(("y",), ("b",))]),
+        ]
+        goal = CFD(rel, (), ("B",), [((), ("b",))])
+        result = cfd_implies(rel, sigma, goal)
+        assert not result.implied
+        assert any(t["A"] == "z" for t in result.counterexample)
+
+    def test_inconsistent_sigma_implies_everything(self):
+        rel = RelationSchema("R", [Attribute("A", BOOL), "B"])
+        sigma = [
+            CFD(rel, (), ("B",), [((), ("p",))]),
+            CFD(rel, (), ("B",), [((), ("q",))]),
+        ]
+        goal = CFD(rel, (), ("B",), [((), ("anything",))])
+        assert cfd_implies(rel, sigma, goal)
+
+    def test_multi_row_goal(self, r):
+        general = standard_fd(r, ("A",), ("B",))
+        goal = CFD(r, ("A",), ("B",), [(("a1",), (_,)), (("a2",), (_,))])
+        assert cfd_implies(r, [general], goal)
+
+    def test_wrong_relation_rejected(self, r):
+        other = RelationSchema("S", ["A", "B", "C"])
+        with pytest.raises(ConstraintError):
+            cfd_implies(r, [], standard_fd(other, ("A",), ("B",)))
+
+
+def _brute_force_implies(relation, sigma, phi) -> bool:
+    """Reference: search all 1- and 2-tuple instances over the pools."""
+    sigma_nf = normalize_cfds(sigma)
+    phi_nf = normalize_cfds([phi])
+    pools = _candidates(relation, sigma_nf + phi_nf)
+    names = list(pools)
+    all_tuples = [
+        Tuple(relation, dict(zip(names, combo)))
+        for combo in itertools.product(*(pools[n] for n in names))
+    ]
+    for i, t1 in enumerate(all_tuples):
+        for t2 in all_tuples[i:]:
+            instance = RelationInstance(relation, [t1, t2])
+            if not all(c.satisfied_by(instance) for c in sigma_nf):
+                continue
+            if not all(c.satisfied_by(instance) for c in phi_nf):
+                return False
+    return True
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_matches_brute_force_on_random_cfds(data):
+    relation = data.draw(relation_schemas(name="R", max_arity=3))
+    n = data.draw(st.integers(min_value=0, max_value=3))
+    sigma = [data.draw(cfd_strategy(relation, max_rows=1)) for __ in range(n)]
+    phi = data.draw(cfd_strategy(relation, max_rows=1))
+    expected = _brute_force_implies(relation, sigma, phi)
+    result = cfd_implies(relation, sigma, phi)
+    assert result.implied == expected
+    if not result.implied:
+        ce = result.counterexample
+        assert all(c.satisfied_by(ce) for c in normalize_cfds(sigma))
+        assert not phi.satisfied_by(ce)

@@ -1,0 +1,154 @@
+"""Tests for the smart finite-domain instantiation in the chase engine.
+
+Covers `choose_finite_values` (the CFD_Checking-style per-tuple search),
+the conflict-avoiding pool-variable selection at IND insertions, and the
+lazy-instantiation loop in RandomChecking that together reproduce the
+paper's Fig. 11(a) accuracy.
+"""
+
+import random
+
+import pytest
+
+from repro.chase.engine import ChaseEngine, ChaseStatus
+from repro.consistency.random_checking import random_checking
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet
+from repro.relational.domains import FiniteDomain
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+from repro.relational.values import Variable
+
+
+@pytest.fixture
+def finite_schema():
+    dom = FiniteDomain("d3c", ("p", "q", "r"))
+    rel = RelationSchema("R", [Attribute("A", dom), Attribute("B"), Attribute("C", dom)])
+    return DatabaseSchema([rel]), rel, dom
+
+
+class TestChooseFiniteValues:
+    def test_respects_forcing_cfds(self, finite_schema):
+        schema, rel, dom = finite_schema
+        # B = 'go' forces A = 'q'.
+        phi = CFD(rel, ("B",), ("A",), [(("go",), ("q",))], name="force")
+        engine = ChaseEngine(schema, cfds=[phi], rng=random.Random(0))
+        values = {"A": Variable("R.A", 0), "B": "go", "C": Variable("R.C", 0)}
+        chosen = engine.choose_finite_values(rel, values)
+        assert chosen is not None
+        assert chosen["A"] == "q"
+        assert chosen["C"] in dom.values  # free: any domain value
+
+    def test_avoids_dead_values(self, finite_schema):
+        schema, rel, dom = finite_schema
+        # A = 'p' and A = 'q' both lead to a B conflict; only 'r' works.
+        cfds = [
+            CFD(rel, ("A",), ("B",), [(("p",), ("x1",))]),
+            CFD(rel, ("A",), ("B",), [(("p",), ("x2",))]),
+            CFD(rel, ("A",), ("B",), [(("q",), ("x1",))]),
+            CFD(rel, ("A",), ("B",), [(("q",), ("x2",))]),
+        ]
+        engine = ChaseEngine(schema, cfds=cfds, rng=random.Random(0))
+        values = {"A": Variable("R.A", 0), "B": Variable("R.B", 0),
+                  "C": Variable("R.C", 0)}
+        chosen = engine.choose_finite_values(rel, values)
+        assert chosen is not None
+        assert chosen["A"] == "r"
+
+    def test_none_when_every_value_fails(self, finite_schema):
+        schema, rel, dom = finite_schema
+        cfds = []
+        for value in dom.values:
+            cfds.append(CFD(rel, ("A",), ("B",), [((value,), ("x1",))]))
+            cfds.append(CFD(rel, ("A",), ("B",), [((value,), ("x2",))]))
+        engine = ChaseEngine(schema, cfds=cfds, rng=random.Random(0))
+        values = {"A": Variable("R.A", 0), "B": Variable("R.B", 0),
+                  "C": Variable("R.C", 0)}
+        assert engine.choose_finite_values(rel, values) is None
+
+    def test_fixed_constant_conflict_detected(self, finite_schema):
+        schema, rel, dom = finite_schema
+        phi = CFD(rel, ("B",), ("A",), [(("go",), ("q",))])
+        engine = ChaseEngine(schema, cfds=[phi], rng=random.Random(0))
+        # A is already fixed to a conflicting constant: no assignment helps.
+        values = {"A": "p", "B": "go", "C": Variable("R.C", 0)}
+        assert engine.choose_finite_values(rel, values) is None
+
+    def test_no_finite_gaps_returns_empty(self, finite_schema):
+        schema, rel, dom = finite_schema
+        engine = ChaseEngine(schema, rng=random.Random(0))
+        values = {"A": "p", "B": Variable("R.B", 0), "C": "q"}
+        assert engine.choose_finite_values(rel, values) == {}
+
+
+class TestConflictAvoidingInsertion:
+    def test_distinct_yp_constants_coexist(self):
+        """Two CINDs force tuples into S with different D constants; the
+        inserted tuples must not collide into one FD group."""
+        r = RelationSchema("R", ["A"])
+        s = RelationSchema("S", ["C", "D", "E"])
+        schema = DatabaseSchema([r, s])
+        sigma = ConstraintSet(
+            schema,
+            cfds=[CFD(s, ("E",), ("D",), [((_,), (_,))], name="fd")],
+            cinds=[
+                CIND(r, (), ("A",), s, (), ("D",), [(("k",), ("d1",))], name="c1"),
+                CIND(r, (), ("A",), s, (), ("D",), [(("k",), ("d2",))], name="c2"),
+            ],
+        )
+        # With a single pool variable per column the two insertions would
+        # share E and clash on D; the engine must still find a defined chase
+        # (var_pool_size=2 gives it room to separate the groups).
+        engine = ChaseEngine(
+            schema, constraints=sigma, var_pool_size=2, rng=random.Random(3)
+        )
+        db = DatabaseInstance(schema, {"R": [("k",)]})
+        result = engine.chase(db)
+        assert result.status is ChaseStatus.DEFINED
+        assert len(result.db["S"]) == 2
+
+
+class TestLazyInstantiationEndToEnd:
+    def test_late_forced_value_is_respected(self):
+        """The regression that motivated lazy instantiation: a finite value
+        whose constraining premise only matches after later unification."""
+        dom = FiniteDomain("d2z", ("good", "bad"))
+        r = RelationSchema("R", ["A"])
+        s = RelationSchema("S", ["C", Attribute("H", dom)])
+        schema = DatabaseSchema([r, s])
+        sigma = ConstraintSet(
+            schema,
+            cfds=[
+                # Any S tuple with C = 'k' must have H = 'good'.
+                CFD(s, ("C",), ("H",), [(("k",), ("good",))], name="force"),
+            ],
+            cinds=[
+                # R's tuple forces an S tuple with C = value of A.
+                CIND(r, ("A",), (), s, ("C",), (), [((_,), (_,))], name="push"),
+                # ... and every R tuple must carry A = 'k'.
+            ],
+        )
+        sigma.add_cfd(CFD(r, (), ("A",), [((), ("k",))], name="pin"))
+        decision = random_checking(schema, sigma, k=5, rng=random.Random(0))
+        assert decision.consistent
+        (s_tuple,) = decision.witness["S"].tuples
+        assert s_tuple["H"] == "good"
+
+    def test_plain_variant_still_sound(self):
+        """improved=False (Fig. 5 verbatim) may fail more often but must
+        never return an unverified True."""
+        dom = FiniteDomain("d2y", ("x", "y"))
+        rel = RelationSchema("R", [Attribute("A", dom), "B"])
+        schema = DatabaseSchema([rel])
+        sigma = ConstraintSet(
+            schema,
+            cfds=[CFD(rel, ("A",), ("B",), [(("x",), ("only",))], name="c")],
+        )
+        for seed in range(5):
+            decision = random_checking(
+                schema, sigma, k=10, improved=False, rng=random.Random(seed)
+            )
+            if decision.consistent:
+                assert sigma.satisfied_by(decision.witness)

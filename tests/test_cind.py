@@ -1,0 +1,258 @@
+"""Tests for CINDs: syntax validation, semantics, violations (Section 2)."""
+
+import pytest
+
+from repro.core.cind import CIND, standard_ind
+from repro.errors import ConstraintError
+from repro.relational.domains import BOOL, INTEGER, FiniteDomain
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+@pytest.fixture
+def two_relations():
+    r = RelationSchema("R", ["A", "B", "C"])
+    s = RelationSchema("S", ["D", "E", "F"])
+    return DatabaseSchema([r, s]), r, s
+
+
+class TestConstruction:
+    def test_basic(self, two_relations):
+        __, r, s = two_relations
+        cind = CIND(r, ("A",), ("B",), s, ("D",), ("E",), [((_, "b"), (_, "e"))])
+        assert cind.x == ("A",)
+        assert cind.yp == ("E",)
+
+    def test_x_xp_overlap_rejected(self, two_relations):
+        __, r, s = two_relations
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), ("A",), s, ("D",), (), [((_, _), (_,))])
+
+    def test_y_yp_overlap_rejected(self, two_relations):
+        __, r, s = two_relations
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), (), s, ("D",), ("D",), [((_,), (_, _))])
+
+    def test_arity_mismatch_rejected(self, two_relations):
+        __, r, s = two_relations
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A", "B"), (), s, ("D",), (), [((_, _), (_,))])
+
+    def test_tp_x_equals_tp_y_enforced(self, two_relations):
+        __, r, s = two_relations
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), (), s, ("D",), (), [(("x",), ("y",))])
+
+    def test_tp_x_equals_tp_y_wildcards_ok(self, two_relations):
+        __, r, s = two_relations
+        CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_tp_x_equals_tp_y_constants_ok(self, two_relations):
+        __, r, s = two_relations
+        cind = CIND(r, ("A",), (), s, ("D",), (), [(("k",), ("k",))])
+        assert cind.pattern.lhs_value("A") == "k"
+
+    def test_empty_tableau_rejected(self, two_relations):
+        __, r, s = two_relations
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), (), s, ("D",), (), [])
+
+    def test_pattern_constant_outside_domain_rejected(self):
+        r = RelationSchema("R", [Attribute("A", BOOL)])
+        s = RelationSchema("S", ["D"])
+        with pytest.raises(ConstraintError):
+            CIND(r, (), ("A",), s, (), (), [(("oops",), ())])
+
+    def test_self_cind_allowed(self, two_relations):
+        __, r, __s = two_relations
+        cind = CIND(r, ("A",), (), r, ("B",), (), [((_,), (_,))])
+        assert cind.lhs_relation is cind.rhs_relation
+
+
+class TestDomainCompatibility:
+    """The dom(Ai) ⊆ dom(Bi) assumption is validated best-effort."""
+
+    def test_same_infinite_domain_ok(self, two_relations):
+        __, r, s = two_relations
+        CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_finite_into_same_finite_ok(self):
+        dom = FiniteDomain("d", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", dom)])
+        s = RelationSchema("S", [Attribute("D", dom)])
+        CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_finite_subset_finite_ok(self):
+        small = FiniteDomain("small", ("x",))
+        big = FiniteDomain("big", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", small)])
+        s = RelationSchema("S", [Attribute("D", big)])
+        CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_finite_superset_finite_rejected(self):
+        small = FiniteDomain("small", ("x",))
+        big = FiniteDomain("big", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", big)])
+        s = RelationSchema("S", [Attribute("D", small)])
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_finite_strings_into_infinite_string_ok(self):
+        dom = FiniteDomain("d", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", dom)])
+        s = RelationSchema("S", ["D"])
+        CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_infinite_into_finite_rejected(self):
+        dom = FiniteDomain("d", ("x", "y"))
+        r = RelationSchema("R", ["A"])
+        s = RelationSchema("S", [Attribute("D", dom)])
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+    def test_distinct_infinite_domains_rejected(self):
+        r = RelationSchema("R", [Attribute("A", INTEGER)])
+        s = RelationSchema("S", ["D"])
+        with pytest.raises(ConstraintError):
+            CIND(r, ("A",), (), s, ("D",), (), [((_,), (_,))])
+
+
+class TestStructuralProperties:
+    def test_standard_ind(self, two_relations):
+        __, r, s = two_relations
+        ind = standard_ind(r, ("A", "B"), s, ("D", "E"))
+        assert ind.is_standard_ind
+        assert ind.is_normal_form  # an IND is trivially in normal form
+
+    def test_not_standard_with_patterns(self, two_relations):
+        __, r, s = two_relations
+        cind = CIND(r, ("A",), ("B",), s, ("D",), (), [((_, "b"), (_,))])
+        assert not cind.is_standard_ind
+
+    def test_normal_form_detection(self, two_relations):
+        __, r, s = two_relations
+        nf = CIND(r, ("A",), ("B",), s, ("D",), ("E",), [((_, "b"), (_, "e"))])
+        assert nf.is_normal_form
+        # Constant on an X attribute -> not normal form.
+        not_nf = CIND(r, ("A",), (), s, ("D",), (), [(("k",), ("k",))])
+        assert not not_nf.is_normal_form
+        # Wildcard on a pattern attribute -> not normal form.
+        not_nf2 = CIND(r, ("A",), ("B",), s, ("D",), (), [((_, _), (_,))])
+        assert not not_nf2.is_normal_form
+
+    def test_multi_row_not_normal(self, two_relations):
+        __, r, s = two_relations
+        multi = CIND(
+            r, (), ("A",), s, (), (),
+            [(("x",), ()), (("y",), ())],
+        )
+        assert not multi.is_normal_form
+        with pytest.raises(ConstraintError):
+            multi.pattern
+
+
+class TestSemantics:
+    def test_standard_ind_semantics(self, two_relations):
+        schema, r, s = two_relations
+        ind = standard_ind(r, ("A",), s, ("D",))
+        db = DatabaseInstance(schema, {"R": [("1", "b", "c")]})
+        assert not ind.satisfied_by(db)
+        db.add("S", ("1", "e", "f"))
+        assert ind.satisfied_by(db)
+
+    def test_xp_scopes_the_ind(self, two_relations):
+        # Example 2.2: Xp identifies the tuples ψ applies to; the embedded
+        # IND need not hold on the whole relation.
+        schema, r, s = two_relations
+        cind = CIND(r, ("A",), ("B",), s, ("D",), (), [((_, "go"), (_,))])
+        db = DatabaseInstance(schema, {"R": [("1", "stop", "c")]})
+        assert cind.satisfied_by(db)  # premise not matched: vacuous
+        db.add("R", ("2", "go", "c"))
+        assert not cind.satisfied_by(db)
+        db.add("S", ("2", "e", "f"))
+        assert cind.satisfied_by(db)
+
+    def test_yp_constrains_witness(self, two_relations):
+        schema, r, s = two_relations
+        cind = CIND(r, ("A",), (), s, ("D",), ("E",), [((_,), (_, "req"))])
+        db = DatabaseInstance(
+            schema, {"R": [("1", "b", "c")], "S": [("1", "other", "f")]}
+        )
+        assert not cind.satisfied_by(db)  # witness exists but Yp mismatches
+        db.add("S", ("1", "req", "f"))
+        assert cind.satisfied_by(db)
+
+    def test_empty_x_pure_pattern_cind(self, two_relations):
+        # ψ5-style: X = nil; only the patterns constrain.
+        schema, r, s = two_relations
+        cind = CIND(r, (), ("A",), s, (), ("E",), [(("k",), ("e",))])
+        db = DatabaseInstance(schema, {"R": [("k", "b", "c")]})
+        assert not cind.satisfied_by(db)
+        db.add("S", ("d", "e", "f"))
+        assert cind.satisfied_by(db)
+
+    def test_multi_row_tableau(self, two_relations):
+        schema, r, s = two_relations
+        cind = CIND(
+            r, (), ("A",), s, (), ("E",),
+            [(("k1",), ("e1",)), (("k2",), ("e2",))],
+        )
+        db = DatabaseInstance(
+            schema, {"R": [("k1", "b", "c"), ("k2", "b", "c")], "S": [("d", "e1", "f")]}
+        )
+        violations = list(cind.iter_violations(db))
+        assert len(violations) == 1
+        assert violations[0].pattern_index == 1
+        assert violations[0].tuple_["A"] == "k2"
+
+    def test_x_constant_in_pattern(self, two_relations):
+        # A non-normal-form CIND: the constant sits on X/Y directly.
+        schema, r, s = two_relations
+        cind = CIND(r, ("A",), (), s, ("D",), (), [(("k",), ("k",))])
+        db = DatabaseInstance(schema, {"R": [("k", "b", "c")], "S": [("j", "e", "f")]})
+        assert not cind.satisfied_by(db)
+        db.add("S", ("k", "e", "f"))
+        assert cind.satisfied_by(db)
+
+    def test_required_rhs_template(self, two_relations):
+        __, r, s = two_relations
+        cind = CIND(r, ("A",), (), s, ("D",), ("E",), [((_,), (_, "req"))])
+        t1 = Tuple(r, ("1", "b", "c"))
+        template = cind.required_rhs_template(t1, cind.tableau[0])
+        assert template["D"] == "1"
+        assert template["E"] == "req"
+        assert template["F"] is _
+
+
+class TestPaperExample22:
+    """Example 2.2: the Fig. 1 instance vs ψ1–ψ6."""
+
+    def test_psi1_through_psi5_satisfied(self, bank):
+        for name in ("psi1[NYC]", "psi1[EDI]", "psi2[NYC]", "psi2[EDI]",
+                     "psi3", "psi4", "psi5"):
+            assert bank.by_name[name].satisfied_by(bank.db), name
+
+    def test_psi6_violated_by_t10(self, bank):
+        psi6 = bank.by_name["psi6"]
+        violations = list(psi6.iter_violations(bank.db))
+        assert len(violations) == 1
+        t10 = violations[0].tuple_
+        assert t10["cn"] == "I. Stark"
+        assert t10["ab"] == "EDI"
+        # the violated pattern row is the EDI/UK/1.5% one
+        assert violations[0].pattern_index == 0
+
+    def test_embedded_ind_of_psi1_does_not_hold(self, bank):
+        # Example 2.2: ψ1 holds but its embedded IND does not (for EDI).
+        from repro.core.cind import standard_ind
+
+        account_edi = bank.schema.relation("account_EDI")
+        saving = bank.schema.relation("saving")
+        xs = ("an", "cn", "ca", "cp")
+        embedded = standard_ind(account_edi, xs, saving, xs)
+        assert not embedded.satisfied_by(bank.db)
+        assert bank.by_name["psi1[EDI]"].satisfied_by(bank.db)
+
+    def test_clean_instance_satisfies_everything(self, bank):
+        assert bank.constraints.satisfied_by(bank.clean_db)

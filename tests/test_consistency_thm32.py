@@ -1,0 +1,133 @@
+"""Theorem 3.2: any set of CINDs is consistent; the witness construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import (
+    WitnessTooLarge,
+    active_domains,
+    build_cind_witness,
+    is_consistent_cinds,
+)
+from repro.core.cind import CIND
+from repro.relational.domains import FiniteDomain
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+from tests.strategies import cinds, database_schemas
+
+
+@pytest.fixture
+def rs():
+    r = RelationSchema("R", ["A", "B"])
+    s = RelationSchema("S", ["C", "D"])
+    return DatabaseSchema([r, s]), r, s
+
+
+class TestActiveDomains:
+    def test_contains_sigma_constants_plus_fresh(self, rs):
+        schema, r, s = rs
+        cind = CIND(r, (), ("A",), s, (), ("C",), [(("k",), ("m",))], name="c")
+        adom = active_domains(schema, [cind])
+        assert "k" in adom[("R", "A")]
+        assert "m" in adom[("S", "C")]
+        # one fresh value beyond the constants
+        assert len(adom[("R", "A")]) >= 2
+
+    def test_finite_domain_not_exceeded(self):
+        dom = FiniteDomain("two", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", dom)])
+        schema = DatabaseSchema([r])
+        cind = CIND(r, (), ("A",), r, (), (), [(("x",), ())])
+        adom = active_domains(schema, [cind])
+        assert set(adom[("R", "A")]) <= {"x", "y"}
+
+    def test_closure_propagates_along_embedded_ind(self, rs):
+        schema, r, s = rs
+        # constant 'k' flows from R.A into S.C's active domain via the IND.
+        cind = CIND(r, ("A",), ("B",), s, ("C",), (), [((_, "k"), (_,))])
+        adom = active_domains(schema, [cind])
+        for v in adom[("R", "A")]:
+            assert v in adom[("S", "C")]
+
+
+class TestWitness:
+    def test_witness_nonempty_and_satisfying(self, rs):
+        schema, r, s = rs
+        sigma = [
+            CIND(r, ("A",), ("B",), s, ("C",), ("D",), [((_, "go"), (_, "tag"))]),
+            CIND(s, ("C",), (), r, ("A",), (), [((_,), (_,))]),
+        ]
+        db = build_cind_witness(schema, sigma)
+        assert not db.is_empty()
+        for cind in sigma:
+            assert cind.satisfied_by(db)
+
+    def test_witness_for_bank_cinds(self, bank):
+        db = build_cind_witness(bank.schema, bank.cinds)
+        assert not db.is_empty()
+        for cind in bank.cinds:
+            assert cind.satisfied_by(db), cind.name
+
+    def test_cyclic_cinds(self, rs):
+        schema, r, s = rs
+        sigma = [
+            CIND(r, ("A",), (), s, ("C",), (), [((_,), (_,))]),
+            CIND(s, ("C",), (), r, ("A",), (), [((_,), (_,))]),
+        ]
+        db = build_cind_witness(schema, sigma)
+        for cind in sigma:
+            assert cind.satisfied_by(db)
+
+    def test_size_guard(self, rs):
+        schema, r, s = rs
+        cind = CIND(
+            r, (), ("A",), s, (), (),
+            [((f"k{i}",), ()) for i in range(40)],
+        )
+        with pytest.raises(WitnessTooLarge):
+            build_cind_witness(schema, [cind], max_tuples_per_relation=30)
+
+    def test_empty_sigma(self, rs):
+        schema, *_ = rs
+        db = build_cind_witness(schema, [])
+        assert not db.is_empty()
+
+    def test_finite_domain_exhausted_by_constants(self):
+        dom = FiniteDomain("two", ("x", "y"))
+        r = RelationSchema("R", [Attribute("A", dom), "B"])
+        schema = DatabaseSchema([r])
+        sigma = [
+            CIND(r, (), ("A",), r, (), ("B",), [(("x",), ("px",))]),
+            CIND(r, (), ("A",), r, (), ("B",), [(("y",), ("py",))]),
+        ]
+        db = build_cind_witness(schema, sigma)
+        for cind in sigma:
+            assert cind.satisfied_by(db)
+
+
+class TestDecisionProcedure:
+    def test_always_true_without_verification(self, bank):
+        assert is_consistent_cinds(bank.schema, bank.cinds) is True
+
+    def test_verified_on_bank(self, bank):
+        assert is_consistent_cinds(bank.schema, bank.cinds, verify=True) is True
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_theorem_3_2_property(data):
+    """Random CIND sets always admit a verified nonempty witness."""
+    schema = data.draw(database_schemas(max_relations=2))
+    rels = list(schema)
+    n = data.draw(st.integers(min_value=0, max_value=4))
+    sigma = []
+    for __ in range(n):
+        src = data.draw(st.sampled_from(rels))
+        dst = data.draw(st.sampled_from(rels))
+        sigma.append(data.draw(cinds(src, dst)))
+    db = build_cind_witness(schema, sigma, max_tuples_per_relation=200_000)
+    assert not db.is_empty()
+    for cind in sigma:
+        assert cind.satisfied_by(db)

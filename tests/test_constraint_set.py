@@ -1,0 +1,105 @@
+"""Tests for the ConstraintSet container and its indexes."""
+
+import pytest
+
+from repro.core.cfd import CFD, standard_fd
+from repro.core.cind import CIND, standard_ind
+from repro.core.violations import ConstraintSet
+from repro.errors import ConstraintError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+@pytest.fixture
+def setting():
+    r = RelationSchema("R", ["A", "B"])
+    s = RelationSchema("S", ["C", "D"])
+    t = RelationSchema("T", ["E", "F"])
+    schema = DatabaseSchema([r, s, t])
+    sigma = ConstraintSet(
+        schema,
+        cfds=[
+            standard_fd(r, ("A",), ("B",), name="fd_r"),
+            CFD(s, ("C",), ("D",), [(("c1",), ("d1",))], name="cfd_s"),
+        ],
+        cinds=[
+            standard_ind(r, ("A",), s, ("C",), name="r_to_s"),
+            CIND(s, (), ("C",), t, (), ("E",), [(("c2",), ("e1",))], name="s_to_t"),
+            standard_ind(r, ("B",), t, ("F",), name="r_to_t"),
+        ],
+    )
+    return schema, sigma, (r, s, t)
+
+
+class TestIndexes:
+    def test_cfds_on(self, setting):
+        __, sigma, __rels = setting
+        assert [c.name for c in sigma.cfds_on("R")] == ["fd_r"]
+        assert sigma.cfds_on("T") == []
+
+    def test_cinds_from_into_between(self, setting):
+        __, sigma, __rels = setting
+        assert {c.name for c in sigma.cinds_from("R")} == {"r_to_s", "r_to_t"}
+        assert {c.name for c in sigma.cinds_into("T")} == {"s_to_t", "r_to_t"}
+        assert [c.name for c in sigma.cinds_between("S", "T")] == ["s_to_t"]
+        assert sigma.cinds_between("T", "R") == []
+
+    def test_relations_used(self, setting):
+        __, sigma, __rels = setting
+        assert sigma.relations_used() == {"R", "S", "T"}
+
+    def test_len_and_iter(self, setting):
+        __, sigma, __rels = setting
+        assert len(sigma) == 5
+        assert len(list(sigma)) == 5
+
+
+class TestRestriction:
+    def test_restricted_to_keeps_internal_constraints(self, setting):
+        __, sigma, __rels = setting
+        restricted = sigma.restricted_to({"R", "S"})
+        names = {c.name for c in restricted}
+        # r_to_t and s_to_t leave the component; fd_r, cfd_s, r_to_s stay.
+        assert names == {"fd_r", "cfd_s", "r_to_s"}
+
+    def test_restricted_to_single_relation(self, setting):
+        __, sigma, __rels = setting
+        restricted = sigma.restricted_to({"T"})
+        assert len(restricted) == 0
+
+
+class TestConstants:
+    def test_constants_for(self, setting):
+        __, sigma, __rels = setting
+        assert sigma.constants_for("S", "C") == {"c1", "c2"}
+        assert sigma.constants_for("S", "D") == {"d1"}
+        assert sigma.constants_for("T", "E") == {"e1"}
+        assert sigma.constants_for("R", "A") == set()
+
+    def test_all_constants(self, setting):
+        __, sigma, __rels = setting
+        assert sigma.all_constants() == {"c1", "c2", "d1", "e1"}
+
+
+class TestValidation:
+    def test_unknown_relation_rejected(self, setting):
+        schema, sigma, (r, *_rest) = setting
+        other = RelationSchema("X", ["Z"])
+        with pytest.raises(ConstraintError):
+            sigma.add_cfd(standard_fd(other, ("Z",), ("Z",)))
+        with pytest.raises(ConstraintError):
+            sigma.add_cind(standard_ind(other, ("Z",), r, ("A",)))
+
+
+class TestNormalization:
+    def test_normalized_set_equivalence(self, bank):
+        normal = bank.constraints.normalized()
+        assert all(c.is_normal_form for c in normal.cfds)
+        assert all(c.is_normal_form for c in normal.cinds)
+        # Same verdicts on the dirty and clean instances.
+        assert normal.satisfied_by(bank.db) == bank.constraints.satisfied_by(bank.db)
+        assert normal.satisfied_by(bank.clean_db)
+
+    def test_satisfied_by(self, bank):
+        assert not bank.constraints.satisfied_by(bank.db)
+        assert bank.constraints.satisfied_by(bank.clean_db)

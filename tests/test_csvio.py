@@ -1,0 +1,93 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csvio import (
+    read_database_csv,
+    read_relation_csv,
+    write_database_csv,
+    write_relation_csv,
+)
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import Variable
+
+
+@pytest.fixture
+def r():
+    return RelationSchema("R", ["A", "B"])
+
+
+class TestRelationRoundTrip:
+    def test_round_trip(self, r, tmp_path):
+        inst = RelationInstance(r, [("1", "x"), ("2", "y")])
+        path = tmp_path / "r.csv"
+        write_relation_csv(inst, path)
+        loaded = read_relation_csv(r, path)
+        assert {t.values for t in loaded} == {("1", "x"), ("2", "y")}
+
+    def test_coercions(self, r, tmp_path):
+        inst = RelationInstance(r, [("1", "x")])
+        path = tmp_path / "r.csv"
+        write_relation_csv(inst, path)
+        loaded = read_relation_csv(r, path, coercions={"A": int})
+        assert loaded.tuples[0]["A"] == 1
+
+    def test_header_mismatch_rejected(self, r, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,Z\n1,2\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(r, path)
+
+    def test_empty_file_rejected(self, r, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_relation_csv(r, path)
+
+    def test_header_any_order(self, r, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("B,A\nx,1\n")
+        loaded = read_relation_csv(r, path)
+        assert loaded.tuples[0]["A"] == "1"
+
+    def test_templates_not_serialisable(self, r, tmp_path):
+        inst = RelationInstance(r, [(Variable("A", 0), "x")])
+        with pytest.raises(SchemaError):
+            write_relation_csv(inst, tmp_path / "r.csv")
+
+    def test_blank_lines_skipped(self, r, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("A,B\n1,x\n\n2,y\n")
+        loaded = read_relation_csv(r, path)
+        assert len(loaded) == 2
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip(self, tmp_path):
+        schema = DatabaseSchema(
+            [RelationSchema("R", ["A"]), RelationSchema("S", ["B"])]
+        )
+        db = DatabaseInstance(schema, {"R": [("1",)], "S": [("x",)]})
+        write_database_csv(db, tmp_path / "db")
+        loaded = read_database_csv(schema, tmp_path / "db")
+        assert loaded.total_tuples() == 2
+
+    def test_missing_files_mean_empty_relations(self, tmp_path):
+        schema = DatabaseSchema(
+            [RelationSchema("R", ["A"]), RelationSchema("S", ["B"])]
+        )
+        (tmp_path / "db").mkdir()
+        (tmp_path / "db" / "R.csv").write_text("A\n1\n")
+        loaded = read_database_csv(schema, tmp_path / "db")
+        assert len(loaded["R"]) == 1
+        assert len(loaded["S"]) == 0
+
+    def test_bank_round_trip(self, bank, tmp_path):
+        write_database_csv(bank.db, tmp_path / "bank")
+        loaded = read_database_csv(bank.schema, tmp_path / "bank")
+        for rel in bank.schema:
+            assert {t.values for t in loaded[rel.name]} == {
+                t.values for t in bank.db[rel.name]
+            }

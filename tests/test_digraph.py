@@ -1,0 +1,154 @@
+"""Tests for the directed-graph substrate."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def diamond():
+    """A -> B, A -> C, B -> D, C -> D."""
+    g = DiGraph()
+    for src, dst in [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")]:
+        g.add_edge(src, dst)
+    return g
+
+
+@pytest.fixture
+def fig6_graph():
+    """The shape of Fig. 6: R1 <-> R2, R3 -> R4, R5 -> R2."""
+    g = DiGraph()
+    g.add_edge("R1", "R2")
+    g.add_edge("R2", "R1")
+    g.add_edge("R3", "R4")
+    g.add_edge("R5", "R2")
+    return g
+
+
+class TestBasics:
+    def test_add_and_query(self, diamond):
+        assert len(diamond) == 4
+        assert diamond.has_edge("A", "B")
+        assert not diamond.has_edge("B", "A")
+        assert diamond.successors("A") == {"B", "C"}
+        assert diamond.predecessors("D") == {"B", "C"}
+        assert diamond.out_degree("A") == 2
+        assert diamond.in_degree("D") == 2
+
+    def test_parallel_edges_collapse(self):
+        g = DiGraph()
+        g.add_edge("A", "B")
+        g.add_edge("A", "B")
+        assert g.out_degree("A") == 1
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge("A", "A")
+        assert g.in_degree("A") == 1
+        assert g.has_edge("A", "A")
+
+    def test_remove_node(self, diamond):
+        diamond.remove_node("B")
+        assert "B" not in diamond
+        assert not diamond.has_edge("A", "B")
+        assert diamond.predecessors("D") == {"C"}
+
+    def test_remove_edge(self, diamond):
+        diamond.remove_edge("A", "B")
+        assert not diamond.has_edge("A", "B")
+        assert "B" in diamond
+
+    def test_copy_independent(self, diamond):
+        clone = diamond.copy()
+        clone.remove_node("A")
+        assert "A" in diamond
+
+    def test_edges_iteration(self, diamond):
+        assert set(diamond.edges()) == {
+            ("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")
+        }
+
+
+class TestSCC:
+    def test_acyclic_components_are_singletons(self, diamond):
+        comps = diamond.strongly_connected_components()
+        assert sorted(len(c) for c in comps) == [1, 1, 1, 1]
+
+    def test_cycle_detected(self, fig6_graph):
+        comps = fig6_graph.strongly_connected_components()
+        sizes = {frozenset(c) for c in comps}
+        assert frozenset({"R1", "R2"}) in sizes
+
+    def test_reverse_topological_order_of_condensation(self, diamond):
+        comps = diamond.strongly_connected_components()
+        position = {frozenset(c): i for i, c in enumerate(comps)}
+
+        def pos(node):
+            for comp, i in position.items():
+                if node in comp:
+                    return i
+            raise AssertionError(node)
+
+        # every edge goes from a later component to an earlier one
+        for src, dst in diamond.edges():
+            assert pos(dst) <= pos(src)
+
+    def test_large_chain_no_recursion_error(self):
+        g = DiGraph()
+        for i in range(5000):
+            g.add_edge(i, i + 1)
+        comps = g.strongly_connected_components()
+        assert len(comps) == 5001
+
+
+class TestTopologicalOrder:
+    def test_sinks_first(self, diamond):
+        order = diamond.topological_order_sinks_first()
+        pos = {n: i for i, n in enumerate(order)}
+        for src, dst in diamond.edges():
+            assert pos[dst] < pos[src]
+
+    def test_cyclic_graph_still_totally_ordered(self, fig6_graph):
+        order = fig6_graph.topological_order_sinks_first()
+        assert sorted(order) == ["R1", "R2", "R3", "R4", "R5"]
+        pos = {n: i for i, n in enumerate(order)}
+        # acyclic edges still respect the order
+        assert pos["R4"] < pos["R3"]
+        assert pos["R2"] < pos["R5"]
+
+
+class TestWeakComponents:
+    def test_components(self, fig6_graph):
+        comps = {frozenset(c) for c in fig6_graph.weakly_connected_components()}
+        assert comps == {frozenset({"R1", "R2", "R5"}), frozenset({"R3", "R4"})}
+
+    def test_isolated_node(self):
+        g = DiGraph()
+        g.add_node("X")
+        assert g.weakly_connected_components() == [["X"]]
+
+
+class TestPruning:
+    def test_prune_zero_indegree_cascades(self, diamond):
+        deleted = diamond.prune_zero_indegree()
+        # A has indegree 0; deleting it exposes B and C; then D.
+        assert set(deleted) == {"A", "B", "C", "D"}
+        assert len(diamond) == 0
+
+    def test_cycle_survives_pruning(self, fig6_graph):
+        fig6_graph.prune_zero_indegree()
+        # Example 5.5: R5, R3, R4 go; the R1 <-> R2 cycle stays.
+        assert set(fig6_graph.nodes) == {"R1", "R2"}
+
+    def test_self_loop_survives(self):
+        g = DiGraph()
+        g.add_edge("A", "A")
+        g.prune_zero_indegree()
+        assert "A" in g
+
+    def test_subgraph(self, fig6_graph):
+        sub = fig6_graph.subgraph({"R1", "R2"})
+        assert set(sub.nodes) == {"R1", "R2"}
+        assert sub.has_edge("R1", "R2")
+        assert sub.has_edge("R2", "R1")
+        assert not sub.has_edge("R5", "R2")

@@ -1,0 +1,86 @@
+"""Tests for repro.relational.domains."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.relational.domains import (
+    BOOL,
+    INTEGER,
+    STRING,
+    FiniteDomain,
+    enum_domain,
+    numbered_finite_domain,
+)
+
+
+class TestInfiniteDomains:
+    def test_string_membership(self):
+        assert STRING.contains("anything")
+        assert not STRING.contains(5)
+        assert not STRING.is_finite
+
+    def test_integer_membership(self):
+        assert INTEGER.contains(42)
+        assert not INTEGER.contains("42")
+        assert not INTEGER.contains(True)  # bool is not an integer value here
+
+    def test_fresh_value_avoids_exclusions(self):
+        taken = {STRING.fresh_value() for __ in range(1)}
+        v = STRING.fresh_value(exclude=taken)
+        assert v not in taken
+        assert STRING.contains(v)
+
+    def test_fresh_value_deterministic(self):
+        assert STRING.fresh_value() == STRING.fresh_value()
+
+    def test_fresh_values_bulk(self):
+        vals = STRING.fresh_values(5, exclude={"v0", "v2"})
+        assert len(vals) == 5
+        assert len(set(vals)) == 5
+        assert "v0" not in vals and "v2" not in vals
+
+    def test_validate_raises_on_mismatch(self):
+        with pytest.raises(DomainError):
+            INTEGER.validate("nope")
+
+
+class TestFiniteDomains:
+    def test_bool_domain(self):
+        assert BOOL.is_finite
+        assert set(BOOL.values) == {True, False}
+        assert BOOL.contains(True)
+        assert not BOOL.contains("true")
+
+    def test_dedup_preserves_order(self):
+        d = FiniteDomain("d", ("x", "y", "x", "z"))
+        assert d.values == ("x", "y", "z")
+        assert len(d) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            FiniteDomain("empty", ())
+
+    def test_fresh_value_exhaustion(self):
+        d = enum_domain("two", ("p", "q"))
+        assert d.fresh_value(exclude=("p",)) == "q"
+        assert d.fresh_value(exclude=("p", "q")) is None
+
+    def test_fresh_value_prefers_declaration_order(self):
+        d = enum_domain("three", ("p", "q", "r"))
+        assert d.fresh_value() == "p"
+        assert d.fresh_value(exclude={"p"}) == "q"
+
+    def test_iteration(self):
+        d = enum_domain("abc", ("a", "b", "c"))
+        assert list(d) == ["a", "b", "c"]
+
+    def test_numbered_domain(self):
+        d = numbered_finite_domain("D7", 4)
+        assert len(d) == 4
+        assert d.values[0] == "D7#0"
+        assert d.contains("D7#3")
+        assert not d.contains("D7#4")
+
+    def test_numbered_domain_size_validation(self):
+        with pytest.raises(DomainError):
+            numbered_finite_domain("D", 0)

@@ -1,0 +1,176 @@
+"""Tests for the random schema/constraint/data generators."""
+
+import random
+
+import pytest
+
+from repro.core.violations import check_database
+from repro.errors import GenerationError
+from repro.generator.constraint_gen import (
+    ConstraintConfig,
+    consistent_constraints,
+    random_cfd,
+    random_cind,
+    random_constraints,
+)
+from repro.generator.data_gen import (
+    inject_cfd_violations,
+    inject_cind_violations,
+    populate_clean,
+)
+from repro.generator.schema_gen import SchemaConfig, random_schema
+from repro.relational.domains import FiniteDomain
+
+
+class TestSchemaGen:
+    def test_shape(self):
+        schema = random_schema(n_relations=7, seed=1)
+        assert len(schema) == 7
+        for rel in schema:
+            assert 2 <= rel.arity <= 15
+
+    def test_deterministic(self):
+        a = random_schema(n_relations=5, seed=42)
+        b = random_schema(n_relations=5, seed=42)
+        assert [r.name for r in a] == [r.name for r in b]
+        for ra, rb in zip(a, b):
+            assert ra.attribute_names == rb.attribute_names
+            assert [x.is_finite for x in ra] == [x.is_finite for x in rb]
+
+    def test_finite_ratio_zero(self):
+        schema = random_schema(n_relations=10, finite_ratio=0.0, seed=2)
+        assert not schema.has_finite_attributes()
+
+    def test_finite_ratio_statistics(self):
+        schema = random_schema(
+            n_relations=30, finite_ratio=0.25, seed=3, max_arity=10
+        )
+        attrs = [a for rel in schema for a in rel]
+        ratio = sum(a.is_finite for a in attrs) / len(attrs)
+        assert 0.1 < ratio < 0.45
+
+    def test_finite_domain_sizes(self):
+        schema = random_schema(
+            n_relations=20, finite_ratio=1.0, finite_domain_size=(2, 9), seed=4
+        )
+        for rel in schema:
+            for attr in rel:
+                assert isinstance(attr.domain, FiniteDomain)
+                assert 2 <= len(attr.domain) <= 9
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(GenerationError):
+            random_schema(n_relations=0)
+        with pytest.raises(GenerationError):
+            random_schema(finite_ratio=1.5)
+        with pytest.raises(GenerationError):
+            random_schema(finite_domain_size=(1, 5))
+
+
+class TestRandomConstraints:
+    def test_normal_form_output(self):
+        schema = random_schema(n_relations=5, seed=5)
+        rng = random.Random(5)
+        for __ in range(30):
+            assert random_cfd(schema, rng).is_normal_form
+            assert random_cind(schema, rng).is_normal_form
+
+    def test_mix_ratio(self):
+        schema = random_schema(n_relations=10, seed=6)
+        sigma = random_constraints(schema, 400, rng=random.Random(6))
+        assert len(sigma) == 400
+        ratio = len(sigma.cfds) / 400
+        assert 0.65 < ratio < 0.85
+
+    def test_cfds_spread_over_relations(self):
+        schema = random_schema(n_relations=10, seed=7)
+        sigma = random_constraints(schema, 200, rng=random.Random(7))
+        covered = {c.relation.name for c in sigma.cfds}
+        assert len(covered) == 10
+
+    def test_deterministic(self):
+        schema = random_schema(n_relations=5, seed=8)
+        a = random_constraints(schema, 50, rng=random.Random(8))
+        b = random_constraints(schema, 50, rng=random.Random(8))
+        assert [repr(c) for c in a] == [repr(c) for c in b]
+
+
+class TestConsistentConstraints:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_witness_satisfies_sigma(self, seed):
+        schema = random_schema(n_relations=6, seed=seed, max_arity=8)
+        sigma, witness = consistent_constraints(
+            schema, 120, rng=random.Random(seed)
+        )
+        assert len(sigma) == 120
+        assert sigma.satisfied_by(witness)
+        assert witness.total_tuples() == len(schema)
+
+    def test_with_finite_attributes(self):
+        schema = random_schema(
+            n_relations=5, seed=11, finite_ratio=0.3, finite_domain_size=(2, 6)
+        )
+        sigma, witness = consistent_constraints(schema, 80, rng=random.Random(11))
+        assert sigma.satisfied_by(witness)
+
+    def test_checking_confirms_consistency(self):
+        # End-to-end: the Section 5 algorithms accept generated-consistent Σ.
+        from repro.consistency.checking import checking
+
+        schema = random_schema(n_relations=4, seed=12, max_arity=6)
+        sigma, __ = consistent_constraints(schema, 40, rng=random.Random(12))
+        decision = checking(schema, sigma, rng=random.Random(12))
+        assert decision.consistent
+
+
+class TestDataGen:
+    @pytest.fixture
+    def setting(self):
+        schema = random_schema(n_relations=4, seed=21, max_arity=6, finite_ratio=0.2)
+        sigma, witness = consistent_constraints(schema, 30, rng=random.Random(21))
+        return schema, sigma, witness
+
+    def test_populate_clean_stays_clean(self, setting):
+        schema, sigma, witness = setting
+        db = populate_clean(sigma, witness, 40, rng=random.Random(1))
+        assert db.total_tuples() >= witness.total_tuples()
+        report = check_database(db, sigma)
+        assert report.is_clean, report.summary()
+
+    def test_populate_grows_when_free_attributes_exist(self):
+        # Few constraints over wide relations: some attributes stay
+        # unconstrained, so cloning-with-variation can grow the instance.
+        schema = random_schema(n_relations=3, seed=22, min_arity=8, max_arity=10)
+        sigma, witness = consistent_constraints(schema, 4, rng=random.Random(22))
+        db = populate_clean(sigma, witness, 25, rng=random.Random(2))
+        grew = any(len(db[rel.name]) > 1 for rel in schema)
+        assert grew
+        assert check_database(db, sigma).is_clean
+
+    def test_inject_cfd_violations_detected(self, setting):
+        schema, sigma, witness = setting
+        db = populate_clean(sigma, witness, 30, rng=random.Random(3))
+        injected = inject_cfd_violations(db, sigma, 5, rng=random.Random(3))
+        if injected.total == 0:
+            pytest.skip("no constant-RHS CFD matched data (rare seed)")
+        report = check_database(db, sigma)
+        assert len(report.cfd_violations) >= 1
+
+    def test_inject_cind_violations_detected(self, setting):
+        schema, sigma, witness = setting
+        db = populate_clean(sigma, witness, 30, rng=random.Random(4))
+        injected = inject_cind_violations(db, sigma, 5, rng=random.Random(4))
+        if injected.total == 0:
+            pytest.skip("no triggered CIND with removable witness (rare seed)")
+        report = check_database(db, sigma)
+        assert len(report.cind_violations) >= 1
+
+    def test_bank_injection_roundtrip(self, bank):
+        from repro.core.violations import ConstraintSet
+        from repro.datasets.bank import bank_constraints, scaled_bank_instance
+
+        db = scaled_bank_instance(100, error_rate=0.0, seed=9)
+        sigma = bank_constraints()
+        injected = inject_cfd_violations(db, sigma, 3, rng=random.Random(9))
+        report = check_database(db, sigma)
+        assert report.total >= injected.total > 0

@@ -1,0 +1,144 @@
+"""Tests for incremental violation detection.
+
+The key property: after any sequence of inserts/deletes, the incremental
+state agrees with a from-scratch `check_database` on (a) cleanliness,
+(b) which constraints are violated, and (c) the violating CIND tuples.
+"""
+
+import random
+
+import pytest
+
+from repro.cleaning.incremental import IncrementalChecker
+from repro.core.violations import check_database
+from repro.datasets.bank import bank_constraints, bank_instance, scaled_bank_instance
+from repro.relational.instance import DatabaseInstance
+
+
+def assert_agrees_with_full_check(checker: IncrementalChecker) -> None:
+    report = check_database(checker.db, checker.sigma)
+    assert checker.is_clean == report.is_clean
+    full_names = set(report.by_constraint())
+    incremental_names = set(checker.violations())
+    assert incremental_names == full_names
+    full_cind_tuples = {v.tuple_ for v in report.cind_violations}
+    assert checker.violating_cind_tuples() == full_cind_tuples
+
+
+class TestInitialState:
+    def test_dirty_bank(self, bank):
+        checker = IncrementalChecker(bank.db.copy(), bank.constraints)
+        assert not checker.is_clean
+        assert_agrees_with_full_check(checker)
+
+    def test_clean_bank(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        assert checker.is_clean
+
+    def test_empty_database(self, bank):
+        checker = IncrementalChecker(
+            DatabaseInstance(bank.schema), bank.constraints
+        )
+        assert checker.is_clean
+
+
+class TestSingleOperations:
+    def test_insert_creating_cind_violation(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        # A checking account in EDI with no interest entry problem: the
+        # correct interest rows exist, so this is clean...
+        checker.insert(
+            "checking", ("99", "New Guy", "EDI, EH1", "131-0000000", "EDI")
+        )
+        assert checker.is_clean
+        # ... but a checking tuple with an unknown branch violates ψ4/ψ6.
+        checker.insert(
+            "checking", ("98", "Lost Guy", "???", "000", "MARS")
+        )
+        assert not checker.is_clean
+        assert_agrees_with_full_check(checker)
+
+    def test_insert_fixing_cind_violation(self, bank):
+        checker = IncrementalChecker(bank.db.copy(), bank.constraints)
+        assert any(n.startswith("psi6") for n in checker.violations())
+        checker.insert("interest", ("EDI", "UK", "checking", "1.5%"))
+        assert not any(n.startswith("psi6") for n in checker.violations())
+        assert_agrees_with_full_check(checker)
+
+    def test_delete_removing_cfd_violation(self, bank):
+        checker = IncrementalChecker(bank.db.copy(), bank.constraints)
+        (t12,) = [t for t in checker.db["interest"] if t["rt"] == "10.5%"]
+        checker.delete("interest", t12)
+        assert not any(n.startswith("phi3") for n in checker.violations())
+        assert_agrees_with_full_check(checker)
+
+    def test_delete_last_witness_creates_violations(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        (row,) = [
+            t for t in checker.db["interest"]
+            if t["ab"] == "NYC" and t["at"] == "saving"
+        ]
+        checker.delete("interest", row)
+        assert not checker.is_clean
+        assert_agrees_with_full_check(checker)
+
+    def test_duplicate_insert_noop(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        existing = checker.db["interest"].tuples[0]
+        assert not checker.insert("interest", existing)
+        assert checker.is_clean
+
+    def test_delete_absent_noop(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        from repro.relational.instance import Tuple
+
+        ghost = Tuple(
+            bank.schema.relation("interest"), ("X", "Y", "saving", "0%")
+        )
+        assert not checker.delete("interest", ghost)
+
+    def test_cfd_pair_violation_by_insert(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        # Same (an, ab) key with a different name violates ϕ1.
+        checker.insert(
+            "saving", ("01", "Impostor", "NYC, 19087", "212-5820844", "NYC")
+        )
+        assert any(n.startswith("phi1") for n in checker.violations())
+        assert_agrees_with_full_check(checker)
+
+
+@pytest.mark.parametrize("seed", [2, 8, 21])
+def test_random_operation_sequences_agree(seed):
+    """Fuzz: 120 random inserts/deletes, checking agreement throughout."""
+    rng = random.Random(seed)
+    sigma = bank_constraints()
+    db = scaled_bank_instance(40, error_rate=0.1, seed=seed)
+    checker = IncrementalChecker(db, sigma)
+    assert_agrees_with_full_check(checker)
+
+    relations = list(sigma.schema.relation_names)
+    for step in range(120):
+        relation = rng.choice(relations)
+        instance = checker.db[relation]
+        if instance.tuples and rng.random() < 0.45:
+            victim = rng.choice(instance.tuples)
+            checker.delete(relation, victim)
+        else:
+            arity = instance.schema.arity
+            if relation.startswith("account") or relation in ("saving", "checking"):
+                row = [f"v{rng.randint(0, 8)}" for __ in range(arity - 1)]
+                if relation.startswith("account"):
+                    row.append(rng.choice(("saving", "checking")))
+                else:
+                    row.append(rng.choice(("NYC", "EDI", "LON")))
+            else:  # interest
+                row = [
+                    rng.choice(("NYC", "EDI", "LON")),
+                    rng.choice(("US", "UK")),
+                    rng.choice(("saving", "checking")),
+                    rng.choice(("1%", "1.5%", "4%", "4.5%")),
+                ]
+            checker.insert(relation, row)
+        if step % 10 == 0:
+            assert_agrees_with_full_check(checker)
+    assert_agrees_with_full_check(checker)

@@ -1,0 +1,450 @@
+"""Tests for the inference system I (Fig. 3), incl. the Example 3.4 proof
+and hypothesis soundness properties (derived CINDs hold on models of Σ)."""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cind import CIND
+from repro.core.inference import (
+    Derivation,
+    cind1,
+    cind2,
+    cind3,
+    cind4,
+    cind5,
+    cind6,
+    cind7,
+    cind8,
+    derives,
+)
+from repro.core.normalize import normalize_cind
+from repro.datasets.bank import ACCOUNT_TYPE
+from repro.errors import InferenceError
+from repro.relational.domains import FiniteDomain
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+from tests.strategies import database_schemas, instances
+
+
+@pytest.fixture
+def abc():
+    r = RelationSchema("Ra", ["A1", "A2", "P1", "P2"])
+    s = RelationSchema("Rb", ["B1", "B2", "Q1"])
+    t = RelationSchema("Rc", ["C1", "C2", "S1"])
+    return DatabaseSchema([r, s, t]), r, s, t
+
+
+@pytest.fixture
+def psi_ab(abc):
+    __, r, s, __t = abc
+    return CIND(
+        r, ("A1", "A2"), ("P1",), s, ("B1", "B2"), ("Q1",),
+        [((_, _, "p"), (_, _, "q"))],
+        name="psi_ab",
+    )
+
+
+class TestCIND1:
+    def test_reflexivity(self, abc):
+        __, r, *_ = abc
+        psi = cind1(r, ("A1", "P1"))
+        assert psi.lhs_relation is psi.rhs_relation
+        assert psi.x == ("A1", "P1")
+        assert psi.is_normal_form
+        assert psi.is_standard_ind
+
+    def test_empty_sequence_rejected(self, abc):
+        __, r, *_ = abc
+        with pytest.raises(InferenceError):
+            cind1(r, ())
+
+
+class TestCIND2:
+    def test_projection(self, psi_ab):
+        out = cind2(psi_ab, indices=[1])
+        assert out.x == ("A2",)
+        assert out.y == ("B2",)
+        assert out.xp == ("P1",)
+        assert out.pattern.lhs_value("P1") == "p"
+
+    def test_permutation_of_ind(self, psi_ab):
+        out = cind2(psi_ab, indices=[1, 0])
+        assert out.x == ("A2", "A1")
+        assert out.y == ("B2", "B1")
+
+    def test_project_to_empty(self, psi_ab):
+        out = cind2(psi_ab, indices=[])
+        assert out.x == ()
+        assert out.y == ()
+        assert out.xp == ("P1",)
+
+    def test_duplicate_indices_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind2(psi_ab, indices=[0, 0])
+
+    def test_out_of_range_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind2(psi_ab, indices=[5])
+
+    def test_bad_pattern_permutation_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind2(psi_ab, indices=[0], xp_order=["P2"])
+
+    def test_non_normal_premise_rejected(self, abc):
+        __, r, s, __t = abc
+        multi = CIND(
+            r, (), ("P1",), s, (), (),
+            [(("x",), ()), (("y",), ())],
+        )
+        with pytest.raises(InferenceError):
+            cind2(multi, indices=[])
+
+
+class TestCIND3:
+    def test_transitivity(self, abc):
+        __, r, s, t = abc
+        psi1 = CIND(r, ("A1",), ("P1",), s, ("B1",), ("Q1",),
+                    [((_, "p"), (_, "q"))])
+        psi2 = CIND(s, ("B1",), ("Q1",), t, ("C1",), ("S1",),
+                    [((_, "q"), (_, "s"))])
+        out = cind3(psi1, psi2)
+        assert out.lhs_relation.name == "Ra"
+        assert out.rhs_relation.name == "Rc"
+        assert out.x == ("A1",)
+        assert out.pattern.lhs_value("P1") == "p"
+        assert out.pattern.rhs_value("S1") == "s"
+
+    def test_pattern_mismatch_rejected(self, abc):
+        __, r, s, t = abc
+        psi1 = CIND(r, ("A1",), (), s, ("B1",), ("Q1",), [((_,), (_, "q"))])
+        psi2 = CIND(s, ("B1",), ("Q1",), t, ("C1",), (), [((_, "DIFFERENT"), (_,))])
+        with pytest.raises(InferenceError):
+            cind3(psi1, psi2)
+
+    def test_list_mismatch_rejected(self, abc):
+        __, r, s, t = abc
+        psi1 = CIND(r, ("A1",), (), s, ("B1",), (), [((_,), (_,))])
+        psi2 = CIND(s, ("B2",), (), t, ("C1",), (), [((_,), (_,))])
+        with pytest.raises(InferenceError):
+            cind3(psi1, psi2)
+
+    def test_relation_mismatch_rejected(self, abc):
+        __, r, s, t = abc
+        psi1 = CIND(r, ("A1",), (), s, ("B1",), (), [((_,), (_,))])
+        psi2 = CIND(t, ("C1",), (), r, ("A1",), (), [((_,), (_,))])
+        with pytest.raises(InferenceError):
+            cind3(psi1, psi2)
+
+
+class TestCIND4:
+    def test_instantiation(self, psi_ab):
+        out = cind4(psi_ab, "A1", "k")
+        assert out.x == ("A2",)
+        assert out.y == ("B2",)
+        assert out.xp == ("P1", "A1")
+        assert out.yp == ("Q1", "B1")
+        assert out.pattern.lhs_value("A1") == "k"
+        assert out.pattern.rhs_value("B1") == "k"
+
+    def test_attribute_not_in_x_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind4(psi_ab, "P1", "k")
+
+    def test_constant_outside_domain_rejected(self, abc):
+        __, r, s, __t = abc
+        dom = FiniteDomain("d", ("only",))
+        r2 = RelationSchema("Rf", [Attribute("A", dom)])
+        s2 = RelationSchema("Sf", [Attribute("B", dom)])
+        psi = CIND(r2, ("A",), (), s2, ("B",), (), [((_,), (_,))])
+        with pytest.raises(InferenceError):
+            cind4(psi, "A", "nope")
+
+
+class TestCIND5:
+    def test_augmentation(self, psi_ab):
+        out = cind5(psi_ab, "P2", "extra")
+        assert out.xp == ("P1", "P2")
+        assert out.pattern.lhs_value("P2") == "extra"
+        assert out.x == psi_ab.x
+
+    def test_used_attribute_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind5(psi_ab, "A1", "v")
+        with pytest.raises(InferenceError):
+            cind5(psi_ab, "P1", "v")
+
+    def test_unknown_attribute_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind5(psi_ab, "NOPE", "v")
+
+
+class TestCIND6:
+    def test_reduction(self, psi_ab):
+        out = cind6(psi_ab, keep_yp=[])
+        assert out.yp == ()
+        assert out.x == psi_ab.x
+
+    def test_keep_subset(self, abc):
+        __, r, s, __t = abc
+        psi = CIND(r, (), ("P1",), s, (), ("B1", "Q1"), [(("p",), ("b", "q"))])
+        out = cind6(psi, keep_yp=["Q1"])
+        assert out.yp == ("Q1",)
+        assert out.pattern.rhs_value("Q1") == "q"
+
+    def test_non_yp_attribute_rejected(self, psi_ab):
+        with pytest.raises(InferenceError):
+            cind6(psi_ab, keep_yp=["B1"])
+
+
+@pytest.fixture
+def finite_pair():
+    dom = FiniteDomain("tri", ("u", "v", "w"))
+    r = RelationSchema("Rf", [Attribute("A", dom), "X1", "P"])
+    s = RelationSchema("Sf", [Attribute("B", dom), "Y1", "Q"])
+    return DatabaseSchema([r, s]), r, s, dom
+
+
+class TestCIND7:
+    def test_merge_full_domain(self, finite_pair):
+        __, r, s, dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("A", "P"), s, ("Y1",), ("Q",),
+                 [((_, value, "p"), (_, "q"))])
+            for value in dom.values
+        ]
+        out = cind7(premises, "A")
+        assert out.xp == ("P",)
+        assert out.pattern.lhs_value("P") == "p"
+
+    def test_partial_domain_rejected(self, finite_pair):
+        __, r, s, dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("A", "P"), s, ("Y1",), ("Q",),
+                 [((_, value, "p"), (_, "q"))])
+            for value in ("u", "v")  # missing "w"
+        ]
+        with pytest.raises(InferenceError):
+            cind7(premises, "A")
+
+    def test_infinite_attribute_rejected(self, finite_pair):
+        __, r, s, __dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("P",), s, ("Y1",), (), [((_, "p"), (_,))])
+        ]
+        with pytest.raises(InferenceError):
+            cind7(premises, "P")
+
+    def test_disagreeing_other_patterns_rejected(self, finite_pair):
+        __, r, s, dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("A", "P"), s, ("Y1",), (),
+                 [((_, value, f"p{idx}"), (_,))])
+            for idx, value in enumerate(dom.values)
+        ]
+        with pytest.raises(InferenceError):
+            cind7(premises, "A")
+
+
+class TestCIND8:
+    def test_uninstantiation(self, finite_pair):
+        __, r, s, dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("A",), s, ("Y1",), ("B",),
+                 [((_, value), (_, value))])
+            for value in dom.values
+        ]
+        out = cind8(premises, "A", "B")
+        assert out.x == ("X1", "A")
+        assert out.y == ("Y1", "B")
+        assert out.xp == ()
+        assert out.yp == ()
+
+    def test_value_mismatch_rejected(self, finite_pair):
+        __, r, s, dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("A",), s, ("Y1",), ("B",),
+                 [((_, "u"), (_, "v"))])  # ti[A] != ti[B]
+        ]
+        with pytest.raises(InferenceError):
+            cind8(premises, "A", "B")
+
+    def test_partial_coverage_rejected(self, finite_pair):
+        __, r, s, dom = finite_pair
+        premises = [
+            CIND(r, ("X1",), ("A",), s, ("Y1",), ("B",),
+                 [((_, value), (_, value))])
+            for value in ("u", "w")
+        ]
+        with pytest.raises(InferenceError):
+            cind8(premises, "A", "B")
+
+
+class TestExample34:
+    """The seven-step proof of Example 3.4, replayed on the EDI branch."""
+
+    def test_full_derivation(self, bank):
+        account = bank.schema.relation("account_EDI")
+        interest = bank.schema.relation("interest")
+        psi1 = bank.by_name["psi1[EDI]"]
+        psi2 = bank.by_name["psi2[EDI]"]
+        # ψ5, ψ6 must first be normalised (they carry two pattern rows).
+        psi5_edi = normalize_cind(bank.by_name["psi5"])[0]   # the EDI row
+        psi6_edi = normalize_cind(bank.by_name["psi6"])[0]
+
+        proof = Derivation()
+        p_psi1 = proof.premise(psi1)
+        p_psi2 = proof.premise(psi2)
+        p_psi5 = proof.premise(psi5_edi)
+        p_psi6 = proof.premise(psi6_edi)
+
+        # (1) (account_EDI[nil; at] ⊆ saving[nil; ab], (saving || EDI))
+        s1 = proof.apply("CIND2", [p_psi1], indices=[])
+        # (2) likewise into checking
+        s2 = proof.apply("CIND2", [p_psi2], indices=[])
+        # (3) (saving[nil; ab] ⊆ interest[nil; at], (EDI || saving)).
+        # The paper labels this step CIND2, but Yp shrinks from
+        # (ab, at, ct, rt) to (at) — formally that is the RHS reduction
+        # rule CIND6 (CIND2 only permutes the pattern lists).
+        s3 = proof.apply("CIND6", [p_psi5], keep_yp=["at"])
+        # (4) (checking[nil; ab] ⊆ interest[nil; at], (EDI || checking))
+        s4 = proof.apply("CIND6", [p_psi6], keep_yp=["at"])
+        # (5) transitivity: (account_EDI[nil; at] ⊆ interest[nil; at],
+        #     (saving || saving))
+        s5 = proof.apply("CIND3", [s1, s3])
+        # (6) (account_EDI[nil; at] ⊆ interest[nil; at], (checking || checking))
+        s6 = proof.apply("CIND3", [s2, s4])
+        # (7) CIND8 merges over dom(at) = {saving, checking}:
+        #     (account_EDI[at; nil] ⊆ interest[at; nil], (_ || _))
+        s7 = proof.apply("CIND8", [s5, s6],
+                         lhs_attribute="at", rhs_attribute="at")
+
+        goal = CIND(
+            account, ("at",), (), interest, ("at",), (), [((_,), (_,))]
+        )
+        assert derives(proof, goal)
+        assert len(proof) == 11  # 4 premises + 7 derived steps
+        assert "CIND8" in repr(proof)
+
+    def test_cind3_step_needs_matching_patterns(self, bank):
+        # Crossing saving->interest with the *checking* premise must fail:
+        # (1)'s pattern B on ab matches, but the middle Yp values agree —
+        # the type patterns differ at step (5)/(4) pairing.
+        psi1 = bank.by_name["psi1[EDI]"]
+        psi6_edi = normalize_cind(bank.by_name["psi6"])[0]
+        s1 = cind2(psi1, indices=[])
+        s4 = cind6(psi6_edi, keep_yp=["at"])
+        # s1: account[nil; at] ⊆ saving[nil; ab], (saving || EDI)
+        # s4: checking[nil; ab] ⊆ interest[nil; at], (EDI || checking)
+        with pytest.raises(InferenceError):
+            cind3(s1, s4)  # middle relation saving != checking
+
+
+class TestDerivationChecking:
+    def test_tampered_step_detected(self, abc, psi_ab):
+        proof = Derivation()
+        p = proof.premise(psi_ab)
+        s = proof.apply("CIND2", [p], indices=[0])
+        # Tamper with the recorded conclusion.
+        proof.steps[s].cind = cind2(psi_ab, indices=[1])
+        with pytest.raises(InferenceError):
+            proof.check()
+
+    def test_axiom_step(self, abc):
+        __, r, *_ = abc
+        proof = Derivation()
+        proof.axiom_cind1(r, ("A1", "A2"))
+        assert proof.check()
+        assert proof.conclusion.is_standard_ind
+
+    def test_non_normal_premise_rejected(self, abc):
+        __, r, s, __t = abc
+        multi = CIND(r, (), ("P1",), s, (), (), [(("x",), ()), (("y",), ())])
+        proof = Derivation()
+        with pytest.raises(InferenceError):
+            proof.premise(multi)
+
+    def test_empty_derivation_has_no_conclusion(self):
+        with pytest.raises(InferenceError):
+            Derivation().conclusion
+
+    def test_wrong_premise_count(self, psi_ab):
+        proof = Derivation()
+        p = proof.premise(psi_ab)
+        with pytest.raises(InferenceError):
+            proof.apply("CIND3", [p])  # CIND3 needs two premises
+
+
+# -- soundness properties -----------------------------------------------------
+#
+# For every rule: if D |= premises then D |= conclusion. We sample random
+# instances over a fixed two-relation schema and discard draws where the
+# premise fails (rare, since the premise is usually satisfiable by chance).
+
+
+def _fixed_schema():
+    r = RelationSchema("Ra", ["A1", "A2", "P1"])
+    s = RelationSchema("Rb", ["B1", "B2", "Q1"])
+    return DatabaseSchema([r, s]), r, s
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+@given(data=st.data())
+def test_cind2_sound(data):
+    schema, r, s = _fixed_schema()
+    psi = CIND(r, ("A1", "A2"), ("P1",), s, ("B1", "B2"), ("Q1",),
+               [((_, _, "a"), (_, _, "b"))])
+    db = data.draw(instances(schema, max_tuples=6))
+    assume(psi.satisfied_by(db))
+    projected = cind2(psi, indices=[1])
+    permuted = cind2(psi, indices=[1, 0])
+    assert projected.satisfied_by(db)
+    assert permuted.satisfied_by(db)
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+@given(data=st.data())
+def test_cind4_cind5_cind6_sound(data):
+    schema, r, s = _fixed_schema()
+    psi = CIND(r, ("A1",), ("P1",), s, ("B1",), ("Q1",),
+               [((_, "a"), (_, "b"))])
+    db = data.draw(instances(schema, max_tuples=6))
+    assume(psi.satisfied_by(db))
+    assert cind4(psi, "A1", "a").satisfied_by(db)
+    assert cind5(psi, "A2", "c").satisfied_by(db)
+    assert cind6(psi, keep_yp=[]).satisfied_by(db)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_cind1_always_holds(data):
+    schema, r, __s = _fixed_schema()
+    db = data.draw(instances(schema, max_tuples=6))
+    assert cind1(r, ("A1", "A2")).satisfied_by(db)
+    assert cind1(r, ("A2",)).satisfied_by(db)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+@given(data=st.data())
+def test_cind8_sound(data):
+    dom = FiniteDomain("two8", ("u", "v"))
+    r = RelationSchema("Ra", [Attribute("A", dom), "X1"])
+    s = RelationSchema("Rb", [Attribute("B", dom), "Y1"])
+    schema = DatabaseSchema([r, s])
+    premises = [
+        CIND(r, ("X1",), ("A",), s, ("Y1",), ("B",),
+             [((_, value), (_, value))])
+        for value in dom.values
+    ]
+    # Small instances: the joint premise is rarely satisfied by larger draws.
+    db = data.draw(instances(schema, max_tuples=3))
+    assume(all(p.satisfied_by(db) for p in premises))
+    conclusion = cind8(premises, "A", "B")
+    assert conclusion.satisfied_by(db)

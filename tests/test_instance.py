@@ -1,0 +1,202 @@
+"""Tests for repro.relational.instance: tuples, relations, databases."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.relational.domains import BOOL
+from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import Variable
+
+
+@pytest.fixture
+def r_schema():
+    return RelationSchema("R", ["A", "B", "C"])
+
+
+@pytest.fixture
+def db_schema(r_schema):
+    return DatabaseSchema([r_schema, RelationSchema("S", ["X"])])
+
+
+class TestTuple:
+    def test_from_sequence(self, r_schema):
+        t = Tuple(r_schema, ("1", "2", "3"))
+        assert t["A"] == "1"
+        assert t.values == ("1", "2", "3")
+
+    def test_from_mapping(self, r_schema):
+        t = Tuple(r_schema, {"B": "2", "A": "1", "C": "3"})
+        assert t.values == ("1", "2", "3")
+
+    def test_missing_attribute_rejected(self, r_schema):
+        with pytest.raises(SchemaError):
+            Tuple(r_schema, {"A": "1", "B": "2"})
+
+    def test_extra_attribute_rejected(self, r_schema):
+        with pytest.raises(SchemaError):
+            Tuple(r_schema, {"A": "1", "B": "2", "C": "3", "D": "4"})
+
+    def test_wrong_arity_rejected(self, r_schema):
+        with pytest.raises(SchemaError):
+            Tuple(r_schema, ("1", "2"))
+
+    def test_unknown_attribute_access(self, r_schema):
+        t = Tuple(r_schema, ("1", "2", "3"))
+        with pytest.raises(SchemaError):
+            t["Z"]
+
+    def test_projection(self, r_schema):
+        t = Tuple(r_schema, ("1", "2", "3"))
+        assert t.project(["C", "A"]) == ("3", "1")
+        assert t.project([]) == ()
+
+    def test_equality_and_hash(self, r_schema):
+        assert Tuple(r_schema, ("1", "2", "3")) == Tuple(r_schema, ("1", "2", "3"))
+        assert Tuple(r_schema, ("1", "2", "3")) != Tuple(r_schema, ("1", "2", "4"))
+        assert len({Tuple(r_schema, ("1", "2", "3")), Tuple(r_schema, ("1", "2", "3"))}) == 1
+
+    def test_variables_and_groundness(self, r_schema):
+        v = Variable("A", 0)
+        t = Tuple(r_schema, (v, "2", "3"))
+        assert t.has_variables()
+        assert not t.is_ground()
+        assert t.variables() == {v}
+        assert Tuple(r_schema, ("1", "2", "3")).is_ground()
+
+    def test_substitute(self, r_schema):
+        v = Variable("A", 0)
+        t = Tuple(r_schema, (v, v, "3"))
+        s = t.substitute({v: "x"})
+        assert s.values == ("x", "x", "3")
+
+    def test_replace(self, r_schema):
+        t = Tuple(r_schema, ("1", "2", "3"))
+        assert t.replace(B="9").values == ("1", "9", "3")
+        with pytest.raises(SchemaError):
+            t.replace(Z="9")
+
+
+class TestRelationInstance:
+    def test_set_semantics(self, r_schema):
+        inst = RelationInstance(r_schema)
+        assert inst.add(("1", "2", "3"))
+        assert not inst.add(("1", "2", "3"))
+        assert len(inst) == 1
+
+    def test_insertion_order_iteration(self, r_schema):
+        inst = RelationInstance(r_schema, [("b", "b", "b"), ("a", "a", "a")])
+        assert [t["A"] for t in inst] == ["b", "a"]
+
+    def test_cross_schema_insert_rejected(self, r_schema):
+        other = RelationSchema("S", ["A", "B", "C"])
+        inst = RelationInstance(r_schema)
+        with pytest.raises(SchemaError):
+            inst.add(Tuple(other, ("1", "2", "3")))
+
+    def test_lookup_via_index(self, r_schema):
+        inst = RelationInstance(
+            r_schema, [("1", "x", "p"), ("1", "y", "q"), ("2", "x", "r")]
+        )
+        assert len(inst.lookup(["A"], ("1",))) == 2
+        assert len(inst.lookup(["A", "B"], ("1", "x"))) == 1
+        assert inst.lookup(["A"], ("9",)) == []
+
+    def test_lookup_empty_attribute_list_returns_all(self, r_schema):
+        inst = RelationInstance(r_schema, [("1", "2", "3")])
+        assert len(inst.lookup([], ())) == 1
+
+    def test_index_maintained_on_insert(self, r_schema):
+        inst = RelationInstance(r_schema, [("1", "x", "p")])
+        inst.lookup(["A"], ("1",))  # force index creation
+        inst.add(("1", "z", "w"))
+        assert len(inst.lookup(["A"], ("1",))) == 2
+
+    def test_index_unknown_attribute_rejected(self, r_schema):
+        inst = RelationInstance(r_schema)
+        with pytest.raises(SchemaError):
+            inst.index_on(["Z"])
+
+    def test_discard(self, r_schema):
+        inst = RelationInstance(r_schema, [("1", "2", "3")])
+        inst.lookup(["A"], ("1",))
+        t = inst.tuples[0]
+        assert inst.discard(t)
+        assert not inst.discard(t)
+        assert len(inst) == 0
+        assert inst.lookup(["A"], ("1",)) == []
+
+    def test_replace_value_rewrites_and_merges(self, r_schema):
+        v = Variable("A", 0)
+        inst = RelationInstance(r_schema, [(v, "2", "3"), ("1", "2", "3")])
+        assert len(inst) == 2
+        inst.replace_value(v, "1")
+        assert len(inst) == 1  # merged under set semantics
+        assert inst.tuples[0].values == ("1", "2", "3")
+
+    def test_replace_value_invalidates_index(self, r_schema):
+        v = Variable("A", 0)
+        inst = RelationInstance(r_schema, [(v, "2", "3")])
+        assert inst.lookup(["A"], ("1",)) == []
+        inst.replace_value(v, "1")
+        assert len(inst.lookup(["A"], ("1",))) == 1
+
+    def test_validate_domains(self):
+        r = RelationSchema("R", [Attribute("A", BOOL)])
+        inst = RelationInstance(r, [(True,)])
+        inst.validate_domains()
+        inst.add(("oops",))
+        with pytest.raises(DomainError):
+            inst.validate_domains()
+
+    def test_copy_is_independent(self, r_schema):
+        inst = RelationInstance(r_schema, [("1", "2", "3")])
+        clone = inst.copy()
+        clone.add(("4", "5", "6"))
+        assert len(inst) == 1
+        assert len(clone) == 2
+
+
+class TestDatabaseInstance:
+    def test_all_relations_present(self, db_schema):
+        db = DatabaseInstance(db_schema)
+        assert len(db["R"]) == 0
+        assert len(db["S"]) == 0
+        with pytest.raises(SchemaError):
+            db["T"]
+
+    def test_bulk_construction(self, db_schema):
+        db = DatabaseInstance(db_schema, {"R": [("1", "2", "3")], "S": [("x",)]})
+        assert db.total_tuples() == 2
+        assert not db.is_empty()
+
+    def test_replace_value_across_relations(self, db_schema):
+        v = Variable("A", 0)
+        db = DatabaseInstance(db_schema, {"R": [(v, "2", "3")], "S": [(v,)]})
+        db.replace_value(v, "k")
+        assert db["R"].tuples[0]["A"] == "k"
+        assert db["S"].tuples[0]["X"] == "k"
+        assert db.is_ground()
+
+    def test_variables_collected(self, db_schema):
+        v1, v2 = Variable("A", 0), Variable("X", 1)
+        db = DatabaseInstance(db_schema, {"R": [(v1, "2", "3")], "S": [(v2,)]})
+        assert db.variables() == {v1, v2}
+
+    def test_substitute_copies(self, db_schema):
+        v = Variable("A", 0)
+        db = DatabaseInstance(db_schema, {"R": [(v, "2", "3")]})
+        ground = db.substitute({v: "z"})
+        assert ground.is_ground()
+        assert not db.is_ground()  # original untouched
+
+    def test_copy_independent(self, db_schema):
+        db = DatabaseInstance(db_schema, {"S": [("x",)]})
+        clone = db.copy()
+        clone.add("S", ("y",))
+        assert len(db["S"]) == 1
+
+    def test_map_values(self, db_schema):
+        db = DatabaseInstance(db_schema, {"S": [("x",)]})
+        upper = db.map_values(lambda rel, attr, v: v.upper())
+        assert upper["S"].tuples[0]["X"] == "X"

@@ -1,0 +1,64 @@
+"""Tests for the first-order / TGD renderings."""
+
+from repro.core.cfd import CFD, standard_fd
+from repro.core.cind import CIND, standard_ind
+from repro.logic.fo import cfd_to_fo, cind_to_fo, constraint_set_to_fo
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+
+class TestCFDRendering:
+    def test_standard_fd_shape(self):
+        r = RelationSchema("R", ["A", "B"])
+        (sentence,) = cfd_to_fo(standard_fd(r, ("A",), ("B",)))
+        assert sentence.startswith("∀ ")
+        assert "R(x_A, x_B)" in sentence
+        assert "R(x2_A, x2_B)" in sentence
+        assert "x_A = x2_A" in sentence
+        assert "x_B = x2_B" in sentence
+        assert "∃" not in sentence  # CFDs are full dependencies
+
+    def test_constants_inlined(self):
+        r = RelationSchema("R", ["A", "B"])
+        cfd = CFD(r, ("A",), ("B",), [(("a",), ("b",))])
+        (sentence,) = cfd_to_fo(cfd)
+        assert "x_A = 'a'" in sentence
+        assert "x_B = 'b'" in sentence
+
+    def test_one_sentence_per_row(self, bank):
+        phi3 = bank.by_name["phi3"]
+        assert len(cfd_to_fo(phi3)) == len(phi3.tableau)
+
+
+class TestCINDRendering:
+    def test_standard_ind_is_plain_tgd(self):
+        r = RelationSchema("R", ["A", "B"])
+        s = RelationSchema("S", ["C", "D"])
+        (sentence,) = cind_to_fo(standard_ind(r, ("A",), s, ("C",)))
+        assert "∃" in sentence
+        assert "y_C = x_A" in sentence
+        assert "'" not in sentence  # no constants in a plain IND
+
+    def test_patterns_become_constants(self, bank):
+        psi1 = bank.by_name["psi1[EDI]"]
+        (sentence,) = cind_to_fo(psi1)
+        assert "x_at = 'saving'" in sentence       # Xp pattern
+        assert "y_ab = 'EDI'" in sentence          # Yp pattern
+        assert "y_an = x_an" in sentence           # embedded IND equalities
+
+    def test_multi_row(self, bank):
+        psi6 = bank.by_name["psi6"]
+        sentences = cind_to_fo(psi6)
+        assert len(sentences) == 2
+        assert any("'1.5%'" in s for s in sentences)
+        assert any("'1%'" in s for s in sentences)
+
+
+class TestWholeSet:
+    def test_bank_constraint_set(self, bank):
+        sentences = constraint_set_to_fo(bank.cfds, bank.cinds)
+        rows = sum(len(c.tableau) for c in bank.cfds) + sum(
+            len(c.tableau) for c in bank.cinds
+        )
+        assert len(sentences) == rows
+        assert all(s.startswith("∀ ") for s in sentences)

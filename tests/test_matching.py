@@ -1,0 +1,116 @@
+"""Tests for CIND-driven schema matching / data migration (Example 1.1)."""
+
+import pytest
+
+from repro.core.violations import check_database
+from repro.datasets.bank import bank_cinds, bank_constraints, bank_schema
+from repro.matching.migrate import migrate, verify_migration
+from repro.relational.instance import DatabaseInstance
+
+
+@pytest.fixture
+def source_only(bank):
+    """The bank database with only the account_* relations populated."""
+    db = DatabaseInstance(bank.schema)
+    for name in ("account_NYC", "account_EDI"):
+        for t in bank.db[name]:
+            db[name].add(t)
+    # interest is reference data the target side already has (clean rates).
+    for t in bank.clean_db["interest"]:
+        db["interest"].add(t)
+    return db
+
+
+class TestExample11Migration:
+    def test_accounts_split_by_type(self, bank, source_only):
+        # ψ1/ψ2 route saving accounts to saving, checking to checking —
+        # the contextual matching ind1/ind2 of Example 1.1.
+        psi12 = [c for c in bank.cinds if c.name.startswith(("psi1", "psi2"))]
+        result = migrate(source_only, psi12)
+        assert len(result.db["saving"]) == 2    # t1 (NYC), t4 (EDI)
+        assert len(result.db["checking"]) == 3  # t2, t3 (NYC), t5 (EDI)
+        assert verify_migration(result, psi12)
+
+    def test_branch_constant_attached(self, bank, source_only):
+        psi12 = [c for c in bank.cinds if c.name.startswith(("psi1", "psi2"))]
+        result = migrate(source_only, psi12)
+        for t in result.db["saving"]:
+            assert t["ab"] in ("NYC", "EDI")
+        edinburgh = [t for t in result.db["saving"] if t["ab"] == "EDI"]
+        assert len(edinburgh) == 1
+        assert edinburgh[0]["cn"] == "S. Bundy"
+
+    def test_full_cind_set_migration_is_clean(self, bank, source_only):
+        result = migrate(source_only, bank.cinds)
+        assert verify_migration(result, bank.cinds)
+        # The migrated database equals Fig. 1's target (modulo the planted
+        # t12 error, which migration of course does not recreate).
+        report = check_database(result.db, bank.constraints)
+        assert report.is_clean, report.summary()
+
+    def test_existing_witnesses_not_duplicated(self, bank):
+        # Migrating the already-complete clean instance inserts nothing.
+        result = migrate(bank.clean_db, bank.cinds)
+        assert result.total_inserted == 0
+
+    def test_unmatched_tuples_reported(self, bank, source_only):
+        # With only ψ1 (saving routing), checking accounts match nothing.
+        psi1 = [c for c in bank.cinds if c.name.startswith("psi1")]
+        result = migrate(source_only, psi1)
+        unmatched_names = {t["cn"] for t in result.unmatched}
+        assert "G. King" in unmatched_names     # checking account t2
+        assert "J. Smith" not in unmatched_names  # saving account t1
+
+    def test_matched_counts(self, bank, source_only):
+        psi12 = [c for c in bank.cinds if c.name.startswith(("psi1", "psi2"))]
+        result = migrate(source_only, psi12)
+        assert result.matched["psi1[NYC]"] == 1
+        assert result.matched["psi2[NYC]"] == 2
+        assert result.matched["psi1[EDI]"] == 1
+        assert result.matched["psi2[EDI]"] == 1
+
+    def test_input_untouched(self, bank, source_only):
+        before = source_only.total_tuples()
+        migrate(source_only, bank.cinds)
+        assert source_only.total_tuples() == before
+
+
+class TestFillPolicy:
+    def test_custom_fill(self, bank, source_only):
+        psi12 = [c for c in bank.cinds if c.name.startswith(("psi1", "psi2"))]
+
+        def fill(relation, attribute, source):
+            return f"FILL-{attribute}"
+
+        # ψ1/ψ2 constrain every target column, so fill is never needed here;
+        # drop 'cp' from the mapping to exercise it.
+        from repro.core.cind import CIND
+        from repro.relational.values import WILDCARD as _
+
+        account = bank.schema.relation("account_NYC")
+        saving = bank.schema.relation("saving")
+        partial = CIND(
+            account, ("an", "cn"), ("at",), saving, ("an", "cn"), ("ab",),
+            [((_, _, "saving"), (_, _, "NYC"))],
+            name="partial",
+        )
+        result = migrate(source_only, [partial], fill=fill)
+        migrated = [t for t in result.db["saving"] if t["ab"] == "NYC"]
+        assert migrated
+        assert all(t["cp"] == "FILL-cp" for t in migrated)
+
+    def test_default_fill_copies_same_named_columns(self, bank, source_only):
+        from repro.core.cind import CIND
+        from repro.relational.values import WILDCARD as _
+
+        account = bank.schema.relation("account_NYC")
+        saving = bank.schema.relation("saving")
+        partial = CIND(
+            account, ("an",), ("at",), saving, ("an",), ("ab",),
+            [((_, "saving"), (_, "NYC"))],
+            name="partial",
+        )
+        result = migrate(source_only, [partial])
+        migrated = [t for t in result.db["saving"] if t["ab"] == "NYC"]
+        # cn/ca/cp exist in both schemas: copied from the source tuple.
+        assert any(t["cn"] == "J. Smith" for t in migrated)

@@ -1,0 +1,141 @@
+"""Tests for normal forms (Prop. 3.1), incl. semantic-equivalence properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cind import CIND
+from repro.core.normalize import (
+    is_normalized_cfd_set,
+    is_normalized_cind_set,
+    normalize_cfd,
+    normalize_cfds,
+    normalize_cind,
+    normalize_cinds,
+)
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import WILDCARD as _
+
+from tests.strategies import cfds, cinds, database_schemas, instances
+
+
+@pytest.fixture
+def rs_schema():
+    r = RelationSchema("R", ["A", "B", "C", "D"])
+    s = RelationSchema("S", ["E", "F", "G"])
+    return DatabaseSchema([r, s]), r, s
+
+
+class TestNormalizeCINDExamples:
+    def test_example_3_1_rewrite(self, rs_schema):
+        """(R[A,B;C,D] ⊆ S[E,F;G], (_,h; i,_ ‖ _,h; o)) becomes
+        (R[A;B,C] ⊆ S[E;F,G], (_; h,i ‖ _; h,o))."""
+        __, r, s = rs_schema
+        cind = CIND(
+            r, ("A", "B"), ("C", "D"), s, ("E", "F"), ("G",),
+            [((_, "h", "i", _), (_, "h", "o"))],
+        )
+        (nf,) = normalize_cind(cind)
+        assert nf.is_normal_form
+        assert nf.x == ("A",)
+        assert set(nf.xp) == {"B", "C"}
+        assert nf.y == ("E",)
+        assert set(nf.yp) == {"F", "G"}
+        assert nf.pattern.lhs_value("B") == "h"
+        assert nf.pattern.lhs_value("C") == "i"
+        assert nf.pattern.rhs_value("F") == "h"
+        assert nf.pattern.rhs_value("G") == "o"
+
+    def test_multi_row_splits(self, bank):
+        psi5 = bank.by_name["psi5"]
+        nf = normalize_cind(psi5)
+        assert len(nf) == 2
+        assert all(c.is_normal_form for c in nf)
+        assert {c.pattern.lhs_value("ab") for c in nf} == {"EDI", "NYC"}
+
+    def test_already_normal_is_stable(self, bank):
+        psi1 = bank.by_name["psi1[NYC]"]
+        assert psi1.is_normal_form
+        (nf,) = normalize_cind(psi1)
+        assert nf.x == psi1.x
+        assert nf.xp == psi1.xp
+        assert nf.tableau == psi1.tableau
+
+    def test_wildcard_pattern_attributes_dropped(self, rs_schema):
+        __, r, s = rs_schema
+        cind = CIND(
+            r, ("A",), ("B", "C"), s, ("E",), ("F",),
+            [((_, "h", _), (_, _))],
+        )
+        (nf,) = normalize_cind(cind)
+        assert nf.xp == ("B",)  # C dropped: tp[C] = '_' poses no constraint
+        assert nf.yp == ()      # F dropped likewise
+
+    def test_names_get_row_suffix(self, bank):
+        psi6 = bank.by_name["psi6"]
+        nf = normalize_cind(psi6)
+        assert [c.name for c in nf] == ["psi6#0", "psi6#1"]
+
+    def test_normalize_cinds_linear_size(self, bank):
+        nf = normalize_cinds(bank.cinds)
+        # ψ1..ψ4 variants stay single; ψ5, ψ6 split in two each.
+        assert len(nf) == len(bank.cinds) + 2
+        assert is_normalized_cind_set(nf)
+
+
+class TestNormalizeCFDExamples:
+    def test_split_rows_and_rhs(self, bank):
+        phi3 = bank.by_name["phi3"]
+        nf = normalize_cfd(phi3)
+        assert len(nf) == 5  # 5 rows x 1 RHS attribute
+        assert is_normalized_cfd_set(nf)
+
+    def test_multi_rhs_split(self, bank):
+        phi1 = bank.by_name["phi1"]
+        nf = normalize_cfd(phi1)
+        assert len(nf) == 3
+        assert {c.rhs_attribute for c in nf} == {"cn", "ca", "cp"}
+
+    def test_normalize_cfds_total(self, bank):
+        nf = normalize_cfds(bank.cfds)
+        assert len(nf) == 3 + 3 + 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_cind_normalization_preserves_semantics(data):
+    """D |= ψ iff D |= normalize(ψ), on random schemas/instances/CINDs."""
+    schema = data.draw(database_schemas(max_relations=2))
+    rels = list(schema)
+    lhs = rels[0]
+    rhs = rels[-1]
+    cind = data.draw(cinds(lhs, rhs))
+    db = data.draw(instances(schema))
+    original = cind.satisfied_by(db)
+    normalized = all(nf.satisfied_by(db) for nf in normalize_cind(cind))
+    assert original == normalized
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_cfd_normalization_preserves_semantics(data):
+    """D |= φ iff D |= normalize(φ), on random schemas/instances/CFDs."""
+    schema = data.draw(database_schemas(max_relations=1))
+    rel = list(schema)[0]
+    cfd = data.draw(cfds(rel))
+    db = data.draw(instances(schema))
+    original = cfd.satisfied_by(db)
+    normalized = all(nf.satisfied_by(db) for nf in normalize_cfd(cfd))
+    assert original == normalized
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_normalization_output_is_normal_form(data):
+    schema = data.draw(database_schemas(max_relations=2))
+    rels = list(schema)
+    cind = data.draw(cinds(rels[0], rels[-1]))
+    assert is_normalized_cind_set(normalize_cind(cind))
+    cfd = data.draw(cfds(rels[0]))
+    assert is_normalized_cfd_set(normalize_cfd(cfd))

@@ -1,0 +1,175 @@
+"""Tests for the textual constraint syntax, incl. round-trips."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.parser import (
+    format_cfd,
+    format_cind,
+    parse_cfd,
+    parse_cind,
+    parse_constraint,
+    parse_constraints,
+)
+from repro.errors import ParseError
+from repro.relational.values import WILDCARD, is_wildcard
+
+
+class TestParseCIND:
+    def test_paper_ind6(self, bank):
+        text = (
+            "checking[nil ; ab='EDI'] <= "
+            "interest[nil ; ab='EDI', at='checking', ct='UK', rt='1.5%']"
+        )
+        cind = parse_cind(text, bank.schema)
+        assert cind.lhs_relation.name == "checking"
+        assert cind.x == ()
+        assert cind.xp == ("ab",)
+        assert cind.yp == ("ab", "at", "ct", "rt")
+        assert cind.pattern.rhs_value("rt") == "1.5%"
+
+    def test_standard_ind(self, bank):
+        cind = parse_cind("saving[ab ; nil] <= interest[ab ; nil]", bank.schema)
+        assert cind.is_standard_ind
+
+    def test_named(self, bank):
+        cind = parse_cind(
+            "[my-ind] saving[ab ; nil] <= interest[ab ; nil]", bank.schema
+        )
+        assert cind.name == "my-ind"
+
+    def test_x_constant_mirrored_to_y(self, bank):
+        cind = parse_cind(
+            "saving[ab='EDI' ; nil] <= interest[ab ; nil]", bank.schema
+        )
+        assert cind.pattern.lhs_value("ab") == "EDI"
+        assert cind.pattern.rhs_value("ab") == "EDI"
+
+    def test_conflicting_x_y_constants_rejected(self, bank):
+        with pytest.raises(ParseError):
+            parse_cind(
+                "saving[ab='EDI' ; nil] <= interest[ab='NYC' ; nil]", bank.schema
+            )
+
+    def test_arity_mismatch_rejected(self, bank):
+        with pytest.raises(ParseError):
+            parse_cind("saving[ab, an ; nil] <= interest[ab ; nil]", bank.schema)
+
+    def test_unknown_relation_rejected(self, bank):
+        with pytest.raises(ParseError):
+            parse_cind("nope[ab ; nil] <= interest[ab ; nil]", bank.schema)
+
+    def test_missing_semicolon_rejected(self, bank):
+        with pytest.raises(ParseError):
+            parse_cind("saving[ab] <= interest[ab ; nil]", bank.schema)
+
+    def test_unicode_subset_accepted(self, bank):
+        cind = parse_cind("saving[ab ; nil] ⊆ interest[ab ; nil]", bank.schema)
+        assert cind.is_standard_ind
+
+    def test_quoted_values_with_commas_and_spaces(self, bank):
+        cind = parse_cind(
+            "saving[nil ; ca='NYC, 19087'] <= interest[nil ; ct='US']",
+            bank.schema,
+        )
+        assert cind.pattern.lhs_value("ca") == "NYC, 19087"
+
+
+class TestParseCFD:
+    def test_paper_phi3_row(self, bank):
+        cfd = parse_cfd(
+            "interest: ct='UK', at='checking' -> rt='1.5%'", bank.schema
+        )
+        assert cfd.relation.name == "interest"
+        assert cfd.lhs == ("ct", "at")
+        assert cfd.pattern.rhs_value("rt") == "1.5%"
+
+    def test_standard_fd(self, bank):
+        cfd = parse_cfd("saving: an, ab -> cn, ca, cp", bank.schema)
+        assert cfd.is_standard_fd
+
+    def test_empty_lhs(self, bank):
+        cfd = parse_cfd("interest: nil -> ct='UK'", bank.schema)
+        assert cfd.lhs == ()
+
+    def test_named(self, bank):
+        cfd = parse_cfd("[fd1] saving: an, ab -> cn", bank.schema)
+        assert cfd.name == "fd1"
+
+    def test_hyphenated_constant(self, bank):
+        cfd = parse_cfd("saving: cp='212-5820844' -> ab='NYC'", bank.schema)
+        assert cfd.pattern.lhs_value("cp") == "212-5820844"
+
+    def test_missing_arrow_rejected(self, bank):
+        with pytest.raises(ParseError):
+            parse_cfd("saving: an, ab", bank.schema)
+
+    def test_empty_rhs_rejected(self, bank):
+        with pytest.raises(ParseError):
+            parse_cfd("saving: an -> ", bank.schema)
+
+
+class TestParseConstraintDispatch:
+    def test_cind_detected(self, bank):
+        out = parse_constraint("saving[ab ; nil] <= interest[ab ; nil]", bank.schema)
+        assert isinstance(out, CIND)
+
+    def test_cfd_detected(self, bank):
+        out = parse_constraint("saving: an, ab -> cn", bank.schema)
+        assert isinstance(out, CFD)
+
+
+class TestParseConstraintsFile:
+    def test_bank_constraint_file(self, bank):
+        text = """
+        # the dependencies of Examples 1.1/1.2
+        [ind3] saving[ab ; nil] <= interest[ab ; nil]
+        [ind6] checking[nil ; ab='EDI'] <= interest[nil ; ab='EDI', at='checking', ct='UK', rt='1.5%']
+        [fd1]  saving: an, ab -> cn, ca, cp
+        [fd3]  interest: ct, at -> rt
+        """
+        sigma = parse_constraints(text, bank.schema)
+        assert len(sigma.cinds) == 2
+        assert len(sigma.cfds) == 2
+        # semantics: ind6 catches t10, like psi6.
+        ind6 = [c for c in sigma.cinds if c.name == "ind6"][0]
+        assert not ind6.satisfied_by(bank.db)
+        assert ind6.satisfied_by(bank.clean_db)
+
+    def test_comments_and_blank_lines_skipped(self, bank):
+        sigma = parse_constraints("\n# nothing\n\n", bank.schema)
+        assert len(sigma) == 0
+
+
+class TestRoundTrip:
+    def test_cind_round_trip(self, bank):
+        for cind in bank.cinds:
+            for line in format_cind(cind):
+                parsed = parse_cind(line, bank.schema)
+                assert parsed.lhs_relation.name == cind.lhs_relation.name
+                assert parsed.x == cind.x
+                assert parsed.xp == cind.xp
+                assert parsed.y == cind.y
+                assert parsed.yp == cind.yp
+
+    def test_cind_round_trip_semantics(self, bank):
+        # Parsing the formatted rows of ψ6 yields constraints that jointly
+        # behave like ψ6 on the dirty and clean instances.
+        psi6 = bank.by_name["psi6"]
+        parts = [parse_cind(line, bank.schema) for line in format_cind(psi6)]
+        assert not all(p.satisfied_by(bank.db) for p in parts)
+        assert all(p.satisfied_by(bank.clean_db) for p in parts)
+
+    def test_cfd_round_trip(self, bank):
+        for cfd in bank.cfds:
+            for line in format_cfd(cfd):
+                parsed = parse_cfd(line, bank.schema)
+                assert parsed.relation.name == cfd.relation.name
+                assert parsed.lhs == cfd.lhs
+                assert parsed.rhs == cfd.rhs
+
+    def test_named_round_trip(self, bank):
+        (line,) = format_cind(bank.by_name["psi3"])
+        assert line.startswith("[psi3] ")
+        assert parse_cind(line, bank.schema).name == "psi3"

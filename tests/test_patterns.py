@@ -1,0 +1,143 @@
+"""Tests for the ≍ order and pattern tableaux (Section 2 of the paper)."""
+
+import pytest
+
+from repro.core.patterns import PatternTableau, PatternTuple, matches, matches_all
+from repro.errors import ConstraintError
+from repro.relational.values import WILDCARD as _
+from repro.relational.values import Variable
+
+
+class TestMatchesOrder:
+    """The ≍ order: η1 ≍ η2 iff η1 = η2 or η2 = '_'; v ≭ a; v ≍ '_'."""
+
+    def test_equal_constants_match(self):
+        assert matches("EDI", "EDI")
+        assert matches(42, 42)
+
+    def test_distinct_constants_do_not_match(self):
+        assert not matches("4.5%", "10.5%")
+
+    def test_everything_matches_wildcard(self):
+        assert matches("EDI", _)
+        assert matches(0, _)
+        assert matches(Variable("A", 0), _)  # v ≍ '_' (Section 5.1)
+
+    def test_variable_never_matches_constant(self):
+        assert not matches(Variable("A", 0), "a")  # v ≭ a
+
+    def test_variable_matches_itself_only(self):
+        v = Variable("A", 0)
+        assert matches(v, v)
+        assert not matches(v, Variable("A", 1))
+
+    def test_order_is_not_symmetric(self):
+        # '_' on the left is not a value; constants only match '_' on the right.
+        assert matches("a", _)
+        # (matching a pattern against a value is never done; the API always
+        # has the pattern on the right.)
+
+    def test_paper_example_tuple_match(self):
+        # (EDI, UK, 1.5%) ≍ (EDI, UK, _) but (EDI, UK, 4.5%) ≭ (EDI, UK, 10.5%)
+        assert matches_all(("EDI", "UK", "1.5%"), ("EDI", "UK", _))
+        assert not matches_all(("EDI", "UK", "4.5%"), ("EDI", "UK", "10.5%"))
+
+    def test_matches_all_length_mismatch(self):
+        with pytest.raises(ConstraintError):
+            matches_all(("a",), ("a", "b"))
+
+
+class TestPatternTuple:
+    def test_construction_and_access(self):
+        pt = PatternTuple({"A": _, "B": "b"}, {"C": "c"})
+        assert pt.lhs_value("B") == "b"
+        assert pt.rhs_value("C") == "c"
+        assert pt.lhs_attributes == ("A", "B")
+
+    def test_rejects_invalid_pattern_values(self):
+        with pytest.raises(ConstraintError):
+            PatternTuple({"A": Variable("A", 0)}, {})
+
+    def test_unknown_attribute_access(self):
+        pt = PatternTuple({"A": _}, {})
+        with pytest.raises(ConstraintError):
+            pt.lhs_value("Z")
+        with pytest.raises(ConstraintError):
+            pt.rhs_value("A")
+
+    def test_projections(self):
+        pt = PatternTuple({"A": "x", "B": _}, {"C": "y"})
+        assert pt.lhs_projection(["B", "A"]) == (_, "x")
+        assert pt.rhs_projection(["C"]) == ("y",)
+
+    def test_constants_collection(self):
+        pt = PatternTuple({"A": "x", "B": _}, {"C": "y"})
+        assert pt.constants() == {"x", "y"}
+        assert pt.lhs_constants() == {"A": "x"}
+        assert pt.rhs_constants() == {"C": "y"}
+
+    def test_equality_and_hash(self):
+        a = PatternTuple({"A": "x"}, {"B": _})
+        b = PatternTuple({"A": "x"}, {"B": _})
+        c = PatternTuple({"A": "y"}, {"B": _})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_same_attribute_both_sides(self):
+        # ψ5 of Fig. 2 has 'ab' on both sides with (potentially) different values.
+        pt = PatternTuple({"ab": "EDI"}, {"ab": "EDI", "at": "saving"})
+        assert pt.lhs_value("ab") == "EDI"
+        assert pt.rhs_value("at") == "saving"
+
+
+class TestPatternTableau:
+    def test_row_coercion_from_sequences(self):
+        t = PatternTableau(["A", "B"], ["C"], [(("x", _), ("y",))])
+        assert len(t) == 1
+        assert t[0].lhs_value("A") == "x"
+
+    def test_row_coercion_from_mappings(self):
+        t = PatternTableau(["A", "B"], ["C"], [({"A": "x"}, {"C": "y"})])
+        # unmentioned attributes default to wildcard
+        assert t[0].lhs_value("B") is _
+
+    def test_row_arity_validation(self):
+        t = PatternTableau(["A", "B"], ["C"])
+        with pytest.raises(ConstraintError):
+            t.add_row((("x",), ("y",)))
+        with pytest.raises(ConstraintError):
+            t.add_row((("x", "z"), ()))
+
+    def test_row_attribute_validation(self):
+        t = PatternTableau(["A"], ["B"])
+        with pytest.raises(ConstraintError):
+            t.add_row(PatternTuple({"Z": _}, {"B": _}))
+
+    def test_duplicate_tableau_attributes_rejected(self):
+        with pytest.raises(ConstraintError):
+            PatternTableau(["A", "A"], ["B"])
+        with pytest.raises(ConstraintError):
+            PatternTableau(["A"], ["B", "B"])
+
+    def test_bad_row_shape_rejected(self):
+        t = PatternTableau(["A"], ["B"])
+        with pytest.raises(ConstraintError):
+            t.add_row("garbage-not-a-pair-of-sides-xx")
+
+    def test_multi_row_iteration_order(self):
+        t = PatternTableau(
+            ["A"], ["B"], [(("1",), ("x",)), (("2",), ("y",))]
+        )
+        assert [row.lhs_value("A") for row in t] == ["1", "2"]
+
+    def test_constants_union(self):
+        t = PatternTableau(["A"], ["B"], [(("1",), (_,)), ((_,), ("y",))])
+        assert t.constants() == {"1", "y"}
+
+    def test_equality(self):
+        t1 = PatternTableau(["A"], ["B"], [(("1",), ("x",))])
+        t2 = PatternTableau(["A"], ["B"], [(("1",), ("x",))])
+        t3 = PatternTableau(["A"], ["B"], [(("2",), ("x",))])
+        assert t1 == t2
+        assert t1 != t3

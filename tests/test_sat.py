@@ -1,0 +1,146 @@
+"""Tests for the DPLL SAT solver, including random checks against brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.sat import Solver, solve_cnf
+
+
+def brute_force_sat(clauses, num_vars):
+    """Exhaustive reference decision procedure."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        ok = True
+        for clause in clauses:
+            if not any(
+                assignment[abs(l)] if l > 0 else not assignment[abs(l)]
+                for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True, assignment
+    return False, None
+
+
+def check_model(clauses, assignment):
+    for clause in clauses:
+        assert any(
+            assignment[abs(l)] if l > 0 else not assignment[abs(l)]
+            for l in clause
+        ), f"clause {clause} falsified"
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert solve_cnf([]).satisfiable
+
+    def test_single_unit(self):
+        result = solve_cnf([[1]])
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_negative_unit(self):
+        result = solve_cnf([[-1]])
+        assert result.satisfiable
+        assert result.assignment[1] is False
+
+    def test_contradicting_units(self):
+        assert not solve_cnf([[1], [-1]]).satisfiable
+
+    def test_empty_clause_unsat(self):
+        assert not solve_cnf([[1], []]).satisfiable
+
+    def test_tautological_clause_dropped(self):
+        solver = Solver()
+        solver.add_clause([1, -1])
+        assert solver.num_clauses == 0
+        assert solver.solve().satisfiable
+
+    def test_duplicate_literals_collapse(self):
+        solver = Solver()
+        solver.add_clause([1, 1, 1])
+        assert solver.solve().assignment[1] is True
+
+    def test_simple_implication_chain(self):
+        # 1, 1->2, 2->3 : all true.
+        result = solve_cnf([[1], [-1, 2], [-2, 3]])
+        assert result.satisfiable
+        assert result.assignment == {1: True, 2: True, 3: True}
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons (vars 1, 2 = "in hole"), both must be placed, hole
+        # holds one: 1, 2, ¬1∨¬2.
+        assert not solve_cnf([[1], [2], [-1, -2]]).satisfiable
+
+    def test_requires_backtracking(self):
+        # Forces the solver off its first polarity choice.
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2, 3], [-3, -1]]
+        result = solve_cnf(clauses)
+        sat, __ = brute_force_sat(clauses, 3)
+        assert result.satisfiable == sat
+        if result.satisfiable:
+            check_model(clauses, result.assignment)
+
+    def test_assumptions(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]).assignment[2] is True
+        assert not solver.solve(assumptions=[-1, -2]).satisfiable
+
+    def test_stats_populated(self):
+        result = solve_cnf([[1, 2], [-1, 2], [1, -2]])
+        assert result.stats.propagations >= 1
+
+    def test_new_var_allocation(self):
+        solver = Solver()
+        assert solver.new_var() == 1
+        assert solver.new_var() == 2
+        solver.add_clause([5])
+        assert solver.num_vars == 5
+
+
+class TestRandomAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_3sat(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 9)
+        num_clauses = rng.randint(1, 30)
+        clauses = []
+        for __ in range(num_clauses):
+            width = rng.randint(1, 3)
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for __ in range(width)
+            ]
+            clauses.append(clause)
+        expected, __ = brute_force_sat(clauses, num_vars)
+        result = solve_cnf(clauses)
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            check_model(clauses, result.assignment)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=25,
+    )
+)
+def test_solver_matches_brute_force(clauses):
+    expected, __ = brute_force_sat(clauses, 6)
+    result = solve_cnf(clauses)
+    assert result.satisfiable == expected
+    if result.satisfiable:
+        check_model(clauses, result.assignment)

@@ -1,0 +1,120 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domains import BOOL, STRING
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    database,
+    schema,
+)
+
+
+class TestAttribute:
+    def test_default_domain_is_string(self):
+        assert Attribute("A").domain is STRING
+
+    def test_equality_requires_same_domain_object(self):
+        assert Attribute("A") == Attribute("A")
+        assert Attribute("A", BOOL) != Attribute("A")
+
+    def test_is_finite(self):
+        assert Attribute("A", BOOL).is_finite
+        assert not Attribute("A").is_finite
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRelationSchema:
+    def test_string_specs_coerced(self):
+        r = RelationSchema("R", ["A", "B"])
+        assert r.attribute_names == ("A", "B")
+        assert r.arity == 2
+
+    def test_declaration_order_preserved(self):
+        r = RelationSchema("R", ["C", "A", "B"])
+        assert r.attribute_names == ("C", "A", "B")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["A", "A"])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_attribute_lookup(self):
+        r = RelationSchema("R", ["A", Attribute("B", BOOL)])
+        assert r.attribute("B").domain is BOOL
+        with pytest.raises(SchemaError):
+            r.attribute("Z")
+
+    def test_contains(self):
+        r = RelationSchema("R", ["A"])
+        assert "A" in r
+        assert "Z" not in r
+
+    def test_finite_attributes(self):
+        r = RelationSchema("R", ["A", Attribute("B", BOOL)])
+        assert [a.name for a in r.finite_attributes()] == ["B"]
+
+    def test_check_attribute_list(self):
+        r = RelationSchema("R", ["A", "B", "C"])
+        assert r.check_attribute_list(["C", "A"]) == ("C", "A")
+        with pytest.raises(SchemaError):
+            r.check_attribute_list(["A", "A"])
+        with pytest.raises(SchemaError):
+            r.check_attribute_list(["A", "Z"])
+
+    def test_equality(self):
+        assert RelationSchema("R", ["A"]) == RelationSchema("R", ["A"])
+        assert RelationSchema("R", ["A"]) != RelationSchema("R", ["B"])
+
+
+class TestDatabaseSchema:
+    def test_lookup_and_contains(self):
+        db = DatabaseSchema([RelationSchema("R", ["A"]), RelationSchema("S", ["B"])])
+        assert "R" in db and "S" in db
+        assert db.relation("R").name == "R"
+        assert len(db) == 2
+        with pytest.raises(SchemaError):
+            db.relation("T")
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", ["A"]), RelationSchema("R", ["B"])])
+
+    def test_finite_attribute_summary(self):
+        db = DatabaseSchema(
+            [
+                RelationSchema("R", ["A", Attribute("F", BOOL)]),
+                RelationSchema("S", ["B"]),
+            ]
+        )
+        summary = db.finite_attributes()
+        assert set(summary) == {"R"}
+        assert db.has_finite_attributes()
+
+    def test_no_finite_attributes(self):
+        db = DatabaseSchema([RelationSchema("R", ["A"])])
+        assert not db.has_finite_attributes()
+        assert db.finite_attributes() == {}
+
+
+class TestConvenienceConstructors:
+    def test_schema_helper(self):
+        r = schema("R", "A", Attribute("B", BOOL))
+        assert r.attribute_names == ("A", "B")
+
+    def test_database_helper_with_mapping(self):
+        db = database({"R": ["A", "B"], "S": ["C"]})
+        assert set(db.relation_names) == {"R", "S"}
+
+    def test_database_helper_mixed(self):
+        db = database(schema("R", "A"), {"S": ["B"]})
+        assert set(db.relation_names) == {"R", "S"}

@@ -1,0 +1,176 @@
+"""Tests for the SQL backend, incl. cross-validation against the in-memory
+violation engine on the bank data and on random schemas/instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.violations import ConstraintSet
+from repro.errors import SQLBackendError
+from repro.relational.domains import INTEGER
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.values import Variable
+from repro.sql.ddl import create_table_sql, insert_sql, quote_identifier, sql_type
+from repro.sql.loader import connect_memory, load_database
+from repro.sql.violations import SQLViolationDetector, sql_check_database
+
+from tests.strategies import cfds, cinds, database_schemas, instances
+
+
+class TestDDL:
+    def test_quote_identifier(self):
+        assert quote_identifier("A") == '"A"'
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_sql_types(self):
+        assert sql_type(INTEGER) == "INTEGER"
+        r = RelationSchema("R", ["A"])
+        assert sql_type(r.attribute("A").domain) == "TEXT"
+
+    def test_create_table(self):
+        r = RelationSchema("R", ["A", Attribute("N", INTEGER)])
+        sql = create_table_sql(r)
+        assert sql == 'CREATE TABLE "R" ("A" TEXT, "N" INTEGER)'
+
+    def test_insert_placeholders(self):
+        r = RelationSchema("R", ["A", "B"])
+        assert insert_sql(r) == 'INSERT INTO "R" VALUES (?, ?)'
+
+
+class TestLoader:
+    def test_round_trip(self, bank):
+        conn = connect_memory()
+        load_database(conn, bank.db)
+        (count,) = conn.execute('SELECT COUNT(*) FROM "interest"').fetchone()
+        assert count == 4
+        rows = set(conn.execute('SELECT * FROM "saving"').fetchall())
+        assert ("01", "J. Smith", "NYC, 19087", "212-5820844", "NYC") in rows
+
+    def test_template_rejected(self):
+        schema = DatabaseSchema([RelationSchema("R", ["A"])])
+        db = DatabaseInstance(schema, {"R": [(Variable("A", 0),)]})
+        with pytest.raises(SQLBackendError):
+            load_database(connect_memory(), db)
+
+
+class TestDetectorConstruction:
+    def test_requires_exactly_one_source(self, bank):
+        with pytest.raises(SQLBackendError):
+            SQLViolationDetector()
+        with pytest.raises(SQLBackendError):
+            SQLViolationDetector(db=bank.db, conn=connect_memory())
+
+    def test_context_manager(self, bank):
+        with SQLViolationDetector(db=bank.db) as detector:
+            assert detector.conn is not None
+
+
+class TestBankCrossValidation:
+    """SQL and in-memory engines must agree tuple-for-tuple on Fig. 1."""
+
+    def test_cfd_agreement(self, bank):
+        with SQLViolationDetector(db=bank.db) as detector:
+            for cfd in bank.cfds:
+                sql_rows = detector.cfd_violating_rows(cfd)
+                mem_rows = {t.values for t in cfd.violating_tuples(bank.db)}
+                assert sql_rows == mem_rows, cfd.name
+
+    def test_cind_agreement(self, bank):
+        with SQLViolationDetector(db=bank.db) as detector:
+            for cind in bank.cinds:
+                sql_rows = detector.cind_violating_rows(cind)
+                mem_rows = {t.values for t in cind.violating_tuples(bank.db)}
+                assert sql_rows == mem_rows, cind.name
+
+    def test_check_summary(self, bank):
+        report = sql_check_database(bank.db, bank.constraints)
+        assert set(report) == {"phi3", "psi6"}
+        assert len(report["psi6"]) == 1
+
+    def test_clean_instance_clean(self, bank):
+        with SQLViolationDetector(db=bank.clean_db) as detector:
+            assert detector.is_clean(bank.constraints)
+
+    def test_scaled_dirty_agreement(self):
+        from repro.datasets.bank import bank_constraints, scaled_bank_instance
+
+        db = scaled_bank_instance(150, error_rate=0.2, seed=13)
+        sigma = bank_constraints()
+        with SQLViolationDetector(db=db) as detector:
+            for cind in sigma.cinds:
+                sql_rows = detector.cind_violating_rows(cind)
+                mem_rows = {t.values for t in cind.violating_tuples(db)}
+                assert sql_rows == mem_rows, cind.name
+
+
+class TestEdgeCases:
+    def test_empty_lhs_cfd(self):
+        schema = DatabaseSchema([RelationSchema("R", ["A", "B"])])
+        from repro.core.cfd import CFD
+
+        cfd = CFD(
+            schema.relation("R"), (), ("B",), [((), ("only",))], name="c"
+        )
+        db = DatabaseInstance(schema, {"R": [("1", "only"), ("2", "nope")]})
+        with SQLViolationDetector(db=db) as detector:
+            sql_rows = detector.cfd_violating_rows(cfd)
+            mem_rows = {t.values for t in cfd.violating_tuples(db)}
+            assert sql_rows == mem_rows
+
+    def test_empty_x_cind(self):
+        schema = DatabaseSchema(
+            [RelationSchema("R", ["A"]), RelationSchema("S", ["B"])]
+        )
+        from repro.core.cind import CIND
+
+        cind = CIND(
+            schema.relation("R"), (), ("A",), schema.relation("S"), (), ("B",),
+            [(("k",), ("w",))],
+        )
+        db = DatabaseInstance(schema, {"R": [("k",)], "S": [("other",)]})
+        with SQLViolationDetector(db=db) as detector:
+            assert len(detector.cind_violating_rows(cind)) == 1
+            db2 = DatabaseInstance(schema, {"R": [("k",)], "S": [("w",)]})
+        with SQLViolationDetector(db=db2) as detector:
+            assert len(detector.cind_violating_rows(cind)) == 0
+
+    def test_quoted_identifier_robustness(self):
+        # Attribute values containing quotes must survive parameter binding.
+        schema = DatabaseSchema([RelationSchema("R", ["A", "B"])])
+        from repro.core.cfd import CFD
+
+        cfd = CFD(
+            schema.relation("R"), ("A",), ("B",), [(("o'brien",), ("x",))]
+        )
+        db = DatabaseInstance(schema, {"R": [("o'brien", "y")]})
+        with SQLViolationDetector(db=db) as detector:
+            assert len(detector.cfd_violating_rows(cfd)) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_sql_matches_memory_on_random_cfds(data):
+    schema = data.draw(database_schemas(max_relations=1))
+    rel = list(schema)[0]
+    cfd = data.draw(cfds(rel))
+    db = data.draw(instances(schema, max_tuples=10))
+    with SQLViolationDetector(db=db) as detector:
+        sql_rows = detector.cfd_violating_rows(cfd)
+    mem_rows = {t.values for t in cfd.violating_tuples(db)}
+    assert sql_rows == mem_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_sql_matches_memory_on_random_cinds(data):
+    schema = data.draw(database_schemas(max_relations=2))
+    rels = list(schema)
+    cind = data.draw(cinds(rels[0], rels[-1]))
+    db = data.draw(instances(schema, max_tuples=10))
+    with SQLViolationDetector(db=db) as detector:
+        sql_rows = detector.cind_violating_rows(cind)
+    mem_rows = {t.values for t in cind.violating_tuples(db)}
+    assert sql_rows == mem_rows

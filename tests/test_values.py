@@ -1,0 +1,92 @@
+"""Tests for repro.relational.values: wildcards, variables, ordering."""
+
+import copy
+
+import pytest
+
+from repro.relational.values import (
+    WILDCARD,
+    Variable,
+    fresh_variables,
+    is_constant,
+    is_variable,
+    is_wildcard,
+    value_order_key,
+)
+
+
+class TestWildcard:
+    def test_singleton(self):
+        from repro.relational.values import _Wildcard
+
+        assert _Wildcard() is WILDCARD
+
+    def test_repr(self):
+        assert repr(WILDCARD) == "_"
+
+    def test_copy_preserves_identity(self):
+        assert copy.copy(WILDCARD) is WILDCARD
+        assert copy.deepcopy(WILDCARD) is WILDCARD
+
+    def test_predicates(self):
+        assert is_wildcard(WILDCARD)
+        assert not is_variable(WILDCARD)
+        assert not is_constant(WILDCARD)
+
+
+class TestVariable:
+    def test_equality_by_attribute_and_index(self):
+        assert Variable("A", 0) == Variable("A", 0)
+        assert Variable("A", 0) != Variable("A", 1)
+        assert Variable("A", 0) != Variable("B", 0)
+
+    def test_hash_consistency(self):
+        assert hash(Variable("A", 3)) == hash(Variable("A", 3))
+        assert len({Variable("A", 0), Variable("A", 0), Variable("A", 1)}) == 2
+
+    def test_not_equal_to_constants(self):
+        assert Variable("A", 0) != "a"
+        assert Variable("A", 0) != 0
+
+    def test_repr(self):
+        assert repr(Variable("F", 1)) == "?F1"
+
+    def test_predicates(self):
+        v = Variable("A", 0)
+        assert is_variable(v)
+        assert not is_wildcard(v)
+        assert not is_constant(v)
+
+    def test_fresh_variables_pool(self):
+        pool = fresh_variables("A", 3)
+        assert len(pool) == 3
+        assert len(set(pool)) == 3
+        assert all(v.attribute == "A" for v in pool)
+
+
+class TestConstants:
+    @pytest.mark.parametrize("value", ["x", 0, 1.5, True, False, None, ()])
+    def test_is_constant(self, value):
+        assert is_constant(value)
+
+
+class TestValueOrder:
+    def test_variables_precede_constants(self):
+        # The paper's "v < a for any v in Var and constant a" (Section 5.1).
+        assert value_order_key(Variable("A", 0)) < value_order_key("a")
+        assert value_order_key(Variable("Z", 99)) < value_order_key("")
+        assert value_order_key(Variable("Z", 99)) < value_order_key(0)
+
+    def test_variable_order_is_total_and_deterministic(self):
+        vs = [Variable("B", 1), Variable("A", 2), Variable("A", 0)]
+        ordered = sorted(vs, key=value_order_key)
+        assert ordered == [Variable("A", 0), Variable("A", 2), Variable("B", 1)]
+
+    def test_constant_order_deterministic(self):
+        vals = ["b", "a", 2, 1]
+        assert sorted(vals, key=value_order_key) == sorted(vals, key=value_order_key)
+
+    def test_max_prefers_constant_over_variable(self):
+        # The chase's FD step keeps the larger value: a constant survives.
+        winner = max([Variable("A", 0), "const"], key=value_order_key)
+        assert winner == "const"
