@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Shared-scan engine vs naive per-constraint detection (Table 1/2 workload).
+
+The paper's detection experiments run Σ with many constraints per relation
+over instances of 10k–100k+ tuples. This benchmark builds *dense*
+constraint sets (≥ 10 constraints per hot relation) on both ready-made
+dataset generators and times three evaluations of the same workload:
+
+* ``naive``  — :func:`repro.core.violations.check_database_naive`, one scan
+  per pattern row (the reference oracle);
+* ``engine`` — :func:`repro.engine.detect`, shared scans, full
+  materialization (plan time included);
+* ``count``  — :func:`repro.engine.count_violations`, the count-only fast
+  path (no violation objects).
+
+Every run first cross-validates that engine and naive produce identical
+violation sets. Exit status is non-zero on mismatch or (with
+``--min-speedup``) when the engine speedup falls short.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_detection.py            # full run
+    PYTHONPATH=src python benchmarks/bench_detection.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.cfd import CFD
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet, check_database_naive
+from repro.datasets.bank import bank_constraints, scaled_bank_instance
+from repro.datasets.commerce import (
+    commerce_constraints,
+    commerce_instance,
+)
+from repro.engine import count_violations, detect, plan_detection
+from repro.relational.values import WILDCARD as _
+
+ERROR_RATE = 0.03
+
+
+def dense_bank_constraints(extra: int = 12) -> ConstraintSet:
+    """Σ_bank plus *extra* CFDs and CINDs per hot relation.
+
+    The additions deliberately share scan keys: the CFDs reuse the
+    ``(an, ab)`` and ``(ab,)`` LHS groups, the CINDs reuse the ψ5/ψ6-style
+    witness buckets on ``interest`` — the shape the engine exploits.
+    """
+    sigma = bank_constraints()
+    schema = sigma.schema
+    interest = schema.relation("interest")
+    branches = ("NYC", "EDI")
+    rhs_cycle = ("cn", "ca", "cp")
+    for rel_name in ("saving", "checking"):
+        rel = schema.relation(rel_name)
+        for i in range(extra):
+            branch = (branches + (_,))[i % 3]
+            sigma.add_cfd(
+                CFD(
+                    rel,
+                    ("an", "ab"),
+                    (rhs_cycle[i % 3],),
+                    [((_, branch), (_,))],
+                    name=f"x_{rel_name}_cfd{i}",
+                )
+            )
+        for i in range(extra):
+            branch = branches[i % 2]
+            at = ("saving", "checking")[(i // 2) % 2]
+            sigma.add_cind(
+                CIND(
+                    rel,
+                    (),
+                    ("ab",),
+                    interest,
+                    (),
+                    ("ab", "at"),
+                    [((branch,), (branch, at))],
+                    name=f"x_{rel_name}_cind{i}",
+                )
+            )
+    return sigma
+
+
+def dense_commerce_constraints(extra: int = 12) -> ConstraintSet:
+    """Σ_commerce plus per-sku price CFDs and per-country shipping CINDs."""
+    sigma = commerce_constraints()
+    schema = sigma.schema
+    orders = schema.relation("orders")
+    catalog = schema.relation("catalog")
+    shipping = schema.relation("shipping")
+    prices = {f"sku{i}": str(10 + 3 * i) for i in range(8)}
+    for i in range(extra):
+        sku = f"sku{i % 8}"
+        sigma.add_cfd(
+            CFD(
+                orders,
+                ("item",),
+                ("price",),
+                [((sku,), (prices[sku],))],
+                name=f"x_price_{i}",
+            )
+        )
+    countries = ("UK", "FR", "DE", "US", "JP")
+    for i in range(extra):
+        country = countries[i % len(countries)]
+        status = ("shipped", "paid")[(i // len(countries)) % 2]
+        sigma.add_cind(
+            CIND(
+                orders,
+                ("country",),
+                ("status",),
+                shipping,
+                ("country",),
+                (),
+                [((_, status), (_,))],
+                name=f"x_ship_{i}",
+            )
+        )
+    for i in range(max(2, extra // 4)):
+        status = ("paid", "shipped")[i % 2]
+        sigma.add_cind(
+            CIND(
+                orders,
+                ("item",),
+                ("status",),
+                catalog,
+                ("item",),
+                (),
+                [((_, status), (_,))],
+                name=f"x_item_{i}",
+            )
+        )
+    return sigma
+
+
+def constraints_per_relation(sigma: ConstraintSet) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for cfd in sigma.cfds:
+        counts[cfd.relation.name] = counts.get(cfd.relation.name, 0) + 1
+    for cind in sigma.cinds:
+        counts[cind.lhs_relation.name] = counts.get(cind.lhs_relation.name, 0) + 1
+    return counts
+
+
+def _violation_keys(report):
+    cfd = {
+        (id(v.cfd), v.pattern_index, v.lhs_values, frozenset(v.tuples), v.kind)
+        for v in report.cfd_violations
+    }
+    cind = {
+        (id(v.cind), v.pattern_index, v.tuple_)
+        for v in report.cind_violations
+    }
+    return cfd, cind
+
+
+def _best_time(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_case(label: str, db, sigma: ConstraintSet, repeats: int) -> dict:
+    plan = plan_detection(sigma)
+    per_rel = constraints_per_relation(sigma)
+    naive_s, naive_report = _best_time(
+        lambda: check_database_naive(db, sigma), repeats
+    )
+    engine_s, engine_report = _best_time(lambda: detect(db, sigma), repeats)
+    count_s, summary = _best_time(lambda: count_violations(db, sigma), repeats)
+
+    if _violation_keys(engine_report) != _violation_keys(naive_report):
+        raise AssertionError(f"{label}: engine and naive violation sets differ")
+    if summary.total != naive_report.total:
+        raise AssertionError(f"{label}: count-only total differs")
+
+    speedup = naive_s / engine_s if engine_s > 0 else float("inf")
+    row = {
+        "label": label,
+        "tuples": db.total_tuples(),
+        "constraints": len(sigma),
+        "max_per_relation": max(per_rel.values()),
+        "scans_naive": plan.naive_scan_count,
+        "scans_engine": plan.shared_scan_count,
+        "violations": naive_report.total,
+        "naive_s": naive_s,
+        "engine_s": engine_s,
+        "count_s": count_s,
+        "speedup": speedup,
+    }
+    print(
+        f"{label:<22} tuples={row['tuples']:<8} |Σ|={row['constraints']:<4} "
+        f"viol={row['violations']:<6} naive={naive_s:.3f}s "
+        f"engine={engine_s:.3f}s count={count_s:.3f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=[10_000, 50_000],
+        help="bank account counts (commerce uses size//2 orders)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny smoke workload (CI): 500 accounts / 250 orders, 1 repeat",
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail if any workload's engine speedup is below this",
+    )
+    args = parser.parse_args(argv)
+    sizes = [500] if args.quick else args.sizes
+    if not sizes:
+        parser.error("--sizes needs at least one value")
+    repeats = 1 if args.quick else args.repeats
+
+    bank_sigma = dense_bank_constraints()
+    commerce_sigma = dense_commerce_constraints()
+    print(
+        f"bank Σ: {len(bank_sigma)} constraints, "
+        f"max/relation={max(constraints_per_relation(bank_sigma).values())}; "
+        f"commerce Σ: {len(commerce_sigma)} constraints, "
+        f"max/relation={max(constraints_per_relation(commerce_sigma).values())}"
+    )
+
+    rows = []
+    for size in sizes:
+        db = scaled_bank_instance(size, error_rate=ERROR_RATE, seed=7)
+        rows.append(run_case(f"bank/{size}", db, bank_sigma, repeats))
+        db = commerce_instance(n_orders=max(1, size // 2),
+                               error_rate=ERROR_RATE, seed=7)
+        rows.append(run_case(f"commerce/{size // 2}", db, commerce_sigma, repeats))
+
+    largest = max(rows, key=lambda row: row["tuples"])
+    print(
+        f"\nlargest workload ({largest['label']}): {largest['speedup']:.1f}x "
+        f"({largest['scans_naive']} naive scans -> "
+        f"{largest['scans_engine']} shared scans)"
+    )
+    worst = min(rows, key=lambda row: row["speedup"])
+    if args.min_speedup and worst["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: {worst['label']} speedup {worst['speedup']:.1f}x < "
+            f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

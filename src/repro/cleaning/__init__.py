@@ -5,6 +5,7 @@ from repro.cleaning.detect import (
     compare_with_traditional,
     detect_errors,
     detect_errors_sql,
+    is_clean,
 )
 from repro.cleaning.incremental import IncrementalChecker
 from repro.cleaning.repair import RepairEdit, RepairResult, repair
@@ -17,5 +18,6 @@ __all__ = [
     "compare_with_traditional",
     "detect_errors",
     "detect_errors_sql",
+    "is_clean",
     "repair",
 ]

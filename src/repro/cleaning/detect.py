@@ -1,8 +1,9 @@
 """Constraint-based error detection (the data-cleaning side of the paper).
 
 Example 1.2's pitch: traditional FDs/INDs miss errors (tuple ``t12``) that
-CFDs/CINDs catch. This module wraps the two violation engines — the
-in-memory one of :mod:`repro.core.violations` and the SQL one of
+CFDs/CINDs catch. This module wraps the violation engines — the shared-scan
+one of :mod:`repro.engine` (default), the naive per-constraint oracle of
+:mod:`repro.core.violations`, and the SQL one of
 :mod:`repro.sql.violations` — behind one call and produces a per-tuple
 error table that the repair step consumes.
 """
@@ -12,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.violations import ConstraintSet, ViolationReport, check_database
+from repro.core.violations import (
+    ConstraintSet,
+    ViolationReport,
+    check_database,
+    check_database_naive,
+)
+from repro.engine import count_violations, database_is_clean
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.sql.violations import sql_check_database
 
@@ -44,19 +51,32 @@ class DetectionResult:
         return "\n".join(lines)
 
 
-def detect_errors(db: DatabaseInstance, sigma: ConstraintSet) -> DetectionResult:
-    """Find every CFD/CIND violation and index the offending tuples."""
-    report = check_database(db, sigma)
+def detect_errors(
+    db: DatabaseInstance, sigma: ConstraintSet, naive: bool = False
+) -> DetectionResult:
+    """Find every CFD/CIND violation and index the offending tuples.
+
+    Detection runs on the shared-scan engine by default; ``naive=True``
+    evaluates each constraint independently (the reference oracle — useful
+    for cross-checking and timing comparisons).
+    """
+    checker = check_database_naive if naive else check_database
+    report = checker(db, sigma)
     dirty: dict[tuple[str, Tuple], list[str]] = {}
     for violation in report.cfd_violations:
-        name = violation.cfd.name or repr(violation.cfd)
+        name = report.label_for(violation.cfd)
         for t in violation.tuples:
             dirty.setdefault((violation.cfd.relation.name, t), []).append(name)
     for violation in report.cind_violations:
-        name = violation.cind.name or repr(violation.cind)
+        name = report.label_for(violation.cind)
         key = (violation.cind.lhs_relation.name, violation.tuple_)
         dirty.setdefault(key, []).append(name)
     return DetectionResult(report=report, dirty_tuples=dirty)
+
+
+def is_clean(db: DatabaseInstance, sigma: ConstraintSet) -> bool:
+    """``D |= Σ`` without materializing violations (engine early-exit mode)."""
+    return database_is_clean(db, sigma)
 
 
 def detect_errors_sql(
@@ -81,8 +101,9 @@ def compare_with_traditional(
         cfds=[c for c in sigma.cfds if c.is_standard_fd],
         cinds=[c for c in sigma.cinds if c.is_standard_ind],
     )
-    full = check_database(db, sigma)
-    classic = check_database(db, traditional)
+    # Only totals are reported, so use the engine's count-only fast path.
+    full = count_violations(db, sigma)
+    classic = count_violations(db, traditional)
     return {
         "conditional": {
             "constraints": len(sigma),

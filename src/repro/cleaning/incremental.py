@@ -12,6 +12,12 @@ proportional to the touched groups:
   (counting RHS tuples whose ``Yp`` matches the pattern) and the set of
   violating LHS tuples.
 
+The initial build reuses the shared-scan primitives of
+:mod:`repro.engine`: one group-by per distinct ``(relation, X)``, one
+witness-counting pass per RHS relation (deduplicated by ``(Y, Yp,
+tp[Yp])``), and one violation pass per LHS relation — instead of replaying
+every tuple through the single-tuple bookkeeping.
+
 Every mutation goes through :meth:`insert` / :meth:`delete`, which apply
 it to the underlying database *and* the state. The test-suite
 cross-validates against full rechecks on randomized operation sequences.
@@ -26,7 +32,13 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.core.cfd import CFD
 from repro.core.cind import CIND
 from repro.core.patterns import matches_all
-from repro.core.violations import ConstraintSet
+from repro.core.violations import ConstraintSet, constraint_labels
+from repro.engine import (
+    attribute_positions,
+    compile_checks,
+    group_tuples_by,
+    passes,
+)
 from repro.errors import ConstraintError
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.relational.values import is_wildcard
@@ -73,6 +85,7 @@ class IncrementalChecker:
     def __init__(self, db: DatabaseInstance, sigma: ConstraintSet):
         self.db = db
         self.sigma = sigma.normalized()
+        self._labels = constraint_labels(self.sigma)
         self._cfd_states: dict[str, list[_CFDState]] = {}
         self._cind_lhs: dict[str, list[_CINDState]] = {}
         self._cind_rhs: dict[str, list[_CINDState]] = {}
@@ -85,25 +98,112 @@ class IncrementalChecker:
             self._cind_states.append(state)
             self._cind_lhs.setdefault(cind.lhs_relation.name, []).append(state)
             self._cind_rhs.setdefault(cind.rhs_relation.name, []).append(state)
-        for inst in db:
-            for t in inst:
-                self._account_insert(t)
-        # Initial CIND violation sets need the witness counts complete first.
+        self._bulk_build()
+
+    def _bulk_build(self) -> None:
+        """Initial state via shared scans (engine-style), not per-tuple replay.
+
+        * one group-by per distinct ``(relation, X)`` across all CFD states;
+        * one witness-counting pass per RHS relation, deduplicated by
+          ``(Y, Yp, tp[Yp])`` across CIND states;
+        * one violation pass per LHS relation covering all its CIND states.
+        """
+        by_scan: dict[tuple[str, tuple[str, ...]], list[_CFDState]] = {}
+        for states in self._cfd_states.values():
+            for state in states:
+                cfd = state.cfd
+                by_scan.setdefault((cfd.relation.name, cfd.lhs), []).append(state)
+        for (relation, lhs), states in by_scan.items():
+            instance = self.db[relation]
+            positions = attribute_positions(instance.schema, lhs)
+            groups = group_tuples_by(instance, positions)
+            for state in states:
+                cfd = state.cfd
+                key_checks = compile_checks(
+                    cfd.pattern.lhs_projection(lhs), range(len(lhs))
+                )
+                rhs_pos = instance.schema.attribute_names.index(cfd.rhs_attribute)
+                for key, tuples in groups.items():
+                    if not passes(key, key_checks):
+                        continue
+                    state.groups[key] = Counter(
+                        t.values[rhs_pos] for t in tuples
+                    )
+                    state.refresh(key)
+
+        # Witness counts: share one Counter computation per (R2, Y, Yp, tp[Yp]).
+        shared: dict[tuple, list[_CINDState]] = {}
         for state in self._cind_states:
-            self._rebuild_cind_violations(state)
+            cind = state.cind
+            key = (
+                cind.rhs_relation.name,
+                cind.y,
+                cind.yp,
+                cind.pattern.rhs_projection(cind.yp),
+            )
+            shared.setdefault(key, []).append(state)
+        by_rhs: dict[str, list[tuple]] = {}
+        for key in shared:
+            by_rhs.setdefault(key[0], []).append(key)
+        for relation, keys in by_rhs.items():
+            instance = self.db[relation]
+            names = instance.schema.attribute_names
+            compiled = [
+                (
+                    key,
+                    compile_checks(key[3], tuple(names.index(a) for a in key[2])),
+                    tuple(names.index(a) for a in key[1]),
+                    Counter(),
+                )
+                for key in keys
+            ]
+            for t in instance:
+                values = t.values
+                for __, yp_checks, y_positions, counter in compiled:
+                    if passes(values, yp_checks):
+                        counter[tuple(values[i] for i in y_positions)] += 1
+            for key, __, __, counter in compiled:
+                consumers = shared[key]
+                for state in consumers[:-1]:
+                    state.witness_count = counter.copy()
+                consumers[-1].witness_count = counter
+
+        # Violation sets: one pass per LHS relation across all its states.
+        for relation, states in self._cind_lhs.items():
+            instance = self.db[relation]
+            names = instance.schema.attribute_names
+            compiled_states = []
+            for state in states:
+                cind = state.cind
+                lhs_attrs = cind.x + cind.xp
+                compiled_states.append(
+                    (
+                        state,
+                        compile_checks(
+                            cind.pattern.lhs_projection(lhs_attrs),
+                            tuple(names.index(a) for a in lhs_attrs),
+                        ),
+                        tuple(names.index(a) for a in cind.x),
+                    )
+                )
+            for t in instance:
+                values = t.values
+                for state, lhs_checks, x_positions in compiled_states:
+                    if not passes(values, lhs_checks):
+                        continue
+                    key = tuple(values[i] for i in x_positions)
+                    if state.witness_count.get(key, 0) == 0:
+                        state.violated.add(t)
 
     # -- public API -----------------------------------------------------------
 
     def insert(self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> bool:
         """Insert a tuple; returns False (no-op) if it was already present."""
-        instance = self.db[relation]
-        before = len(instance)
-        instance.add(row)
-        if len(instance) == before:
+        stored = self.db[relation].add(row)
+        if stored is None:
             return False
-        t = row if isinstance(row, Tuple) else instance.tuples[-1]
-        self._account_insert(t)
-        self._settle_cinds_after_insert(t)
+        self._account_insert(stored)
+        self._settle_cinds_after_insert(stored)
         return True
 
     def delete(self, relation: str, row: Tuple) -> bool:
@@ -130,15 +230,20 @@ class IncrementalChecker:
         return total
 
     def violations(self) -> dict[str, int]:
-        """Current violation counts per constraint name."""
+        """Current violation counts per stable constraint label.
+
+        Labels come from :func:`repro.core.violations.constraint_labels`
+        over the normalized Σ, matching ``ViolationReport.by_constraint`` —
+        distinct constraints with equal names/reprs keep separate entries.
+        """
         out: dict[str, int] = {}
         for states in self._cfd_states.values():
             for s in states:
                 if s.violated:
-                    out[s.cfd.name or repr(s.cfd)] = len(s.violated)
+                    out[self._labels[id(s.cfd)]] = len(s.violated)
         for s in self._cind_states:
             if s.violated:
-                out[s.cind.name or repr(s.cind)] = len(s.violated)
+                out[self._labels[id(s.cind)]] = len(s.violated)
         return out
 
     def violating_cind_tuples(self) -> set[Tuple]:
@@ -175,8 +280,6 @@ class IncrementalChecker:
             cind = state.cind
             if not cind.lhs_matches(t, cind.pattern):
                 continue
-            # witness_count may not be final during __init__; the
-            # constructor rebuilds afterwards. For live inserts it is exact.
             if state.witness_count[t.project(cind.x)] == 0:
                 state.violated.add(t)
 
@@ -228,13 +331,4 @@ class IncrementalChecker:
         lhs_instance = self.db[cind.lhs_relation.name]
         for t1 in lhs_instance.lookup(cind.x, key):
             if cind.lhs_matches(t1, cind.pattern):
-                state.violated.add(t1)
-
-    def _rebuild_cind_violations(self, state: _CINDState) -> None:
-        cind = state.cind
-        state.violated = set()
-        for t1 in self.db[cind.lhs_relation.name]:
-            if not cind.lhs_matches(t1, cind.pattern):
-                continue
-            if state.witness_count.get(t1.project(cind.x), 0) == 0:
                 state.violated.add(t1)

@@ -27,7 +27,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.violations import ConstraintSet, check_database
+from repro.core.violations import ConstraintSet
+from repro.engine import execute_plan, plan_detection
 from repro.relational.domains import FiniteDomain
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.relational.schema import RelationSchema
@@ -86,16 +87,18 @@ def repair(
     counter = [0]
     work = db.copy()
     edits: list[RepairEdit] = []
+    # One shared-scan plan for Σ, executed once per repair round.
+    plan = plan_detection(sigma)
 
     for round_no in range(1, max_rounds + 1):
-        report = check_database(work, sigma)
+        report = execute_plan(plan, work, mode="full")
         if report.is_clean:
             return RepairResult(work, edits, clean=True, rounds=round_no - 1)
         changed = False
 
         for violation in report.cfd_violations:
             cfd = violation.cfd
-            name = cfd.name or repr(cfd)
+            name = report.label_for(cfd)
             instance = work[cfd.relation.name]
             row = cfd.tableau[violation.pattern_index]
             rhs_pattern = row.rhs_projection(cfd.rhs)
@@ -126,7 +129,7 @@ def repair(
 
         for violation in report.cind_violations:
             cind = violation.cind
-            name = cind.name or repr(cind)
+            name = report.label_for(cind)
             t1 = violation.tuple_
             if t1 not in work[cind.lhs_relation.name]:
                 continue  # removed by an earlier repair
@@ -160,5 +163,6 @@ def repair(
         if not changed:
             break
 
-    final = check_database(work, sigma)
+    # Count-only fast path: the final verdict needs no violation objects.
+    final = execute_plan(plan, work, mode="count")
     return RepairResult(work, edits, clean=final.is_clean, rounds=max_rounds)

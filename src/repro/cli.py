@@ -116,7 +116,9 @@ def cmd_check(args: argparse.Namespace) -> int:
                 for row in sorted(report[name], key=repr)[:10]:
                     print(f"    {row}")
         return 1 if report else 0
-    detection = detect_errors(db, sigma)
+    # "memory" is the shared-scan engine; "naive" forces the per-constraint
+    # reference evaluation (slower, useful for cross-checking).
+    detection = detect_errors(db, sigma, naive=args.engine == "naive")
     print(detection.summary() if args.verbose else detection.report.summary())
     return 0 if detection.is_clean else 1
 
@@ -172,7 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="detect CFD/CIND violations")
     common(p_check)
-    p_check.add_argument("--engine", choices=("memory", "sql"), default="memory")
+    p_check.add_argument(
+        "--engine",
+        choices=("memory", "sql", "naive"),
+        default="memory",
+        help="memory = shared-scan engine (default); naive = per-constraint "
+        "reference evaluation; sql = sqlite3 backend",
+    )
     p_check.set_defaults(func=cmd_check)
 
     p_repair = sub.add_parser("repair", help="repair violations and write a copy")

@@ -51,7 +51,13 @@ from repro.core.parser import (
     parse_constraints,
 )
 from repro.core.patterns import PatternTableau, PatternTuple, matches, matches_all
-from repro.core.violations import ConstraintSet, ViolationReport, check_database
+from repro.core.violations import (
+    ConstraintSet,
+    ViolationReport,
+    check_database,
+    check_database_naive,
+    constraint_labels,
+)
 
 __all__ = [
     "CFD",
@@ -73,6 +79,7 @@ __all__ = [
     "build_cind_witness",
     "chase_size_bound",
     "check_database",
+    "check_database_naive",
     "cind1",
     "cind2",
     "cind3",
@@ -82,6 +89,7 @@ __all__ = [
     "cind7",
     "cind8",
     "cind_graph",
+    "constraint_labels",
     "derives",
     "format_cfd",
     "format_cind",

@@ -118,31 +118,39 @@ class ConstraintSet:
     # -- constants ---------------------------------------------------------------
 
     def constants_for(self, relation: str, attribute: str) -> set[Any]:
-        """Constants compared against ``relation.attribute`` anywhere in Σ."""
+        """Constants compared against ``relation.attribute`` anywhere in Σ.
+
+        For CINDs the membership test is per side: LHS rows are consulted
+        only for ``X ∪ Xp`` attributes, RHS rows only for ``Y ∪ Yp``
+        (``lhs_value``/``rhs_value`` raise on the wrong side rather than
+        returning ``None``, so no ``None`` guard is needed anywhere).
+        """
         out: set[Any] = set()
         for cfd in self.cfds_on(relation):
             for row in cfd.tableau:
                 if attribute in cfd.lhs:
                     v = row.lhs_value(attribute)
-                    if v is not None and not _is_wild(v):
+                    if not _is_wild(v):
                         out.add(v)
                 if attribute in cfd.rhs:
                     v = row.rhs_value(attribute)
                     if not _is_wild(v):
                         out.add(v)
         for cind in self.cinds:
-            if cind.lhs_relation.name == relation:
+            if cind.lhs_relation.name == relation and (
+                attribute in cind.x or attribute in cind.xp
+            ):
                 for row in cind.tableau:
-                    if attribute in cind.x + cind.xp:
-                        v = row.lhs_value(attribute)
-                        if not _is_wild(v):
-                            out.add(v)
-            if cind.rhs_relation.name == relation:
+                    v = row.lhs_value(attribute)
+                    if not _is_wild(v):
+                        out.add(v)
+            if cind.rhs_relation.name == relation and (
+                attribute in cind.y or attribute in cind.yp
+            ):
                 for row in cind.tableau:
-                    if attribute in cind.y + cind.yp:
-                        v = row.rhs_value(attribute)
-                        if not _is_wild(v):
-                            out.add(v)
+                    v = row.rhs_value(attribute)
+                    if not _is_wild(v):
+                        out.add(v)
         return out
 
     def all_constants(self) -> set[Any]:
@@ -170,16 +178,61 @@ def _is_wild(value: Any) -> bool:
     return is_wildcard(value)
 
 
+def constraint_labels(
+    constraints: Iterable[CFD | CIND],
+) -> dict[int, str]:
+    """Stable display labels for constraints, keyed by object identity.
+
+    The base label is ``name or repr``. When several *distinct* constraint
+    objects share a base label (the same structure added twice, a CFD and
+    its normalized clone, unnamed constraints with equal reprs), each gets
+    an index-qualified suffix ``@k`` in iteration order, so counts keyed by
+    label never silently merge across constraints.
+    """
+    items = list(constraints)
+    base = [c.name or repr(c) for c in items]
+    multiplicity: dict[str, int] = {}
+    for b in base:
+        multiplicity[b] = multiplicity.get(b, 0) + 1
+    labels: dict[int, str] = {}
+    seen: dict[str, int] = {}
+    for c, b in zip(items, base):
+        if id(c) in labels:
+            continue  # same object listed twice keeps one label
+        if multiplicity[b] > 1:
+            k = seen.get(b, 0)
+            seen[b] = k + 1
+            labels[id(c)] = f"{b}@{k}"
+        else:
+            labels[id(c)] = b
+    return labels
+
+
 class ViolationReport:
-    """All violations of a constraint set on a database instance."""
+    """All violations of a constraint set on a database instance.
+
+    When the originating :class:`ConstraintSet` is supplied, per-constraint
+    keys come from :func:`constraint_labels` over Σ, so two distinct
+    constraints with equal names/reprs keep separate entries. Without it,
+    labels are derived from the distinct constraint objects appearing in
+    the violation lists, in order of first appearance.
+    """
 
     def __init__(
         self,
         cfd_violations: list[CFDViolation],
         cind_violations: list[CINDViolation],
+        constraints: Iterable[CFD | CIND] | None = None,
     ):
         self.cfd_violations = cfd_violations
         self.cind_violations = cind_violations
+        # Keep the constraint objects alive: the label map is keyed by id().
+        self._constraints = list(constraints) if constraints is not None else None
+        self._labels: dict[int, str] | None = (
+            constraint_labels(self._constraints)
+            if self._constraints is not None
+            else None
+        )
 
     @property
     def total(self) -> int:
@@ -189,14 +242,32 @@ class ViolationReport:
     def is_clean(self) -> bool:
         return self.total == 0
 
+    def _label_map(self) -> dict[int, str]:
+        if self._labels is None:
+            appeared: dict[int, CFD | CIND] = {}
+            for v in self.cfd_violations:
+                appeared.setdefault(id(v.cfd), v.cfd)
+            for v in self.cind_violations:
+                appeared.setdefault(id(v.cind), v.cind)
+            self._labels = constraint_labels(appeared.values())
+        return self._labels
+
+    def label_for(self, constraint: CFD | CIND) -> str:
+        """The stable display label of *constraint* within this report."""
+        label = self._label_map().get(id(constraint))
+        if label is not None:
+            return label
+        return constraint.name or repr(constraint)
+
     def by_constraint(self) -> dict[str, int]:
-        """Violation counts keyed by constraint name (or repr)."""
+        """Violation counts keyed by stable per-constraint labels."""
+        labels = self._label_map()
         counts: dict[str, int] = {}
         for v in self.cfd_violations:
-            key = v.cfd.name or repr(v.cfd)
+            key = labels.get(id(v.cfd)) or v.cfd.name or repr(v.cfd)
             counts[key] = counts.get(key, 0) + 1
         for v in self.cind_violations:
-            key = v.cind.name or repr(v.cind)
+            key = labels.get(id(v.cind)) or v.cind.name or repr(v.cind)
             counts[key] = counts.get(key, 0) + 1
         return counts
 
@@ -214,11 +285,32 @@ class ViolationReport:
 
 
 def check_database(db: DatabaseInstance, constraints: ConstraintSet) -> ViolationReport:
-    """Find every CFD and CIND violation of *constraints* in *db*."""
+    """Find every CFD and CIND violation of *constraints* in *db*.
+
+    Routed through the shared-scan engine (:mod:`repro.engine`): one scan
+    per ``(relation, X)`` CFD group and per CIND witness bucket instead of
+    one scan per pattern row. The report — including violation-list order —
+    is identical to :func:`check_database_naive`, which the property tests
+    keep as the reference oracle.
+    """
+    from repro.engine import detect  # local import: engine builds on this module
+
+    return detect(db, constraints)
+
+
+def check_database_naive(
+    db: DatabaseInstance, constraints: ConstraintSet
+) -> ViolationReport:
+    """Reference oracle: evaluate each constraint independently.
+
+    Kept (and cross-validated against the engine) because the
+    per-constraint iterators are the executable transcription of the
+    paper's satisfaction definitions.
+    """
     cfd_violations: list[CFDViolation] = []
     for cfd in constraints.cfds:
         cfd_violations.extend(cfd.iter_violations(db))
     cind_violations: list[CINDViolation] = []
     for cind in constraints.cinds:
         cind_violations.extend(cind.iter_violations(db))
-    return ViolationReport(cfd_violations, cind_violations)
+    return ViolationReport(cfd_violations, cind_violations, constraints=constraints)

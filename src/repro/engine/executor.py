@@ -1,0 +1,305 @@
+"""Shared-scan detection executor.
+
+Executes a :class:`~repro.engine.planner.DetectionPlan` against a database
+instance in one of three modes:
+
+* :func:`execute_plan` with ``mode="full"`` — materializes every
+  ``CFDViolation``/``CINDViolation`` into a
+  :class:`~repro.core.violations.ViolationReport` whose violation lists are
+  ordered exactly as the naive per-constraint checker would order them
+  (constraints in Σ order, pattern rows in tableau order, groups/tuples in
+  scan order), so it is a drop-in replacement.
+* :func:`execute_plan` with ``mode="count"`` — the count-only fast path: a
+  :class:`DetectionSummary` with totals and per-constraint counts, without
+  constructing a single violation object (no group tuple lists either — the
+  CFD scans keep only RHS projection sets per group key).
+* :func:`plan_has_violation` — the laziest mode: returns as soon as any
+  scan group surfaces one violation, for ``is_clean``-style questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.cfd import CFDViolation
+from repro.core.cind import CINDViolation
+from repro.core.violations import ViolationReport, constraint_labels
+from repro.engine.planner import (
+    CFDScanGroup,
+    CINDRowTask,
+    DetectionPlan,
+    WitnessSpec,
+    passes,
+)
+from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
+
+
+@dataclass
+class DetectionSummary:
+    """Violation counts without materialized violation objects."""
+
+    cfd_total: int = 0
+    cind_total: int = 0
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.cfd_total + self.cind_total
+
+    @property
+    def is_clean(self) -> bool:
+        return self.total == 0
+
+    def by_constraint(self) -> dict[str, int]:
+        """Counts per stable constraint label (``ViolationReport`` parity)."""
+        return dict(self.counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DetectionSummary {self.total} violation(s): "
+            f"{self.cfd_total} CFD, {self.cind_total} CIND>"
+        )
+
+
+# -- shared scan primitives (also used by the incremental checker) ------------
+
+
+def group_tuples_by(
+    instance: RelationInstance, positions: tuple[int, ...]
+) -> dict[tuple[Any, ...], list[Tuple]]:
+    """One-pass group-by of an instance on a value-position projection."""
+    groups: dict[tuple[Any, ...], list[Tuple]] = {}
+    for t in instance:
+        values = t.values
+        key = tuple(values[i] for i in positions)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [t]
+        else:
+            bucket.append(t)
+    return groups
+
+
+def witness_sets(
+    instance: RelationInstance, specs: list[WitnessSpec]
+) -> dict[WitnessSpec, set[tuple[Any, ...]]]:
+    """One pass over *instance* filling every witness spec's key set."""
+    results: dict[WitnessSpec, set[tuple[Any, ...]]] = {
+        spec: set() for spec in specs
+    }
+    compiled = [
+        (spec.yp_checks, spec.y_positions, results[spec]) for spec in specs
+    ]
+    for t in instance:
+        values = t.values
+        for yp_checks, y_positions, out in compiled:
+            if passes(values, yp_checks):
+                out.add(tuple(values[i] for i in y_positions))
+    return results
+
+
+# -- CFD evaluation ------------------------------------------------------------
+
+
+def _cfd_group_state(
+    group: CFDScanGroup, instance: RelationInstance, materialize: bool
+) -> tuple[
+    dict[tuple[Any, ...], list[Tuple]] | None,
+    dict[tuple[int, ...], dict[tuple[Any, ...], set[tuple[Any, ...]]]],
+]:
+    """Scan once, producing the group-by (if materializing) and, per distinct
+    RHS attribute list, the set of RHS projections observed per group key."""
+    variants = group.rhs_variants()
+    rhs_maps: dict[tuple[int, ...], dict[tuple[Any, ...], set]] = {
+        v: {} for v in variants
+    }
+    groups: dict[tuple[Any, ...], list[Tuple]] | None = (
+        {} if materialize else None
+    )
+    lhs_positions = group.lhs_positions
+    for t in instance:
+        values = t.values
+        key = tuple(values[i] for i in lhs_positions)
+        if groups is not None:
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [t]
+            else:
+                bucket.append(t)
+        for variant in variants:
+            rhs_map = rhs_maps[variant]
+            seen = rhs_map.get(key)
+            if seen is None:
+                seen = rhs_map[key] = set()
+            seen.add(tuple(values[i] for i in variant))
+    return groups, rhs_maps
+
+
+def _iter_cfd_group_violations(
+    group: CFDScanGroup,
+    instance: RelationInstance,
+    materialize: bool,
+) -> Iterator[tuple[Any, "CFDViolation | None"]]:
+    """Yield ``(task, violation-or-None)`` for each violating (task, key).
+
+    With ``materialize=False`` the violation slot is ``None`` (count mode).
+    """
+    groups, rhs_maps = _cfd_group_state(group, instance, materialize)
+    if materialize:
+        keys = groups
+    else:
+        # All variants share the same key set; pick any (there is at least
+        # one variant because every task has an RHS).
+        first_variant = next(iter(rhs_maps), None)
+        keys = rhs_maps[first_variant] if first_variant is not None else {}
+    for task in group.tasks:
+        rhs_map = rhs_maps[task.rhs_positions]
+        key_checks = task.key_checks
+        rhs_checks = task.rhs_checks
+        for key in keys:
+            if not passes(key, key_checks):
+                continue
+            rhs_values = rhs_map[key]
+            disagree = len(rhs_values) > 1
+            if not disagree:
+                # A single shared RHS value only violates when it misses a
+                # constant of the pattern's RHS.
+                if not rhs_checks or all(
+                    passes(vals, rhs_checks) for vals in rhs_values
+                ):
+                    continue
+            if materialize:
+                violation = CFDViolation(
+                    cfd=task.cfd,
+                    pattern_index=task.row_index,
+                    lhs_values=key,
+                    tuples=tuple(groups[key]),
+                    kind="pair" if disagree else "single",
+                )
+            else:
+                violation = None
+            yield task, violation
+
+
+# -- CIND evaluation ---------------------------------------------------------
+
+
+def _iter_cind_violations(
+    tasks: list[CINDRowTask],
+    instance: RelationInstance,
+    witnesses: dict[WitnessSpec, set[tuple[Any, ...]]],
+) -> Iterator[tuple[CINDRowTask, Tuple]]:
+    """One pass over an LHS relation, testing every row task per tuple."""
+    compiled = [
+        (task, task.lhs_checks, task.x_positions, witnesses[task.witness])
+        for task in tasks
+    ]
+    for t in instance:
+        values = t.values
+        for task, lhs_checks, x_positions, witness in compiled:
+            if not passes(values, lhs_checks):
+                continue
+            if tuple(values[i] for i in x_positions) not in witness:
+                yield task, t
+
+
+def _all_witnesses(
+    plan: DetectionPlan, db: DatabaseInstance
+) -> dict[WitnessSpec, set[tuple[Any, ...]]]:
+    witnesses: dict[WitnessSpec, set[tuple[Any, ...]]] = {}
+    for relation, specs in plan.witness_specs.items():
+        witnesses.update(witness_sets(db[relation], specs))
+    return witnesses
+
+
+# -- top-level execution ------------------------------------------------------
+
+
+def execute_plan(
+    plan: DetectionPlan, db: DatabaseInstance, mode: str = "full"
+) -> ViolationReport | DetectionSummary:
+    """Run every shared scan of *plan* against *db*.
+
+    ``mode="full"`` returns a :class:`ViolationReport` identical (including
+    list order) to the naive per-constraint evaluation; ``mode="count"``
+    returns a :class:`DetectionSummary` without materializing violations.
+    """
+    if mode not in ("full", "count"):
+        raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
+    materialize = mode == "full"
+    sigma = plan.sigma
+
+    cfd_buckets: dict[int, list[CFDViolation]] = {}
+    cfd_counts: dict[int, int] = {}
+    for group in plan.cfd_groups:
+        instance = db[group.relation]
+        for task, violation in _iter_cfd_group_violations(
+            group, instance, materialize
+        ):
+            if materialize:
+                cfd_buckets.setdefault(id(task), []).append(violation)
+            else:
+                cfd_counts[task.cfd_index] = (
+                    cfd_counts.get(task.cfd_index, 0) + 1
+                )
+
+    witnesses = _all_witnesses(plan, db)
+    cind_buckets: dict[int, list[CINDViolation]] = {}
+    cind_counts: dict[int, int] = {}
+    for relation, tasks in plan.cind_scans.items():
+        instance = db[relation]
+        for task, t in _iter_cind_violations(tasks, instance, witnesses):
+            if materialize:
+                cind_buckets.setdefault(id(task), []).append(
+                    CINDViolation(
+                        cind=task.cind, pattern_index=task.row_index, tuple_=t
+                    )
+                )
+            else:
+                cind_counts[task.cind_index] = (
+                    cind_counts.get(task.cind_index, 0) + 1
+                )
+
+    if materialize:
+        cfd_violations: list[CFDViolation] = []
+        for task in plan.cfd_tasks:
+            cfd_violations.extend(cfd_buckets.get(id(task), ()))
+        cind_violations: list[CINDViolation] = []
+        for task in plan.cind_tasks:
+            cind_violations.extend(cind_buckets.get(id(task), ()))
+        return ViolationReport(
+            cfd_violations, cind_violations, constraints=sigma
+        )
+
+    labels = constraint_labels(sigma)
+    by_constraint: dict[str, int] = {}
+    for cfd_index, count in cfd_counts.items():
+        label = labels[id(sigma.cfds[cfd_index])]
+        by_constraint[label] = by_constraint.get(label, 0) + count
+    for cind_index, count in cind_counts.items():
+        label = labels[id(sigma.cinds[cind_index])]
+        by_constraint[label] = by_constraint.get(label, 0) + count
+    return DetectionSummary(
+        cfd_total=sum(cfd_counts.values()),
+        cind_total=sum(cind_counts.values()),
+        counts=by_constraint,
+    )
+
+
+def plan_has_violation(plan: DetectionPlan, db: DatabaseInstance) -> bool:
+    """Early-exit check: does *db* violate any constraint of the plan?
+
+    Scans are still shared, but the function returns at the first violating
+    (task, group) or (task, tuple) pair instead of finishing the sweep.
+    """
+    for group in plan.cfd_groups:
+        for __ in _iter_cfd_group_violations(
+            group, db[group.relation], materialize=False
+        ):
+            return True
+    witnesses = _all_witnesses(plan, db)
+    for relation, tasks in plan.cind_scans.items():
+        for __ in _iter_cind_violations(tasks, db[relation], witnesses):
+            return True
+    return False

@@ -140,15 +140,21 @@ class RelationInstance:
             return row
         return Tuple(self.schema, row)
 
-    def add(self, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> bool:
-        """Insert a tuple; return ``True`` if it was new (set semantics)."""
+    def add(self, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> Tuple | None:
+        """Insert a tuple (set semantics).
+
+        Returns the canonical stored :class:`Tuple` when the row was new —
+        callers that passed a Mapping/Sequence get the coerced object back
+        without guessing where it landed — and ``None`` for a duplicate.
+        (``Tuple`` is always truthy, so boolean uses keep working.)
+        """
         t = self._coerce(row)
         if t in self._tuples:
-            return False
+            return None
         self._tuples[t] = None
         for attrs, index in self._indexes.items():
             index.setdefault(t.project(attrs), []).append(t)
-        return True
+        return t
 
     def discard(self, row: Tuple) -> bool:
         """Remove a tuple if present; return ``True`` if it was removed."""
@@ -284,7 +290,8 @@ class DatabaseInstance:
     def relations(self) -> dict[str, RelationInstance]:
         return dict(self._relations)
 
-    def add(self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> bool:
+    def add(self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]) -> Tuple | None:
+        """Insert into *relation*; returns the stored Tuple or ``None`` on duplicate."""
         return self[relation].add(row)
 
     def total_tuples(self) -> int:

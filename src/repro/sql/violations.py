@@ -29,7 +29,7 @@ from typing import Any, Iterable
 
 from repro.core.cfd import CFD
 from repro.core.cind import CIND
-from repro.core.violations import ConstraintSet
+from repro.core.violations import ConstraintSet, constraint_labels
 from repro.errors import SQLBackendError
 from repro.relational.instance import DatabaseInstance
 from repro.relational.values import is_wildcard
@@ -196,16 +196,23 @@ class SQLViolationDetector:
     # -- whole constraint sets ----------------------------------------------------------
 
     def check(self, sigma: ConstraintSet) -> dict[str, set[tuple[Any, ...]]]:
-        """Violating rows per constraint name (or repr when unnamed)."""
+        """Violating rows per constraint label.
+
+        Labels come from :func:`repro.core.violations.constraint_labels`, so
+        two distinct constraints with equal names/reprs get separate entries
+        (matching the in-memory engine's ``by_constraint`` keys) instead of
+        silently overwriting each other.
+        """
+        labels = constraint_labels(sigma)
         out: dict[str, set[tuple[Any, ...]]] = {}
         for cfd in sigma.cfds:
             rows = self.cfd_violating_rows(cfd)
             if rows:
-                out[cfd.name or repr(cfd)] = rows
+                out[labels[id(cfd)]] = rows
         for cind in sigma.cinds:
             rows = self.cind_violating_rows(cind)
             if rows:
-                out[cind.name or repr(cind)] = rows
+                out[labels[id(cind)]] = rows
         return out
 
     def is_clean(self, sigma: ConstraintSet) -> bool:

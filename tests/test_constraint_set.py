@@ -81,6 +81,94 @@ class TestConstants:
         assert sigma.all_constants() == {"c1", "c2", "d1", "e1"}
 
 
+class TestConstantsAllCINDPositions:
+    """`constants_for` must see constants in every CIND attribute role."""
+
+    @pytest.fixture
+    def four_position_setting(self):
+        r = RelationSchema("R", ["A", "B"])
+        s = RelationSchema("S", ["C", "D"])
+        schema = DatabaseSchema([r, s])
+        # x=(A,), xp=(B,), y=(C,), yp=(D,); tp[X] = tp[Y] = "k" (a constant
+        # in the X/Y role), "xp1" in Xp, "yp1" in Yp.
+        cind = CIND(
+            r, ("A",), ("B",), s, ("C",), ("D",),
+            [(("k", "xp1"), ("k", "yp1"))],
+            name="four",
+        )
+        return ConstraintSet(schema, cinds=[cind])
+
+    def test_x_position(self, four_position_setting):
+        assert four_position_setting.constants_for("R", "A") == {"k"}
+
+    def test_xp_position(self, four_position_setting):
+        assert four_position_setting.constants_for("R", "B") == {"xp1"}
+
+    def test_y_position(self, four_position_setting):
+        assert four_position_setting.constants_for("S", "C") == {"k"}
+
+    def test_yp_position(self, four_position_setting):
+        assert four_position_setting.constants_for("S", "D") == {"yp1"}
+
+    def test_wrong_side_not_consulted(self):
+        """Self-referencing CIND: each attribute only reads its own side."""
+        r = RelationSchema("R", ["A", "B"])
+        schema = DatabaseSchema([r])
+        # LHS constrains B (xp), RHS constrains A (yp) — with different
+        # constants, so a side mix-up would surface the wrong value.
+        cind = CIND(
+            r, ("A",), ("B",), r, ("B",), ("A",),
+            [((_, "lhs_const"), (_, "rhs_const"))],
+            name="self_ref",
+        )
+        sigma = ConstraintSet(schema, cinds=[cind])
+        assert sigma.constants_for("R", "B") == {"lhs_const"}
+        assert sigma.constants_for("R", "A") == {"rhs_const"}
+
+
+class TestConstraintLabels:
+    def test_unique_names_unchanged(self, setting):
+        from repro.core.violations import constraint_labels
+
+        __, sigma, __rels = setting
+        labels = constraint_labels(sigma)
+        assert sorted(labels.values()) == sorted(
+            c.name for c in sigma
+        )
+
+    def test_equal_reprs_get_distinct_labels(self):
+        from repro.core.violations import constraint_labels
+
+        r = RelationSchema("R", ["A", "B"])
+        schema = DatabaseSchema([r])
+        # Two structurally identical, unnamed CFDs: equal reprs.
+        one = standard_fd(r, ("A",), ("B",))
+        two = standard_fd(r, ("A",), ("B",))
+        assert repr(one) == repr(two)
+        sigma = ConstraintSet(schema, cfds=[one, two])
+        labels = constraint_labels(sigma)
+        assert labels[id(one)] != labels[id(two)]
+        assert labels[id(one)].startswith(repr(one))
+
+    def test_by_constraint_does_not_merge_twins(self):
+        from repro.core.violations import check_database
+        from repro.relational.instance import DatabaseInstance
+
+        r = RelationSchema("R", ["A", "B"])
+        schema = DatabaseSchema([r])
+        one = standard_fd(r, ("A",), ("B",))
+        two = standard_fd(r, ("A",), ("B",))
+        sigma = ConstraintSet(schema, cfds=[one, two])
+        db = DatabaseInstance(schema, {"R": [("a", "b1"), ("a", "b2")]})
+        report = check_database(db, sigma)
+        counts = report.by_constraint()
+        # Both twins violate once each; the counts must not collapse into
+        # one repr-keyed entry.
+        assert len(counts) == 2
+        assert sorted(counts.values()) == [1, 1]
+        assert report.total == 2
+
+
 class TestValidation:
     def test_unknown_relation_rejected(self, setting):
         schema, sigma, (r, *_rest) = setting

@@ -1,0 +1,176 @@
+"""Cross-validation of the shared-scan engine against the naive oracle.
+
+The engine (:mod:`repro.engine`) must be observationally identical to the
+per-constraint reference evaluation
+(:func:`repro.core.violations.check_database_naive`):
+
+* property-based (Hypothesis, over the generators of
+  ``tests/strategies.py``): identical violation sets — and identical list
+  *order* — on random schemas, constraint sets, and instances; count-only
+  mode agrees on totals and per-constraint counts; the early-exit
+  ``database_is_clean`` agrees on cleanliness;
+* replay: over randomized insert/delete sequences on both ready-made
+  datasets (bank and commerce), the engine, the naive iterators, and the
+  :class:`~repro.cleaning.incremental.IncrementalChecker` state agree on
+  the violation sets at every checkpoint.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.incremental import IncrementalChecker
+from repro.core.violations import (
+    ConstraintSet,
+    check_database_naive,
+)
+from repro.datasets.bank import bank_constraints, scaled_bank_instance
+from repro.datasets.commerce import commerce_constraints, commerce_instance
+from repro.engine import (
+    count_violations,
+    database_is_clean,
+    detect,
+    execute_plan,
+    plan_detection,
+)
+from repro.relational.domains import FiniteDomain
+
+from tests.strategies import cfds as cfd_strategy
+from tests.strategies import cinds as cind_strategy
+from tests.strategies import database_schemas, instances
+
+
+def cfd_keys(report):
+    return [
+        (id(v.cfd), v.pattern_index, v.lhs_values, frozenset(v.tuples), v.kind)
+        for v in report.cfd_violations
+    ]
+
+
+def cind_keys(report):
+    return [
+        (id(v.cind), v.pattern_index, v.tuple_) for v in report.cind_violations
+    ]
+
+
+def assert_reports_identical(engine_report, naive_report):
+    """Same violations, same order (the engine is a drop-in replacement)."""
+    assert cfd_keys(engine_report) == cfd_keys(naive_report)
+    assert cind_keys(engine_report) == cind_keys(naive_report)
+    assert engine_report.by_constraint() == naive_report.by_constraint()
+
+
+@st.composite
+def constraint_sets(draw, schema, max_cfds: int = 3, max_cinds: int = 3):
+    rels = list(schema)
+    sigma = ConstraintSet(schema)
+    for __ in range(draw(st.integers(min_value=0, max_value=max_cfds))):
+        sigma.add_cfd(draw(cfd_strategy(draw(st.sampled_from(rels)))))
+    for __ in range(draw(st.integers(min_value=0, max_value=max_cinds))):
+        src = draw(st.sampled_from(rels))
+        dst = draw(st.sampled_from(rels))
+        sigma.add_cind(draw(cind_strategy(src, dst)))
+    return sigma
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+@given(data=st.data())
+def test_engine_matches_naive_oracle(data):
+    schema = data.draw(database_schemas(max_relations=3))
+    sigma = data.draw(constraint_sets(schema))
+    db = data.draw(instances(schema, max_tuples=10))
+
+    naive = check_database_naive(db, sigma)
+    engine = detect(db, sigma)
+    assert_reports_identical(engine, naive)
+
+    summary = count_violations(db, sigma)
+    assert summary.total == naive.total
+    assert summary.cfd_total == len(naive.cfd_violations)
+    assert summary.cind_total == len(naive.cind_violations)
+    assert summary.by_constraint() == naive.by_constraint()
+
+    assert database_is_clean(db, sigma) == naive.is_clean
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+@given(data=st.data())
+def test_plan_reuse_across_instances(data):
+    """One plan, many databases — plans must hold no per-instance state."""
+    schema = data.draw(database_schemas(max_relations=2))
+    sigma = data.draw(constraint_sets(schema, max_cfds=2, max_cinds=2))
+    plan = plan_detection(sigma)
+    for __ in range(2):
+        db = data.draw(instances(schema, max_tuples=8))
+        assert_reports_identical(
+            execute_plan(plan, db, mode="full"), check_database_naive(db, sigma)
+        )
+
+
+# -- replay agreement on the ready-made datasets ------------------------------
+
+
+def _string_pool(sigma) -> list[str]:
+    pool = sorted(v for v in sigma.all_constants() if isinstance(v, str))
+    return pool + [f"x{i}" for i in range(4)]
+
+
+def _random_row(rng: random.Random, relation, pool: list[str]) -> list[str]:
+    row = []
+    for attr in relation:
+        if isinstance(attr.domain, FiniteDomain):
+            row.append(rng.choice(list(attr.domain.values)))
+        else:
+            row.append(rng.choice(pool))
+    return row
+
+
+def _assert_three_way_agreement(checker: IncrementalChecker) -> None:
+    naive = check_database_naive(checker.db, checker.sigma)
+    engine = detect(checker.db, checker.sigma)
+    assert_reports_identical(engine, naive)
+    # The incremental state counts violated groups per normal-form CFD and
+    # violating tuples per normal-form CIND — exactly one violation each in
+    # the full reports, so the by-constraint dicts must agree verbatim.
+    assert checker.violations() == engine.by_constraint()
+    assert checker.is_clean == engine.is_clean
+    assert checker.violating_cind_tuples() == {
+        v.tuple_ for v in engine.cind_violations
+    }
+
+
+def _replay(db, sigma, seed: int, steps: int = 60) -> None:
+    rng = random.Random(seed)
+    checker = IncrementalChecker(db, sigma)  # normalizes Σ internally
+    _assert_three_way_agreement(checker)
+    pool = _string_pool(sigma)
+    relations = [inst.schema for inst in db]
+    for step in range(steps):
+        relation = rng.choice(relations)
+        instance = checker.db[relation.name]
+        if instance.tuples and rng.random() < 0.45:
+            checker.delete(relation.name, rng.choice(instance.tuples))
+        else:
+            checker.insert(relation.name, _random_row(rng, relation, pool))
+        if step % 12 == 0:
+            _assert_three_way_agreement(checker)
+    _assert_three_way_agreement(checker)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_replay_agreement_bank(seed):
+    db = scaled_bank_instance(25, error_rate=0.15, seed=seed)
+    _replay(db, bank_constraints(), seed)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_replay_agreement_commerce(seed):
+    db = commerce_instance(n_orders=40, error_rate=0.15, seed=seed)
+    _replay(db, commerce_constraints(), seed)

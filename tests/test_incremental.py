@@ -107,6 +107,71 @@ class TestSingleOperations:
         assert_agrees_with_full_check(checker)
 
 
+class TestRowShapes:
+    """`insert` must account the canonical stored tuple for any row shape.
+
+    Regression: the old implementation resolved non-`Tuple` rows as
+    ``instance.tuples[-1]``, silently depending on `RelationInstance.add`
+    appending at the tail; it now uses the Tuple returned by `add`.
+    """
+
+    def test_insert_mapping_shaped_row(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        assert checker.insert(
+            "interest", {"ab": "LON", "ct": "UK", "at": "saving", "rt": "9%"}
+        )
+        # The mapping row lands in the CFD/CIND state: phi3's UK/saving row
+        # demands 4.5%, so the 9% rate is a violation the state must see.
+        assert not checker.is_clean
+        assert_agrees_with_full_check(checker)
+
+    def test_insert_sequence_shaped_row(self, bank):
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        assert checker.insert("interest", ("LON", "UK", "saving", "9%"))
+        assert not checker.is_clean
+        assert_agrees_with_full_check(checker)
+
+    def test_insert_returns_canonical_tuple_semantics(self, bank):
+        from repro.relational.instance import Tuple
+
+        checker = IncrementalChecker(bank.clean_db.copy(), bank.constraints)
+        row = {"ab": "NYC", "ct": "US", "at": "saving", "rt": "4%"}
+        # Duplicate of an existing interest row: a no-op in any shape.
+        assert not checker.insert("interest", row)
+        assert checker.is_clean
+        # The stored object for a fresh mapping insert must be a Tuple that
+        # delete() can remove again.
+        assert checker.insert(
+            "interest", {"ab": "LON", "ct": "UK", "at": "saving", "rt": "4.5%"}
+        )
+        (stored,) = [t for t in checker.db["interest"] if t["ab"] == "LON"]
+        assert isinstance(stored, Tuple)
+        assert checker.delete("interest", stored)
+        assert checker.is_clean
+        assert_agrees_with_full_check(checker)
+
+
+def test_violation_counts_do_not_merge_equal_reprs(bank):
+    """Two structurally equal unnamed CFDs must keep separate count keys."""
+    from repro.core.cfd import standard_fd
+    from repro.core.violations import ConstraintSet
+
+    schema = bank.schema
+    interest = schema.relation("interest")
+    twin_a = standard_fd(interest, ("ab", "ct"), ("rt",))
+    twin_b = standard_fd(interest, ("ab", "ct"), ("rt",))
+    assert repr(twin_a) == repr(twin_b)
+    sigma = ConstraintSet(schema, cfds=[twin_a, twin_b])
+    checker = IncrementalChecker(bank.db.copy(), sigma)
+    # Both (ab, ct) groups disagree on rt — (EDI, UK) via t11/t12 and
+    # (NYC, US) via t13/t14 — so each twin has two violated groups, and the
+    # counts must not collapse into one repr-keyed entry.
+    violations = checker.violations()
+    assert len(violations) == 2
+    assert sorted(violations.values()) == [2, 2]
+    assert_agrees_with_full_check(checker)
+
+
 @pytest.mark.parametrize("seed", [2, 8, 21])
 def test_random_operation_sequences_agree(seed):
     """Fuzz: 120 random inserts/deletes, checking agreement throughout."""
