@@ -11,16 +11,23 @@ dataset generators and times three evaluations of the same workload:
 * ``engine`` — :func:`repro.engine.detect`, shared scans, full
   materialization (plan time included);
 * ``count``  — :func:`repro.engine.count_violations`, the count-only fast
-  path (no violation objects).
+  path (no violation objects);
+* ``parN``   — ``repro.api.connect(db, sigma, workers=N)``, the facade's
+  parallel scan-group dispatch (fork-based process pool by default;
+  ``--workers 0`` skips it).
 
-Every run first cross-validates that engine and naive produce identical
-violation sets. Exit status is non-zero on mismatch or (with
-``--min-speedup``) when the engine speedup falls short.
+Every run first cross-validates that engine, parallel, and naive produce
+identical violation sets. Exit status is non-zero on mismatch or (with
+``--min-speedup`` / ``--min-parallel-speedup``) when a speedup falls
+short. Note: parallel speedup needs actual cores — on a single-CPU
+machine the process pool only adds overhead, which this benchmark will
+show honestly.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_detection.py            # full run
     PYTHONPATH=src python benchmarks/bench_detection.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_detection.py --workers 8
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import argparse
 import sys
 import time
 
+from repro.api import ExecutionOptions, connect
 from repro.core.cfd import CFD
 from repro.core.cind import CIND
 from repro.core.violations import ConstraintSet, check_database_naive
@@ -147,6 +155,20 @@ def constraints_per_relation(sigma: ConstraintSet) -> dict[str, int]:
     return counts
 
 
+def _value_keys(report):
+    """Identity-free fingerprint (parallel runs rebind canonical objects)."""
+    cfd = {
+        (report.label_for(v.cfd), v.pattern_index, v.lhs_values,
+         frozenset(t.values for t in v.tuples), v.kind)
+        for v in report.cfd_violations
+    }
+    cind = {
+        (report.label_for(v.cind), v.pattern_index, v.tuple_.values)
+        for v in report.cind_violations
+    }
+    return cfd, cind
+
+
 def _violation_keys(report):
     cfd = {
         (id(v.cfd), v.pattern_index, v.lhs_values, frozenset(v.tuples), v.kind)
@@ -169,7 +191,14 @@ def _best_time(fn, repeats: int) -> tuple[float, object]:
     return best, result
 
 
-def run_case(label: str, db, sigma: ConstraintSet, repeats: int) -> dict:
+def run_case(
+    label: str,
+    db,
+    sigma: ConstraintSet,
+    repeats: int,
+    workers: int = 0,
+    executor: str = "auto",
+) -> dict:
     plan = plan_detection(sigma)
     per_rel = constraints_per_relation(sigma)
     naive_s, naive_report = _best_time(
@@ -183,7 +212,23 @@ def run_case(label: str, db, sigma: ConstraintSet, repeats: int) -> dict:
     if summary.total != naive_report.total:
         raise AssertionError(f"{label}: count-only total differs")
 
+    par_s = None
+    if workers > 1:
+        options = ExecutionOptions(workers=workers, executor=executor)
+        par_s, par_report = _best_time(
+            lambda: connect(db, sigma, options=options).check(), repeats
+        )
+        # The parallel merge rebinds canonical tuples; sets must be equal
+        # to the oracle's (ids differ per plan, so compare on values).
+        if _value_keys(par_report) != _value_keys(naive_report):
+            raise AssertionError(
+                f"{label}: parallel and naive violation sets differ"
+            )
+
     speedup = naive_s / engine_s if engine_s > 0 else float("inf")
+    par_speedup = (
+        engine_s / par_s if par_s else None
+    )
     row = {
         "label": label,
         "tuples": db.total_tuples(),
@@ -195,13 +240,20 @@ def run_case(label: str, db, sigma: ConstraintSet, repeats: int) -> dict:
         "naive_s": naive_s,
         "engine_s": engine_s,
         "count_s": count_s,
+        "par_s": par_s,
         "speedup": speedup,
+        "par_speedup": par_speedup,
     }
+    par_part = (
+        f" par{workers}={par_s:.3f}s ({par_speedup:.2f}x vs engine)"
+        if par_s is not None
+        else ""
+    )
     print(
         f"{label:<22} tuples={row['tuples']:<8} |Σ|={row['constraints']:<4} "
         f"viol={row['violations']:<6} naive={naive_s:.3f}s "
         f"engine={engine_s:.3f}s count={count_s:.3f}s "
-        f"speedup={speedup:.1f}x"
+        f"speedup={speedup:.1f}x{par_part}"
     )
     return row
 
@@ -221,11 +273,26 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=0.0,
         help="fail if any workload's engine speedup is below this",
     )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel scan-group workers to benchmark (0 disables)",
+    )
+    parser.add_argument(
+        "--executor", choices=("auto", "process", "thread"), default="auto",
+        help="pool kind for the parallel runs (auto = fork process pool "
+        "when available)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup", type=float, default=0.0,
+        help="fail if the largest workload's parallel-vs-engine speedup is "
+        "below this (only meaningful on multi-core machines)",
+    )
     args = parser.parse_args(argv)
     sizes = [500] if args.quick else args.sizes
     if not sizes:
         parser.error("--sizes needs at least one value")
     repeats = 1 if args.quick else args.repeats
+    workers = min(args.workers, 2) if args.quick else args.workers
 
     bank_sigma = dense_bank_constraints()
     commerce_sigma = dense_commerce_constraints()
@@ -239,10 +306,12 @@ def main(argv: list[str] | None = None) -> int:
     rows = []
     for size in sizes:
         db = scaled_bank_instance(size, error_rate=ERROR_RATE, seed=7)
-        rows.append(run_case(f"bank/{size}", db, bank_sigma, repeats))
+        rows.append(run_case(f"bank/{size}", db, bank_sigma, repeats,
+                             workers=workers, executor=args.executor))
         db = commerce_instance(n_orders=max(1, size // 2),
                                error_rate=ERROR_RATE, seed=7)
-        rows.append(run_case(f"commerce/{size // 2}", db, commerce_sigma, repeats))
+        rows.append(run_case(f"commerce/{size // 2}", db, commerce_sigma,
+                             repeats, workers=workers, executor=args.executor))
 
     largest = max(rows, key=lambda row: row["tuples"])
     print(
@@ -250,11 +319,31 @@ def main(argv: list[str] | None = None) -> int:
         f"({largest['scans_naive']} naive scans -> "
         f"{largest['scans_engine']} shared scans)"
     )
+    if largest["par_s"] is not None:
+        import os
+
+        print(
+            f"parallel ({workers} workers, {os.cpu_count()} CPU(s) here): "
+            f"engine={largest['engine_s']:.3f}s par={largest['par_s']:.3f}s "
+            f"-> {largest['par_speedup']:.2f}x vs serial engine"
+        )
     worst = min(rows, key=lambda row: row["speedup"])
     if args.min_speedup and worst["speedup"] < args.min_speedup:
         print(
             f"FAIL: {worst['label']} speedup {worst['speedup']:.1f}x < "
             f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_parallel_speedup
+        and largest["par_speedup"] is not None
+        and largest["par_speedup"] < args.min_parallel_speedup
+    ):
+        print(
+            f"FAIL: {largest['label']} parallel speedup "
+            f"{largest['par_speedup']:.2f}x < required "
+            f"{args.min_parallel_speedup:.2f}x",
             file=sys.stderr,
         )
         return 1

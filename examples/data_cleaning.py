@@ -1,11 +1,13 @@
 """Data cleaning at scale (the Example 1.2 workflow, scaled up).
 
 Generates a bank database with thousands of accounts and a controlled
-error rate, then
+error rate, then — all through the unified ``repro.api`` facade —
 
-1. detects violations with the in-memory engine *and* the SQL engine
-   (pattern tableaux shipped as data tables, per [9]) and checks they
-   agree;
+1. detects violations with the in-memory engine, the SQL backend
+   (pattern tableaux shipped as data tables, per [9]) and the parallel
+   scan-group dispatcher, and checks the three *reports* are identical
+   (not just the totals: the SQL rows are mapped back to canonical
+   tuples, so the reports are comparable object-for-object);
 2. shows what the *traditional* FDs/INDs would have caught (nothing);
 3. repairs the database and re-checks.
 
@@ -15,13 +17,24 @@ Run:  python examples/data_cleaning.py [n_accounts] [error_rate]
 import sys
 import time
 
-from repro.cleaning.detect import (
-    compare_with_traditional,
-    detect_errors,
-    detect_errors_sql,
-)
-from repro.cleaning.repair import repair
+from repro import api
+from repro.cleaning.detect import compare_with_traditional
 from repro.datasets.bank import bank_constraints, scaled_bank_instance
+
+
+def report_key(report):
+    """A backend-independent fingerprint of a ViolationReport."""
+    return (
+        [
+            (report.label_for(v.cfd), v.pattern_index, v.lhs_values,
+             tuple(t.values for t in v.tuples), v.kind)
+            for v in report.cfd_violations
+        ],
+        [
+            (report.label_for(v.cind), v.pattern_index, v.tuple_.values)
+            for v in report.cind_violations
+        ],
+    )
 
 
 def main(n_accounts: int = 2000, error_rate: float = 0.05) -> None:
@@ -31,21 +44,29 @@ def main(n_accounts: int = 2000, error_rate: float = 0.05) -> None:
     print(f"constraints: {sigma!r}\n")
 
     print("=== 1. Detection (in-memory engine) ===")
+    session = api.connect(db, sigma)
     started = time.perf_counter()
-    detection = detect_errors(db, sigma)
+    report = session.check()
     elapsed = time.perf_counter() - started
-    print(f"{detection.report.total} violation(s) in {elapsed * 1000:.1f} ms")
-    for name, count in sorted(detection.report.by_constraint().items()):
+    print(f"{report.total} violation(s) in {elapsed * 1000:.1f} ms")
+    for name, count in sorted(report.by_constraint().items()):
         print(f"  {name}: {count}")
 
-    print("\n=== 1b. Detection (SQL engine, sqlite3) ===")
+    print("\n=== 1b. Detection (SQL backend, sqlite3) ===")
     started = time.perf_counter()
-    sql_report = detect_errors_sql(db, sigma)
+    with api.connect(db, sigma, backend="sql") as sql_session:
+        sql_report = sql_session.check()
     elapsed = time.perf_counter() - started
-    sql_total = sum(len(rows) for rows in sql_report.values())
-    print(f"{sql_total} violating row(s) in {elapsed * 1000:.1f} ms")
-    agree = set(sql_report) == set(detection.report.by_constraint())
-    print(f"engines agree on which constraints are violated: {agree}")
+    print(f"{sql_report.total} violation(s) in {elapsed * 1000:.1f} ms")
+    print(f"reports identical: {report_key(sql_report) == report_key(report)}")
+
+    print("\n=== 1c. Detection (parallel scan-group dispatch) ===")
+    started = time.perf_counter()
+    par_report = api.connect(db, sigma, workers=4).check()
+    elapsed = time.perf_counter() - started
+    print(f"{par_report.total} violation(s) in {elapsed * 1000:.1f} ms "
+          f"(4 workers)")
+    print(f"reports identical: {report_key(par_report) == report_key(report)}")
 
     print("\n=== 2. Conditional vs traditional dependencies ===")
     comparison = compare_with_traditional(db, sigma)
@@ -63,12 +84,12 @@ def main(n_accounts: int = 2000, error_rate: float = 0.05) -> None:
 
     print("\n=== 3. Repair ===")
     started = time.perf_counter()
-    result = repair(db, sigma, cind_policy="insert", max_rounds=15)
+    result = session.repair(cind_policy="insert", max_rounds=15)
     elapsed = time.perf_counter() - started
     print(f"clean: {result.clean}; {result.cost} edit(s) in "
           f"{elapsed * 1000:.1f} ms; rounds: {result.rounds}")
-    post = detect_errors(result.db, sigma)
-    print(f"violations after repair: {post.report.total}")
+    post = api.connect(result.db, sigma).count()
+    print(f"violations after repair: {post.total}")
 
 
 if __name__ == "__main__":

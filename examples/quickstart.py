@@ -1,14 +1,14 @@
-"""Quickstart: the paper's bank example end to end.
+"""Quickstart: the paper's bank example end to end, through `repro.api`.
 
 Builds the Fig. 1 database, the CINDs of Fig. 2 and the CFDs of Fig. 4,
-then (1) detects the two planted errors (tuples t10 and t12), (2) repairs
-them, and (3) checks the constraint set itself for consistency.
+then (1) detects the two planted errors (tuples t10 and t12) via the
+unified Session facade, (2) repairs them, and (3) checks the constraint
+set itself for consistency.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.cleaning.detect import detect_errors
-from repro.cleaning.repair import repair
+from repro import api
 from repro.consistency.checking import checking
 from repro.core.parser import format_cfd, format_cind
 from repro.datasets.bank import bank_constraints, bank_instance, bank_schema
@@ -28,7 +28,10 @@ def main() -> None:
             print(" ", line)
 
     print("\n=== 1. Error detection on the Fig. 1 instance ===")
-    detection = detect_errors(db, sigma)
+    # One facade over every engine; backend="sql" / "naive" /
+    # "incremental" (or workers=4) would print the identical report.
+    session = api.connect(db, sigma)
+    detection = session.detect()
     print(detection.summary())
     print(
         "\nAs in Examples 2.2 and 4.1: tuple t10 violates psi6 (no interest "
@@ -37,7 +40,7 @@ def main() -> None:
     )
 
     print("\n=== 2. Repair ===")
-    repaired = repair(db, sigma, cind_policy="insert")
+    repaired = session.repair(cind_policy="insert")
     print(f"clean after repair: {repaired.clean} "
           f"({repaired.cost} edit(s), {repaired.rounds} round(s))")
     for edit in repaired.edits:

@@ -7,11 +7,15 @@ data-cleaning and schema-matching application layers on top.
 
 Quickstart::
 
+    from repro import api
     from repro.datasets import bank_instance, bank_constraints
-    from repro.core import check_database
 
-    report = check_database(bank_instance(), bank_constraints())
-    print(report.summary())   # finds the t10 / t12 errors of the paper
+    session = api.connect(bank_instance(), bank_constraints())
+    print(session.check().summary())   # finds the t10 / t12 errors
+
+``api.connect`` fronts every detection path — shared-scan engine (default),
+naive oracle, SQL backend, incremental checker, parallel dispatch — with
+one report shape; see :mod:`repro.api`.
 """
 
 from repro.core.cfd import CFD, standard_fd
@@ -29,9 +33,23 @@ from repro.relational.schema import (
 )
 from repro.relational.values import WILDCARD
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # Lazy (PEP 562) re-export of the facade: `from repro import connect`
+    # works, but `import repro` alone doesn't drag in the engine/SQL/
+    # multiprocessing stack that repro.api sits on.
+    if name in ("ExecutionOptions", "Session", "connect"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
+    "ExecutionOptions",
+    "Session",
+    "connect",
     "BOOL",
     "CFD",
     "CIND",

@@ -1,0 +1,486 @@
+"""Detection backends: one protocol, four engines, identical answers.
+
+Before this facade the repo exposed three incompatible checking APIs —
+``check_database`` returned a :class:`ViolationReport`,
+``SQLViolationDetector.check`` a ``dict[label, set[row]]``, and
+``IncrementalChecker`` bare counters — so every caller special-cased its
+engine. Here each engine is an adapter onto one :class:`Backend` shape:
+
+``check()``     -> ``ViolationReport``   (identical across backends,
+                                          including violation-list order)
+``count()``     -> ``DetectionSummary``  (per-constraint totals)
+``is_clean()``  -> ``bool``              (each backend's cheapest verdict)
+``stream()``    -> iterator of violations in report order
+
+How each backend earns its keep:
+
+* :class:`MemoryBackend` — the shared-scan engine; plans Σ once and reuses
+  the plan across calls and mutations (plans depend only on Σ). With
+  ``options.workers > 1`` it dispatches scan groups through
+  :mod:`repro.api.parallel`.
+* :class:`NaiveBackend` — the per-constraint reference oracle; slow by
+  design, kept as the executable transcription of the paper's
+  satisfaction definitions.
+* :class:`SQLBackend` — sqlite3 anti-joins find the violating *rows*; the
+  adapter maps rows back to the canonical in-memory ``Tuple`` objects and
+  replays the engine's violation semantics over just the dirty groups, so
+  its report is tuple-for-tuple comparable with the others.
+* :class:`IncrementalBackend` — owns an
+  :class:`~repro.cleaning.incremental.IncrementalChecker`; mutations go
+  through :meth:`insert`/:meth:`delete` in time proportional to the touched
+  groups, and ``is_clean`` is O(1) off the maintained counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.api.options import ExecutionOptions
+from repro.api.parallel import execute_plan_parallel
+from repro.cleaning.incremental import IncrementalChecker
+from repro.core.cfd import CFDViolation
+from repro.core.cind import CINDViolation
+from repro.core.violations import (
+    ConstraintSet,
+    ViolationReport,
+    check_database_naive,
+    constraint_labels,
+)
+from repro.engine import (
+    DetectionSummary,
+    attribute_positions,
+    compile_checks,
+    execute_plan,
+    passes,
+    plan_detection,
+    plan_has_violation,
+)
+from repro.errors import SQLBackendError
+from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
+from repro.sql.violations import SQLViolationDetector
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every detection engine looks like to a Session."""
+
+    name: str
+
+    def check(self) -> ViolationReport: ...
+
+    def count(self) -> DetectionSummary: ...
+
+    def is_clean(self) -> bool: ...
+
+    def stream(self) -> Iterator[CFDViolation | CINDViolation]: ...
+
+    def insert(self, relation: str, row: Any) -> bool: ...
+
+    def delete(self, relation: str, row: Tuple) -> bool: ...
+
+    def close(self) -> None: ...
+
+
+def summarize(report: ViolationReport) -> DetectionSummary:
+    """A ``DetectionSummary`` with the same totals/labels as *report*."""
+    return DetectionSummary(
+        cfd_total=len(report.cfd_violations),
+        cind_total=len(report.cind_violations),
+        counts=report.by_constraint(),
+    )
+
+
+class BaseBackend:
+    """Shared plumbing: mutation routing plus derived count/is_clean/stream.
+
+    Subclasses override whatever they can answer faster than "run a full
+    check and look at it".
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        db: DatabaseInstance,
+        sigma: ConstraintSet,
+        options: ExecutionOptions | None = None,
+    ):
+        self.db = db
+        self.sigma = sigma
+        self.options = options or ExecutionOptions()
+
+    # -- detection ---------------------------------------------------------
+
+    def check(self) -> ViolationReport:
+        raise NotImplementedError
+
+    def count(self) -> DetectionSummary:
+        return summarize(self.check())
+
+    def is_clean(self) -> bool:
+        return self.check().is_clean
+
+    def stream(self) -> Iterator[CFDViolation | CINDViolation]:
+        report = self.check()
+        yield from report.cfd_violations
+        yield from report.cind_violations
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(
+        self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]
+    ) -> bool:
+        """Insert into the session database; False if already present."""
+        stored = self.db[relation].add(row)
+        if stored is None:
+            return False
+        self._invalidate()
+        return True
+
+    def delete(self, relation: str, row: Tuple) -> bool:
+        """Delete from the session database; False if not present."""
+        if not self.db[relation].discard(row):
+            return False
+        self._invalidate()
+        return True
+
+    def _invalidate(self) -> None:
+        """Drop any data-derived caches after a mutation."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} |Σ|={len(self.sigma)} on {self.db!r}>"
+
+
+class MemoryBackend(BaseBackend):
+    """Shared-scan engine (the default): plan Σ once, execute per call."""
+
+    name = "memory"
+
+    def __init__(self, db, sigma, options=None):
+        super().__init__(db, sigma, options)
+        # Plans depend only on Σ, never on the data: build one, keep it
+        # across checks and mutations (the repair loop relies on this).
+        self._plan = plan_detection(sigma)
+
+    @property
+    def plan(self):
+        return self._plan
+
+    def check(self) -> ViolationReport:
+        if self.options.parallel:
+            return execute_plan_parallel(
+                self._plan,
+                self.db,
+                workers=self.options.workers,
+                mode="full",
+                executor=self.options.executor,
+            )
+        return execute_plan(self._plan, self.db, mode="full")
+
+    def count(self) -> DetectionSummary:
+        if self.options.parallel:
+            return execute_plan_parallel(
+                self._plan,
+                self.db,
+                workers=self.options.workers,
+                mode="count",
+                executor=self.options.executor,
+            )
+        return execute_plan(self._plan, self.db, mode="count")
+
+    def is_clean(self) -> bool:
+        # Early exit is inherently serial: the point is to stop at the
+        # first hit, which a fan-out would race past.
+        return not plan_has_violation(self._plan, self.db)
+
+
+class NaiveBackend(BaseBackend):
+    """Per-constraint reference oracle (the paper's satisfaction defs)."""
+
+    name = "naive"
+
+    def check(self) -> ViolationReport:
+        return check_database_naive(self.db, self.sigma)
+
+    def is_clean(self) -> bool:
+        # satisfied_by short-circuits on the first violated constraint.
+        return self.sigma.satisfied_by(self.db)
+
+
+class SQLBackend(BaseBackend):
+    """sqlite3 detection with canonical-tuple output.
+
+    The SQL queries (tableaux shipped as data tables, anti-joins for
+    CINDs) identify the violating rows; this adapter then rebuilds
+    engine-identical violation objects by replaying the CFD group
+    semantics over *only* the dirty group keys and mapping every SQL row
+    back to its canonical in-memory :class:`Tuple`. Hybrid on purpose: SQL
+    does the data-heavy filtering, Python finalizes the (small) dirty
+    subset.
+
+    Empty-entry semantics: unlike the raw
+    :meth:`~repro.sql.violations.SQLViolationDetector.check` (which omits
+    constraints with zero violations), :meth:`violating_rows` keys *every*
+    constraint of Σ — empty set when clean — matching how
+    ``ViolationReport`` accounts for all of Σ.
+    """
+
+    name = "sql"
+
+    def __init__(self, db, sigma, options=None):
+        super().__init__(db, sigma, options)
+        self._detector: SQLViolationDetector | None = None
+        self._canonical: dict[str, dict[tuple[Any, ...], Tuple]] = {}
+        self._str_image: dict[str, dict[tuple[str, ...], Tuple | None]] = {}
+        self._scan_position: dict[str, dict[Tuple, int]] = {}
+
+    # -- sqlite session management ----------------------------------------
+
+    def _get_detector(self) -> SQLViolationDetector:
+        if self._detector is None:
+            self._detector = SQLViolationDetector(db=self.db)
+        return self._detector
+
+    def _invalidate(self) -> None:
+        # The sqlite image and the row->Tuple maps mirror the data; a
+        # mutation invalidates both (reloaded lazily on the next call).
+        self.close()
+        self._canonical.clear()
+        self._str_image.clear()
+        self._scan_position.clear()
+
+    def close(self) -> None:
+        if self._detector is not None:
+            self._detector.close()
+            self._detector = None
+
+    # -- row -> canonical tuple mapping ------------------------------------
+
+    def _canonical_map(self, relation: str) -> dict[tuple[Any, ...], Tuple]:
+        by_values = self._canonical.get(relation)
+        if by_values is None:
+            by_values = self._canonical[relation] = {
+                t.values: t for t in self.db[relation]
+            }
+        return by_values
+
+    def _canonical_tuple(self, relation: str, row: tuple[Any, ...]) -> Tuple:
+        by_values = self._canonical_map(relation)
+        t = by_values.get(row)
+        if t is not None:
+            return t
+        # sqlite affinity may have round-tripped a value through another
+        # type (e.g. "5" stored in an INTEGER column comes back as 5);
+        # retry on the string image of every value, via a map built once
+        # per relation. Colliding images map to None so an ambiguous
+        # lookup fails loudly instead of picking an arbitrary tuple.
+        images = self._str_image.get(relation)
+        if images is None:
+            images = self._str_image[relation] = {}
+            for values, candidate in by_values.items():
+                image = tuple(map(str, values))
+                images[image] = None if image in images else candidate
+        t = images.get(tuple(map(str, row)))
+        if t is not None:
+            return t
+        raise SQLBackendError(
+            f"SQL row {row!r} has no unambiguous counterpart in relation "
+            f"{relation!r}; the sqlite image is stale, a value did not "
+            "round-trip, or two tuples share its string image"
+        )
+
+    def _positions(self, relation: str) -> dict[Tuple, int]:
+        order = self._scan_position.get(relation)
+        if order is None:
+            order = self._scan_position[relation] = {
+                t: i for i, t in enumerate(self.db[relation])
+            }
+        return order
+
+    # -- detection ---------------------------------------------------------
+
+    def _cfd_violations(self, detector: SQLViolationDetector) -> list[CFDViolation]:
+        out: list[CFDViolation] = []
+        for cfd in self.sigma.cfds:
+            rows = detector.cfd_violating_rows(cfd)
+            if not rows:
+                continue
+            relation = cfd.relation.name
+            instance = self.db[relation]
+            dirty = {
+                self._canonical_tuple(relation, row).project(cfd.lhs)
+                for row in rows
+            }
+            # Candidate keys in scan (first-occurrence) order — the order
+            # the engine's group-by would surface them in.
+            ordered: list[tuple[Any, ...]] = []
+            seen: set[tuple[Any, ...]] = set()
+            for t in instance:
+                key = t.project(cfd.lhs)
+                if key in dirty and key not in seen:
+                    seen.add(key)
+                    ordered.append(key)
+            out.extend(self._replay_cfd(cfd, instance, ordered))
+        return out
+
+    def _replay_cfd(
+        self,
+        cfd,
+        instance: RelationInstance,
+        ordered_keys: list[tuple[Any, ...]],
+    ) -> Iterator[CFDViolation]:
+        """Engine violation semantics over the dirty group keys only."""
+        rhs_positions = attribute_positions(cfd.relation, cfd.rhs)
+        groups = {
+            key: tuple(instance.lookup(cfd.lhs, key)) for key in ordered_keys
+        }
+        rhs_sets = {
+            key: {
+                tuple(t.values[i] for i in rhs_positions) for t in group
+            }
+            for key, group in groups.items()
+        }
+        for row_index, row in enumerate(cfd.tableau):
+            key_checks = compile_checks(
+                row.lhs_projection(cfd.lhs), range(len(cfd.lhs))
+            )
+            rhs_checks = compile_checks(
+                row.rhs_projection(cfd.rhs), range(len(cfd.rhs))
+            )
+            for key in ordered_keys:
+                if not passes(key, key_checks):
+                    continue
+                rhs_values = rhs_sets[key]
+                disagree = len(rhs_values) > 1
+                if not disagree:
+                    if not rhs_checks or all(
+                        passes(vals, rhs_checks) for vals in rhs_values
+                    ):
+                        continue
+                yield CFDViolation(
+                    cfd=cfd,
+                    pattern_index=row_index,
+                    lhs_values=key,
+                    tuples=groups[key],
+                    kind="pair" if disagree else "single",
+                )
+
+    def _cind_violations(self, detector: SQLViolationDetector) -> list[CINDViolation]:
+        out: list[CINDViolation] = []
+        for cind in self.sigma.cinds:
+            relation = cind.lhs_relation.name
+            for row_index, rows in enumerate(
+                detector.cind_violating_rows_by_pattern(cind)
+            ):
+                if not rows:
+                    continue
+                position = self._positions(relation)
+                tuples = sorted(
+                    (self._canonical_tuple(relation, row) for row in rows),
+                    key=position.__getitem__,
+                )
+                out.extend(
+                    CINDViolation(cind=cind, pattern_index=row_index, tuple_=t)
+                    for t in tuples
+                )
+        return out
+
+    def check(self) -> ViolationReport:
+        detector = self._get_detector()
+        return ViolationReport(
+            self._cfd_violations(detector),
+            self._cind_violations(detector),
+            constraints=self.sigma,
+        )
+
+    def violating_rows(self) -> dict[str, set[tuple[Any, ...]]]:
+        """Raw violating rows per constraint label — every constraint keyed.
+
+        Normalized empty-entry semantics: constraints with no violations
+        map to an empty set instead of being omitted (the raw detector's
+        behaviour), so ``set(backend.violating_rows())`` always equals the
+        label set of Σ and cross-engine comparisons need no special cases.
+        """
+        detector = self._get_detector()
+        labels = constraint_labels(self.sigma)
+        out: dict[str, set[tuple[Any, ...]]] = {
+            labels[id(c)]: set() for c in self.sigma
+        }
+        for cfd in self.sigma.cfds:
+            out[labels[id(cfd)]] |= detector.cfd_violating_rows(cfd)
+        for cind in self.sigma.cinds:
+            out[labels[id(cind)]] |= detector.cind_violating_rows(cind)
+        return out
+
+    def is_clean(self) -> bool:
+        detector = self._get_detector()
+        return detector.is_clean(self.sigma)
+
+
+class IncrementalBackend(BaseBackend):
+    """Live violation bookkeeping under single-tuple updates.
+
+    Mutations cost time proportional to the touched groups and
+    ``is_clean`` reads a maintained counter. Report-shaped answers
+    (``check``/``count``) run the shared-scan engine over the live
+    database with the *original* Σ, so they are identical to every other
+    backend; the checker's own per-constraint counters (exposed as
+    :meth:`live_counts`) are keyed by the *normalized* Σ and count
+    violated groups, not violation objects — monitoring numbers, not
+    report numbers.
+    """
+
+    name = "incremental"
+
+    def __init__(self, db, sigma, options=None):
+        super().__init__(db, sigma, options)
+        self._checker: IncrementalChecker | None = None
+        self._plan = plan_detection(sigma)
+
+    @property
+    def checker(self) -> IncrementalChecker:
+        """The live checker, bulk-built on first use.
+
+        Lazy so one-shot ``check()`` calls (e.g. ``repro check --engine
+        incremental``) don't pay for mutation state they never touch.
+        """
+        if self._checker is None:
+            self._checker = IncrementalChecker(self.db, self.sigma)
+        return self._checker
+
+    def check(self) -> ViolationReport:
+        return execute_plan(self._plan, self.db, mode="full")
+
+    def count(self) -> DetectionSummary:
+        return execute_plan(self._plan, self.db, mode="count")
+
+    def is_clean(self) -> bool:
+        return self.checker.is_clean
+
+    def live_counts(self) -> dict[str, int]:
+        """O(state) per-constraint counters over the normalized Σ."""
+        return self.checker.violations()
+
+    def insert(self, relation, row) -> bool:
+        return self.checker.insert(relation, row)
+
+    def delete(self, relation, row) -> bool:
+        return self.checker.delete(relation, row)
+
+
+#: Registry used by ``connect(backend="...")`` and the CLI's ``--engine``.
+BACKENDS: dict[str, type[BaseBackend]] = {
+    "memory": MemoryBackend,
+    "naive": NaiveBackend,
+    "sql": SQLBackend,
+    "incremental": IncrementalBackend,
+}

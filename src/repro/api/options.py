@@ -1,0 +1,69 @@
+"""Execution options shared by every backend of the :mod:`repro.api` facade.
+
+One small immutable dataclass instead of per-backend keyword soup: the
+*caller* states what answer it wants (``mode``) and how much parallelism it
+tolerates (``workers``/``executor``); each backend maps that onto its own
+fast paths. Callers never choose "count-only scan" vs "early-exit scan" vs
+"SQL anti-join" directly — that dispatch is the backend's job, in the
+spirit of BRAVO's single reader API over internally-selected fast/slow
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: What a :meth:`Session.run` call should compute.
+MODES = ("full", "count", "early-exit")
+
+#: How parallel scan groups are dispatched (``auto`` picks ``process`` when
+#: fork is available, else ``thread``).
+EXECUTORS = ("auto", "process", "thread")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How a :class:`~repro.api.session.Session` executes detection.
+
+    Attributes
+    ----------
+    mode:
+        ``"full"`` — materialize every violation (a ``ViolationReport``);
+        ``"count"`` — per-constraint totals only (a ``DetectionSummary``);
+        ``"early-exit"`` — just the ``D |= Σ`` verdict (a ``bool``).
+        Only :meth:`Session.run` consults it; the explicit ``check`` /
+        ``count`` / ``is_clean`` methods ignore it.
+    workers:
+        Number of parallel workers for scan-group dispatch. ``1`` (default)
+        runs serially; ``N > 1`` splits the plan's independent scan groups
+        — CFD ``(relation, X)`` group-bys, CIND witness passes, CIND LHS
+        scans — across a pool and merges the results. Only the memory
+        backend (and everything routed through it) parallelizes; other
+        backends ignore the setting.
+    executor:
+        ``"process"`` — fork-based process pool (true CPU parallelism; the
+        database is shared with workers copy-on-write, never pickled);
+        ``"thread"`` — thread pool (no pickling at all, but GIL-bound);
+        ``"auto"`` — process when ``fork`` is available (Linux/macOS),
+        thread otherwise.
+    """
+
+    mode: str = "full"
+    workers: int = 1
+    executor: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError(f"workers must be a positive int, got {self.workers!r}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1

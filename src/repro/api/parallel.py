@@ -1,0 +1,280 @@
+"""Parallel scan-group dispatch for the shared-scan detection engine.
+
+A :class:`~repro.engine.planner.DetectionPlan` already factors detection
+into *independent* units of work — CFD ``(relation, X)`` scan groups, CIND
+witness passes per RHS relation, and CIND LHS scans — whose outputs merge
+associatively (violation buckets concatenate per task; witness key sets
+union). This module dispatches those units across a worker pool and
+reassembles a result **identical, including order, to the serial
+executor**: workers return position-indexed payloads, and the parent
+orders them through the same :func:`~repro.engine.executor.assemble_report`
+/ :func:`~repro.engine.executor.assemble_summary` the serial path uses, so
+completion order never leaks into the output.
+
+Two pool flavours:
+
+* ``process`` — a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`.
+  The plan and database are published in module globals *before* the pool
+  forks, so workers inherit them copy-on-write: nothing is pickled on the
+  way in. On the way out workers return only plain values (group keys,
+  tuple values, counts) — never ``Tuple``/constraint objects — and the
+  parent rebinds them to its own canonical tuples via the relation's hash
+  indexes. CIND scans need the merged witness sets, which only exist after
+  the first phase, so they run on a second pool forked after the merge.
+* ``thread`` — the same orchestration on a
+  :class:`~concurrent.futures.ThreadPoolExecutor`. No pickling or forking
+  at all, but CPU-bound scans stay GIL-bound; useful on platforms without
+  ``fork`` and for exercising the merge logic cheaply.
+
+The executor is CPU-parallel only in ``process`` mode; measure with
+``benchmarks/bench_detection.py --workers N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.core.cfd import CFDViolation
+from repro.core.cind import CINDViolation
+from repro.engine import DetectionPlan, DetectionSummary
+from repro.engine.executor import (
+    assemble_report,
+    assemble_summary,
+    cfd_group_scan,
+    cind_scan_hits,
+    witness_sets,
+)
+from repro.core.violations import ViolationReport
+from repro.relational.instance import DatabaseInstance, Tuple
+
+#: Worker-visible state. Published before the pools are created: forked
+#: process workers inherit it copy-on-write, thread workers share it.
+#: _EXECUTION_LOCK serializes parallel executions within this process so
+#: two concurrent Sessions cannot race on the globals.
+_STATE: tuple[DetectionPlan, DatabaseInstance] | None = None
+_WITNESSES: dict[Any, set[tuple[Any, ...]]] | None = None
+_EXECUTION_LOCK = threading.Lock()
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_executor(executor: str) -> str:
+    """Map an ``ExecutionOptions.executor`` value to a concrete pool kind."""
+    if executor == "auto":
+        return "process" if fork_available() else "thread"
+    if executor == "process" and not fork_available():
+        return "thread"
+    return executor
+
+
+# -- worker-side payload functions --------------------------------------------
+# Workers return plain values keyed by task position, never live objects:
+# process workers run in a forked copy of the parent, so object identity
+# (and with it the plan's id(task) bucketing) does not survive the trip.
+
+
+def _cfd_group_payload(
+    group_index: int, materialize: bool
+) -> list[tuple[int, Any]]:
+    """Violating (task position, key, kind) triples — or counts — for one group."""
+    plan, db = _STATE
+    group = plan.cfd_groups[group_index]
+    task_pos = {id(task): pos for pos, task in enumerate(group.tasks)}
+    __, hits = cfd_group_scan(group, db[group.relation], keep_groups=False)
+    if materialize:
+        return [(task_pos[id(task)], (key, kind)) for task, key, kind in hits]
+    counts: dict[int, int] = {}
+    for task, __, __ in hits:
+        pos = task_pos[id(task)]
+        counts[pos] = counts.get(pos, 0) + 1
+    return list(counts.items())
+
+
+def _witness_payload(relation: str) -> list[set[tuple[Any, ...]]]:
+    """Witness key sets for every spec of *relation*, in spec-list order."""
+    plan, db = _STATE
+    specs = plan.witness_specs[relation]
+    sets = witness_sets(db[relation], specs)
+    return [sets[spec] for spec in specs]
+
+
+def _cind_scan_payload(
+    relation: str, materialize: bool
+) -> list[tuple[int, Any]]:
+    """Violating (task position, tuple values) pairs — or counts — for one scan."""
+    plan, db = _STATE
+    tasks = plan.cind_scans[relation]
+    task_pos = {id(task): pos for pos, task in enumerate(tasks)}
+    if materialize:
+        return [
+            (task_pos[id(task)], t.values)
+            for task, t in cind_scan_hits(tasks, db[relation], _WITNESSES)
+        ]
+    counts: dict[int, int] = {}
+    for task, __ in cind_scan_hits(tasks, db[relation], _WITNESSES):
+        pos = task_pos[id(task)]
+        counts[pos] = counts.get(pos, 0) + 1
+    return list(counts.items())
+
+
+# -- parent-side orchestration -------------------------------------------------
+
+
+def _make_pool(kind: str, workers: int) -> Executor:
+    if kind == "process":
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def _run_all(
+    pool_kind: str,
+    workers: int,
+    calls: list[tuple[Callable[..., Any], tuple[Any, ...]]],
+) -> list[Any]:
+    """Run *calls* on a fresh pool, returning results in submission order."""
+    if not calls:
+        return []
+    workers = min(workers, len(calls))
+    if workers <= 1 and pool_kind == "thread":
+        return [fn(*args) for fn, args in calls]
+    with _make_pool(pool_kind, workers) as pool:
+        futures = [pool.submit(fn, *args) for fn, args in calls]
+        return [f.result() for f in futures]
+
+
+def execute_plan_parallel(
+    plan: DetectionPlan,
+    db: DatabaseInstance,
+    workers: int,
+    mode: str = "full",
+    executor: str = "auto",
+) -> ViolationReport | DetectionSummary:
+    """Run *plan* with scan groups dispatched across *workers* workers.
+
+    Output is identical (including violation-list order) to
+    ``execute_plan(plan, db, mode)``. ``mode`` is ``"full"`` or ``"count"``;
+    early-exit stays serial (see :class:`~repro.api.backends.MemoryBackend`)
+    because its whole point is to stop at the first hit, which a fan-out
+    would race past.
+    """
+    global _STATE, _WITNESSES
+    if mode not in ("full", "count"):
+        raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
+    materialize = mode == "full"
+    pool_kind = resolve_executor(executor)
+
+    witness_relations = list(plan.witness_specs)
+    _EXECUTION_LOCK.acquire()
+    _STATE = (plan, db)
+    try:
+        # Phase A: every CFD scan group and every witness pass is
+        # independent — one pool for all of them.
+        calls: list[tuple[Callable[..., Any], tuple[Any, ...]]] = [
+            (_cfd_group_payload, (i, materialize))
+            for i in range(len(plan.cfd_groups))
+        ] + [(_witness_payload, (rel,)) for rel in witness_relations]
+        results = _run_all(pool_kind, workers, calls)
+        cfd_payloads = results[: len(plan.cfd_groups)]
+        witness_payloads = results[len(plan.cfd_groups):]
+
+        # Merge witness sets (set union is the cross-shard merge; here each
+        # spec is computed by exactly one worker, so it is a re-keying).
+        witnesses: dict[Any, set[tuple[Any, ...]]] = {}
+        for relation, payload in zip(witness_relations, witness_payloads):
+            for spec, key_set in zip(plan.witness_specs[relation], payload):
+                witnesses[spec] = key_set
+
+        # Phase B: CIND LHS scans need the merged witnesses, so their pool
+        # is created (forked) only now, after _WITNESSES is published.
+        _WITNESSES = witnesses
+        cind_relations = list(plan.cind_scans)
+        cind_payloads = _run_all(
+            pool_kind,
+            workers,
+            [(_cind_scan_payload, (rel, materialize)) for rel in cind_relations],
+        )
+    finally:
+        _STATE = None
+        _WITNESSES = None
+        _EXECUTION_LOCK.release()
+
+    if materialize:
+        return _merge_full(plan, db, cfd_payloads, cind_relations, cind_payloads)
+    return _merge_counts(plan, cfd_payloads, cind_relations, cind_payloads)
+
+
+def _merge_full(
+    plan: DetectionPlan,
+    db: DatabaseInstance,
+    cfd_payloads: list[list[tuple[int, Any]]],
+    cind_relations: list[str],
+    cind_payloads: list[list[tuple[int, Any]]],
+) -> ViolationReport:
+    """Rebind worker payloads to the parent's canonical objects."""
+    cfd_buckets: dict[int, list[CFDViolation]] = {}
+    for group, payload in zip(plan.cfd_groups, cfd_payloads):
+        instance = db[group.relation]
+        for pos, (key, kind) in payload:
+            task = group.tasks[pos]
+            # The relation's hash index lists group members in insertion
+            # order — exactly the serial scan's group-by bucket.
+            group_tuples = tuple(instance.lookup(group.lhs, key))
+            cfd_buckets.setdefault(id(task), []).append(
+                CFDViolation(
+                    cfd=task.cfd,
+                    pattern_index=task.row_index,
+                    lhs_values=key,
+                    tuples=group_tuples,
+                    kind=kind,
+                )
+            )
+
+    cind_buckets: dict[int, list[CINDViolation]] = {}
+    canonical: dict[str, dict[tuple[Any, ...], Tuple]] = {}
+    for relation, payload in zip(cind_relations, cind_payloads):
+        if not payload:
+            continue
+        by_values = canonical.get(relation)
+        if by_values is None:
+            by_values = canonical[relation] = {
+                t.values: t for t in db[relation]
+            }
+        tasks = plan.cind_scans[relation]
+        for pos, values in payload:
+            task = tasks[pos]
+            cind_buckets.setdefault(id(task), []).append(
+                CINDViolation(
+                    cind=task.cind,
+                    pattern_index=task.row_index,
+                    tuple_=by_values[values],
+                )
+            )
+    return assemble_report(plan, cfd_buckets, cind_buckets)
+
+
+def _merge_counts(
+    plan: DetectionPlan,
+    cfd_payloads: list[list[tuple[int, int]]],
+    cind_relations: list[str],
+    cind_payloads: list[list[tuple[int, int]]],
+) -> DetectionSummary:
+    cfd_counts: dict[int, int] = {}
+    for group, payload in zip(plan.cfd_groups, cfd_payloads):
+        for pos, count in payload:
+            index = group.tasks[pos].cfd_index
+            cfd_counts[index] = cfd_counts.get(index, 0) + count
+    cind_counts: dict[int, int] = {}
+    for relation, payload in zip(cind_relations, cind_payloads):
+        tasks = plan.cind_scans[relation]
+        for pos, count in payload:
+            index = tasks[pos].cind_index
+            cind_counts[index] = cind_counts.get(index, 0) + count
+    return assemble_summary(plan, cfd_counts, cind_counts)

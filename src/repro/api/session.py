@@ -1,0 +1,172 @@
+"""The Session facade: one entry point over every detection path.
+
+``connect(db, sigma)`` is how callers are meant to use the library now::
+
+    from repro import api
+
+    with api.connect(db, sigma) as session:          # shared-scan engine
+        report = session.check()                      # ViolationReport
+        print(report.summary())
+
+    api.connect(db, sigma, backend="sql").check()     # same report, SQL
+    api.connect(db, sigma, workers=4).check()         # same report, parallel
+
+    live = api.connect(db, sigma, backend="incremental")
+    live.insert("orders", {...})                      # O(touched groups)
+    live.is_clean()                                   # O(1)
+
+Every backend returns the same :class:`ViolationReport` shape (identical
+down to violation-list order — the cross-validation suite holds them to
+it), so choosing an engine is a performance decision, not an API decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.api.backends import BACKENDS, Backend, BaseBackend
+from repro.api.options import ExecutionOptions
+from repro.core.cfd import CFDViolation
+from repro.core.cind import CINDViolation
+from repro.core.violations import ConstraintSet, ViolationReport
+from repro.engine import DetectionSummary
+from repro.errors import ReproError
+from repro.relational.instance import DatabaseInstance, Tuple
+
+
+class Session:
+    """A database + constraint set bound to one detection backend."""
+
+    def __init__(
+        self,
+        db: DatabaseInstance,
+        sigma: ConstraintSet,
+        backend: str | Backend | type[BaseBackend] = "memory",
+        options: ExecutionOptions | None = None,
+    ):
+        self.db = db
+        self.sigma = sigma
+        self.options = options or ExecutionOptions()
+        self.backend = self._resolve_backend(backend)
+
+    def _resolve_backend(
+        self, backend: str | Backend | type[BaseBackend]
+    ) -> Backend:
+        if isinstance(backend, str):
+            try:
+                cls = BACKENDS[backend]
+            except KeyError:
+                raise ReproError(
+                    f"unknown backend {backend!r}; available: "
+                    f"{', '.join(sorted(BACKENDS))}"
+                ) from None
+            return cls(self.db, self.sigma, self.options)
+        if isinstance(backend, type):
+            return backend(self.db, self.sigma, self.options)
+        return backend
+
+    # -- detection ---------------------------------------------------------
+
+    def check(self) -> ViolationReport:
+        """Every violation, materialized (identical across backends)."""
+        return self.backend.check()
+
+    def count(self) -> DetectionSummary:
+        """Per-constraint violation totals (no violation objects)."""
+        return self.backend.count()
+
+    def is_clean(self) -> bool:
+        """``D |= Σ`` via the backend's cheapest verdict path."""
+        return self.backend.is_clean()
+
+    def stream(self) -> Iterator[CFDViolation | CINDViolation]:
+        """Violations one at a time, in report order."""
+        return self.backend.stream()
+
+    def run(self) -> ViolationReport | DetectionSummary | bool:
+        """Execute according to ``options.mode`` (full/count/early-exit)."""
+        mode = self.options.mode
+        if mode == "count":
+            return self.count()
+        if mode == "early-exit":
+            return self.is_clean()
+        return self.check()
+
+    def detect(self):
+        """Check and index the offending tuples (a ``DetectionResult``)."""
+        from repro.cleaning.detect import build_detection_result
+
+        return build_detection_result(self.check())
+
+    def repair(self, **kwargs):
+        """Run :func:`repro.cleaning.repair.repair` on this session's data.
+
+        Repair works on a copy; the repaired database comes back in the
+        ``RepairResult``, the session's own database is untouched. The
+        session's ``options.workers`` carries over to the per-round
+        detection unless overridden explicitly.
+        """
+        from repro.cleaning.repair import repair as run_repair
+
+        kwargs.setdefault("workers", self.options.workers)
+        return run_repair(self.db, self.sigma, **kwargs)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(
+        self, relation: str, row: Tuple | Sequence[Any] | Mapping[str, Any]
+    ) -> bool:
+        """Insert a tuple; ``False`` when it was already present.
+
+        On the incremental backend this updates violation state in time
+        proportional to the touched groups; other backends apply it to the
+        database and drop data-derived caches.
+        """
+        return self.backend.insert(relation, row)
+
+    def delete(self, relation: str, row: Tuple) -> bool:
+        """Delete a tuple; ``False`` when it was not present."""
+        return self.backend.delete(relation, row)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session backend={self.backend.name} |Σ|={len(self.sigma)} "
+            f"workers={self.options.workers}>"
+        )
+
+
+def connect(
+    db: DatabaseInstance,
+    sigma: ConstraintSet,
+    backend: str | Backend | type[BaseBackend] = "memory",
+    options: ExecutionOptions | None = None,
+    **option_fields: Any,
+) -> Session:
+    """Open a :class:`Session` over *db* and *sigma*.
+
+    ``backend`` is a registry name (``memory``/``naive``/``sql``/
+    ``incremental``), a backend class, or a ready instance. Options come
+    either as an :class:`ExecutionOptions` or as its fields directly::
+
+        connect(db, sigma, workers=4)
+        connect(db, sigma, backend="sql")
+        connect(db, sigma, options=ExecutionOptions(mode="count"))
+    """
+    if options is not None and option_fields:
+        raise ReproError(
+            "pass either options= or individual option fields, not both"
+        )
+    if option_fields:
+        options = ExecutionOptions(**option_fields)
+    return Session(db, sigma, backend=backend, options=options)

@@ -2,6 +2,7 @@
 
 from repro.cleaning.detect import (
     DetectionResult,
+    build_detection_result,
     compare_with_traditional,
     detect_errors,
     detect_errors_sql,
@@ -15,6 +16,7 @@ __all__ = [
     "IncrementalChecker",
     "RepairEdit",
     "RepairResult",
+    "build_detection_result",
     "compare_with_traditional",
     "detect_errors",
     "detect_errors_sql",

@@ -1,27 +1,28 @@
 """Constraint-based error detection (the data-cleaning side of the paper).
 
 Example 1.2's pitch: traditional FDs/INDs miss errors (tuple ``t12``) that
-CFDs/CINDs catch. This module wraps the violation engines — the shared-scan
-one of :mod:`repro.engine` (default), the naive per-constraint oracle of
-:mod:`repro.core.violations`, and the SQL one of
-:mod:`repro.sql.violations` — behind one call and produces a per-tuple
-error table that the repair step consumes.
+CFDs/CINDs catch. Detection itself now lives behind the unified
+:mod:`repro.api` facade — ``api.connect(db, sigma, backend=...)`` — which
+fronts the shared-scan engine, the naive oracle, the SQL backend and the
+incremental checker with one report shape. This module keeps
+
+* :class:`DetectionResult` — the per-tuple error table the repair step
+  consumes — and :func:`build_detection_result` which derives it from any
+  backend's ``ViolationReport``;
+* :func:`compare_with_traditional` — the Example 1.2 experiment;
+* thin **deprecated** shims (:func:`detect_errors`,
+  :func:`detect_errors_sql`) for the pre-facade entry points.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.violations import (
-    ConstraintSet,
-    ViolationReport,
-    check_database,
-    check_database_naive,
-)
-from repro.engine import count_violations, database_is_clean
+from repro.core.violations import ConstraintSet, ViolationReport
+from repro.engine import database_is_clean
 from repro.relational.instance import DatabaseInstance, Tuple
-from repro.sql.violations import sql_check_database
 
 
 @dataclass
@@ -44,24 +45,25 @@ class DetectionResult:
         lines = [self.report.summary()]
         if self.dirty_tuples:
             lines.append(f"{self.dirty_count} distinct dirty tuple(s):")
-            for (relation, t), names in list(self.dirty_tuples.items())[:20]:
+            # Sort for deterministic output across Python hash seeds and
+            # backends (dict order would expose violation-discovery order).
+            shown = sorted(
+                self.dirty_tuples.items(),
+                key=lambda item: (item[0][0], repr(item[0][1])),
+            )
+            for (relation, t), names in shown[:20]:
                 lines.append(f"  {t!r} <- {', '.join(sorted(set(names)))}")
             if self.dirty_count > 20:
                 lines.append(f"  ... and {self.dirty_count - 20} more")
         return "\n".join(lines)
 
 
-def detect_errors(
-    db: DatabaseInstance, sigma: ConstraintSet, naive: bool = False
-) -> DetectionResult:
-    """Find every CFD/CIND violation and index the offending tuples.
+def build_detection_result(report: ViolationReport) -> DetectionResult:
+    """Index a report's offending tuples into a :class:`DetectionResult`.
 
-    Detection runs on the shared-scan engine by default; ``naive=True``
-    evaluates each constraint independently (the reference oracle — useful
-    for cross-checking and timing comparisons).
+    Works on the report of *any* backend (they are identical), which is
+    how ``Session.detect()`` produces repair-ready error tables.
     """
-    checker = check_database_naive if naive else check_database
-    report = checker(db, sigma)
     dirty: dict[tuple[str, Tuple], list[str]] = {}
     for violation in report.cfd_violations:
         name = report.label_for(violation.cfd)
@@ -74,6 +76,24 @@ def detect_errors(
     return DetectionResult(report=report, dirty_tuples=dirty)
 
 
+def detect_errors(
+    db: DatabaseInstance, sigma: ConstraintSet, naive: bool = False
+) -> DetectionResult:
+    """Deprecated shim: use ``api.connect(db, sigma).detect()``.
+
+    ``naive=True`` maps to the ``naive`` backend (the reference oracle).
+    """
+    warnings.warn(
+        "detect_errors() is deprecated; use "
+        "repro.api.connect(db, sigma, backend=...).detect()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import connect
+
+    return connect(db, sigma, backend="naive" if naive else "memory").detect()
+
+
 def is_clean(db: DatabaseInstance, sigma: ConstraintSet) -> bool:
     """``D |= Σ`` without materializing violations (engine early-exit mode)."""
     return database_is_clean(db, sigma)
@@ -82,8 +102,25 @@ def is_clean(db: DatabaseInstance, sigma: ConstraintSet) -> bool:
 def detect_errors_sql(
     db: DatabaseInstance, sigma: ConstraintSet
 ) -> dict[str, set[tuple[Any, ...]]]:
-    """SQL-backed detection (violating rows per constraint name)."""
-    return sql_check_database(db, sigma)
+    """Deprecated shim: use ``api.connect(db, sigma, backend="sql")``.
+
+    Returns the historical shape (violating rows per constraint name,
+    zero-violation constraints omitted). The facade's
+    ``SQLBackend.violating_rows()`` keys every constraint instead, and
+    ``Session.check()`` gives a full cross-comparable ``ViolationReport``.
+    """
+    warnings.warn(
+        "detect_errors_sql() is deprecated; use "
+        'repro.api.connect(db, sigma, backend="sql").check() (or '
+        ".backend.violating_rows())",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import connect
+
+    with connect(db, sigma, backend="sql") as session:
+        rows = session.backend.violating_rows()
+    return {label: r for label, r in rows.items() if r}
 
 
 def compare_with_traditional(
@@ -96,14 +133,16 @@ def compare_with_traditional(
     cleaning would use. Returns violation counts under both, showing what
     the conditional extensions catch that the classical dependencies miss.
     """
+    from repro.api import connect
+
     traditional = ConstraintSet(
         sigma.schema,
         cfds=[c for c in sigma.cfds if c.is_standard_fd],
         cinds=[c for c in sigma.cinds if c.is_standard_ind],
     )
-    # Only totals are reported, so use the engine's count-only fast path.
-    full = count_violations(db, sigma)
-    classic = count_violations(db, traditional)
+    # Only totals are reported, so use the backends' count-only fast path.
+    full = connect(db, sigma).count()
+    classic = connect(db, traditional).count()
     return {
         "conditional": {
             "constraints": len(sigma),

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.violations import ConstraintSet
-from repro.engine import execute_plan, plan_detection
 from repro.relational.domains import FiniteDomain
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.relational.schema import RelationSchema
@@ -78,8 +77,15 @@ def repair(
     max_rounds: int = 10,
     rng: random.Random | None = None,
     fill: Callable[[RelationSchema, str, list[int]], Any] | None = None,
+    workers: int = 1,
 ) -> RepairResult:
-    """Iteratively repair *db* (on a copy) until clean or out of rounds."""
+    """Iteratively repair *db* (on a copy) until clean or out of rounds.
+
+    ``workers > 1`` runs each round's detection with parallel scan-group
+    dispatch (see :mod:`repro.api.parallel`).
+    """
+    from repro.api import ExecutionOptions, connect
+
     if cind_policy not in ("insert", "delete"):
         raise ValueError(f"cind_policy must be insert|delete, got {cind_policy!r}")
     rng = rng or random.Random(0)
@@ -87,11 +93,12 @@ def repair(
     counter = [0]
     work = db.copy()
     edits: list[RepairEdit] = []
-    # One shared-scan plan for Σ, executed once per repair round.
-    plan = plan_detection(sigma)
+    # One session (and so one shared-scan plan for Σ), re-checked once per
+    # repair round against the mutating working copy.
+    session = connect(work, sigma, options=ExecutionOptions(workers=workers))
 
     for round_no in range(1, max_rounds + 1):
-        report = execute_plan(plan, work, mode="full")
+        report = session.check()
         if report.is_clean:
             return RepairResult(work, edits, clean=True, rounds=round_no - 1)
         changed = False
@@ -164,5 +171,5 @@ def repair(
             break
 
     # Count-only fast path: the final verdict needs no violation objects.
-    final = execute_plan(plan, work, mode="count")
+    final = session.count()
     return RepairResult(work, edits, clean=final.is_clean, rounds=max_rounds)

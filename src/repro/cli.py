@@ -3,7 +3,8 @@
 Three subcommands, all driven by two small text files plus a directory of
 CSVs (one per relation, named ``<relation>.csv``):
 
-* ``check``       — report CFD/CIND violations (in-memory or SQL engine);
+* ``check``       — report CFD/CIND violations (any ``repro.api`` backend:
+  memory, naive, sql, incremental — all print the same report);
 * ``repair``      — write a repaired copy of the data;
 * ``consistency`` — run the heuristic Checking algorithm on Σ itself.
 
@@ -30,7 +31,7 @@ import re
 import sys
 from pathlib import Path
 
-from repro.cleaning.detect import detect_errors, detect_errors_sql
+from repro.api import BACKENDS, ExecutionOptions, connect
 from repro.cleaning.repair import repair as run_repair
 from repro.consistency.checking import checking
 from repro.core.parser import parse_constraints
@@ -86,6 +87,18 @@ def parse_schema_text(text: str) -> DatabaseSchema:
     return DatabaseSchema(relations)
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for --workers: reject 0/negatives at parse time so a
+    usage mistake exits 2 (usage error), never 1 (the 'dirty data' code)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return value
+
+
 def _load(args: argparse.Namespace):
     schema = parse_schema_text(Path(args.schema).read_text())
     sigma = parse_constraints(Path(args.constraints).read_text(), schema)
@@ -106,19 +119,11 @@ def _load_data(schema: DatabaseSchema, args: argparse.Namespace):
 def cmd_check(args: argparse.Namespace) -> int:
     schema, sigma = _load(args)
     db = _load_data(schema, args)
-    if args.engine == "sql":
-        report = detect_errors_sql(db, sigma)
-        total = sum(len(rows) for rows in report.values())
-        print(f"{total} violating row(s) across {len(report)} constraint(s)")
-        for name in sorted(report):
-            print(f"  {name}: {len(report[name])} row(s)")
-            if args.verbose:
-                for row in sorted(report[name], key=repr)[:10]:
-                    print(f"    {row}")
-        return 1 if report else 0
-    # "memory" is the shared-scan engine; "naive" forces the per-constraint
-    # reference evaluation (slower, useful for cross-checking).
-    detection = detect_errors(db, sigma, naive=args.engine == "naive")
+    # One facade over every engine: identical reports, one printing path,
+    # one exit-code rule (1 = dirty), and --verbose works everywhere.
+    options = ExecutionOptions(workers=args.workers)
+    with connect(db, sigma, backend=args.engine, options=options) as session:
+        detection = session.detect()
     print(detection.summary() if args.verbose else detection.report.summary())
     return 0 if detection.is_clean else 1
 
@@ -127,7 +132,11 @@ def cmd_repair(args: argparse.Namespace) -> int:
     schema, sigma = _load(args)
     db = _load_data(schema, args)
     result = run_repair(
-        db, sigma, cind_policy=args.cind_policy, max_rounds=args.max_rounds
+        db,
+        sigma,
+        cind_policy=args.cind_policy,
+        max_rounds=args.max_rounds,
+        workers=args.workers,
     )
     print(f"clean: {result.clean}; {result.cost} edit(s) in "
           f"{result.rounds} round(s)")
@@ -176,10 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_check)
     p_check.add_argument(
         "--engine",
-        choices=("memory", "sql", "naive"),
+        choices=tuple(sorted(BACKENDS)),
         default="memory",
         help="memory = shared-scan engine (default); naive = per-constraint "
-        "reference evaluation; sql = sqlite3 backend",
+        "reference evaluation; sql = sqlite3 backend; incremental = live "
+        "checker (bulk-built here). All engines print the same report.",
+    )
+    p_check.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="parallel scan-group workers (memory engine only; default 1)",
     )
     p_check.set_defaults(func=cmd_check)
 
@@ -188,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--out", required=True, help="output directory")
     p_repair.add_argument("--cind-policy", choices=("insert", "delete"), default="insert")
     p_repair.add_argument("--max-rounds", type=int, default=10)
+    p_repair.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="parallel scan-group workers for each detection round",
+    )
     p_repair.set_defaults(func=cmd_repair)
 
     p_cons = sub.add_parser("consistency", help="check Σ itself for consistency")

@@ -52,6 +52,10 @@ from __future__ import annotations
 from repro.core.violations import ConstraintSet, ViolationReport
 from repro.engine.executor import (
     DetectionSummary,
+    assemble_report,
+    assemble_summary,
+    cfd_group_scan,
+    cind_scan_hits,
     execute_plan,
     group_tuples_by,
     plan_has_violation,
@@ -77,7 +81,11 @@ __all__ = [
     "DetectionPlan",
     "DetectionSummary",
     "WitnessSpec",
+    "assemble_report",
+    "assemble_summary",
     "attribute_positions",
+    "cfd_group_scan",
+    "cind_scan_hits",
     "compile_checks",
     "count_violations",
     "database_is_clean",

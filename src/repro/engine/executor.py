@@ -103,19 +103,19 @@ def witness_sets(
 
 
 def _cfd_group_state(
-    group: CFDScanGroup, instance: RelationInstance, materialize: bool
+    group: CFDScanGroup, instance: RelationInstance, keep_groups: bool
 ) -> tuple[
     dict[tuple[Any, ...], list[Tuple]] | None,
     dict[tuple[int, ...], dict[tuple[Any, ...], set[tuple[Any, ...]]]],
 ]:
-    """Scan once, producing the group-by (if materializing) and, per distinct
+    """Scan once, producing the group-by (if ``keep_groups``) and, per distinct
     RHS attribute list, the set of RHS projections observed per group key."""
     variants = group.rhs_variants()
     rhs_maps: dict[tuple[int, ...], dict[tuple[Any, ...], set]] = {
         v: {} for v in variants
     }
     groups: dict[tuple[Any, ...], list[Tuple]] | None = (
-        {} if materialize else None
+        {} if keep_groups else None
     )
     lhs_positions = group.lhs_positions
     for t in instance:
@@ -136,61 +136,67 @@ def _cfd_group_state(
     return groups, rhs_maps
 
 
-def _iter_cfd_group_violations(
+def cfd_group_scan(
     group: CFDScanGroup,
     instance: RelationInstance,
-    materialize: bool,
-) -> Iterator[tuple[Any, "CFDViolation | None"]]:
-    """Yield ``(task, violation-or-None)`` for each violating (task, key).
+    keep_groups: bool = False,
+) -> tuple[
+    dict[tuple[Any, ...], list[Tuple]] | None,
+    Iterator[tuple[Any, tuple[Any, ...], str]],
+]:
+    """One shared scan of *group*; returns ``(groups, hits)``.
 
-    With ``materialize=False`` the violation slot is ``None`` (count mode).
+    ``hits`` lazily yields ``(task, key, kind)`` for every violating
+    (task, group-key) pair, tasks in group order and keys in scan order —
+    the naive checker's order. ``groups`` is the full group-by (only built
+    when ``keep_groups`` is true; the full-materialization path needs it for
+    the violation tuple lists, counting paths don't).
     """
-    groups, rhs_maps = _cfd_group_state(group, instance, materialize)
-    if materialize:
+    groups, rhs_maps = _cfd_group_state(group, instance, keep_groups)
+    if keep_groups:
         keys = groups
     else:
         # All variants share the same key set; pick any (there is at least
         # one variant because every task has an RHS).
         first_variant = next(iter(rhs_maps), None)
         keys = rhs_maps[first_variant] if first_variant is not None else {}
-    for task in group.tasks:
-        rhs_map = rhs_maps[task.rhs_positions]
-        key_checks = task.key_checks
-        rhs_checks = task.rhs_checks
-        for key in keys:
-            if not passes(key, key_checks):
-                continue
-            rhs_values = rhs_map[key]
-            disagree = len(rhs_values) > 1
-            if not disagree:
-                # A single shared RHS value only violates when it misses a
-                # constant of the pattern's RHS.
-                if not rhs_checks or all(
-                    passes(vals, rhs_checks) for vals in rhs_values
-                ):
+
+    def hits() -> Iterator[tuple[Any, tuple[Any, ...], str]]:
+        for task in group.tasks:
+            rhs_map = rhs_maps[task.rhs_positions]
+            key_checks = task.key_checks
+            rhs_checks = task.rhs_checks
+            for key in keys:
+                if not passes(key, key_checks):
                     continue
-            if materialize:
-                violation = CFDViolation(
-                    cfd=task.cfd,
-                    pattern_index=task.row_index,
-                    lhs_values=key,
-                    tuples=tuple(groups[key]),
-                    kind="pair" if disagree else "single",
-                )
-            else:
-                violation = None
-            yield task, violation
+                rhs_values = rhs_map[key]
+                disagree = len(rhs_values) > 1
+                if not disagree:
+                    # A single shared RHS value only violates when it misses
+                    # a constant of the pattern's RHS.
+                    if not rhs_checks or all(
+                        passes(vals, rhs_checks) for vals in rhs_values
+                    ):
+                        continue
+                yield task, key, "pair" if disagree else "single"
+
+    return groups, hits()
 
 
 # -- CIND evaluation ---------------------------------------------------------
 
 
-def _iter_cind_violations(
+def cind_scan_hits(
     tasks: list[CINDRowTask],
     instance: RelationInstance,
     witnesses: dict[WitnessSpec, set[tuple[Any, ...]]],
 ) -> Iterator[tuple[CINDRowTask, Tuple]]:
-    """One pass over an LHS relation, testing every row task per tuple."""
+    """One pass over an LHS relation, testing every row task per tuple.
+
+    Yields ``(task, tuple)`` for every violating pair, tasks interleaved in
+    scan order; witness key sets come from :func:`witness_sets` (any shard's
+    sets can be merged in beforehand — set union is the merge operation).
+    """
     compiled = [
         (task, task.lhs_checks, task.x_positions, witnesses[task.witness])
         for task in tasks
@@ -213,65 +219,39 @@ def _all_witnesses(
     return witnesses
 
 
-# -- top-level execution ------------------------------------------------------
+# -- report assembly ----------------------------------------------------------
+#
+# Scans fill per-task buckets; assembly orders them by the plan's task lists
+# (constraints in Σ order, pattern rows in tableau order), reproducing the
+# naive checker's output order no matter which order the scans ran in. The
+# parallel dispatcher of :mod:`repro.api.parallel` merges worker results
+# through these same two functions.
 
 
-def execute_plan(
-    plan: DetectionPlan, db: DatabaseInstance, mode: str = "full"
-) -> ViolationReport | DetectionSummary:
-    """Run every shared scan of *plan* against *db*.
+def assemble_report(
+    plan: DetectionPlan,
+    cfd_buckets: dict[int, list[CFDViolation]],
+    cind_buckets: dict[int, list[CINDViolation]],
+) -> ViolationReport:
+    """Order per-task violation buckets (keyed by ``id(task)``) into a report."""
+    cfd_violations: list[CFDViolation] = []
+    for task in plan.cfd_tasks:
+        cfd_violations.extend(cfd_buckets.get(id(task), ()))
+    cind_violations: list[CINDViolation] = []
+    for task in plan.cind_tasks:
+        cind_violations.extend(cind_buckets.get(id(task), ()))
+    return ViolationReport(
+        cfd_violations, cind_violations, constraints=plan.sigma
+    )
 
-    ``mode="full"`` returns a :class:`ViolationReport` identical (including
-    list order) to the naive per-constraint evaluation; ``mode="count"``
-    returns a :class:`DetectionSummary` without materializing violations.
-    """
-    if mode not in ("full", "count"):
-        raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
-    materialize = mode == "full"
+
+def assemble_summary(
+    plan: DetectionPlan,
+    cfd_counts: dict[int, int],
+    cind_counts: dict[int, int],
+) -> DetectionSummary:
+    """Build a :class:`DetectionSummary` from per-constraint-index counts."""
     sigma = plan.sigma
-
-    cfd_buckets: dict[int, list[CFDViolation]] = {}
-    cfd_counts: dict[int, int] = {}
-    for group in plan.cfd_groups:
-        instance = db[group.relation]
-        for task, violation in _iter_cfd_group_violations(
-            group, instance, materialize
-        ):
-            if materialize:
-                cfd_buckets.setdefault(id(task), []).append(violation)
-            else:
-                cfd_counts[task.cfd_index] = (
-                    cfd_counts.get(task.cfd_index, 0) + 1
-                )
-
-    witnesses = _all_witnesses(plan, db)
-    cind_buckets: dict[int, list[CINDViolation]] = {}
-    cind_counts: dict[int, int] = {}
-    for relation, tasks in plan.cind_scans.items():
-        instance = db[relation]
-        for task, t in _iter_cind_violations(tasks, instance, witnesses):
-            if materialize:
-                cind_buckets.setdefault(id(task), []).append(
-                    CINDViolation(
-                        cind=task.cind, pattern_index=task.row_index, tuple_=t
-                    )
-                )
-            else:
-                cind_counts[task.cind_index] = (
-                    cind_counts.get(task.cind_index, 0) + 1
-                )
-
-    if materialize:
-        cfd_violations: list[CFDViolation] = []
-        for task in plan.cfd_tasks:
-            cfd_violations.extend(cfd_buckets.get(id(task), ()))
-        cind_violations: list[CINDViolation] = []
-        for task in plan.cind_tasks:
-            cind_violations.extend(cind_buckets.get(id(task), ()))
-        return ViolationReport(
-            cfd_violations, cind_violations, constraints=sigma
-        )
-
     labels = constraint_labels(sigma)
     by_constraint: dict[str, int] = {}
     for cfd_index, count in cfd_counts.items():
@@ -287,6 +267,66 @@ def execute_plan(
     )
 
 
+# -- top-level execution ------------------------------------------------------
+
+
+def execute_plan(
+    plan: DetectionPlan, db: DatabaseInstance, mode: str = "full"
+) -> ViolationReport | DetectionSummary:
+    """Run every shared scan of *plan* against *db*.
+
+    ``mode="full"`` returns a :class:`ViolationReport` identical (including
+    list order) to the naive per-constraint evaluation; ``mode="count"``
+    returns a :class:`DetectionSummary` without materializing violations.
+    """
+    if mode not in ("full", "count"):
+        raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
+    materialize = mode == "full"
+
+    cfd_buckets: dict[int, list[CFDViolation]] = {}
+    cfd_counts: dict[int, int] = {}
+    for group in plan.cfd_groups:
+        groups, hits = cfd_group_scan(
+            group, db[group.relation], keep_groups=materialize
+        )
+        for task, key, kind in hits:
+            if materialize:
+                cfd_buckets.setdefault(id(task), []).append(
+                    CFDViolation(
+                        cfd=task.cfd,
+                        pattern_index=task.row_index,
+                        lhs_values=key,
+                        tuples=tuple(groups[key]),
+                        kind=kind,
+                    )
+                )
+            else:
+                cfd_counts[task.cfd_index] = (
+                    cfd_counts.get(task.cfd_index, 0) + 1
+                )
+
+    witnesses = _all_witnesses(plan, db)
+    cind_buckets: dict[int, list[CINDViolation]] = {}
+    cind_counts: dict[int, int] = {}
+    for relation, tasks in plan.cind_scans.items():
+        instance = db[relation]
+        for task, t in cind_scan_hits(tasks, instance, witnesses):
+            if materialize:
+                cind_buckets.setdefault(id(task), []).append(
+                    CINDViolation(
+                        cind=task.cind, pattern_index=task.row_index, tuple_=t
+                    )
+                )
+            else:
+                cind_counts[task.cind_index] = (
+                    cind_counts.get(task.cind_index, 0) + 1
+                )
+
+    if materialize:
+        return assemble_report(plan, cfd_buckets, cind_buckets)
+    return assemble_summary(plan, cfd_counts, cind_counts)
+
+
 def plan_has_violation(plan: DetectionPlan, db: DatabaseInstance) -> bool:
     """Early-exit check: does *db* violate any constraint of the plan?
 
@@ -294,12 +334,11 @@ def plan_has_violation(plan: DetectionPlan, db: DatabaseInstance) -> bool:
     (task, group) or (task, tuple) pair instead of finishing the sweep.
     """
     for group in plan.cfd_groups:
-        for __ in _iter_cfd_group_violations(
-            group, db[group.relation], materialize=False
-        ):
+        __, hits = cfd_group_scan(group, db[group.relation])
+        for __ in hits:
             return True
     witnesses = _all_witnesses(plan, db)
     for relation, tasks in plan.cind_scans.items():
-        for __ in _iter_cind_violations(tasks, db[relation], witnesses):
+        for __ in cind_scan_hits(tasks, db[relation], witnesses):
             return True
     return False

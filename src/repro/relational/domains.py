@@ -158,13 +158,22 @@ def _int_factory(i: int) -> int:
     return i
 
 
+# Named predicates (not lambdas) keep the singleton domains — and with them
+# schemas and tuples — picklable, which the process-parallel detection path
+# relies on when shipping violation payloads between workers.
+def _is_string(v: Any) -> bool:
+    return isinstance(v, str)
+
+
+def _is_integer(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
 #: The default infinite string domain.
-STRING = InfiniteDomain("string", _string_factory, lambda v: isinstance(v, str))
+STRING = InfiniteDomain("string", _string_factory, _is_string)
 
 #: The default infinite integer domain.
-INTEGER = InfiniteDomain(
-    "integer", _int_factory, lambda v: isinstance(v, int) and not isinstance(v, bool)
-)
+INTEGER = InfiniteDomain("integer", _int_factory, _is_integer)
 
 #: The two-valued boolean domain of Example 3.2.
 BOOL = FiniteDomain("bool", (True, False))

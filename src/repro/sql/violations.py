@@ -157,15 +157,20 @@ class SQLViolationDetector:
 
     # -- CINDs -----------------------------------------------------------------------
 
-    def cind_violating_rows(self, cind: CIND) -> set[tuple[Any, ...]]:
-        """LHS rows matching some pattern row with no RHS witness.
+    def cind_violating_rows_by_pattern(
+        self, cind: CIND
+    ) -> list[set[tuple[Any, ...]]]:
+        """Violating LHS rows per pattern row, in tableau order.
 
-        Matches :meth:`repro.core.cind.CIND.violating_tuples`.
+        One anti-join per row; the per-row split is what lets the
+        :class:`~repro.api.backends.SQLBackend` adapter rebuild
+        engine-identical ``CINDViolation`` objects (which carry the
+        pattern index).
         """
         ra = cind.lhs_relation
         rb = cind.rhs_relation
         all_cols = ", ".join(f"t1.{q(a.name)}" for a in ra)
-        out: set[tuple[Any, ...]] = set()
+        out: list[set[tuple[Any, ...]]] = []
         cursor = self.conn.cursor()
         for row in cind.tableau:
             premise: list[str] = []
@@ -190,7 +195,17 @@ class SQLViolationDetector:
                 f"WHERE {where} AND NOT EXISTS ("
                 f"SELECT 1 FROM {q(rb.name)} t2 WHERE {exists_cond})"
             )
-            out.update(cursor.execute(sql, params).fetchall())
+            out.append(set(cursor.execute(sql, params).fetchall()))
+        return out
+
+    def cind_violating_rows(self, cind: CIND) -> set[tuple[Any, ...]]:
+        """LHS rows matching some pattern row with no RHS witness.
+
+        Matches :meth:`repro.core.cind.CIND.violating_tuples`.
+        """
+        out: set[tuple[Any, ...]] = set()
+        for rows in self.cind_violating_rows_by_pattern(cind):
+            out |= rows
         return out
 
     # -- whole constraint sets ----------------------------------------------------------
@@ -202,6 +217,11 @@ class SQLViolationDetector:
         two distinct constraints with equal names/reprs get separate entries
         (matching the in-memory engine's ``by_constraint`` keys) instead of
         silently overwriting each other.
+
+        Constraints with **zero** violations are omitted (historical
+        behaviour, kept for compatibility). The facade-level
+        :meth:`repro.api.backends.SQLBackend.violating_rows` normalizes
+        this: it keys every constraint of Σ, empty set when clean.
         """
         labels = constraint_labels(sigma)
         out: dict[str, set[tuple[Any, ...]]] = {}
