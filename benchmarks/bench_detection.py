@@ -8,20 +8,27 @@ dataset generators and times three evaluations of the same workload:
 
 * ``naive``  — :func:`repro.core.violations.check_database_naive`, one scan
   per pattern row (the reference oracle);
-* ``engine`` — :func:`repro.engine.detect`, shared scans, full
-  materialization (plan time included);
+* ``engine`` — :func:`repro.engine.detect`, cold columnar shared scans,
+  full materialization (plan time included, no cache; each repeat runs on
+  a fresh db copy so instance-level view/index memos can't leak in);
 * ``count``  — :func:`repro.engine.count_violations`, the count-only fast
   path (no violation objects);
+* ``warm``   — a persistent ``repro.api.connect(db, sigma)`` session's
+  *second* ``check()``: the versioned ScanCache replays memoized hit
+  lists for the unchanged database instead of scanning;
 * ``parN``   — ``repro.api.connect(db, sigma, workers=N)``, the facade's
   parallel scan-group dispatch (fork-based process pool by default;
   ``--workers 0`` skips it).
 
-Every run first cross-validates that engine, parallel, and naive produce
-identical violation sets. Exit status is non-zero on mismatch or (with
-``--min-speedup`` / ``--min-parallel-speedup``) when a speedup falls
-short. Note: parallel speedup needs actual cores — on a single-CPU
-machine the process pool only adds overhead, which this benchmark will
-show honestly.
+Every run first cross-validates that engine, warm, parallel, and naive
+produce identical violation lists (engine and warm order-sensitively —
+bit-identical including list order). Exit status is non-zero on mismatch
+or (with ``--min-speedup`` / ``--min-warm-speedup`` /
+``--min-parallel-speedup``) when a speedup falls short. ``--json PATH``
+writes the rows as machine-readable JSON (the CI regression job keeps
+``BENCH_detection.json`` as an artifact). Note: parallel speedup needs
+actual cores — on a single-CPU machine the process pool only adds
+overhead, which this benchmark will show honestly.
 
 Usage::
 
@@ -33,6 +40,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -169,15 +177,17 @@ def _value_keys(report):
     return cfd, cind
 
 
-def _violation_keys(report):
-    cfd = {
-        (id(v.cfd), v.pattern_index, v.lhs_values, frozenset(v.tuples), v.kind)
+def _ordered_keys(report):
+    """Order-sensitive fingerprint: bit-identical incl. violation-list order."""
+    cfd = [
+        (report.label_for(v.cfd), v.pattern_index, v.lhs_values,
+         tuple(t.values for t in v.tuples), v.kind)
         for v in report.cfd_violations
-    }
-    cind = {
-        (id(v.cind), v.pattern_index, v.tuple_)
+    ]
+    cind = [
+        (report.label_for(v.cind), v.pattern_index, v.tuple_.values)
         for v in report.cind_violations
-    }
+    ]
     return cfd, cind
 
 
@@ -187,6 +197,23 @@ def _best_time(fn, repeats: int) -> tuple[float, object]:
     for __ in range(repeats):
         start = time.perf_counter()
         result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _best_cold_time(db, fn, repeats: int) -> tuple[float, object]:
+    """Like :func:`_best_time`, but genuinely cold per repeat.
+
+    Columnar views and hash indexes memoize on the ``RelationInstance``
+    itself, so re-running ``fn`` on the same db would time a partially warm
+    engine; each repeat gets an untimed fresh copy instead.
+    """
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        fresh = db.copy()
+        start = time.perf_counter()
+        result = fn(fresh)
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -201,22 +228,38 @@ def run_case(
 ) -> dict:
     plan = plan_detection(sigma)
     per_rel = constraints_per_relation(sigma)
-    naive_s, naive_report = _best_time(
-        lambda: check_database_naive(db, sigma), repeats
+    naive_s, naive_report = _best_cold_time(
+        db, lambda d: check_database_naive(d, sigma), repeats
     )
-    engine_s, engine_report = _best_time(lambda: detect(db, sigma), repeats)
-    count_s, summary = _best_time(lambda: count_violations(db, sigma), repeats)
+    engine_s, engine_report = _best_cold_time(
+        db, lambda d: detect(d, sigma), repeats
+    )
+    count_s, summary = _best_cold_time(
+        db, lambda d: count_violations(d, sigma), repeats
+    )
 
-    if _violation_keys(engine_report) != _violation_keys(naive_report):
-        raise AssertionError(f"{label}: engine and naive violation sets differ")
+    # Warm recheck: a persistent session's ScanCache replays memoized scan
+    # results while the database stands still.
+    session = connect(db, sigma)
+    warm_report = session.check()  # cold call that fills the cache
+    warm_s, warm_report2 = _best_time(session.check, repeats)
+
+    expected_ordered = _ordered_keys(naive_report)
+    if _ordered_keys(engine_report) != expected_ordered:
+        raise AssertionError(f"{label}: engine and naive violation lists differ")
+    if (
+        _ordered_keys(warm_report) != expected_ordered
+        or _ordered_keys(warm_report2) != expected_ordered
+    ):
+        raise AssertionError(f"{label}: warm-cache and naive violation lists differ")
     if summary.total != naive_report.total:
         raise AssertionError(f"{label}: count-only total differs")
 
     par_s = None
     if workers > 1:
         options = ExecutionOptions(workers=workers, executor=executor)
-        par_s, par_report = _best_time(
-            lambda: connect(db, sigma, options=options).check(), repeats
+        par_s, par_report = _best_cold_time(
+            db, lambda d: connect(d, sigma, options=options).check(), repeats
         )
         # The parallel merge rebinds canonical tuples; sets must be equal
         # to the oracle's (ids differ per plan, so compare on values).
@@ -226,6 +269,7 @@ def run_case(
             )
 
     speedup = naive_s / engine_s if engine_s > 0 else float("inf")
+    warm_speedup = engine_s / warm_s if warm_s > 0 else float("inf")
     par_speedup = (
         engine_s / par_s if par_s else None
     )
@@ -240,8 +284,10 @@ def run_case(
         "naive_s": naive_s,
         "engine_s": engine_s,
         "count_s": count_s,
+        "warm_s": warm_s,
         "par_s": par_s,
         "speedup": speedup,
+        "warm_speedup": warm_speedup,
         "par_speedup": par_speedup,
     }
     par_part = (
@@ -253,7 +299,8 @@ def run_case(
         f"{label:<22} tuples={row['tuples']:<8} |Σ|={row['constraints']:<4} "
         f"viol={row['violations']:<6} naive={naive_s:.3f}s "
         f"engine={engine_s:.3f}s count={count_s:.3f}s "
-        f"speedup={speedup:.1f}x{par_part}"
+        f"warm={warm_s:.4f}s speedup={speedup:.1f}x "
+        f"warm_speedup={warm_speedup:.1f}x{par_part}"
     )
     return row
 
@@ -287,6 +334,15 @@ def main(argv: list[str] | None = None) -> int:
         help="fail if the largest workload's parallel-vs-engine speedup is "
         "below this (only meaningful on multi-core machines)",
     )
+    parser.add_argument(
+        "--min-warm-speedup", type=float, default=0.0,
+        help="fail if any workload's cached-recheck speedup over the cold "
+        "engine path is below this (1.0 = 'warm must not be slower')",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the result rows as JSON to PATH (e.g. BENCH_detection.json)",
+    )
     args = parser.parse_args(argv)
     sizes = [500] if args.quick else args.sizes
     if not sizes:
@@ -317,7 +373,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\nlargest workload ({largest['label']}): {largest['speedup']:.1f}x "
         f"({largest['scans_naive']} naive scans -> "
-        f"{largest['scans_engine']} shared scans)"
+        f"{largest['scans_engine']} shared scans); warm recheck "
+        f"{largest['warm_s']:.4f}s = {largest['warm_speedup']:.1f}x over the "
+        f"cold engine path"
     )
     if largest["par_s"] is not None:
         import os
@@ -327,11 +385,37 @@ def main(argv: list[str] | None = None) -> int:
             f"engine={largest['engine_s']:.3f}s par={largest['par_s']:.3f}s "
             f"-> {largest['par_speedup']:.2f}x vs serial engine"
         )
+    if args.json:
+        import os
+
+        payload = {
+            "benchmark": "bench_detection",
+            "cpu_count": os.cpu_count(),
+            "workers": workers,
+            "sizes": sizes,
+            "repeats": repeats,
+            "rows": rows,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
     worst = min(rows, key=lambda row: row["speedup"])
     if args.min_speedup and worst["speedup"] < args.min_speedup:
         print(
             f"FAIL: {worst['label']} speedup {worst['speedup']:.1f}x < "
             f"required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    worst_warm = min(rows, key=lambda row: row["warm_speedup"])
+    if args.min_warm_speedup and worst_warm["warm_speedup"] < args.min_warm_speedup:
+        print(
+            f"FAIL: {worst_warm['label']} cached-recheck speedup "
+            f"{worst_warm['warm_speedup']:.2f}x < required "
+            f"{args.min_warm_speedup:.2f}x (warm path must beat the cold "
+            f"engine path)",
             file=sys.stderr,
         )
         return 1

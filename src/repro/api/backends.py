@@ -15,9 +15,11 @@ engine. Here each engine is an adapter onto one :class:`Backend` shape:
 How each backend earns its keep:
 
 * :class:`MemoryBackend` — the shared-scan engine; plans Σ once and reuses
-  the plan across calls and mutations (plans depend only on Σ). With
+  the plan across calls and mutations (plans depend only on Σ), and owns a
+  mutation-versioned :class:`~repro.engine.cache.ScanCache` so re-checks
+  over unchanged relations replay memoized scan results. With
   ``options.workers > 1`` it dispatches scan groups through
-  :mod:`repro.api.parallel`.
+  :mod:`repro.api.parallel` (cache-aware: warm units never reach the pool).
 * :class:`NaiveBackend` — the per-constraint reference oracle; slow by
   design, kept as the executable transcription of the paper's
   satisfaction definitions.
@@ -48,6 +50,7 @@ from repro.core.violations import (
 )
 from repro.engine import (
     DetectionSummary,
+    ScanCache,
     attribute_positions,
     compile_checks,
     execute_plan,
@@ -161,7 +164,15 @@ class BaseBackend:
 
 
 class MemoryBackend(BaseBackend):
-    """Shared-scan engine (the default): plan Σ once, execute per call."""
+    """Shared-scan engine (the default): plan Σ once, execute per call.
+
+    Alongside the plan it owns a :class:`~repro.engine.cache.ScanCache`:
+    scan results are memoized against each relation's mutation version, so
+    repeated ``check``/``count``/``is_clean`` calls over unchanged data
+    replay cached hit lists instead of scanning, and a repair round only
+    re-scans the relations it actually touched. Versions make mutations
+    self-invalidating — ``_invalidate`` has nothing to do.
+    """
 
     name = "memory"
 
@@ -170,10 +181,15 @@ class MemoryBackend(BaseBackend):
         # Plans depend only on Σ, never on the data: build one, keep it
         # across checks and mutations (the repair loop relies on this).
         self._plan = plan_detection(sigma)
+        self._cache = ScanCache(self._plan)
 
     @property
     def plan(self):
         return self._plan
+
+    @property
+    def cache(self) -> ScanCache:
+        return self._cache
 
     def check(self) -> ViolationReport:
         if self.options.parallel:
@@ -183,8 +199,9 @@ class MemoryBackend(BaseBackend):
                 workers=self.options.workers,
                 mode="full",
                 executor=self.options.executor,
+                cache=self._cache,
             )
-        return execute_plan(self._plan, self.db, mode="full")
+        return execute_plan(self._plan, self.db, mode="full", cache=self._cache)
 
     def count(self) -> DetectionSummary:
         if self.options.parallel:
@@ -194,13 +211,15 @@ class MemoryBackend(BaseBackend):
                 workers=self.options.workers,
                 mode="count",
                 executor=self.options.executor,
+                cache=self._cache,
             )
-        return execute_plan(self._plan, self.db, mode="count")
+        return execute_plan(self._plan, self.db, mode="count", cache=self._cache)
 
     def is_clean(self) -> bool:
         # Early exit is inherently serial: the point is to stop at the
-        # first hit, which a fan-out would race past.
-        return not plan_has_violation(self._plan, self.db)
+        # first hit, which a fan-out would race past. Warm cache entries
+        # answer without scanning at all.
+        return not plan_has_violation(self._plan, self.db, cache=self._cache)
 
 
 class NaiveBackend(BaseBackend):
@@ -445,6 +464,7 @@ class IncrementalBackend(BaseBackend):
         super().__init__(db, sigma, options)
         self._checker: IncrementalChecker | None = None
         self._plan = plan_detection(sigma)
+        self._cache = ScanCache(self._plan)
 
     @property
     def checker(self) -> IncrementalChecker:
@@ -458,10 +478,10 @@ class IncrementalBackend(BaseBackend):
         return self._checker
 
     def check(self) -> ViolationReport:
-        return execute_plan(self._plan, self.db, mode="full")
+        return execute_plan(self._plan, self.db, mode="full", cache=self._cache)
 
     def count(self) -> DetectionSummary:
-        return execute_plan(self._plan, self.db, mode="count")
+        return execute_plan(self._plan, self.db, mode="count", cache=self._cache)
 
     def is_clean(self) -> bool:
         return self.checker.is_clean

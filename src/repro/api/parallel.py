@@ -7,8 +7,8 @@ associatively (violation buckets concatenate per task; witness key sets
 union). This module dispatches those units across a worker pool and
 reassembles a result **identical, including order, to the serial
 executor**: workers return position-indexed payloads, and the parent
-orders them through the same :func:`~repro.engine.executor.assemble_report`
-/ :func:`~repro.engine.executor.assemble_summary` the serial path uses, so
+orders them through the same
+:func:`~repro.engine.executor.assemble_from_hits` the serial path uses, so
 completion order never leaks into the output.
 
 Two pool flavours:
@@ -16,15 +16,23 @@ Two pool flavours:
 * ``process`` — a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`.
   The plan and database are published in module globals *before* the pool
   forks, so workers inherit them copy-on-write: nothing is pickled on the
-  way in. On the way out workers return only plain values (group keys,
-  tuple values, counts) — never ``Tuple``/constraint objects — and the
-  parent rebinds them to its own canonical tuples via the relation's hash
+  way in (the parent pre-materializes the columnar views for the same
+  reason — forked workers share them instead of each transposing its own).
+  On the way out workers return only plain values (group keys, tuple
+  values, kinds) — never ``Tuple``/constraint objects — and the parent
+  rebinds them to its own canonical tuples via the relation's hash
   indexes. CIND scans need the merged witness sets, which only exist after
   the first phase, so they run on a second pool forked after the merge.
 * ``thread`` — the same orchestration on a
   :class:`~concurrent.futures.ThreadPoolExecutor`. No pickling or forking
   at all, but CPU-bound scans stay GIL-bound; useful on platforms without
   ``fork`` and for exercising the merge logic cheaply.
+
+With a :class:`~repro.engine.cache.ScanCache`, the parent answers warm
+scan units from the cache *before* dispatching — only cold units reach the
+pool — and stores every cold unit's rebound hit list back, so parallel and
+serial execution share one cache and a warm parallel re-check spawns no
+workers at all.
 
 The executor is CPU-parallel only in ``process`` mode; measure with
 ``benchmarks/bench_detection.py --workers N``.
@@ -37,14 +45,13 @@ import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable
 
-from repro.core.cfd import CFDViolation
-from repro.core.cind import CINDViolation
-from repro.engine import DetectionPlan, DetectionSummary
+from repro.engine import DetectionPlan, DetectionSummary, ScanCache
 from repro.engine.executor import (
-    assemble_report,
-    assemble_summary,
-    cfd_group_scan,
+    _check_cache,
+    assemble_from_hits,
+    cfd_group_hits,
     cind_scan_hits,
+    release_scan_memos,
     witness_sets,
 )
 from repro.core.violations import ViolationReport
@@ -76,23 +83,19 @@ def resolve_executor(executor: str) -> str:
 # Workers return plain values keyed by task position, never live objects:
 # process workers run in a forked copy of the parent, so object identity
 # (and with it the plan's id(task) bucketing) does not survive the trip.
+# Hit payloads are returned in both full and count mode — they are bounded
+# by the violation count and let the parent cache them for either mode.
 
 
-def _cfd_group_payload(
-    group_index: int, materialize: bool
-) -> list[tuple[int, Any]]:
-    """Violating (task position, key, kind) triples — or counts — for one group."""
+def _cfd_group_payload(group_index: int) -> list[tuple[int, Any, str]]:
+    """Violating ``(task position, key, kind)`` triples for one scan group."""
     plan, db = _STATE
     group = plan.cfd_groups[group_index]
     task_pos = {id(task): pos for pos, task in enumerate(group.tasks)}
-    __, hits = cfd_group_scan(group, db[group.relation], keep_groups=False)
-    if materialize:
-        return [(task_pos[id(task)], (key, kind)) for task, key, kind in hits]
-    counts: dict[int, int] = {}
-    for task, __, __ in hits:
-        pos = task_pos[id(task)]
-        counts[pos] = counts.get(pos, 0) + 1
-    return list(counts.items())
+    return [
+        (task_pos[id(task)], key, kind)
+        for task, key, kind in cfd_group_hits(group, db[group.relation])
+    ]
 
 
 def _witness_payload(relation: str) -> list[set[tuple[Any, ...]]]:
@@ -103,23 +106,15 @@ def _witness_payload(relation: str) -> list[set[tuple[Any, ...]]]:
     return [sets[spec] for spec in specs]
 
 
-def _cind_scan_payload(
-    relation: str, materialize: bool
-) -> list[tuple[int, Any]]:
-    """Violating (task position, tuple values) pairs — or counts — for one scan."""
+def _cind_scan_payload(relation: str) -> list[tuple[int, Any]]:
+    """Violating ``(task position, tuple values)`` pairs for one LHS scan."""
     plan, db = _STATE
     tasks = plan.cind_scans[relation]
     task_pos = {id(task): pos for pos, task in enumerate(tasks)}
-    if materialize:
-        return [
-            (task_pos[id(task)], t.values)
-            for task, t in cind_scan_hits(tasks, db[relation], _WITNESSES)
-        ]
-    counts: dict[int, int] = {}
-    for task, __ in cind_scan_hits(tasks, db[relation], _WITNESSES):
-        pos = task_pos[id(task)]
-        counts[pos] = counts.get(pos, 0) + 1
-    return list(counts.items())
+    return [
+        (task_pos[id(task)], t.values)
+        for task, t in cind_scan_hits(tasks, db[relation], _WITNESSES)
+    ]
 
 
 # -- parent-side orchestration -------------------------------------------------
@@ -156,6 +151,7 @@ def execute_plan_parallel(
     workers: int,
     mode: str = "full",
     executor: str = "auto",
+    cache: ScanCache | None = None,
 ) -> ViolationReport | DetectionSummary:
     """Run *plan* with scan groups dispatched across *workers* workers.
 
@@ -163,118 +159,142 @@ def execute_plan_parallel(
     ``execute_plan(plan, db, mode)``. ``mode`` is ``"full"`` or ``"count"``;
     early-exit stays serial (see :class:`~repro.api.backends.MemoryBackend`)
     because its whole point is to stop at the first hit, which a fan-out
-    would race past.
+    would race past. A *cache* (bound to *plan*) short-circuits warm scan
+    units parent-side and absorbs every cold unit's result.
     """
     global _STATE, _WITNESSES
     if mode not in ("full", "count"):
         raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
-    materialize = mode == "full"
+    _check_cache(plan, cache, db)
     pool_kind = resolve_executor(executor)
+    try:
+        return _execute_parallel(plan, db, workers, mode, pool_kind, cache)
+    finally:
+        release_scan_memos(db, cache)
 
-    witness_relations = list(plan.witness_specs)
+
+def _execute_parallel(
+    plan: DetectionPlan,
+    db: DatabaseInstance,
+    workers: int,
+    mode: str,
+    pool_kind: str,
+    cache: ScanCache | None,
+) -> ViolationReport | DetectionSummary:
+    global _STATE, _WITNESSES
+
+    # Resolve warm units from the cache before any dispatch.
+    cfd_hit_lists: list[list | None] = []
+    cold_groups: list[int] = []
+    for i, group in enumerate(plan.cfd_groups):
+        hits = (
+            cache.cfd_hits(group, db[group.relation].version)
+            if cache is not None
+            else None
+        )
+        cfd_hit_lists.append(hits)
+        if hits is None:
+            cold_groups.append(i)
+
+    witnesses: dict[Any, set[tuple[Any, ...]]] = {}
+    cold_witness_relations: list[str] = []
+    for relation, specs in plan.witness_specs.items():
+        version = db[relation].version
+        cached = (
+            {spec: cache.witness_set(spec, version) for spec in specs}
+            if cache is not None
+            else {}
+        )
+        if cached and all(v is not None for v in cached.values()):
+            witnesses.update(cached)
+        else:
+            cold_witness_relations.append(relation)
+
+    # Forked workers inherit the columnar views copy-on-write only if the
+    # parent materialized them first; one transpose here saves one per
+    # worker per relation.
+    for i in cold_groups:
+        db[plan.cfd_groups[i].relation].columns()
+    for relation in cold_witness_relations:
+        db[relation].columns()
+
     _EXECUTION_LOCK.acquire()
     _STATE = (plan, db)
     try:
-        # Phase A: every CFD scan group and every witness pass is
+        # Phase A: every cold CFD scan group and every cold witness pass is
         # independent — one pool for all of them.
         calls: list[tuple[Callable[..., Any], tuple[Any, ...]]] = [
-            (_cfd_group_payload, (i, materialize))
-            for i in range(len(plan.cfd_groups))
-        ] + [(_witness_payload, (rel,)) for rel in witness_relations]
+            (_cfd_group_payload, (i,)) for i in cold_groups
+        ] + [(_witness_payload, (rel,)) for rel in cold_witness_relations]
         results = _run_all(pool_kind, workers, calls)
-        cfd_payloads = results[: len(plan.cfd_groups)]
-        witness_payloads = results[len(plan.cfd_groups):]
+        cfd_payloads = results[: len(cold_groups)]
+        witness_payloads = results[len(cold_groups):]
 
-        # Merge witness sets (set union is the cross-shard merge; here each
-        # spec is computed by exactly one worker, so it is a re-keying).
-        witnesses: dict[Any, set[tuple[Any, ...]]] = {}
-        for relation, payload in zip(witness_relations, witness_payloads):
+        for i, payload in zip(cold_groups, cfd_payloads):
+            group = plan.cfd_groups[i]
+            hits = [(group.tasks[pos], key, kind) for pos, key, kind in payload]
+            cfd_hit_lists[i] = hits
+            if cache is not None:
+                cache.store_cfd_hits(group, db[group.relation].version, hits)
+
+        for relation, payload in zip(cold_witness_relations, witness_payloads):
+            version = db[relation].version
             for spec, key_set in zip(plan.witness_specs[relation], payload):
                 witnesses[spec] = key_set
+                if cache is not None:
+                    cache.store_witness_set(spec, version, key_set)
 
         # Phase B: CIND LHS scans need the merged witnesses, so their pool
         # is created (forked) only now, after _WITNESSES is published.
         _WITNESSES = witnesses
-        cind_relations = list(plan.cind_scans)
+        cind_hit_lists: dict[str, list] = {}
+        cold_cind: list[str] = []
+        for relation, tasks in plan.cind_scans.items():
+            if cache is not None:
+                hits = cache.cind_hits(
+                    relation,
+                    db[relation].version,
+                    cache.cind_deps(tasks, db),
+                )
+                if hits is not None:
+                    cind_hit_lists[relation] = hits
+                    continue
+            cold_cind.append(relation)
+        for relation in cold_cind:
+            db[relation].columns()
         cind_payloads = _run_all(
             pool_kind,
             workers,
-            [(_cind_scan_payload, (rel, materialize)) for rel in cind_relations],
+            [(_cind_scan_payload, (rel,)) for rel in cold_cind],
         )
     finally:
         _STATE = None
         _WITNESSES = None
         _EXECUTION_LOCK.release()
 
-    if materialize:
-        return _merge_full(plan, db, cfd_payloads, cind_relations, cind_payloads)
-    return _merge_counts(plan, cfd_payloads, cind_relations, cind_payloads)
-
-
-def _merge_full(
-    plan: DetectionPlan,
-    db: DatabaseInstance,
-    cfd_payloads: list[list[tuple[int, Any]]],
-    cind_relations: list[str],
-    cind_payloads: list[list[tuple[int, Any]]],
-) -> ViolationReport:
-    """Rebind worker payloads to the parent's canonical objects."""
-    cfd_buckets: dict[int, list[CFDViolation]] = {}
-    for group, payload in zip(plan.cfd_groups, cfd_payloads):
-        instance = db[group.relation]
-        for pos, (key, kind) in payload:
-            task = group.tasks[pos]
-            # The relation's hash index lists group members in insertion
-            # order — exactly the serial scan's group-by bucket.
-            group_tuples = tuple(instance.lookup(group.lhs, key))
-            cfd_buckets.setdefault(id(task), []).append(
-                CFDViolation(
-                    cfd=task.cfd,
-                    pattern_index=task.row_index,
-                    lhs_values=key,
-                    tuples=group_tuples,
-                    kind=kind,
-                )
-            )
-
-    cind_buckets: dict[int, list[CINDViolation]] = {}
-    canonical: dict[str, dict[tuple[Any, ...], Tuple]] = {}
-    for relation, payload in zip(cind_relations, cind_payloads):
-        if not payload:
-            continue
-        by_values = canonical.get(relation)
-        if by_values is None:
-            by_values = canonical[relation] = {
+    for relation, payload in zip(cold_cind, cind_payloads):
+        tasks = plan.cind_scans[relation]
+        if payload:
+            # Rebind worker values to the parent's canonical tuples.
+            by_values: dict[tuple[Any, ...], Tuple] = {
                 t.values: t for t in db[relation]
             }
-        tasks = plan.cind_scans[relation]
-        for pos, values in payload:
-            task = tasks[pos]
-            cind_buckets.setdefault(id(task), []).append(
-                CINDViolation(
-                    cind=task.cind,
-                    pattern_index=task.row_index,
-                    tuple_=by_values[values],
-                )
+            hits = [(tasks[pos], by_values[values]) for pos, values in payload]
+        else:
+            hits = []
+        cind_hit_lists[relation] = hits
+        if cache is not None:
+            cache.store_cind_hits(
+                relation,
+                db[relation].version,
+                cache.cind_deps(tasks, db),
+                hits,
             )
-    return assemble_report(plan, cfd_buckets, cind_buckets)
 
-
-def _merge_counts(
-    plan: DetectionPlan,
-    cfd_payloads: list[list[tuple[int, int]]],
-    cind_relations: list[str],
-    cind_payloads: list[list[tuple[int, int]]],
-) -> DetectionSummary:
-    cfd_counts: dict[int, int] = {}
-    for group, payload in zip(plan.cfd_groups, cfd_payloads):
-        for pos, count in payload:
-            index = group.tasks[pos].cfd_index
-            cfd_counts[index] = cfd_counts.get(index, 0) + count
-    cind_counts: dict[int, int] = {}
-    for relation, payload in zip(cind_relations, cind_payloads):
-        tasks = plan.cind_scans[relation]
-        for pos, count in payload:
-            index = tasks[pos].cind_index
-            cind_counts[index] = cind_counts.get(index, 0) + count
-    return assemble_summary(plan, cfd_counts, cind_counts)
+    return assemble_from_hits(
+        plan,
+        db,
+        list(zip(plan.cfd_groups, cfd_hit_lists)),
+        [(rel, cind_hit_lists[rel]) for rel in plan.cind_scans],
+        mode,
+    )

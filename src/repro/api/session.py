@@ -18,6 +18,13 @@
 Every backend returns the same :class:`ViolationReport` shape (identical
 down to violation-list order — the cross-validation suite holds them to
 it), so choosing an engine is a performance decision, not an API decision.
+
+Sessions are *cheap to re-check*: the memory/incremental backends own a
+mutation-versioned :class:`~repro.engine.cache.ScanCache`, so a second
+``check()``/``count()``/``is_clean()`` over unchanged data replays
+memoized scan results instead of re-scanning, and ``insert``/``delete``
+invalidate exactly the entries for the relations they touch. Keep one
+session per (db, Σ) workload rather than reconnecting per call.
 """
 
 from __future__ import annotations

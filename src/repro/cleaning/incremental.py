@@ -9,8 +9,9 @@ proportional to the touched groups:
 * per normal-form CFD — the tuples of each LHS-pattern-matching group,
   keyed by their ``X`` projection, plus the set of violated group keys;
 * per normal-form CIND — a witness count per required ``Y``-projection
-  (counting RHS tuples whose ``Yp`` matches the pattern) and the set of
-  violating LHS tuples.
+  (counting RHS tuples whose ``Yp`` matches the pattern) and the violating
+  LHS tuples, indexed by their ``X``-projection so a new witness clears
+  exactly its key's bucket.
 
 The initial build reuses the shared-scan primitives of
 :mod:`repro.engine`: one group-by per distinct ``(relation, X)``, one
@@ -38,7 +39,9 @@ from repro.engine import (
     compile_checks,
     group_tuples_by,
     passes,
+    projection_column_keys,
 )
+from repro.engine.executor import filter_by_checks
 from repro.errors import ConstraintError
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.relational.values import is_wildcard
@@ -75,8 +78,36 @@ class _CINDState:
     cind: CIND
     #: required Y-projection -> number of pattern-matching RHS witnesses
     witness_count: Counter = field(default_factory=Counter)
-    #: violating LHS tuples (premise matched, no witness)
-    violated: set[Tuple] = field(default_factory=set)
+    #: X-projection -> violating LHS tuples with that key (premise matched,
+    #: no witness). Indexed by key so a freshly inserted witness clears its
+    #: key's bucket in O(cleared) instead of rebuilding the whole set.
+    violated: dict[tuple, set[Tuple]] = field(default_factory=dict)
+    violated_total: int = 0
+
+    def add_violation(self, key: tuple, t: Tuple) -> None:
+        bucket = self.violated.get(key)
+        if bucket is None:
+            bucket = self.violated[key] = set()
+        if t not in bucket:
+            bucket.add(t)
+            self.violated_total += 1
+
+    def discard_violation(self, key: tuple, t: Tuple) -> None:
+        bucket = self.violated.get(key)
+        if bucket is not None and t in bucket:
+            bucket.discard(t)
+            self.violated_total -= 1
+            if not bucket:
+                del self.violated[key]
+
+    def clear_violations_for(self, key: tuple) -> None:
+        bucket = self.violated.pop(key, None)
+        if bucket is not None:
+            self.violated_total -= len(bucket)
+
+    def violating_tuples(self) -> Iterable[Tuple]:
+        for bucket in self.violated.values():
+            yield from bucket
 
 
 class IncrementalChecker:
@@ -122,7 +153,7 @@ class IncrementalChecker:
                 key_checks = compile_checks(
                     cfd.pattern.lhs_projection(lhs), range(len(lhs))
                 )
-                rhs_pos = instance.schema.attribute_names.index(cfd.rhs_attribute)
+                rhs_pos = instance.schema.positions[cfd.rhs_attribute]
                 for key, tuples in groups.items():
                     if not passes(key, key_checks):
                         continue
@@ -147,53 +178,56 @@ class IncrementalChecker:
             by_rhs.setdefault(key[0], []).append(key)
         for relation, keys in by_rhs.items():
             instance = self.db[relation]
-            names = instance.schema.attribute_names
-            compiled = [
-                (
-                    key,
-                    compile_checks(key[3], tuple(names.index(a) for a in key[2])),
-                    tuple(names.index(a) for a in key[1]),
-                    Counter(),
+            columns = instance.columns()
+            positions = instance.schema.positions
+            n = len(instance)
+            key_lists: dict[tuple[int, ...], list] = {}
+            for key in keys:
+                yp_checks = compile_checks(
+                    key[3], tuple(positions[a] for a in key[2])
                 )
-                for key in keys
-            ]
-            for t in instance:
-                values = t.values
-                for __, yp_checks, y_positions, counter in compiled:
-                    if passes(values, yp_checks):
-                        counter[tuple(values[i] for i in y_positions)] += 1
-            for key, __, __, counter in compiled:
+                y_positions = tuple(positions[a] for a in key[1])
+                y_keys = key_lists.get(y_positions)
+                if y_keys is None:
+                    y_keys = key_lists[y_positions] = projection_column_keys(
+                        columns, y_positions, n
+                    )
+                counter = Counter(filter_by_checks(columns, yp_checks, y_keys))
                 consumers = shared[key]
                 for state in consumers[:-1]:
                     state.witness_count = counter.copy()
                 consumers[-1].witness_count = counter
 
-        # Violation sets: one pass per LHS relation across all its states.
+        # Violation sets: one columnar pass per LHS relation per state.
         for relation, states in self._cind_lhs.items():
             instance = self.db[relation]
-            names = instance.schema.attribute_names
-            compiled_states = []
+            columns = instance.columns()
+            rows = instance.rows()
+            positions = instance.schema.positions
+            key_lists = {}
             for state in states:
                 cind = state.cind
                 lhs_attrs = cind.x + cind.xp
-                compiled_states.append(
-                    (
-                        state,
-                        compile_checks(
-                            cind.pattern.lhs_projection(lhs_attrs),
-                            tuple(names.index(a) for a in lhs_attrs),
-                        ),
-                        tuple(names.index(a) for a in cind.x),
-                    )
+                lhs_checks = compile_checks(
+                    cind.pattern.lhs_projection(lhs_attrs),
+                    tuple(positions[a] for a in lhs_attrs),
                 )
-            for t in instance:
-                values = t.values
-                for state, lhs_checks, x_positions in compiled_states:
-                    if not passes(values, lhs_checks):
-                        continue
-                    key = tuple(values[i] for i in x_positions)
-                    if state.witness_count.get(key, 0) == 0:
-                        state.violated.add(t)
+                x_positions = tuple(positions[a] for a in cind.x)
+                x_keys = key_lists.get(x_positions)
+                if x_keys is None:
+                    x_keys = key_lists[x_positions] = projection_column_keys(
+                        columns, x_positions, len(rows)
+                    )
+                witness_count = state.witness_count
+                for key, t in filter_by_checks(
+                    columns, lhs_checks, zip(x_keys, rows)
+                ):
+                    if witness_count.get(key, 0) == 0:
+                        state.add_violation(key, t)
+
+        # The columnar views were build-time artifacts; after the bulk
+        # build all maintenance is per-tuple.
+        self.db.release_views()
 
     # -- public API -----------------------------------------------------------
 
@@ -226,7 +260,7 @@ class IncrementalChecker:
             for states in self._cfd_states.values()
             for s in states
         )
-        total += sum(len(s.violated) for s in self._cind_states)
+        total += sum(s.violated_total for s in self._cind_states)
         return total
 
     def violations(self) -> dict[str, int]:
@@ -242,14 +276,14 @@ class IncrementalChecker:
                 if s.violated:
                     out[self._labels[id(s.cfd)]] = len(s.violated)
         for s in self._cind_states:
-            if s.violated:
-                out[self._labels[id(s.cind)]] = len(s.violated)
+            if s.violated_total:
+                out[self._labels[id(s.cind)]] = s.violated_total
         return out
 
     def violating_cind_tuples(self) -> set[Tuple]:
         out: set[Tuple] = set()
         for s in self._cind_states:
-            out |= s.violated
+            out.update(s.violating_tuples())
         return out
 
     # -- CFD bookkeeping ----------------------------------------------------------
@@ -280,8 +314,9 @@ class IncrementalChecker:
             cind = state.cind
             if not cind.lhs_matches(t, cind.pattern):
                 continue
-            if state.witness_count[t.project(cind.x)] == 0:
-                state.violated.add(t)
+            key = t.project(cind.x)
+            if state.witness_count[key] == 0:
+                state.add_violation(key, t)
 
     def _account_delete(self, t: Tuple) -> None:
         for state in self._cfd_states.get(t.schema.name, ()):
@@ -298,7 +333,7 @@ class IncrementalChecker:
                     del state.groups[key]
             state.refresh(key)
         for state in self._cind_lhs.get(t.schema.name, ()):
-            state.violated.discard(t)
+            state.discard_violation(t.project(state.cind.x), t)
         for state in self._cind_rhs.get(t.schema.name, ()):
             cind = state.cind
             if not matches_all(
@@ -312,7 +347,12 @@ class IncrementalChecker:
                 self._mark_orphans(state, key)
 
     def _settle_cinds_after_insert(self, t: Tuple) -> None:
-        """A new RHS witness may clear pending LHS violations."""
+        """A new RHS witness may clear pending LHS violations.
+
+        The violated sets are indexed by ``X``-projection, so clearing the
+        witnessed key costs O(tuples cleared) — not a rebuild of the whole
+        violated set per witness insert.
+        """
         for state in self._cind_rhs.get(t.schema.name, ()):
             cind = state.cind
             if not matches_all(
@@ -320,10 +360,8 @@ class IncrementalChecker:
             ):
                 continue
             key = t.project(cind.y)
-            if state.witness_count.get(key, 0) > 0 and state.violated:
-                state.violated = {
-                    t1 for t1 in state.violated if t1.project(cind.x) != key
-                }
+            if state.witness_count.get(key, 0) > 0:
+                state.clear_violations_for(key)
 
     def _mark_orphans(self, state: _CINDState, key: tuple) -> None:
         """The last witness for *key* vanished: LHS tuples become violations."""
@@ -331,4 +369,4 @@ class IncrementalChecker:
         lhs_instance = self.db[cind.lhs_relation.name]
         for t1 in lhs_instance.lookup(cind.x, key):
             if cind.lhs_matches(t1, cind.pattern):
-                state.violated.add(t1)
+                state.add_violation(key, t1)

@@ -93,8 +93,12 @@ def repair(
     counter = [0]
     work = db.copy()
     edits: list[RepairEdit] = []
-    # One session (and so one shared-scan plan for Σ), re-checked once per
-    # repair round against the mutating working copy.
+    # One session (and so one shared-scan plan for Σ and one versioned
+    # ScanCache), re-checked once per repair round against the mutating
+    # working copy: each round re-scans only the relations the previous
+    # round's edits actually touched and replays cached hit lists for the
+    # rest — including the final count-only verdict, which is free when
+    # the last round changed nothing.
     session = connect(work, sigma, options=ExecutionOptions(workers=workers))
 
     for round_no in range(1, max_rounds + 1):

@@ -33,8 +33,22 @@ Detection runs in two phases with an explicit intermediate artifact:
 
 2. **Execute** (:func:`~repro.engine.executor.execute_plan`): walk each
    relation once per scan group / witness bucket and evaluate every task
-   against the shared state. Output ordering matches the naive checker
-   exactly, so ``detect(db, sigma)`` is a drop-in replacement for it.
+   against the shared state. Scans are *columnar*: projection key lists
+   are built with ``zip`` over the relation's lazily materialized,
+   mutation-versioned column view (one C-speed pass per distinct
+   ``(relation, positions)``), and structurally identical tasks are
+   evaluated once and replicated. Output ordering matches the naive
+   checker exactly, so ``detect(db, sigma)`` is a drop-in replacement.
+
+Versioned scan caches
+---------------------
+:class:`~repro.engine.cache.ScanCache` (one per plan, owned by the
+session/backend) memoizes every scan unit's result against the relation
+mutation versions it was computed from: repeated ``check``/``count``/
+``is_clean`` calls over unchanged data replay cached hit lists in time
+proportional to the number of violations, and a repair round re-scans
+only the relations its edits touched. See :mod:`repro.engine.cache` for
+the BRAVO-style fast-read-path rationale.
 
 Count-only fast path
 --------------------
@@ -50,15 +64,17 @@ all modes against the naive oracle on randomized instances.
 from __future__ import annotations
 
 from repro.core.violations import ConstraintSet, ViolationReport
+from repro.engine.cache import ScanCache, projection_column_keys
 from repro.engine.executor import (
     DetectionSummary,
     assemble_report,
     assemble_summary,
-    cfd_group_scan,
+    cfd_group_hits,
     cind_scan_hits,
     execute_plan,
     group_tuples_by,
     plan_has_violation,
+    projection_keys,
     witness_sets,
 )
 from repro.engine.planner import (
@@ -80,11 +96,12 @@ __all__ = [
     "CINDRowTask",
     "DetectionPlan",
     "DetectionSummary",
+    "ScanCache",
     "WitnessSpec",
     "assemble_report",
     "assemble_summary",
     "attribute_positions",
-    "cfd_group_scan",
+    "cfd_group_hits",
     "cind_scan_hits",
     "compile_checks",
     "count_violations",
@@ -95,6 +112,8 @@ __all__ = [
     "passes",
     "plan_detection",
     "plan_has_violation",
+    "projection_column_keys",
+    "projection_keys",
     "witness_sets",
 ]
 

@@ -1,0 +1,189 @@
+"""Versioned scan caches: make the repeated-check read path nearly free.
+
+BRAVO's lesson (PAPERS.md) is to bias a reader/writer protocol toward the
+overwhelmingly common read path and push the bookkeeping onto the rare
+write path. Detection has the same skew: a ``Session`` re-checks the same
+database far more often than it mutates it (monitoring loops, repair
+rounds where most relations are untouched, ``check`` followed by
+``count``/``is_clean``). Every relation instance already pays the "write
+path" cost — a monotonic :attr:`~repro.relational.instance.RelationInstance.version`
+bump per mutation — so a scan result tagged with the version it was
+computed at can be replayed for free while the version stands still.
+
+:class:`ScanCache` memoizes, per plan scan unit:
+
+* **projection key lists** keyed by ``(relation, positions, version)`` —
+  the columnar per-tuple keys that group-bys, witness passes, and CIND
+  probes all consume (each distinct projection is computed once per
+  version, shared across scan units);
+* **CFD group hits** keyed by ``(relation, X-positions, version)`` — the
+  evaluated ``(task, group key, kind)`` list of one CFD scan group;
+* **witness key sets** keyed by ``(spec, version)`` — one semijoin key
+  set per :class:`~repro.engine.planner.WitnessSpec`;
+* **CIND hit lists** keyed by ``(relation, version, witness-versions)`` —
+  the violating ``(task, tuple)`` pairs of one LHS scan; the extra
+  dependency vector invalidates them when any *witness-side* relation
+  moved even though the LHS relation did not.
+
+A cache is bound to one :class:`~repro.engine.planner.DetectionPlan`
+(entries reference the plan's task/spec objects); the executor refuses a
+cache built for a different plan. Stale entries are overwritten in place
+on recompute, so the cache never grows beyond one entry per scan unit.
+
+The payoff is measured by ``benchmarks/bench_detection.py``: a warm
+re-check of an unchanged database skips every relation scan and only
+re-assembles the report from the cached hit lists (cost proportional to
+the number of violations, not the number of tuples).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor <-> cache)
+    from repro.engine.planner import CFDScanGroup, CINDRowTask, DetectionPlan, WitnessSpec
+    from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
+
+
+def projection_column_keys(
+    columns: tuple[tuple[Any, ...], ...], positions: tuple[int, ...], n: int
+) -> list[tuple[Any, ...]]:
+    """Per-tuple projection key tuples, built column-wise at C speed.
+
+    Equivalent to ``[tuple(t.values[i] for i in positions) for t in rows]``
+    but via ``zip`` over the columnar view; ``n`` is the tuple count (needed
+    for the empty projection, whose key list is all-``()``).
+    """
+    if not positions:
+        return [()] * n
+    if len(positions) == 1:
+        return list(zip(columns[positions[0]]))
+    return list(zip(*(columns[p] for p in positions)))
+
+
+class ScanCache:
+    """Mutation-versioned memo of one plan's scan results.
+
+    Owned by the session/backend that owns the plan; every getter checks
+    the relation's current version (plus, for CIND hits, the witness-side
+    versions) and misses on any mismatch, so callers never see stale data
+    and mutations need no explicit invalidation hook.
+    """
+
+    __slots__ = (
+        "plan", "db", "_projections", "_cfd", "_witness", "_cind",
+        "hits", "misses",
+    )
+
+    def __init__(self, plan: "DetectionPlan"):
+        self.plan = plan
+        #: The database the cache is valid for — bound on first use by the
+        #: executor. Entries are keyed by relation *name* + version, so
+        #: serving a different DatabaseInstance (where the same name/version
+        #: means different data) must be refused, not silently answered.
+        self.db: "DatabaseInstance | None" = None
+        #: (relation, positions) -> (version, key list)
+        self._projections: dict[tuple[str, tuple[int, ...]], tuple[int, list]] = {}
+        #: (relation, X positions) -> (version, [(task, key, kind), ...])
+        self._cfd: dict[tuple[str, tuple[int, ...]], tuple[int, list]] = {}
+        #: spec -> (version, witness key set)
+        self._witness: dict["WitnessSpec", tuple[int, set]] = {}
+        #: LHS relation -> (version, witness-version vector, [(task, tuple), ...])
+        self._cind: dict[str, tuple[int, tuple[int, ...], list]] = {}
+        #: Scan-unit lookup outcomes (projection-key memos not counted).
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        self._projections.clear()
+        self._cfd.clear()
+        self._witness.clear()
+        self._cind.clear()
+
+    def release_projections(self) -> None:
+        """Drop the projection-key memo (scan-lifetime, O(tuples) each).
+
+        Projection key lists exist to be shared *within* one plan
+        execution; across calls at the same version the hit/witness caches
+        short-circuit before reading them, and after a mutation they are
+        stale — so the executor releases them when a plan finishes instead
+        of holding per-tuple lists for the session lifetime.
+        """
+        self._projections.clear()
+
+    # -- projection key lists ----------------------------------------------
+
+    def projection_keys(
+        self, instance: "RelationInstance", positions: tuple[int, ...]
+    ) -> list[tuple[Any, ...]]:
+        """The instance's per-tuple keys on *positions* (memoized)."""
+        key = (instance.schema.name, positions)
+        entry = self._projections.get(key)
+        version = instance.version
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        keys = projection_column_keys(instance.columns(), positions, len(instance))
+        self._projections[key] = (version, keys)
+        return keys
+
+    # -- CFD scan groups ---------------------------------------------------
+
+    def cfd_hits(self, group: "CFDScanGroup", version: int) -> list | None:
+        entry = self._cfd.get((group.relation, group.lhs_positions))
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def store_cfd_hits(self, group: "CFDScanGroup", version: int, hits: list) -> None:
+        self._cfd[(group.relation, group.lhs_positions)] = (version, hits)
+
+    # -- CIND witness sets -------------------------------------------------
+
+    def witness_set(self, spec: "WitnessSpec", version: int) -> set | None:
+        entry = self._witness.get(spec)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def store_witness_set(self, spec: "WitnessSpec", version: int, keys: set) -> None:
+        self._witness[spec] = (version, keys)
+
+    # -- CIND LHS scans ----------------------------------------------------
+
+    @staticmethod
+    def cind_deps(
+        tasks: Iterable["CINDRowTask"], db: "DatabaseInstance"
+    ) -> tuple[int, ...]:
+        """Witness-side version vector a CIND hit list depends on."""
+        specs = dict.fromkeys(task.witness for task in tasks)
+        return tuple(db[spec.rhs_relation].version for spec in specs)
+
+    def cind_hits(
+        self, relation: str, version: int, deps: tuple[int, ...]
+    ) -> list | None:
+        entry = self._cind.get(relation)
+        if entry is not None and entry[0] == version and entry[1] == deps:
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        return None
+
+    def store_cind_hits(
+        self,
+        relation: str,
+        version: int,
+        deps: tuple[int, ...],
+        hits: list,
+    ) -> None:
+        self._cind[relation] = (version, deps, hits)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScanCache {len(self._cfd)} CFD, {len(self._witness)} witness, "
+            f"{len(self._cind)} CIND entr(ies); {self.hits} hit(s), "
+            f"{self.misses} miss(es)>"
+        )

@@ -1,4 +1,4 @@
-"""Shared-scan detection executor.
+"""Shared-scan detection executor (columnar).
 
 Executes a :class:`~repro.engine.planner.DetectionPlan` against a database
 instance in one of three modes:
@@ -11,20 +11,29 @@ instance in one of three modes:
   scan order), so it is a drop-in replacement.
 * :func:`execute_plan` with ``mode="count"`` — the count-only fast path: a
   :class:`DetectionSummary` with totals and per-constraint counts, without
-  constructing a single violation object (no group tuple lists either — the
-  CFD scans keep only RHS projection sets per group key).
+  constructing a single violation object or group tuple list.
 * :func:`plan_has_violation` — the laziest mode: returns as soon as any
   scan group surfaces one violation, for ``is_clean``-style questions.
+
+Scans are *columnar*: instead of a per-tuple Python loop rebuilding
+projection tuples with ``tuple(values[i] for i in positions)``, every
+projection key list is built once per ``(relation, positions)`` with
+``zip`` over :meth:`~repro.relational.instance.RelationInstance.columns`
+(C-speed tuple construction), shared across every scan unit that needs it,
+and — when a :class:`~repro.engine.cache.ScanCache` is supplied — memoized
+against the relation's mutation version so a re-check of unchanged data
+skips the scan entirely and replays the cached hit lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.core.cfd import CFDViolation
 from repro.core.cind import CINDViolation
 from repro.core.violations import ViolationReport, constraint_labels
+from repro.engine.cache import ScanCache, projection_column_keys
 from repro.engine.planner import (
     CFDScanGroup,
     CINDRowTask,
@@ -65,15 +74,33 @@ class DetectionSummary:
 # -- shared scan primitives (also used by the incremental checker) ------------
 
 
+def projection_keys(
+    instance: RelationInstance,
+    positions: tuple[int, ...],
+    cache: ScanCache | None = None,
+) -> list[tuple[Any, ...]]:
+    """Per-tuple projection key list in scan order, built column-wise.
+
+    With a cache the list is memoized by ``(relation, positions, version)``
+    and shared across every scan unit projecting the same positions.
+    """
+    if cache is not None:
+        return cache.projection_keys(instance, positions)
+    return projection_column_keys(
+        instance.columns(), positions, len(instance)
+    )
+
+
 def group_tuples_by(
-    instance: RelationInstance, positions: tuple[int, ...]
+    instance: RelationInstance,
+    positions: tuple[int, ...],
+    cache: ScanCache | None = None,
 ) -> dict[tuple[Any, ...], list[Tuple]]:
     """One-pass group-by of an instance on a value-position projection."""
     groups: dict[tuple[Any, ...], list[Tuple]] = {}
-    for t in instance:
-        values = t.values
-        key = tuple(values[i] for i in positions)
-        bucket = groups.get(key)
+    get = groups.get
+    for key, t in zip(projection_keys(instance, positions, cache), instance.rows()):
+        bucket = get(key)
         if bucket is None:
             groups[key] = [t]
         else:
@@ -81,106 +108,155 @@ def group_tuples_by(
     return groups
 
 
+def filter_by_checks(
+    columns: tuple[tuple[Any, ...], ...],
+    checks: tuple[tuple[int, Any], ...],
+    payload: "Iterable[Any]",
+) -> Iterator[Any]:
+    """Payload entries whose tuple satisfies the precompiled *checks*.
+
+    Column-wise: the single-check case is a plain ``zip`` + ``==`` pass and
+    the multi-check case compares one zipped value tuple against the
+    constants tuple, so no per-row ``passes()`` call happens either way.
+    """
+    if not checks:
+        return iter(payload)
+    if len(checks) == 1:
+        (pos, const), = checks
+        return (p for v, p in zip(columns[pos], payload) if v == const)
+    consts = tuple(c for __, c in checks)
+    zipped = zip(*(columns[p] for p, __ in checks))
+    return (p for vs, p in zip(zipped, payload) if vs == consts)
+
+
 def witness_sets(
-    instance: RelationInstance, specs: list[WitnessSpec]
+    instance: RelationInstance,
+    specs: list[WitnessSpec],
+    cache: ScanCache | None = None,
 ) -> dict[WitnessSpec, set[tuple[Any, ...]]]:
-    """One pass over *instance* filling every witness spec's key set."""
-    results: dict[WitnessSpec, set[tuple[Any, ...]]] = {
-        spec: set() for spec in specs
-    }
-    compiled = [
-        (spec.yp_checks, spec.y_positions, results[spec]) for spec in specs
-    ]
-    for t in instance:
-        values = t.values
-        for yp_checks, y_positions, out in compiled:
-            if passes(values, yp_checks):
-                out.add(tuple(values[i] for i in y_positions))
+    """Witness key sets for every spec of *instance* (columnar, memoized).
+
+    Each spec's set holds the ``Y``-projections of the tuples whose ``Yp``
+    projection matches the spec's pattern constants. Specs sharing ``Y``
+    positions share one projection key list.
+    """
+    results: dict[WitnessSpec, set[tuple[Any, ...]]] = {}
+    version = instance.version
+    columns = None  # materialized on the first cold spec only
+    for spec in specs:
+        if cache is not None:
+            cached = cache.witness_set(spec, version)
+            if cached is not None:
+                results[spec] = cached
+                continue
+        if columns is None:
+            columns = instance.columns()
+        y_keys = projection_keys(instance, spec.y_positions, cache)
+        out = set(filter_by_checks(columns, spec.yp_checks, y_keys))
+        results[spec] = out
+        if cache is not None:
+            cache.store_witness_set(spec, version, out)
     return results
 
 
 # -- CFD evaluation ------------------------------------------------------------
 
 
-def _cfd_group_state(
-    group: CFDScanGroup, instance: RelationInstance, keep_groups: bool
-) -> tuple[
-    dict[tuple[Any, ...], list[Tuple]] | None,
-    dict[tuple[int, ...], dict[tuple[Any, ...], set[tuple[Any, ...]]]],
-]:
-    """Scan once, producing the group-by (if ``keep_groups``) and, per distinct
-    RHS attribute list, the set of RHS projections observed per group key."""
-    variants = group.rhs_variants()
-    rhs_maps: dict[tuple[int, ...], dict[tuple[Any, ...], set]] = {
-        v: {} for v in variants
-    }
-    groups: dict[tuple[Any, ...], list[Tuple]] | None = (
-        {} if keep_groups else None
-    )
-    lhs_positions = group.lhs_positions
-    for t in instance:
-        values = t.values
-        key = tuple(values[i] for i in lhs_positions)
-        if groups is not None:
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [t]
-            else:
-                bucket.append(t)
-        for variant in variants:
-            rhs_map = rhs_maps[variant]
-            seen = rhs_map.get(key)
-            if seen is None:
-                seen = rhs_map[key] = set()
-            seen.add(tuple(values[i] for i in variant))
-    return groups, rhs_maps
-
-
-def cfd_group_scan(
+def cfd_group_hits(
     group: CFDScanGroup,
     instance: RelationInstance,
-    keep_groups: bool = False,
-) -> tuple[
-    dict[tuple[Any, ...], list[Tuple]] | None,
-    Iterator[tuple[Any, tuple[Any, ...], str]],
-]:
-    """One shared scan of *group*; returns ``(groups, hits)``.
+    cache: ScanCache | None = None,
+) -> list[tuple[Any, tuple[Any, ...], str]]:
+    """One shared scan of *group*: every violating ``(task, key, kind)``.
 
-    ``hits`` lazily yields ``(task, key, kind)`` for every violating
-    (task, group-key) pair, tasks in group order and keys in scan order —
-    the naive checker's order. ``groups`` is the full group-by (only built
-    when ``keep_groups`` is true; the full-materialization path needs it for
-    the violation tuple lists, counting paths don't).
+    Tasks appear in group order and keys in scan (first-occurrence) order —
+    the naive checker's order. Each distinct projection (the ``X`` key and
+    every distinct RHS variant) is computed exactly once per tuple, and each
+    distinct ``key_checks`` filter exactly once per distinct group key. With
+    a cache, the whole hit list is memoized against the relation version.
     """
-    groups, rhs_maps = _cfd_group_state(group, instance, keep_groups)
-    if keep_groups:
-        keys = groups
-    else:
-        # All variants share the same key set; pick any (there is at least
-        # one variant because every task has an RHS).
-        first_variant = next(iter(rhs_maps), None)
-        keys = rhs_maps[first_variant] if first_variant is not None else {}
+    version = instance.version
+    if cache is not None:
+        cached = cache.cfd_hits(group, version)
+        if cached is not None:
+            return cached
 
-    def hits() -> Iterator[tuple[Any, tuple[Any, ...], str]]:
-        for task in group.tasks:
-            rhs_map = rhs_maps[task.rhs_positions]
+    lhs_positions = group.lhs_positions
+    keys = projection_keys(instance, lhs_positions, cache)
+    # Per distinct RHS variant: the first observed RHS projection per group
+    # key, plus the keys whose groups *disagree* (saw a second distinct
+    # projection). Equivalent to per-key RHS sets but without allocating a
+    # set per group key: disagreement is all the pair-violation test needs,
+    # and a non-disagreeing group's single shared projection is its first.
+    variant_state: dict[
+        tuple[int, ...], tuple[dict[tuple[Any, ...], tuple], set]
+    ] = {}
+    for variant in group.rhs_variants():
+        first: dict[tuple[Any, ...], tuple] = {}
+        disagree: set[tuple[Any, ...]] = set()
+        if variant == lhs_positions:
+            # RHS projection == group key: groups can never disagree.
+            # (dict(zip(..)) keeps first-occurrence insertion order; the
+            # value is the key itself either way.)
+            first = dict(zip(keys, keys))
+        else:
+            rkeys = projection_keys(instance, variant, cache)
+            setdefault = first.setdefault
+            add = disagree.add
+            for key, rkey in zip(keys, rkeys):
+                if setdefault(key, rkey) != rkey:
+                    add(key)
+        variant_state[variant] = (first, disagree)
+
+    # Any variant's first-map lists the distinct group keys in scan order.
+    first_variant = next(iter(variant_state), None)
+    distinct = (
+        variant_state[first_variant][0] if first_variant is not None else {}
+    )
+
+    hits: list[tuple[Any, tuple[Any, ...], str]] = []
+    filtered: dict[tuple, Any] = {}
+    evaluated: dict[tuple, list[tuple[tuple[Any, ...], str]]] = {}
+    for task in group.tasks:
+        # Tasks sharing (key_checks, rhs_positions, rhs_checks) — distinct
+        # CFDs with structurally identical pattern rows — hit the same
+        # (key, kind) pairs: evaluate once, replicate per task.
+        signature = (task.key_checks, task.rhs_positions, task.rhs_checks)
+        pairs = evaluated.get(signature)
+        if pairs is None:
             key_checks = task.key_checks
+            candidates = filtered.get(key_checks)
+            if candidates is None:
+                if not key_checks:
+                    candidates = distinct
+                elif len(key_checks) == 1:
+                    (pos, const), = key_checks
+                    candidates = [k for k in distinct if k[pos] == const]
+                else:
+                    candidates = [k for k in distinct if passes(k, key_checks)]
+                filtered[key_checks] = candidates
+            first, disagree = variant_state[task.rhs_positions]
             rhs_checks = task.rhs_checks
-            for key in keys:
-                if not passes(key, key_checks):
-                    continue
-                rhs_values = rhs_map[key]
-                disagree = len(rhs_values) > 1
-                if not disagree:
-                    # A single shared RHS value only violates when it misses
-                    # a constant of the pattern's RHS.
-                    if not rhs_checks or all(
-                        passes(vals, rhs_checks) for vals in rhs_values
-                    ):
-                        continue
-                yield task, key, "pair" if disagree else "single"
+            if rhs_checks:
+                pairs = []
+                for key in candidates:
+                    if key in disagree:
+                        pairs.append((key, "pair"))
+                    elif not passes(first[key], rhs_checks):
+                        # A single shared RHS value only violates when it
+                        # misses a constant of the pattern's RHS.
+                        pairs.append((key, "single"))
+            elif disagree:
+                pairs = [(key, "pair") for key in candidates if key in disagree]
+            else:
+                pairs = []
+            evaluated[signature] = pairs
+        for key, kind in pairs:
+            hits.append((task, key, kind))
 
-    return groups, hits()
+    if cache is not None:
+        cache.store_cfd_hits(group, version, hits)
+    return hits
 
 
 # -- CIND evaluation ---------------------------------------------------------
@@ -191,31 +267,125 @@ def cind_scan_hits(
     instance: RelationInstance,
     witnesses: dict[WitnessSpec, set[tuple[Any, ...]]],
 ) -> Iterator[tuple[CINDRowTask, Tuple]]:
-    """One pass over an LHS relation, testing every row task per tuple.
+    """One columnar pass over an LHS relation per row task.
 
-    Yields ``(task, tuple)`` for every violating pair, tasks interleaved in
-    scan order; witness key sets come from :func:`witness_sets` (any shard's
-    sets can be merged in beforehand — set union is the merge operation).
+    Yields ``(task, tuple)`` for every violating pair — tasks in task-list
+    order, tuples in scan order within a task (consumers bucket per task, so
+    assembled reports are identical to a tuple-major sweep). Witness key
+    sets come from :func:`witness_sets`; any shard's sets can be merged in
+    beforehand (set union is the merge operation). Tasks sharing ``X``
+    positions share one projection key list.
     """
-    compiled = [
-        (task, task.lhs_checks, task.x_positions, witnesses[task.witness])
-        for task in tasks
-    ]
-    for t in instance:
-        values = t.values
-        for task, lhs_checks, x_positions, witness in compiled:
-            if not passes(values, lhs_checks):
-                continue
-            if tuple(values[i] for i in x_positions) not in witness:
-                yield task, t
+    rows = instance.rows()
+    columns = instance.columns()
+    key_lists: dict[tuple[int, ...], list] = {}
+    evaluated: dict[tuple, list[Tuple]] = {}
+    for task in tasks:
+        witness = witnesses[task.witness]
+        # Tasks sharing (lhs_checks, X positions, witness spec) — distinct
+        # CINDs with structurally identical pattern rows — flag the same
+        # tuples: evaluate once, replicate per task.
+        signature = (task.lhs_checks, task.x_positions, task.witness)
+        hit_rows = evaluated.get(signature)
+        if hit_rows is None:
+            if not task.x_positions:
+                # Empty embedded key: every premise-matching tuple shares
+                # the key (), so the witness test is one set probe.
+                if () in witness:
+                    hit_rows = []
+                else:
+                    hit_rows = list(
+                        filter_by_checks(columns, task.lhs_checks, rows)
+                    )
+            else:
+                x_keys = key_lists.get(task.x_positions)
+                if x_keys is None:
+                    x_keys = key_lists[task.x_positions] = (
+                        projection_column_keys(
+                            columns, task.x_positions, len(rows)
+                        )
+                    )
+                hit_rows = [
+                    t
+                    for key, t in filter_by_checks(
+                        columns, task.lhs_checks, zip(x_keys, rows)
+                    )
+                    if key not in witness
+                ]
+            evaluated[signature] = hit_rows
+        for t in hit_rows:
+            yield task, t
+
+
+def _cind_any_hit(
+    tasks: list[CINDRowTask],
+    instance: RelationInstance,
+    witnesses: dict[WitnessSpec, set[tuple[Any, ...]]],
+) -> bool:
+    """True at the *first* violating (task, tuple) pair — the early-exit
+    variant of :func:`cind_scan_hits`, which materializes each signature's
+    full hit list before yielding and would scan a dirty relation to the
+    end before the caller could stop."""
+    rows = instance.rows()
+    columns = instance.columns()
+    key_lists: dict[tuple[int, ...], list] = {}
+    seen: set[tuple] = set()
+    for task in tasks:
+        signature = (task.lhs_checks, task.x_positions, task.witness)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        witness = witnesses[task.witness]
+        if not task.x_positions:
+            if () not in witness and any(
+                True
+                for __ in filter_by_checks(columns, task.lhs_checks, rows)
+            ):
+                return True
+            continue
+        x_keys = key_lists.get(task.x_positions)
+        if x_keys is None:
+            x_keys = key_lists[task.x_positions] = projection_column_keys(
+                columns, task.x_positions, len(rows)
+            )
+        if any(
+            key not in witness
+            for key, __ in filter_by_checks(
+                columns, task.lhs_checks, zip(x_keys, rows)
+            )
+        ):
+            return True
+    return False
+
+
+def _cind_relation_hits(
+    relation: str,
+    tasks: list[CINDRowTask],
+    db: DatabaseInstance,
+    witnesses: dict[WitnessSpec, set[tuple[Any, ...]]],
+    cache: ScanCache | None,
+) -> list[tuple[CINDRowTask, Tuple]]:
+    """Hit list for one LHS relation, memoized against the LHS version *and*
+    the witness-side relation versions (a witness mutation invalidates)."""
+    instance = db[relation]
+    if cache is None:
+        return list(cind_scan_hits(tasks, instance, witnesses))
+    version = instance.version
+    deps = cache.cind_deps(tasks, db)
+    cached = cache.cind_hits(relation, version, deps)
+    if cached is not None:
+        return cached
+    hits = list(cind_scan_hits(tasks, instance, witnesses))
+    cache.store_cind_hits(relation, version, deps, hits)
+    return hits
 
 
 def _all_witnesses(
-    plan: DetectionPlan, db: DatabaseInstance
+    plan: DetectionPlan, db: DatabaseInstance, cache: ScanCache | None = None
 ) -> dict[WitnessSpec, set[tuple[Any, ...]]]:
     witnesses: dict[WitnessSpec, set[tuple[Any, ...]]] = {}
     for relation, specs in plan.witness_specs.items():
-        witnesses.update(witness_sets(db[relation], specs))
+        witnesses.update(witness_sets(db[relation], specs, cache))
     return witnesses
 
 
@@ -270,25 +440,96 @@ def assemble_summary(
 # -- top-level execution ------------------------------------------------------
 
 
+def release_scan_memos(db: DatabaseInstance, cache: ScanCache | None) -> None:
+    """Drop scan-lifetime memos (columnar views, projection key lists).
+
+    Both exist to be shared across the scan units of *one* plan execution;
+    across executions the hit/witness caches answer warm calls and a
+    version bump stales them anyway, so holding O(tuples)-sized lists on a
+    long-lived database/session would be pure memory cost.
+    """
+    db.release_views()
+    if cache is not None:
+        cache.release_projections()
+
+
+def _check_cache(
+    plan: DetectionPlan, cache: ScanCache | None, db: DatabaseInstance
+) -> None:
+    if cache is None:
+        return
+    if cache.plan is not plan:
+        raise ValueError(
+            "ScanCache is bound to a different DetectionPlan; build one "
+            "cache per plan (its entries reference the plan's task objects)"
+        )
+    if cache.db is None:
+        cache.db = db
+    elif cache.db is not db:
+        raise ValueError(
+            "ScanCache is bound to a different DatabaseInstance; its "
+            "entries are keyed by relation name + version, which only "
+            "identify data within one database"
+        )
+
+
 def execute_plan(
-    plan: DetectionPlan, db: DatabaseInstance, mode: str = "full"
+    plan: DetectionPlan,
+    db: DatabaseInstance,
+    mode: str = "full",
+    cache: ScanCache | None = None,
 ) -> ViolationReport | DetectionSummary:
     """Run every shared scan of *plan* against *db*.
 
     ``mode="full"`` returns a :class:`ViolationReport` identical (including
     list order) to the naive per-constraint evaluation; ``mode="count"``
     returns a :class:`DetectionSummary` without materializing violations.
+
+    With a :class:`~repro.engine.cache.ScanCache` (bound to *plan*), scan
+    results are memoized per relation version: a re-check over unchanged
+    data replays cached hit lists instead of scanning, and both modes share
+    the same entries.
     """
     if mode not in ("full", "count"):
         raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
-    materialize = mode == "full"
+    _check_cache(plan, cache, db)
 
+    try:
+        cfd_hits = [
+            (group, cfd_group_hits(group, db[group.relation], cache))
+            for group in plan.cfd_groups
+        ]
+        witnesses = _all_witnesses(plan, db, cache)
+        cind_hits = [
+            (relation, _cind_relation_hits(relation, tasks, db, witnesses, cache))
+            for relation, tasks in plan.cind_scans.items()
+        ]
+        return assemble_from_hits(plan, db, cfd_hits, cind_hits, mode)
+    finally:
+        release_scan_memos(db, cache)
+
+
+def assemble_from_hits(
+    plan: DetectionPlan,
+    db: DatabaseInstance,
+    cfd_hits: list[tuple[CFDScanGroup, list[tuple[Any, tuple[Any, ...], str]]]],
+    cind_hits: list[tuple[str, list[tuple[CINDRowTask, Tuple]]]],
+    mode: str,
+) -> ViolationReport | DetectionSummary:
+    """Build the requested result shape from per-scan-unit hit lists.
+
+    Shared by the serial executor and the parallel dispatcher (which feeds
+    it worker hit lists rebound to canonical objects), so both produce the
+    same bytes. In full mode, CFD group tuple lists come from the
+    relation's hash index — insertion-ordered, exactly the scan's group-by
+    bucket, maintained incrementally so warm re-checks pay O(1) per
+    violating key instead of a group-by pass.
+    """
+    materialize = mode == "full"
     cfd_buckets: dict[int, list[CFDViolation]] = {}
     cfd_counts: dict[int, int] = {}
-    for group in plan.cfd_groups:
-        groups, hits = cfd_group_scan(
-            group, db[group.relation], keep_groups=materialize
-        )
+    for group, hits in cfd_hits:
+        instance = db[group.relation]
         for task, key, kind in hits:
             if materialize:
                 cfd_buckets.setdefault(id(task), []).append(
@@ -296,7 +537,7 @@ def execute_plan(
                         cfd=task.cfd,
                         pattern_index=task.row_index,
                         lhs_values=key,
-                        tuples=tuple(groups[key]),
+                        tuples=tuple(instance.lookup(group.lhs, key)),
                         kind=kind,
                     )
                 )
@@ -305,12 +546,10 @@ def execute_plan(
                     cfd_counts.get(task.cfd_index, 0) + 1
                 )
 
-    witnesses = _all_witnesses(plan, db)
     cind_buckets: dict[int, list[CINDViolation]] = {}
     cind_counts: dict[int, int] = {}
-    for relation, tasks in plan.cind_scans.items():
-        instance = db[relation]
-        for task, t in cind_scan_hits(tasks, instance, witnesses):
+    for __, hits in cind_hits:
+        for task, t in hits:
             if materialize:
                 cind_buckets.setdefault(id(task), []).append(
                     CINDViolation(
@@ -327,18 +566,41 @@ def execute_plan(
     return assemble_summary(plan, cfd_counts, cind_counts)
 
 
-def plan_has_violation(plan: DetectionPlan, db: DatabaseInstance) -> bool:
+def plan_has_violation(
+    plan: DetectionPlan,
+    db: DatabaseInstance,
+    cache: ScanCache | None = None,
+) -> bool:
     """Early-exit check: does *db* violate any constraint of the plan?
 
-    Scans are still shared, but the function returns at the first violating
-    (task, group) or (task, tuple) pair instead of finishing the sweep.
+    Scans are still shared; the function returns at the first scan unit
+    that surfaces a violation. With a cache, warm units answer from their
+    memoized hit lists and cold units' full results are stored — so a
+    clean verdict leaves the cache fully warmed for the next call.
     """
-    for group in plan.cfd_groups:
-        __, hits = cfd_group_scan(group, db[group.relation])
-        for __ in hits:
-            return True
-    witnesses = _all_witnesses(plan, db)
-    for relation, tasks in plan.cind_scans.items():
-        for __ in cind_scan_hits(tasks, db[relation], witnesses):
-            return True
-    return False
+    _check_cache(plan, cache, db)
+    try:
+        for group in plan.cfd_groups:
+            if cfd_group_hits(group, db[group.relation], cache):
+                return True
+        witnesses = _all_witnesses(plan, db, cache)
+        for relation, tasks in plan.cind_scans.items():
+            instance = db[relation]
+            if cache is not None:
+                deps = cache.cind_deps(tasks, db)
+                hits = cache.cind_hits(relation, instance.version, deps)
+                if hits is not None:
+                    if hits:
+                        return True
+                    continue
+            if _cind_any_hit(tasks, instance, witnesses):
+                # Dirty: stop at the first violating pair — don't pay for
+                # the full hit list a mutating caller would never reuse.
+                return True
+            if cache is not None:
+                # A clean early-exit scan *proves* the full hit list is
+                # empty, so the cache can be warmed at no extra cost.
+                cache.store_cind_hits(relation, instance.version, deps, [])
+        return False
+    finally:
+        release_scan_memos(db, cache)

@@ -51,8 +51,7 @@ def attribute_positions(
     relation: RelationSchema, attributes: Iterable[str]
 ) -> tuple[int, ...]:
     """Positions of *attributes* within the relation's value tuples."""
-    names = relation.attribute_names
-    return tuple(names.index(a) for a in attributes)
+    return relation.positions_of(attributes)
 
 
 def compile_checks(

@@ -57,16 +57,22 @@ class Tuple:
 
     def __getitem__(self, attribute: str) -> Any:
         try:
-            idx = self.schema.attribute_names.index(attribute)
-        except ValueError:
+            return self._values[self.schema.positions[attribute]]
+        except KeyError:
             raise SchemaError(
                 f"relation {self.schema.name!r} has no attribute {attribute!r}"
             ) from None
-        return self._values[idx]
 
     def project(self, attributes: Iterable[str]) -> tuple[Any, ...]:
         """``t[A1, ..., Ak]`` as a value tuple, in the order given."""
-        return tuple(self[a] for a in attributes)
+        positions = self.schema.positions
+        values = self._values
+        try:
+            return tuple(values[positions[a]] for a in attributes)
+        except KeyError as exc:
+            raise SchemaError(
+                f"relation {self.schema.name!r} has no attribute {exc.args[0]!r}"
+            ) from None
 
     def as_dict(self) -> dict[str, Any]:
         return dict(zip(self.schema.attribute_names, self._values))
@@ -120,14 +126,29 @@ class RelationInstance:
 
     ``index_on(attrs)`` builds (and caches) a hash index from projections on
     *attrs* to the matching tuples; CIND checking uses it for its existential
-    probes. Indexes are maintained incrementally on insert and invalidated on
-    value replacement (which rewrites tuples wholesale).
+    probes. Indexes are maintained incrementally on insert/discard and
+    invalidated on value replacement (which rewrites tuples wholesale).
+
+    Every mutation bumps the monotonic :attr:`version` counter, which keys
+    the lazily materialized columnar view (:meth:`columns` / :meth:`rows`)
+    and the detection engine's :class:`~repro.engine.cache.ScanCache`: a
+    scan result tagged with the version it was computed at stays valid
+    exactly as long as the version is unchanged.
     """
 
     def __init__(self, schema: RelationSchema, tuples: Iterable[Tuple | Sequence[Any] | Mapping[str, Any]] = ()):
         self.schema = schema
         self._tuples: dict[Tuple, None] = {}
-        self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], list[Tuple]]] = {}
+        #: projection attrs -> key -> insertion-ordered tuple set. Buckets
+        #: are dicts so removal is O(1) by hash instead of an O(bucket)
+        #: equality sweep; iteration order stays insertion order.
+        self._indexes: dict[tuple[str, ...], dict[tuple[Any, ...], dict[Tuple, None]]] = {}
+        #: Monotonic mutation counter (never decreases, bumps on every
+        #: successful add/discard/replace_value).
+        self.version: int = 0
+        self._columns: tuple[tuple[Any, ...], ...] | None = None
+        self._rows: list[Tuple] | None = None
+        self._view_version: int = -1
         for t in tuples:
             self.add(t)
 
@@ -152,8 +173,9 @@ class RelationInstance:
         if t in self._tuples:
             return None
         self._tuples[t] = None
+        self.version += 1
         for attrs, index in self._indexes.items():
-            index.setdefault(t.project(attrs), []).append(t)
+            index.setdefault(t.project(attrs), {})[t] = None
         return t
 
     def discard(self, row: Tuple) -> bool:
@@ -161,10 +183,11 @@ class RelationInstance:
         if row not in self._tuples:
             return False
         del self._tuples[row]
+        self.version += 1
         for attrs, index in self._indexes.items():
             bucket = index.get(row.project(attrs))
             if bucket is not None:
-                bucket[:] = [t for t in bucket if t != row]
+                bucket.pop(row, None)
         return True
 
     def __len__(self) -> int:
@@ -180,8 +203,57 @@ class RelationInstance:
     def tuples(self) -> tuple[Tuple, ...]:
         return tuple(self._tuples)
 
-    def index_on(self, attributes: Sequence[str]) -> dict[tuple[Any, ...], list[Tuple]]:
-        """Hash index mapping projections on *attributes* to tuples."""
+    def _refresh_views(self) -> None:
+        rows = list(self._tuples)
+        if rows:
+            columns = tuple(zip(*[t.values for t in rows]))
+        else:
+            columns = tuple(() for __ in range(self.schema.arity))
+        self._rows = rows
+        self._columns = columns
+        self._view_version = self.version
+
+    def rows(self) -> list[Tuple]:
+        """The tuples as a cached insertion-ordered list (do not mutate).
+
+        Rebuilt lazily when :attr:`version` moved since the last call.
+        """
+        if self._view_version != self.version:
+            self._refresh_views()
+        return self._rows
+
+    def columns(self) -> tuple[tuple[Any, ...], ...]:
+        """Columnar view: one value tuple per attribute, in tuple-insertion
+        order (``columns()[schema.positions[A]][i]`` is ``rows()[i][A]``).
+
+        Materialized lazily and memoized against :attr:`version`, so
+        every scan unit of one plan execution shares one transpose; any
+        ``add``/``discard``/``replace_value`` invalidates it.
+        """
+        if self._view_version != self.version:
+            self._refresh_views()
+        return self._columns
+
+    def release_views(self) -> None:
+        """Drop the memoized columnar views (they rebuild lazily on demand).
+
+        The detection engine treats the views as scan-lifetime artifacts —
+        within one plan execution every scan unit shares them, but across
+        executions either the version moved (stale) or the engine's hit
+        caches answer without scanning — so it releases them when a plan
+        finishes rather than leaving an O(tuples · arity) transpose parked
+        on a long-lived database.
+        """
+        self._columns = None
+        self._rows = None
+        self._view_version = -1
+
+    def index_on(self, attributes: Sequence[str]) -> dict[tuple[Any, ...], dict[Tuple, None]]:
+        """Hash index mapping projections on *attributes* to tuple buckets.
+
+        Buckets are insertion-ordered dicts keyed by tuple (treat as
+        read-only sets); use :meth:`lookup` for list-shaped results.
+        """
         key = tuple(attributes)
         index = self._indexes.get(key)
         if index is None:
@@ -192,7 +264,7 @@ class RelationInstance:
                     )
             index = {}
             for t in self._tuples:
-                index.setdefault(t.project(key), []).append(t)
+                index.setdefault(t.project(key), {})[t] = None
             self._indexes[key] = index
         return index
 
@@ -223,6 +295,7 @@ class RelationInstance:
         mapping = {old: new}
         for t in affected:
             del self._tuples[t]
+        self.version += 1
         self._indexes.clear()
         rewritten = []
         for t in affected:
@@ -312,6 +385,11 @@ class DatabaseInstance:
     def replace_value(self, old: Any, new: Any) -> int:
         """Replace *old* by *new* in every relation (chase unification step)."""
         return sum(inst.replace_value(old, new) for inst in self._relations.values())
+
+    def release_views(self) -> None:
+        """Release every relation's memoized columnar view."""
+        for inst in self._relations.values():
+            inst.release_views()
 
     def replace_value_tracked(self, old: Any, new: Any) -> dict[str, list[Tuple]]:
         """Global replacement returning the rewritten tuples per relation."""

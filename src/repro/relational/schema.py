@@ -77,15 +77,42 @@ class RelationSchema:
         if not attrs:
             raise SchemaError(f"relation {name!r} must have at least one attribute")
         self._attributes = attrs
+        self._attribute_tuple = tuple(attrs.values())
+        self._name_tuple = tuple(attrs)
+        #: attribute name -> value-tuple position; the hot-path lookup used
+        #: by ``Tuple.__getitem__``/``project`` and the detection planner
+        #: instead of a linear ``attribute_names.index()`` per access.
+        self._positions: dict[str, int] = {
+            name_: i for i, name_ in enumerate(attrs)
+        }
 
     @property
     def attributes(self) -> tuple[Attribute, ...]:
         """The attributes, in declaration order (``attr(R)``)."""
-        return tuple(self._attributes.values())
+        return self._attribute_tuple
 
     @property
     def attribute_names(self) -> tuple[str, ...]:
-        return tuple(self._attributes)
+        return self._name_tuple
+
+    @property
+    def positions(self) -> Mapping[str, int]:
+        """Attribute name -> position map (treat as read-only)."""
+        return self._positions
+
+    def position_of(self, name: str) -> int:
+        """Value-tuple position of *name*, raising SchemaError if absent."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {name!r}; "
+                f"attributes are {list(self._attributes)}"
+            ) from None
+
+    def positions_of(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Positions of *names*, in the order given."""
+        return tuple(self.position_of(n) for n in names)
 
     @property
     def arity(self) -> int:
