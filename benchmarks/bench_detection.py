@@ -16,6 +16,11 @@ dataset generators and times three evaluations of the same workload:
 * ``warm``   — a persistent ``repro.api.connect(db, sigma)`` session's
   *second* ``check()``: the versioned ScanCache replays memoized hit
   lists for the unchanged database instead of scanning;
+* ``sqlfile``/``sqlfile_warm`` — the out-of-core backend over a sqlite
+  file built from the same data: cold = a fresh session's first
+  ``check()`` (pushed-down shared scans inside sqlite), warm = the same
+  session's second ``check()`` (the fingerprint-keyed SQLScanCache skips
+  SQL entirely);
 * ``parN``   — ``repro.api.connect(db, sigma, workers=N)``, the facade's
   parallel scan-group dispatch (fork-based process pool by default;
   ``--workers 0`` skips it).
@@ -42,9 +47,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
+from pathlib import Path
 
 from repro.api import ExecutionOptions, connect
+from repro.sql.loader import create_database_file
 from repro.core.cfd import CFD
 from repro.core.cind import CIND
 from repro.core.violations import ConstraintSet, check_database_naive
@@ -244,6 +252,23 @@ def run_case(
     warm_report = session.check()  # cold call that fills the cache
     warm_s, warm_report2 = _best_time(session.check, repeats)
 
+    # Out-of-core: the same data as a sqlite file. Cold = a fresh session
+    # per repeat (empty SQLScanCache, pushed-down scans run in sqlite);
+    # warm = a persistent session's second check (fingerprints unchanged,
+    # every scan unit answers from the cache without touching the file).
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = create_database_file(Path(tmp) / "bench.db", db)
+
+        def sqlfile_cold():
+            with connect(db_path, sigma, backend="sqlfile") as s:
+                return s.check()
+
+        sqlfile_s, sqlfile_report = _best_time(sqlfile_cold, repeats)
+        file_session = connect(db_path, sigma, backend="sqlfile")
+        sqlfile_warm_report = file_session.check()
+        sqlfile_warm_s, sqlfile_warm2 = _best_time(file_session.check, repeats)
+        file_session.close()
+
     expected_ordered = _ordered_keys(naive_report)
     if _ordered_keys(engine_report) != expected_ordered:
         raise AssertionError(f"{label}: engine and naive violation lists differ")
@@ -252,6 +277,14 @@ def run_case(
         or _ordered_keys(warm_report2) != expected_ordered
     ):
         raise AssertionError(f"{label}: warm-cache and naive violation lists differ")
+    if (
+        _ordered_keys(sqlfile_report) != expected_ordered
+        or _ordered_keys(sqlfile_warm_report) != expected_ordered
+        or _ordered_keys(sqlfile_warm2) != expected_ordered
+    ):
+        raise AssertionError(
+            f"{label}: sqlfile and naive violation lists differ"
+        )
     if summary.total != naive_report.total:
         raise AssertionError(f"{label}: count-only total differs")
 
@@ -270,6 +303,9 @@ def run_case(
 
     speedup = naive_s / engine_s if engine_s > 0 else float("inf")
     warm_speedup = engine_s / warm_s if warm_s > 0 else float("inf")
+    sqlfile_warm_speedup = (
+        sqlfile_s / sqlfile_warm_s if sqlfile_warm_s > 0 else float("inf")
+    )
     par_speedup = (
         engine_s / par_s if par_s else None
     )
@@ -285,9 +321,12 @@ def run_case(
         "engine_s": engine_s,
         "count_s": count_s,
         "warm_s": warm_s,
+        "sqlfile_s": sqlfile_s,
+        "sqlfile_warm_s": sqlfile_warm_s,
         "par_s": par_s,
         "speedup": speedup,
         "warm_speedup": warm_speedup,
+        "sqlfile_warm_speedup": sqlfile_warm_speedup,
         "par_speedup": par_speedup,
     }
     par_part = (
@@ -299,8 +338,10 @@ def run_case(
         f"{label:<22} tuples={row['tuples']:<8} |Σ|={row['constraints']:<4} "
         f"viol={row['violations']:<6} naive={naive_s:.3f}s "
         f"engine={engine_s:.3f}s count={count_s:.3f}s "
-        f"warm={warm_s:.4f}s speedup={speedup:.1f}x "
-        f"warm_speedup={warm_speedup:.1f}x{par_part}"
+        f"warm={warm_s:.4f}s sqlfile={sqlfile_s:.3f}s "
+        f"sqlfile_warm={sqlfile_warm_s:.4f}s speedup={speedup:.1f}x "
+        f"warm_speedup={warm_speedup:.1f}x "
+        f"sqlfile_warm_speedup={sqlfile_warm_speedup:.1f}x{par_part}"
     )
     return row
 
@@ -338,6 +379,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-warm-speedup", type=float, default=0.0,
         help="fail if any workload's cached-recheck speedup over the cold "
         "engine path is below this (1.0 = 'warm must not be slower')",
+    )
+    parser.add_argument(
+        "--min-sqlfile-warm-speedup", type=float, default=0.0,
+        help="fail if any workload's warm sqlfile re-check speedup over its "
+        "own cold check is below this (the out-of-core cache gate)",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
@@ -416,6 +462,19 @@ def main(argv: list[str] | None = None) -> int:
             f"{worst_warm['warm_speedup']:.2f}x < required "
             f"{args.min_warm_speedup:.2f}x (warm path must beat the cold "
             f"engine path)",
+            file=sys.stderr,
+        )
+        return 1
+    worst_file = min(rows, key=lambda row: row["sqlfile_warm_speedup"])
+    if (
+        args.min_sqlfile_warm_speedup
+        and worst_file["sqlfile_warm_speedup"] < args.min_sqlfile_warm_speedup
+    ):
+        print(
+            f"FAIL: {worst_file['label']} sqlfile warm re-check speedup "
+            f"{worst_file['sqlfile_warm_speedup']:.2f}x < required "
+            f"{args.min_sqlfile_warm_speedup:.2f}x (the fingerprint cache "
+            f"must beat re-running the pushed-down scans)",
             file=sys.stderr,
         )
         return 1

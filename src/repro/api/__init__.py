@@ -11,6 +11,7 @@ dispatch path that is an internal option rather than a different API.
     session = api.connect(db, sigma, backend="sql")   # sqlite3 anti-joins
     session = api.connect(db, sigma, backend="incremental")
     session = api.connect(db, sigma, workers=4)       # parallel scan groups
+    session = api.connect("accounts.db", sigma, backend="sqlfile")  # out-of-core
 
     report  = session.check()      # ViolationReport — identical everywhere
     summary = session.count()      # per-constraint totals
@@ -31,6 +32,7 @@ from repro.api.backends import (
     MemoryBackend,
     NaiveBackend,
     SQLBackend,
+    SQLFileBackend,
     summarize,
 )
 from repro.api.options import ExecutionOptions
@@ -46,6 +48,7 @@ __all__ = [
     "MemoryBackend",
     "NaiveBackend",
     "SQLBackend",
+    "SQLFileBackend",
     "Session",
     "connect",
     "execute_plan_parallel",

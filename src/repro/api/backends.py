@@ -35,6 +35,7 @@ How each backend earns its keep:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.api.options import ExecutionOptions
@@ -51,6 +52,9 @@ from repro.core.violations import (
 from repro.engine import (
     DetectionSummary,
     ScanCache,
+    SQLScanCache,
+    assemble_report,
+    assemble_summary,
     attribute_positions,
     compile_checks,
     execute_plan,
@@ -60,7 +64,14 @@ from repro.engine import (
 )
 from repro.errors import SQLBackendError
 from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
-from repro.sql.violations import SQLViolationDetector
+from repro.sql.ddl import quote_identifier, row_predicate
+from repro.sql.loader import (
+    connect_file,
+    data_version,
+    introspect_schema,
+    table_fingerprint,
+)
+from repro.sql.violations import SQLPlanExecutor, SQLViolationDetector
 
 
 @runtime_checkable
@@ -445,6 +456,284 @@ class SQLBackend(BaseBackend):
         return detector.is_clean(self.sigma)
 
 
+class SQLFileBackend(BaseBackend):
+    """Out-of-core detection over an existing sqlite database *file*.
+
+    Where :class:`SQLBackend` serializes an in-memory instance into a fresh
+    ``:memory:`` database, this backend attaches to a file and runs
+    detection where the data lives: the plan's shared scan groups are
+    pushed down as SQL by a :class:`~repro.sql.violations.SQLPlanExecutor`
+    (one ``GROUP BY`` per CFD group, one witness anti-join per CIND
+    bucket, count-only and ``EXISTS`` early-exit variants), and the hits
+    are assembled through the engine's serial assembly so reports are
+    bit-identical — including list order — to the memory backend over
+    equivalent data (rowid order standing in for tuple insertion order).
+
+    Repeated checks are nearly free: a :class:`~repro.engine.cache.SQLScanCache`
+    keyed by sqlite's ``PRAGMA data_version`` plus per-table
+    max-rowid/count fingerprints memoizes every scan unit's answer, so a
+    warm re-check of an unchanged file runs one PRAGMA and no data SQL at
+    all. :meth:`insert`/:meth:`delete` route through SQL DML and
+    invalidate only the touched table's entries; writes committed by
+    *other* connections are caught by the ``data_version`` bump on the
+    next call. ``options.readonly`` opens the file read-only and makes
+    mutations fail loudly. ``options.workers`` is ignored — sqlite is the
+    scan parallelism here.
+    """
+
+    name = "sqlfile"
+    #: ``connect()`` routes database *paths* (not instances) to this backend.
+    accepts_path = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        sigma: ConstraintSet,
+        options: ExecutionOptions | None = None,
+    ):
+        if isinstance(path, DatabaseInstance):
+            raise SQLBackendError(
+                "the sqlfile backend runs on an existing sqlite database "
+                "file; pass its path (write one with "
+                "repro.sql.loader.create_database_file)"
+            )
+        super().__init__(path, sigma, options)
+        self.path = Path(path)
+        self.conn = connect_file(self.path, readonly=self.options.readonly)
+        try:
+            introspect_schema(self.conn, sigma.schema)
+        except SQLBackendError:
+            self.conn.close()
+            raise
+        self._plan = plan_detection(sigma)
+        self._executor = SQLPlanExecutor(self.conn, self._plan)
+        self._cache = SQLScanCache()
+        self._tables = tuple(sigma.schema.relation_names)
+        self._closed = False
+
+    @property
+    def plan(self):
+        return self._plan
+
+    @property
+    def cache(self) -> SQLScanCache:
+        return self._cache
+
+    # -- cache bookkeeping -------------------------------------------------
+
+    def _begin(self) -> None:
+        """Sync the cache with the file (one PRAGMA when nothing changed)."""
+        self._cache.begin(
+            data_version(self.conn),
+            self._tables,
+            lambda table: table_fingerprint(self.conn, table),
+        )
+
+    def _touch(self, relation: str) -> None:
+        """Invalidate exactly the touched table after our own DML."""
+        self._cache.invalidate_table(relation)
+        self._cache.record_fingerprint(
+            relation, table_fingerprint(self.conn, relation)
+        )
+
+    # -- scan units (cached) -----------------------------------------------
+
+    def _cfd_hits(self, group) -> list:
+        key = ("cfd", group.relation, group.lhs_positions)
+        hits = self._cache.get(key)
+        if hits is None:
+            hits = self._executor.cfd_group_hits(group)
+            self._cache.store(key, (group.relation,), hits)
+        return hits
+
+    def _cfd_tuples(self, group, hits) -> dict:
+        key = ("cfd-groups", group.relation, group.lhs_positions)
+        groups = self._cache.get(key)
+        if groups is None:
+            keys = dict.fromkeys(k for __, k, __kind in hits)
+            groups = self._executor.cfd_group_tuples(group, keys)
+            self._cache.store(key, (group.relation,), groups)
+        return groups
+
+    def _cind_deps(self, relation: str, tasks) -> tuple[str, ...]:
+        witness_tables = dict.fromkeys(
+            task.witness.rhs_relation for task in tasks
+        )
+        return (relation, *witness_tables)
+
+    def _cind_hits(self, relation: str, tasks) -> list:
+        key = ("cind", relation)
+        hits = self._cache.get(key)
+        if hits is None:
+            hits = self._executor.cind_relation_hits(relation, tasks)
+            self._cache.store(key, self._cind_deps(relation, tasks), hits)
+        return hits
+
+    # -- detection ---------------------------------------------------------
+
+    def check(self) -> ViolationReport:
+        self._begin()
+        try:
+            cfd_buckets: dict[int, list[CFDViolation]] = {}
+            for group in self._plan.cfd_groups:
+                hits = self._cfd_hits(group)
+                if not hits:
+                    continue
+                groups = self._cfd_tuples(group, hits)
+                for task, key, kind in hits:
+                    cfd_buckets.setdefault(id(task), []).append(
+                        CFDViolation(
+                            cfd=task.cfd,
+                            pattern_index=task.row_index,
+                            lhs_values=key,
+                            tuples=groups[key],
+                            kind=kind,
+                        )
+                    )
+            cind_buckets: dict[int, list[CINDViolation]] = {}
+            for relation, tasks in self._plan.cind_scans.items():
+                for task, t in self._cind_hits(relation, tasks):
+                    cind_buckets.setdefault(id(task), []).append(
+                        CINDViolation(
+                            cind=task.cind,
+                            pattern_index=task.row_index,
+                            tuple_=t,
+                        )
+                    )
+            return assemble_report(self._plan, cfd_buckets, cind_buckets)
+        finally:
+            # Witness materializations mirror the file's current content;
+            # they are valid for exactly one execution (the hit caches
+            # answer warm calls before any witness is needed again).
+            self._executor.release_witnesses()
+
+    def count(self) -> DetectionSummary:
+        # Count-only: the same cached hit lists, no group-tuple fetches.
+        self._begin()
+        try:
+            cfd_counts: dict[int, int] = {}
+            for group in self._plan.cfd_groups:
+                for task, __, __kind in self._cfd_hits(group):
+                    cfd_counts[task.cfd_index] = (
+                        cfd_counts.get(task.cfd_index, 0) + 1
+                    )
+            cind_counts: dict[int, int] = {}
+            for relation, tasks in self._plan.cind_scans.items():
+                for task, __ in self._cind_hits(relation, tasks):
+                    cind_counts[task.cind_index] = (
+                        cind_counts.get(task.cind_index, 0) + 1
+                    )
+            return assemble_summary(self._plan, cfd_counts, cind_counts)
+        finally:
+            self._executor.release_witnesses()
+
+    def is_clean(self) -> bool:
+        # Early exit: stop at the first scan unit with a hit. CFD hit
+        # lists are computed (and cached) whole — the pushed-down queries
+        # already return only violating candidates — while CIND buckets
+        # use EXISTS probes; a clean probe pass proves the hit list is
+        # empty, so the cache is warmed for free (mirroring the engine's
+        # plan_has_violation).
+        self._begin()
+        try:
+            for group in self._plan.cfd_groups:
+                if self._cfd_hits(group):
+                    return False
+            for relation, tasks in self._plan.cind_scans.items():
+                key = ("cind", relation)
+                hits = self._cache.get(key)
+                if hits is not None:
+                    if hits:
+                        return False
+                    continue
+                if not self._executor.cind_relation_clean(relation, tasks):
+                    return False
+                self._cache.store(key, self._cind_deps(relation, tasks), [])
+            return True
+        finally:
+            self._executor.release_witnesses()
+
+    # -- mutation (SQL DML) ------------------------------------------------
+
+    def _coerce(self, relation: str, row: Any) -> Tuple:
+        rel = self.sigma.schema.relation(relation)
+        if isinstance(row, Tuple):
+            if row.schema.name != rel.name:
+                raise SQLBackendError(
+                    f"tuple of {row.schema.name!r} used on {relation!r}"
+                )
+            return row
+        return Tuple(rel, row)
+
+    def _ensure_writable(self) -> None:
+        if self.options.readonly:
+            raise SQLBackendError(
+                f"session on {str(self.path)!r} is read-only "
+                "(ExecutionOptions(readonly=True))"
+            )
+
+    def insert(self, relation, row) -> bool:
+        """INSERT into the file (set semantics); False if already present.
+
+        The presence check and the INSERT run inside one ``BEGIN
+        IMMEDIATE`` transaction: the connection is otherwise autocommit,
+        and a concurrent writer slipping between the two statements could
+        otherwise plant a duplicate row no in-memory backend can
+        represent.
+        """
+        self._ensure_writable()
+        t = self._coerce(relation, row)
+        names = list(t.schema.attribute_names)
+        pred = row_predicate(names, "t")
+        table = quote_identifier(relation)
+        self.conn.execute("BEGIN IMMEDIATE")
+        try:
+            present = self.conn.execute(
+                f"SELECT 1 FROM {table} t WHERE {pred} LIMIT 1", t.values
+            ).fetchall()
+            if present:
+                self.conn.execute("ROLLBACK")
+                return False
+            placeholders = ", ".join("?" for __ in names)
+            self.conn.execute(
+                f"INSERT INTO {table} VALUES ({placeholders})", t.values
+            )
+            self.conn.execute("COMMIT")
+        except BaseException:
+            self.conn.execute("ROLLBACK")
+            raise
+        self._touch(relation)
+        return True
+
+    def delete(self, relation, row: Tuple) -> bool:
+        """DELETE from the file; False if no such row existed.
+
+        A single statement on an autocommit connection — atomic as is.
+        """
+        self._ensure_writable()
+        t = self._coerce(relation, row)
+        pred = row_predicate(list(t.schema.attribute_names), "t")
+        cursor = self.conn.execute(
+            f"DELETE FROM {quote_identifier(relation)} AS t WHERE {pred}",
+            t.values,
+        )
+        if cursor.rowcount == 0:
+            return False
+        self._touch(relation)
+        return True
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.conn.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SQLFileBackend {str(self.path)!r} |Σ|={len(self.sigma)}"
+            f"{' readonly' if self.options.readonly else ''}>"
+        )
+
+
 class IncrementalBackend(BaseBackend):
     """Live violation bookkeeping under single-tuple updates.
 
@@ -502,5 +791,6 @@ BACKENDS: dict[str, type[BaseBackend]] = {
     "memory": MemoryBackend,
     "naive": NaiveBackend,
     "sql": SQLBackend,
+    "sqlfile": SQLFileBackend,
     "incremental": IncrementalBackend,
 }

@@ -46,11 +46,17 @@ class ExecutionOptions:
         ``"thread"`` — thread pool (no pickling at all, but GIL-bound);
         ``"auto"`` — process when ``fork`` is available (Linux/macOS),
         thread otherwise.
+    readonly:
+        Only meaningful for file-backed backends (``sqlfile``): open the
+        database file read-only, so ``insert``/``delete`` fail loudly and
+        the session can never write to a file it is only meant to audit.
+        In-memory backends ignore it.
     """
 
     mode: str = "full"
     workers: int = 1
     executor: str = "auto"
+    readonly: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -62,6 +68,10 @@ class ExecutionOptions:
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if not isinstance(self.readonly, bool):
+            raise ValueError(
+                f"readonly must be a bool, got {self.readonly!r}"
             )
 
     @property

@@ -29,6 +29,7 @@ session per (db, Σ) workload rather than reconnecting per call.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.api.backends import BACKENDS, Backend, BaseBackend
@@ -42,11 +43,17 @@ from repro.relational.instance import DatabaseInstance, Tuple
 
 
 class Session:
-    """A database + constraint set bound to one detection backend."""
+    """A database + constraint set bound to one detection backend.
+
+    ``db`` is either an in-memory :class:`DatabaseInstance` or — for
+    file-backed backends like ``sqlfile`` — the path of an existing sqlite
+    database file (the out-of-core path: detection runs where the data
+    lives, nothing is loaded into memory).
+    """
 
     def __init__(
         self,
-        db: DatabaseInstance,
+        db: DatabaseInstance | str | Path,
         sigma: ConstraintSet,
         backend: str | Backend | type[BaseBackend] = "memory",
         options: ExecutionOptions | None = None,
@@ -67,10 +74,23 @@ class Session:
                     f"unknown backend {backend!r}; available: "
                     f"{', '.join(sorted(BACKENDS))}"
                 ) from None
-            return cls(self.db, self.sigma, self.options)
-        if isinstance(backend, type):
-            return backend(self.db, self.sigma, self.options)
-        return backend
+        elif isinstance(backend, type):
+            cls = backend
+        else:
+            return backend
+        if isinstance(self.db, (str, Path)) and not getattr(
+            cls, "accepts_path", False
+        ):
+            accepting = sorted(
+                name
+                for name, candidate in BACKENDS.items()
+                if getattr(candidate, "accepts_path", False)
+            )
+            raise ReproError(
+                f"backend {cls.name!r} needs an in-memory DatabaseInstance; "
+                f"a database file path only works with: {', '.join(accepting)}"
+            )
+        return cls(self.db, self.sigma, self.options)
 
     # -- detection ---------------------------------------------------------
 
@@ -115,6 +135,11 @@ class Session:
         """
         from repro.cleaning.repair import repair as run_repair
 
+        if not isinstance(self.db, DatabaseInstance):
+            raise ReproError(
+                "repair needs an in-memory database; load the file first "
+                "(e.g. via CSV import) and open a memory-backed session"
+            )
         kwargs.setdefault("workers", self.options.workers)
         return run_repair(self.db, self.sigma, **kwargs)
 
@@ -154,7 +179,7 @@ class Session:
 
 
 def connect(
-    db: DatabaseInstance,
+    db: DatabaseInstance | str | Path,
     sigma: ConstraintSet,
     backend: str | Backend | type[BaseBackend] = "memory",
     options: ExecutionOptions | None = None,
@@ -162,12 +187,16 @@ def connect(
 ) -> Session:
     """Open a :class:`Session` over *db* and *sigma*.
 
-    ``backend`` is a registry name (``memory``/``naive``/``sql``/
-    ``incremental``), a backend class, or a ready instance. Options come
-    either as an :class:`ExecutionOptions` or as its fields directly::
+    ``db`` is an in-memory :class:`DatabaseInstance`, or — with the
+    ``sqlfile`` backend — the path of an existing sqlite database file to
+    run detection in, out-of-core. ``backend`` is a registry name
+    (``memory``/``naive``/``sql``/``sqlfile``/``incremental``), a backend
+    class, or a ready instance. Options come either as an
+    :class:`ExecutionOptions` or as its fields directly::
 
         connect(db, sigma, workers=4)
         connect(db, sigma, backend="sql")
+        connect("accounts.db", sigma, backend="sqlfile")
         connect(db, sigma, options=ExecutionOptions(mode="count"))
     """
     if options is not None and option_fields:

@@ -99,6 +99,26 @@ def is_clean(db: DatabaseInstance, sigma: ConstraintSet) -> bool:
     return database_is_clean(db, sigma)
 
 
+def detect_errors_in_file(path, sigma: ConstraintSet) -> DetectionResult:
+    """Out-of-core detection: check a sqlite database file *in place*.
+
+    Routes through the facade's ``sqlfile`` backend — nothing is loaded
+    into memory beyond the violating tuples — and returns the same
+    repair-ready :class:`DetectionResult` as every other path. The file
+    is opened read-only (detection never writes), so write-protected
+    snapshots audit fine.
+    """
+    from repro.api import ExecutionOptions, connect
+
+    with connect(
+        path,
+        sigma,
+        backend="sqlfile",
+        options=ExecutionOptions(readonly=True),
+    ) as session:
+        return session.detect()
+
+
 def detect_errors_sql(
     db: DatabaseInstance, sigma: ConstraintSet
 ) -> dict[str, set[tuple[Any, ...]]]:

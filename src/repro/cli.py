@@ -118,11 +118,25 @@ def _load_data(schema: DatabaseSchema, args: argparse.Namespace):
 
 def cmd_check(args: argparse.Namespace) -> int:
     schema, sigma = _load(args)
-    db = _load_data(schema, args)
     # One facade over every engine: identical reports, one printing path,
-    # one exit-code rule (1 = dirty), and --verbose works everywhere.
-    options = ExecutionOptions(workers=args.workers)
-    with connect(db, sigma, backend=args.engine, options=options) as session:
+    # one exit-code rule (1 = dirty), and --verbose works everywhere. The
+    # sqlfile engine is out-of-core: --data names a sqlite database file
+    # that is checked in place, never loaded into memory.
+    if args.engine == "sqlfile":
+        source = Path(args.data)
+        if source.is_dir():
+            raise ReproError(
+                "--engine sqlfile expects --data to be a sqlite database "
+                "file, not a CSV directory (build one with "
+                "repro.relational.csvio.database_csv_to_sqlite)"
+            )
+        # check never writes: open read-only so write-protected snapshots
+        # (chmod 444, ro mounts) are checkable.
+        options = ExecutionOptions(workers=args.workers, readonly=True)
+    else:
+        source = _load_data(schema, args)
+        options = ExecutionOptions(workers=args.workers)
+    with connect(source, sigma, backend=args.engine, options=options) as session:
         detection = session.detect()
     print(detection.summary() if args.verbose else detection.report.summary())
     return 0 if detection.is_clean else 1
@@ -178,7 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--schema", required=True, help="schema file")
         p.add_argument("--constraints", required=True, help="constraint file")
         if with_data:
-            p.add_argument("--data", required=True, help="directory of <relation>.csv files")
+            p.add_argument(
+                "--data", required=True,
+                help="directory of <relation>.csv files (or, with "
+                "--engine sqlfile, an existing sqlite database file)",
+            )
         p.add_argument("-v", "--verbose", action="store_true")
 
     p_check = sub.add_parser("check", help="detect CFD/CIND violations")
@@ -188,8 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=tuple(sorted(BACKENDS)),
         default="memory",
         help="memory = shared-scan engine (default); naive = per-constraint "
-        "reference evaluation; sql = sqlite3 backend; incremental = live "
-        "checker (bulk-built here). All engines print the same report.",
+        "reference evaluation; sql = sqlite3 backend; sqlfile = out-of-core "
+        "detection inside an existing sqlite file (--data names the file); "
+        "incremental = live checker (bulk-built here). All engines print "
+        "the same report.",
     )
     p_check.add_argument(
         "--workers", type=_positive_int, default=1,

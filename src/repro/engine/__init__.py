@@ -64,7 +64,7 @@ all modes against the naive oracle on randomized instances.
 from __future__ import annotations
 
 from repro.core.violations import ConstraintSet, ViolationReport
-from repro.engine.cache import ScanCache, projection_column_keys
+from repro.engine.cache import ScanCache, SQLScanCache, projection_column_keys
 from repro.engine.executor import (
     DetectionSummary,
     assemble_report,
@@ -96,6 +96,7 @@ __all__ = [
     "CINDRowTask",
     "DetectionPlan",
     "DetectionSummary",
+    "SQLScanCache",
     "ScanCache",
     "WitnessSpec",
     "assemble_report",

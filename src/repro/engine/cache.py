@@ -187,3 +187,105 @@ class ScanCache:
             f"{len(self._cind)} CIND entr(ies); {self.hits} hit(s), "
             f"{self.misses} miss(es)>"
         )
+
+
+class SQLScanCache:
+    """Fingerprint-keyed result memo for the out-of-core ``sqlfile`` backend.
+
+    The in-memory :class:`ScanCache` leans on each relation's mutation
+    ``version`` counter; a sqlite *file* has no such counter, so this cache
+    builds the same read-biased protocol out of what sqlite does offer:
+
+    * ``PRAGMA data_version`` — moves whenever **another** connection
+      commits to the file, so an unchanged value makes a warm re-check one
+      PRAGMA away from skipping SQL entirely;
+    * per-table ``(max rowid, row count)`` fingerprints — consulted only
+      after a ``data_version`` bump, to invalidate just the tables that
+      actually moved;
+    * explicit :meth:`invalidate_table` calls from the owning backend's own
+      DML (a connection's own writes never move its own ``data_version``).
+
+    Entries are keyed by scan-unit tuples chosen by the backend; each
+    records the set of tables it was computed from. The fingerprint check
+    is heuristic by design (a foreign writer that restores both max rowid
+    and count — delete-the-last-row-then-insert — slips through); the
+    backend's own mutations always invalidate explicitly and exactly.
+    """
+
+    __slots__ = ("_entries", "_fingerprints", "_data_version", "hits", "misses")
+
+    def __init__(self):
+        #: key -> (frozenset of table names, value)
+        self._entries: dict[Any, tuple[frozenset, Any]] = {}
+        #: table -> (max rowid, count) as of the last sync/record
+        self._fingerprints: dict[str, tuple] = {}
+        self._data_version: int | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def begin(
+        self,
+        version: int,
+        tables: Iterable[str],
+        fingerprint,
+    ) -> None:
+        """Synchronize with the file before a read.
+
+        *version* is the connection's current ``PRAGMA data_version``;
+        *fingerprint* is a callable ``table -> (max rowid, count)`` invoked
+        only when the version moved (i.e. some other connection committed):
+        tables whose fingerprint changed lose their entries, the rest stay
+        warm.
+        """
+        if self._data_version is None:
+            self._data_version = version
+            for table in tables:
+                self._fingerprints[table] = fingerprint(table)
+            return
+        if version == self._data_version:
+            return
+        self._data_version = version
+        for table in tables:
+            current = fingerprint(table)
+            known = self._fingerprints.get(table)
+            if known is None or known != current:
+                self.invalidate_table(table)
+            self._fingerprints[table] = current
+
+    def get(self, key: Any) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[1]
+
+    def store(self, key: Any, tables: Iterable[str], value: Any) -> None:
+        self._entries[key] = (frozenset(tables), value)
+
+    def invalidate_table(self, table: str) -> None:
+        """Drop every entry that was computed from *table*."""
+        self._entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if table not in entry[0]
+        }
+
+    def record_fingerprint(self, table: str, fp: tuple) -> None:
+        """Refresh *table*'s fingerprint after the backend's own DML (which
+        moves the fingerprint but not this connection's data_version)."""
+        self._fingerprints[table] = fp
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._fingerprints.clear()
+        self._data_version = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SQLScanCache {len(self._entries)} entr(ies); "
+            f"{self.hits} hit(s), {self.misses} miss(es)>"
+        )

@@ -92,3 +92,25 @@ def read_database_csv(
         for t in loaded:
             db[rel.name].add(t)
     return db
+
+
+def database_csv_to_sqlite(
+    schema: DatabaseSchema,
+    directory: str | Path,
+    db_path: str | Path,
+    coercions: Mapping[str, Mapping[str, Callable[[str], Any]]] | None = None,
+    overwrite: bool = False,
+) -> Path:
+    """Ingest ``directory/<relation>.csv`` into a sqlite file at *db_path*.
+
+    The bridge from CSV data to the out-of-core ``sqlfile`` backend (and
+    to file-backed test/bench fixtures): rows are inserted in CSV order,
+    so the file's rowid order matches the in-memory instance the same
+    CSVs would produce — which is what keeps ``sqlfile`` reports
+    bit-identical to the memory backend's. Returns the file's path.
+    """
+    # Local import: repro.sql sits above the relational layer.
+    from repro.sql.loader import create_database_file
+
+    db = read_database_csv(schema, directory, coercions)
+    return create_database_file(db_path, db, overwrite=overwrite)

@@ -7,7 +7,7 @@ tables (the [9] technique), with the wildcard ``_`` encoded as NULL.
 
 from __future__ import annotations
 
-from repro.relational.domains import INTEGER, Domain
+from repro.relational.domains import INTEGER, Domain, FiniteDomain
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 
@@ -17,7 +17,20 @@ def quote_identifier(name: str) -> str:
 
 
 def sql_type(domain: Domain) -> str:
+    """sqlite column affinity for a domain.
+
+    Integer-valued domains (the INTEGER singleton, and finite domains
+    whose every value is an int — booleans included, ``1 == True``) get
+    INTEGER affinity so values round-trip the file by equality; anything
+    else is TEXT. A non-string value in a TEXT column would come back as
+    its string image and break the backends' bit-identical-report
+    contract, which is why the file-backed paths depend on this mapping.
+    """
     if domain is INTEGER:
+        return "INTEGER"
+    if isinstance(domain, FiniteDomain) and all(
+        isinstance(v, int) for v in domain.values
+    ):
         return "INTEGER"
     return "TEXT"
 
@@ -38,3 +51,32 @@ def insert_sql(relation: RelationSchema) -> str:
     return (
         f"INSERT INTO {quote_identifier(relation.name)} VALUES ({placeholders})"
     )
+
+
+def select_columns(relation: RelationSchema, alias: str = "t") -> str:
+    """``alias."A1", alias."A2", ...`` — every column, schema order."""
+    return ", ".join(
+        f"{alias}.{quote_identifier(a.name)}" for a in relation
+    )
+
+
+def distinct_count_expr(columns: list[str], alias: str = "t") -> str:
+    """An expression whose ``COUNT(DISTINCT ...)`` counts distinct rows
+    over *columns*.
+
+    sqlite has no multi-column ``COUNT(DISTINCT a, b)``; concatenating the
+    ``quote()``d values (injective per value) is the standard workaround.
+    """
+    if len(columns) == 1:
+        return f"{alias}.{quote_identifier(columns[0])}"
+    return " || ',' || ".join(
+        f"quote({alias}.{quote_identifier(c)})" for c in columns
+    )
+
+
+def row_predicate(columns: list[str], alias: str = "t") -> str:
+    """``alias."A1" = ? AND ...`` equality over *columns* (``1=1`` if none)."""
+    conds = " AND ".join(
+        f"{alias}.{quote_identifier(c)} = ?" for c in columns
+    )
+    return conds or "1=1"

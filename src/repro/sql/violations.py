@@ -20,6 +20,15 @@ build it) each normal-form row becomes one anti-join::
 
 All constants travel as bound parameters — nothing is interpolated into
 SQL text except quoted identifiers.
+
+:class:`SQLPlanExecutor` is the out-of-core counterpart: it pushes a
+:class:`~repro.engine.planner.DetectionPlan`'s *shared* scan units down as
+SQL — one ``GROUP BY`` pass per CFD ``(relation, X)`` scan group (reusing
+one tableau temp table per CFD across every constraint in the group) and
+one witness anti-join per deduplicated CIND signature — instead of the
+per-constraint full-table rescans above, with count-only and
+``EXISTS``-based early-exit variants mirroring the in-memory engine's
+scan modes.
 """
 
 from __future__ import annotations
@@ -30,19 +39,101 @@ from typing import Any, Iterable
 from repro.core.cfd import CFD
 from repro.core.cind import CIND
 from repro.core.violations import ConstraintSet, constraint_labels
+from repro.engine.planner import (
+    CFDScanGroup,
+    CINDRowTask,
+    DetectionPlan,
+    passes,
+)
 from repro.errors import SQLBackendError
-from repro.relational.instance import DatabaseInstance
+from repro.relational.instance import DatabaseInstance, Tuple
+from repro.relational.schema import RelationSchema
 from repro.relational.values import is_wildcard
+from repro.sql.ddl import distinct_count_expr, row_predicate, select_columns
 from repro.sql.ddl import quote_identifier as q
 from repro.sql.loader import connect_memory, load_database
+
+
+class TableauCache:
+    """Pattern tableaux as TEMP data tables, one per distinct CFD content.
+
+    Keying by *content* ``(relation, X, Y, pattern rows)`` rather than by
+    object identity means repeated ``check()`` calls — and distinct CFD
+    objects with equal tableaux — reuse one table instead of leaking a new
+    ``__tableau_N`` per call onto a long-lived connection (the historical
+    behaviour this class replaces). ``drop_all()`` removes every table the
+    cache created, so detectors attached to a caller's connection can
+    clean up after themselves without closing it.
+    """
+
+    def __init__(self, conn: sqlite3.Connection):
+        self.conn = conn
+        self._by_content: dict[tuple, str] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return len(self._by_content)
+
+    @staticmethod
+    def _content_key(cfd: CFD) -> tuple:
+        def norm(value: Any) -> Any:
+            return None if is_wildcard(value) else value
+
+        rows = tuple(
+            (
+                tuple(norm(row.lhs_value(a)) for a in cfd.lhs),
+                tuple(norm(row.rhs_value(a)) for a in cfd.rhs),
+            )
+            for row in cfd.tableau
+        )
+        return (cfd.relation.name, cfd.lhs, cfd.rhs, rows)
+
+    def get(self, cfd: CFD) -> str:
+        """The temp-table name for *cfd*'s tableau, creating it on first use.
+
+        Layout: one ``lhs_A``/``rhs_B`` TEXT column per LHS/RHS attribute,
+        wildcards encoded as NULL; one row per pattern row, in tableau
+        order (so ``rowid - 1`` is the pattern row index).
+        """
+        key = self._content_key(cfd)
+        name = self._by_content.get(key)
+        if name is not None:
+            return name
+        self._count += 1
+        name = f"__tableau_{self._count}"
+        columns = [f"lhs_{a}" for a in cfd.lhs] + [f"rhs_{a}" for a in cfd.rhs]
+        decl = ", ".join(f"{q(c)} TEXT" for c in columns) or "__empty INTEGER"
+        cursor = self.conn.cursor()
+        cursor.execute(f"CREATE TEMP TABLE {q(name)} ({decl})")
+        if columns:
+            placeholders = ", ".join("?" for __ in columns)
+            cursor.executemany(
+                f"INSERT INTO {q(name)} VALUES ({placeholders})",
+                [lhs + rhs for lhs, rhs in key[3]],
+            )
+        else:
+            cursor.executemany(
+                f"INSERT INTO {q(name)} VALUES (?)",
+                [(1,) for __ in cfd.tableau],
+            )
+        self._by_content[key] = name
+        return name
+
+    def drop_all(self) -> None:
+        cursor = self.conn.cursor()
+        for name in self._by_content.values():
+            cursor.execute(f"DROP TABLE IF EXISTS temp.{q(name)}")
+        self._by_content.clear()
 
 
 class SQLViolationDetector:
     """Runs violation queries for a constraint set over sqlite3.
 
     Construct from an in-memory :class:`DatabaseInstance` (loaded into a
-    fresh ``:memory:`` connection) or attach to an existing connection that
-    already holds the tables.
+    fresh ``:memory:`` connection the detector owns) or attach to an
+    existing connection that already holds the tables — in which case the
+    connection stays the caller's: :meth:`close` drops the detector's temp
+    tables but leaves the connection open.
     """
 
     def __init__(
@@ -52,43 +143,18 @@ class SQLViolationDetector:
     ):
         if (db is None) == (conn is None):
             raise SQLBackendError("provide exactly one of db= or conn=")
+        self._owns_conn = db is not None
         if db is not None:
             conn = connect_memory()
             load_database(conn, db)
         self.conn = conn
-        self._tableau_count = 0
+        self._tableaux = TableauCache(conn)
 
     # -- CFDs ----------------------------------------------------------------
 
     def _load_tableau(self, cfd: CFD) -> str:
-        """Ship the CFD's pattern tableau as a data table; returns its name."""
-        self._tableau_count += 1
-        name = f"__tableau_{self._tableau_count}"
-        columns = [f"lhs_{a}" for a in cfd.lhs] + [f"rhs_{a}" for a in cfd.rhs]
-        decl = ", ".join(f"{q(c)} TEXT" for c in columns) or "__empty INTEGER"
-        cursor = self.conn.cursor()
-        cursor.execute(f"CREATE TEMP TABLE {q(name)} ({decl})")
-        if columns:
-            placeholders = ", ".join("?" for __ in columns)
-            rows = []
-            for row in cfd.tableau:
-                values = [
-                    None if is_wildcard(row.lhs_value(a)) else row.lhs_value(a)
-                    for a in cfd.lhs
-                ] + [
-                    None if is_wildcard(row.rhs_value(a)) else row.rhs_value(a)
-                    for a in cfd.rhs
-                ]
-                rows.append(values)
-            cursor.executemany(
-                f"INSERT INTO {q(name)} VALUES ({placeholders})", rows
-            )
-        else:
-            cursor.executemany(
-                f"INSERT INTO {q(name)} VALUES (?)",
-                [(1,) for __ in cfd.tableau],
-            )
-        return name
+        """The CFD's tableau as a (cached) temp data table; returns its name."""
+        return self._tableaux.get(cfd)
 
     def cfd_violating_rows(self, cfd: CFD) -> set[tuple[Any, ...]]:
         """All rows of the relation involved in some violation of *cfd*.
@@ -239,7 +305,16 @@ class SQLViolationDetector:
         return not self.check(sigma)
 
     def close(self) -> None:
-        self.conn.close()
+        """Release resources.
+
+        Owned connections (constructed with ``db=``) are closed; attached
+        connections (constructed with ``conn=``) belong to the caller and
+        stay open — only the detector's tableau temp tables are dropped.
+        """
+        if self._owns_conn:
+            self.conn.close()
+        else:
+            self._tableaux.drop_all()
 
     def __enter__(self) -> "SQLViolationDetector":
         return self
@@ -254,3 +329,331 @@ def sql_check_database(
     """One-shot convenience wrapper around :class:`SQLViolationDetector`."""
     with SQLViolationDetector(db=db) as detector:
         return detector.check(sigma)
+
+
+# -- pushed-down shared scans (the out-of-core ``sqlfile`` path) ---------------
+
+
+class SQLPlanExecutor:
+    """Execute a :class:`~repro.engine.planner.DetectionPlan` *inside* sqlite.
+
+    Where :class:`SQLViolationDetector` issues per-constraint queries, this
+    executor pushes the plan's shared scan units down whole:
+
+    * **CFD scan groups** — per ``(relation, X)`` group, one ``GROUP BY X``
+      query per distinct RHS variant finds the keys whose groups *disagree*
+      on the RHS, and one tableau-join query per CFD in the group (reusing
+      the group's cached tableau temp tables) finds the keys whose shared
+      RHS misses a pattern constant. Both return only *candidate* keys plus
+      their first-occurrence rowid, so the Python side touches O(violations)
+      rows, not O(tuples); task evaluation over the candidates replays the
+      in-memory engine's semantics exactly.
+    * **CIND buckets** — one witness anti-join per deduplicated task
+      signature ``(premise checks, X positions, witness spec)``; rows come
+      back in rowid order (= the engine's scan order for files written by
+      :func:`~repro.sql.loader.create_database_file`).
+
+    Hit lists have the same shape as the in-memory executor's
+    (``(task, key, kind)`` / ``(task, tuple)``), so the standard
+    :func:`~repro.engine.executor.assemble_report` /
+    :func:`~repro.engine.executor.assemble_summary` path produces reports
+    bit-identical — including violation-list order — to every other
+    backend. Count-only callers use the same hits without fetching group
+    tuples; :meth:`cind_relation_clean` is the ``EXISTS``-based early-exit
+    variant for ``is_clean``.
+    """
+
+    def __init__(self, conn: sqlite3.Connection, plan: DetectionPlan):
+        self.conn = conn
+        self.plan = plan
+        self.schema = plan.sigma.schema
+        self._tableaux = TableauCache(conn)
+        #: Per-execution witness materializations (see _witness_table):
+        #: spec -> temp table name (non-empty Y) or spec -> bool (empty Y).
+        self._witness_tables: dict[Any, str] = {}
+        self._witness_nonempty: dict[Any, bool] = {}
+        self._witness_count = 0
+
+    # -- CFD scan groups ---------------------------------------------------
+
+    def _disagree_keys(
+        self, rel: RelationSchema, group: CFDScanGroup, variant: tuple[int, ...]
+    ) -> dict[tuple[Any, ...], int]:
+        """Group keys whose *variant* RHS projection disagrees, with the
+        key's first-occurrence rowid (the engine's candidate order)."""
+        if variant == group.lhs_positions:
+            # RHS projection == group key: groups can never disagree.
+            return {}
+        names = rel.attribute_names
+        rhs_cols = [names[p] for p in variant]
+        distinct = distinct_count_expr(rhs_cols)
+        if group.lhs:
+            x_sel = select_columns_named(rel, group.lhs)
+            sql = (
+                f"SELECT {x_sel}, MIN(t.rowid) AS fr "
+                f"FROM {q(rel.name)} t GROUP BY {x_sel} "
+                f"HAVING COUNT(DISTINCT {distinct}) > 1"
+            )
+            return {
+                tuple(row[:-1]): row[-1]
+                for row in self.conn.execute(sql)
+            }
+        sql = (
+            f"SELECT MIN(t.rowid), COUNT(DISTINCT {distinct}) "
+            f"FROM {q(rel.name)} t"
+        )
+        [(fr, n)] = self.conn.execute(sql).fetchall()
+        return {(): fr} if fr is not None and n > 1 else {}
+
+    def _single_candidates(
+        self, rel: RelationSchema, group: CFDScanGroup, cfd: CFD
+    ) -> dict[int, dict[tuple[Any, ...], int]]:
+        """Per pattern-row index: keys where some matching tuple misses an
+        RHS constant, with the key's first rowid.
+
+        One query per CFD of the group, joining the relation against the
+        CFD's cached tableau temp table (LHS constants via the NULL-encoded
+        tableau columns, RHS mismatch via ``IS NOT NULL AND <>``). For a
+        non-disagreeing group every tuple shares the RHS projection, so
+        "some tuple misses the constant" equals the engine's "the group's
+        single shared RHS misses it"; disagreeing keys are filtered out by
+        the caller (they are pair violations instead).
+        """
+        tableau = self._tableaux.get(cfd)
+        match_lhs = " AND ".join(
+            f"(tp.{q('lhs_' + a)} IS NULL OR t.{q(a)} = tp.{q('lhs_' + a)})"
+            for a in cfd.lhs
+        ) or "1=1"
+        rhs_mismatch = " OR ".join(
+            f"(tp.{q('rhs_' + a)} IS NOT NULL AND t.{q(a)} <> tp.{q('rhs_' + a)})"
+            for a in cfd.rhs
+        )
+        if not rhs_mismatch:
+            return {}
+        x_sel = select_columns_named(rel, group.lhs)
+        group_by = f"tp.rowid{', ' + x_sel if group.lhs else ''}"
+        select = f"tp.rowid{', ' + x_sel if group.lhs else ''}"
+        sql = (
+            f"SELECT {select}, MIN(t.rowid) AS fr "
+            f"FROM {q(rel.name)} t, {q(tableau)} tp "
+            f"WHERE {match_lhs} AND ({rhs_mismatch}) "
+            f"GROUP BY {group_by}"
+        )
+        out: dict[int, dict[tuple[Any, ...], int]] = {}
+        for row in self.conn.execute(sql):
+            row_index = row[0] - 1  # tableau rowids are 1-based, in order
+            out.setdefault(row_index, {})[tuple(row[1:-1])] = row[-1]
+        return out
+
+    def cfd_group_hits(
+        self, group: CFDScanGroup
+    ) -> list[tuple[Any, tuple[Any, ...], str]]:
+        """One pushed-down scan of *group*: every violating
+        ``(task, key, kind)``, tasks in group order, keys in
+        first-occurrence rowid order — the in-memory executor's order."""
+        rel = self.schema.relation(group.relation)
+        disagree = {
+            variant: self._disagree_keys(rel, group, variant)
+            for variant in group.rhs_variants()
+        }
+        singles: dict[tuple, dict[int, dict[tuple[Any, ...], int]]] = {}
+        for task in group.tasks:
+            content = TableauCache._content_key(task.cfd)
+            if task.rhs_checks and content not in singles:
+                singles[content] = self._single_candidates(
+                    rel, group, task.cfd
+                )
+
+        hits: list[tuple[Any, tuple[Any, ...], str]] = []
+        for task in group.tasks:
+            variant_disagree = disagree[task.rhs_positions]
+            task_hits = [
+                (fr, key, "pair")
+                for key, fr in variant_disagree.items()
+                if passes(key, task.key_checks)
+            ]
+            if task.rhs_checks:
+                content = TableauCache._content_key(task.cfd)
+                candidates = singles[content].get(task.row_index, {})
+                task_hits.extend(
+                    (fr, key, "single")
+                    for key, fr in candidates.items()
+                    if key not in variant_disagree
+                )
+            task_hits.sort(key=lambda hit: hit[0])
+            hits.extend((task, key, kind) for __, key, kind in task_hits)
+        return hits
+
+    def cfd_group_tuples(
+        self, group: CFDScanGroup, keys: Iterable[tuple[Any, ...]]
+    ) -> dict[tuple[Any, ...], tuple[Tuple, ...]]:
+        """The full tuple group per violating key, in rowid (scan) order.
+
+        One scan of the relation buckets every violating key's group (the
+        base tables carry no indexes, so a per-key ``WHERE X = ?`` query
+        would cost a full scan *each* — O(violations · tuples) instead of
+        this single pass).
+        """
+        rel = self.schema.relation(group.relation)
+        wanted: dict[tuple[Any, ...], list[Tuple]] = {
+            key: [] for key in keys
+        }
+        if not wanted:
+            return {}
+        cols = select_columns(rel)
+        positions = group.lhs_positions
+        sql = f"SELECT {cols} FROM {q(rel.name)} t ORDER BY t.rowid"
+        for row in self.conn.execute(sql):
+            bucket = wanted.get(tuple(row[p] for p in positions))
+            if bucket is not None:
+                bucket.append(Tuple(rel, row))
+        return {key: tuple(rows) for key, rows in wanted.items()}
+
+    # -- CIND buckets ------------------------------------------------------
+    #
+    # Witness sets are materialized exactly like the engine's
+    # witness_sets(): one pass over R2 per deduplicated spec, shared by
+    # every pattern row in the bucket. The DISTINCT Y-projection goes into
+    # an *indexed* temp table, so the per-LHS-row probe is an index seek —
+    # a naive correlated NOT EXISTS against a large unindexed R2 would be
+    # O(|R1|·|R2|) and dominates everything past ~10k tuples.
+
+    def _witness_ready(self, spec) -> None:
+        """Materialize the spec's witness key set (once per execution)."""
+        rhs_rel = self.schema.relation(spec.rhs_relation)
+        names = rhs_rel.attribute_names
+        conds: list[str] = []
+        params: list[Any] = []
+        for pos, const in spec.yp_checks:
+            conds.append(f"t2.{q(names[pos])} = ?")
+            params.append(const)
+        where = " AND ".join(conds) or "1=1"
+        if not spec.y_positions:
+            # Empty embedded key: the witness set is {()} or {} — a boolean.
+            if spec not in self._witness_nonempty:
+                rows = self.conn.execute(
+                    f"SELECT 1 FROM {q(rhs_rel.name)} t2 WHERE {where} "
+                    "LIMIT 1",
+                    params,
+                ).fetchall()
+                self._witness_nonempty[spec] = bool(rows)
+            return
+        if spec in self._witness_tables:
+            return
+        self._witness_count += 1
+        name = f"__witness_{self._witness_count}"
+        y_cols = [names[p] for p in spec.y_positions]
+        decl = ", ".join(f"{q('k%d' % i)}" for i in range(len(y_cols)))
+        select = ", ".join(f"t2.{q(c)}" for c in y_cols)
+        cursor = self.conn.cursor()
+        cursor.execute(f"CREATE TEMP TABLE {q(name)} ({decl})")
+        cursor.execute(
+            f"INSERT INTO {q(name)} SELECT DISTINCT {select} "
+            f"FROM {q(rhs_rel.name)} t2 WHERE {where}",
+            params,
+        )
+        key_list = ", ".join(q(f"k{i}") for i in range(len(y_cols)))
+        cursor.execute(
+            f"CREATE INDEX {q(name + '_idx')} ON {q(name)} ({key_list})"
+        )
+        self._witness_tables[spec] = name
+
+    def release_witnesses(self) -> None:
+        """Drop the per-execution witness tables (scan-lifetime artifacts,
+        the analogue of the engine's release_scan_memos)."""
+        cursor = self.conn.cursor()
+        for name in self._witness_tables.values():
+            cursor.execute(f"DROP TABLE IF EXISTS temp.{q(name)}")
+        self._witness_tables.clear()
+        self._witness_nonempty.clear()
+
+    def _cind_sql(
+        self, task: CINDRowTask, select_clause: str, suffix: str = ""
+    ) -> tuple[str | None, list[Any]]:
+        """The probe query for one task signature (None = provably clean)."""
+        lhs_rel = task.cind.lhs_relation
+        spec = task.witness
+        self._witness_ready(spec)
+        lhs_names = lhs_rel.attribute_names
+        conds: list[str] = []
+        params: list[Any] = []
+        for pos, const in task.lhs_checks:
+            conds.append(f"t1.{q(lhs_names[pos])} = ?")
+            params.append(const)
+        where = " AND ".join(conds) or "1=1"
+        if not task.x_positions:
+            if self._witness_nonempty[spec]:
+                return None, []  # every premise-matching tuple has a witness
+            sql = (
+                f"SELECT {select_clause} FROM {q(lhs_rel.name)} t1 "
+                f"WHERE {where}{suffix}"
+            )
+            return sql, params
+        witness = self._witness_tables[spec]
+        probe = " AND ".join(
+            f"w.{q('k%d' % i)} = t1.{q(lhs_names[xpos])}"
+            for i, xpos in enumerate(task.x_positions)
+        )
+        sql = (
+            f"SELECT {select_clause} FROM {q(lhs_rel.name)} t1 "
+            f"WHERE {where} AND NOT EXISTS ("
+            f"SELECT 1 FROM {q(witness)} w WHERE {probe})"
+            f"{suffix}"
+        )
+        return sql, params
+
+    def cind_relation_hits(
+        self, relation: str, tasks: list[CINDRowTask]
+    ) -> list[tuple[CINDRowTask, Tuple]]:
+        """Every violating ``(task, tuple)`` of one LHS relation.
+
+        One anti-join per deduplicated signature (structurally identical
+        pattern rows share it, like the engine's ``cind_scan_hits``);
+        tuples come back in rowid order within each task.
+        """
+        rel = self.schema.relation(relation)
+        cols = select_columns(rel, "t1")
+        evaluated: dict[tuple, list[Tuple]] = {}
+        out: list[tuple[CINDRowTask, Tuple]] = []
+        for task in tasks:
+            signature = (task.lhs_checks, task.x_positions, task.witness)
+            rows = evaluated.get(signature)
+            if rows is None:
+                sql, params = self._cind_sql(
+                    task, cols, suffix=" ORDER BY t1.rowid"
+                )
+                if sql is None:
+                    rows = []
+                else:
+                    rows = [
+                        Tuple(rel, row)
+                        for row in self.conn.execute(sql, params)
+                    ]
+                evaluated[signature] = rows
+            out.extend((task, t) for t in rows)
+        return out
+
+    def cind_relation_clean(
+        self, relation: str, tasks: list[CINDRowTask]
+    ) -> bool:
+        """``EXISTS``-based early exit: False at the first violating pair."""
+        seen: set[tuple] = set()
+        for task in tasks:
+            signature = (task.lhs_checks, task.x_positions, task.witness)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            sql, params = self._cind_sql(task, "1", suffix=" LIMIT 1")
+            if sql is not None and self.conn.execute(sql, params).fetchall():
+                return False
+        return True
+
+    def close(self) -> None:
+        """Drop the executor's temp tables (the connection is the caller's)."""
+        self.release_witnesses()
+        self._tableaux.drop_all()
+
+
+def select_columns_named(rel: RelationSchema, names: Iterable[str]) -> str:
+    """``t."A", t."B", ...`` for the given attribute names."""
+    return ", ".join(f"t.{q(n)}" for n in names)

@@ -1,0 +1,243 @@
+"""Cross-backend conformance kit: the entry bar for detection backends.
+
+The facade's contract is that choosing a backend is a *performance*
+decision, never an API decision: every backend must produce the same
+``ViolationReport`` — identical down to violation-list order — the same
+summaries, the same verdicts, and the same mutation semantics. This
+module turns the equivalence assertions that used to be scattered across
+``test_api_backends.py`` / ``test_engine_cross.py`` / ``test_scan_cache.py``
+into one reusable kit:
+
+* :func:`report_key` / :func:`assert_reports_bit_identical` — the
+  order-sensitive, identity-free fingerprints every suite compares on;
+* :func:`assert_session_matches_reference` — one session held to the
+  naive oracle across check/count/is_clean/stream;
+* :func:`assert_all_backends_agree` — every registered backend plus the
+  parallel dispatch path against the oracle (the historical
+  ``test_api_backends`` helper, now shared);
+* :class:`BackendContract` — a pytest suite a backend passes by
+  registering **one** ``make_session`` fixture. New backends (``sqlfile``
+  was the first customer) get report-order, summary, stream, is_clean,
+  warm-recheck, and mutation-semantics coverage for free; see
+  ``tests/test_conformance.py`` for the registrations.
+
+``make_session(db, sigma)`` must return an open ``repro.api.Session``
+over data *equivalent to* the in-memory instance ``db`` — in-memory
+backends use ``db`` itself, file-backed backends materialize it (e.g.
+into a sqlite file) first. Mutation tests always pass a private copy, so
+factories may consume ``db`` destructively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core.violations import check_database_naive
+from repro.datasets.commerce import commerce_constraints, commerce_instance
+from repro.relational.instance import Tuple
+
+
+def in_memory_backend_names() -> tuple[str, ...]:
+    """Registered backends that take a ``DatabaseInstance`` directly
+    (file-backed backends need a materialization step; see the contract
+    registrations instead)."""
+    return tuple(
+        sorted(
+            name
+            for name, cls in api.BACKENDS.items()
+            if not getattr(cls, "accepts_path", False)
+        )
+    )
+
+
+def report_key(report):
+    """Order-sensitive, identity-free fingerprint of a ViolationReport."""
+    return (
+        [
+            (report.label_for(v.cfd), v.pattern_index, v.lhs_values,
+             tuple(t.values for t in v.tuples), v.kind)
+            for v in report.cfd_violations
+        ],
+        [
+            (report.label_for(v.cind), v.pattern_index, v.tuple_.values)
+            for v in report.cind_violations
+        ],
+    )
+
+
+def assert_reports_bit_identical(actual, expected, context=""):
+    """Same violations, same order — the backend is a drop-in replacement."""
+    assert report_key(actual) == report_key(expected), context
+    assert actual.by_constraint() == expected.by_constraint(), context
+
+
+def assert_session_matches_reference(session, reference, context=""):
+    """Hold one open session to the naive oracle's *reference* report."""
+    expected = report_key(reference)
+    report = session.check()
+    assert report_key(report) == expected, context
+    summary = session.count()
+    assert summary.total == reference.total, context
+    assert summary.by_constraint() == reference.by_constraint(), context
+    assert session.is_clean() == reference.is_clean, context
+    assert [type(v).__name__ for v in session.stream()] == [
+        type(v).__name__
+        for v in reference.cfd_violations + reference.cind_violations
+    ], context
+
+
+def assert_all_backends_agree(db, sigma, backends=None):
+    """Every registered in-memory backend and the parallel path produce the
+    reference report. (File-backed backends register through the
+    :class:`BackendContract` instead — they need a materialization step.)
+    """
+    if backends is None:
+        backends = in_memory_backend_names()
+    reference = check_database_naive(db, sigma)
+    for name in backends:
+        with api.connect(db, sigma, backend=name) as session:
+            assert_session_matches_reference(session, reference, name)
+    # Parallel dispatch (thread pool: cheap, exercises the same merge code
+    # as the process pool) must match serial output exactly.
+    parallel = api.connect(db, sigma, workers=2, executor="thread")
+    assert report_key(parallel.check()) == report_key(reference)
+    assert parallel.count().by_constraint() == reference.by_constraint()
+    return reference
+
+
+class BackendContract:
+    """Conformance suite: subclass, register ``make_session``, done.
+
+    The fixture is the whole registration::
+
+        class TestSQLFileContract(BackendContract):
+            @pytest.fixture
+            def make_session(self, tmp_path):
+                def factory(db, sigma):
+                    path = create_database_file(tmp_path / "c.db", db)
+                    return api.connect(path, sigma, backend="sqlfile")
+                return factory
+    """
+
+    #: A UK checking interest row with the wrong rate: a single-tuple
+    #: violation of ϕ3 (the tableau demands rt='1.5%').
+    DIRTY_ROW = {"ab": "GLA", "ct": "UK", "at": "checking", "rt": "9.9%"}
+
+    @pytest.fixture
+    def make_session(self):
+        raise NotImplementedError(
+            "register a make_session(db, sigma) fixture for the backend"
+        )
+
+    # -- report equivalence (bit-identical, including order) ---------------
+
+    def test_bank_report_bit_identical(self, bank, make_session):
+        reference = check_database_naive(bank.db, bank.constraints)
+        assert reference.total == 2  # t10 and t12, as in the paper
+        with make_session(bank.db, bank.constraints) as session:
+            assert_reports_bit_identical(session.check(), reference)
+
+    def test_commerce_report_bit_identical(self, make_session):
+        db = commerce_instance(n_orders=120, error_rate=0.1, seed=11)
+        sigma = commerce_constraints()
+        reference = check_database_naive(db, sigma)
+        assert not reference.is_clean  # the fixture plants errors
+        with make_session(db, sigma) as session:
+            assert_reports_bit_identical(session.check(), reference)
+
+    def test_full_surface_matches_reference(self, bank, make_session):
+        reference = check_database_naive(bank.db, bank.constraints)
+        with make_session(bank.db, bank.constraints) as session:
+            assert_session_matches_reference(session, reference)
+
+    # -- summaries and verdicts --------------------------------------------
+
+    def test_clean_database_reports_clean(self, bank, make_session):
+        with make_session(bank.clean_db, bank.constraints) as session:
+            assert session.is_clean() is True
+            report = session.check()
+            assert report.is_clean and report.total == 0
+            assert session.count().total == 0
+
+    def test_summary_matches_report(self, bank, make_session):
+        with make_session(bank.db, bank.constraints) as session:
+            report = session.check()
+            summary = session.count()
+            assert summary.total == report.total
+            assert summary.by_constraint() == report.by_constraint()
+
+    def test_is_clean_matches_report(self, bank, make_session):
+        with make_session(bank.db, bank.constraints) as session:
+            assert session.is_clean() is False
+            assert session.is_clean() == session.check().is_clean
+
+    def test_stream_yields_report_order(self, bank, make_session):
+        with make_session(bank.db, bank.constraints) as session:
+            report = session.check()
+            streamed = list(session.stream())
+            assert len(streamed) == report.total
+            expected = report.cfd_violations + report.cind_violations
+            for got, want in zip(streamed, expected):
+                assert type(got) is type(want)
+                assert report.label_for(
+                    getattr(got, "cfd", None) or got.cind
+                ) == report.label_for(getattr(want, "cfd", None) or want.cind)
+
+    # -- stability ----------------------------------------------------------
+
+    def test_warm_recheck_identical(self, bank, make_session):
+        """A second check on the same session (cache warm) changes nothing."""
+        with make_session(bank.db, bank.constraints) as session:
+            first = session.check()
+            assert report_key(session.check()) == report_key(first)
+            assert session.count().total == first.total
+
+    # -- mutation semantics -------------------------------------------------
+
+    def test_insert_surfaces_new_violation(self, bank, make_session):
+        with make_session(bank.clean_db.copy(), bank.constraints) as session:
+            assert session.is_clean()
+            assert session.insert("interest", dict(self.DIRTY_ROW)) is True
+            assert session.insert("interest", dict(self.DIRTY_ROW)) is False
+            assert not session.is_clean()
+            assert "phi3" in session.check().by_constraint()
+
+    def test_delete_restores_clean(self, bank, make_session):
+        with make_session(bank.clean_db.copy(), bank.constraints) as session:
+            session.insert("interest", dict(self.DIRTY_ROW))
+            victim = Tuple(
+                bank.schema.relation("interest"), dict(self.DIRTY_ROW)
+            )
+            assert session.delete("interest", victim) is True
+            assert session.delete("interest", victim) is False
+            assert session.is_clean()
+            assert report_key(session.check()) == report_key(
+                check_database_naive(bank.clean_db, bank.constraints)
+            )
+
+    def test_mutation_interleaving_matches_oracle(self, bank, make_session):
+        """A fixed insert/check/delete/check script answers, at every
+        observation point, exactly like a fresh naive oracle over a
+        mirrored reference instance."""
+        reference = bank.clean_db.copy()
+        interest = bank.schema.relation("interest")
+        rows = [
+            dict(self.DIRTY_ROW),
+            {"ab": "EDI", "ct": "UK", "at": "saving", "rt": "9.9%"},
+            {"ab": "NYC", "ct": "US", "at": "checking", "rt": "0.0%"},
+        ]
+        with make_session(bank.clean_db.copy(), bank.constraints) as session:
+            for row in rows:
+                expected = reference["interest"].add(dict(row)) is not None
+                assert session.insert("interest", dict(row)) == expected
+                oracle = check_database_naive(reference, bank.constraints)
+                assert report_key(session.check()) == report_key(oracle)
+                assert session.is_clean() == oracle.is_clean
+            for row in rows[:2]:
+                victim = Tuple(interest, row)
+                assert reference["interest"].discard(victim)
+                assert session.delete("interest", victim) is True
+                oracle = check_database_naive(reference, bank.constraints)
+                assert report_key(session.check()) == report_key(oracle)
+                assert session.count().by_constraint() == oracle.by_constraint()

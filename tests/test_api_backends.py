@@ -1,12 +1,14 @@
 """Cross-validation of the `repro.api` Session/Backend facade.
 
 The facade's contract is that choosing a backend (memory / naive / sql /
-incremental) or turning on parallel dispatch is a *performance* decision:
-``check()`` must return identical ``ViolationReport``s — identical down to
-violation-list order — everywhere. These tests hold every backend to that
-contract on the paper's bank data, the commerce dataset, and random
-schemas/instances, and cover the deprecation shims and the facade
-plumbing (options, mutations, registry).
+sqlfile / incremental) or turning on parallel dispatch is a *performance*
+decision: ``check()`` must return identical ``ViolationReport``s —
+identical down to violation-list order — everywhere. The reusable
+per-backend suite lives in :mod:`tests.conformance` (registered for all
+five backends in ``test_conformance.py``); this module keeps the
+Hypothesis cross-validation over random schemas/instances, the
+deprecation shims, and the facade plumbing (options, mutations,
+registry).
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import api
-from repro.api import BACKENDS, ExecutionOptions, MemoryBackend, SQLBackend
+from repro.api import ExecutionOptions, MemoryBackend, SQLBackend
 from repro.api.parallel import fork_available
 from repro.cleaning.detect import detect_errors, detect_errors_sql
 from repro.core.violations import ConstraintSet, check_database_naive, constraint_labels
@@ -24,50 +26,19 @@ from repro.datasets.bank import bank_constraints, scaled_bank_instance
 from repro.datasets.commerce import commerce_constraints, commerce_instance
 from repro.errors import ReproError
 
+from tests.conformance import (
+    assert_all_backends_agree,
+    in_memory_backend_names,
+    report_key,
+)
 from tests.strategies import cfds as cfd_strategy
 from tests.strategies import cinds as cind_strategy
 from tests.strategies import database_schemas, instances
 
-ALL_BACKENDS = tuple(sorted(BACKENDS))
-
-
-def report_key(report):
-    """Order-sensitive, identity-free fingerprint of a ViolationReport."""
-    return (
-        [
-            (report.label_for(v.cfd), v.pattern_index, v.lhs_values,
-             tuple(t.values for t in v.tuples), v.kind)
-            for v in report.cfd_violations
-        ],
-        [
-            (report.label_for(v.cind), v.pattern_index, v.tuple_.values)
-            for v in report.cind_violations
-        ],
-    )
-
-
-def assert_all_backends_agree(db, sigma):
-    """Every backend and the parallel path produce the reference report."""
-    reference = check_database_naive(db, sigma)
-    expected = report_key(reference)
-    for name in ALL_BACKENDS:
-        with api.connect(db, sigma, backend=name) as session:
-            report = session.check()
-            assert report_key(report) == expected, name
-            summary = session.count()
-            assert summary.total == reference.total, name
-            assert summary.by_constraint() == reference.by_constraint(), name
-            assert session.is_clean() == reference.is_clean, name
-            assert [type(v).__name__ for v in session.stream()] == [
-                type(v).__name__
-                for v in reference.cfd_violations + reference.cind_violations
-            ], name
-    # Parallel dispatch (thread pool: cheap, exercises the same merge code
-    # as the process pool) must match serial output exactly.
-    parallel = api.connect(db, sigma, workers=2, executor="thread")
-    assert report_key(parallel.check()) == expected
-    assert parallel.count().by_constraint() == reference.by_constraint()
-    return reference
+#: The backends that take an in-memory DatabaseInstance directly (the
+#: file-backed ``sqlfile`` backend is held to the same contract through
+#: the conformance kit and its own differential suite instead).
+ALL_BACKENDS = in_memory_backend_names()
 
 
 class TestBackendEquivalenceFixed:

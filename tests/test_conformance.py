@@ -1,0 +1,74 @@
+"""Every backend × the :class:`~tests.conformance.BackendContract` suite.
+
+One registration (a ``make_session`` fixture) per backend — including the
+out-of-core ``sqlfile`` backend, which materializes the canonical
+instance into an on-disk sqlite file first, and a parallel-dispatch
+variant of the memory backend to show option combinations register just
+as easily. This file is the entry bar for new backends: add a class,
+inherit the contract, done.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import api
+from repro.sql.loader import create_database_file
+
+from tests.conformance import BackendContract
+
+
+def _simple_factory(name, **options):
+    def factory(db, sigma):
+        return api.connect(db, sigma, backend=name, **options)
+
+    return factory
+
+
+class TestMemoryContract(BackendContract):
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory("memory")
+
+
+class TestNaiveContract(BackendContract):
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory("naive")
+
+
+class TestSQLContract(BackendContract):
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory("sql")
+
+
+class TestIncrementalContract(BackendContract):
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory("incremental")
+
+
+class TestParallelMemoryContract(BackendContract):
+    """The memory backend under thread-pool scan-group dispatch."""
+
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory("memory", workers=2, executor="thread")
+
+
+class TestSQLFileContract(BackendContract):
+    """The out-of-core backend, run against real on-disk sqlite files."""
+
+    @pytest.fixture
+    def make_session(self, tmp_path):
+        counter = itertools.count()
+
+        def factory(db, sigma):
+            path = tmp_path / f"contract_{next(counter)}.db"
+            create_database_file(path, db)
+            return api.connect(path, sigma, backend="sqlfile")
+
+        return factory

@@ -38,29 +38,15 @@ from repro.engine import (
 )
 from repro.relational.domains import FiniteDomain
 
+from tests.conformance import assert_reports_bit_identical
 from tests.strategies import cfds as cfd_strategy
 from tests.strategies import cinds as cind_strategy
 from tests.strategies import database_schemas, instances
 
 
-def cfd_keys(report):
-    return [
-        (id(v.cfd), v.pattern_index, v.lhs_values, frozenset(v.tuples), v.kind)
-        for v in report.cfd_violations
-    ]
-
-
-def cind_keys(report):
-    return [
-        (id(v.cind), v.pattern_index, v.tuple_) for v in report.cind_violations
-    ]
-
-
 def assert_reports_identical(engine_report, naive_report):
     """Same violations, same order (the engine is a drop-in replacement)."""
-    assert cfd_keys(engine_report) == cfd_keys(naive_report)
-    assert cind_keys(engine_report) == cind_keys(naive_report)
-    assert engine_report.by_constraint() == naive_report.by_constraint()
+    assert_reports_bit_identical(engine_report, naive_report)
 
 
 @st.composite

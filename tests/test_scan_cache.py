@@ -24,29 +24,17 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import api
-from repro.api import BACKENDS
 from repro.core.violations import check_database_naive
 from repro.datasets.bank import bank_constraints, scaled_bank_instance
 from repro.engine import ScanCache, execute_plan, plan_detection
 from repro.relational.instance import RelationInstance, Tuple
 from repro.relational.schema import RelationSchema
 
-ALL_BACKENDS = tuple(sorted(BACKENDS))
+from tests.conformance import in_memory_backend_names, report_key
 
-
-def report_key(report):
-    """Order-sensitive, identity-free fingerprint of a ViolationReport."""
-    return (
-        [
-            (report.label_for(v.cfd), v.pattern_index, v.lhs_values,
-             tuple(t.values for t in v.tuples), v.kind)
-            for v in report.cfd_violations
-        ],
-        [
-            (report.label_for(v.cind), v.pattern_index, v.tuple_.values)
-            for v in report.cind_violations
-        ],
-    )
+#: In-memory backends only: the file-backed ``sqlfile`` backend runs the
+#: same interleavings against a real file in ``test_sqlfile.py``.
+ALL_BACKENDS = in_memory_backend_names()
 
 
 # -- columnar view unit behaviour ---------------------------------------------

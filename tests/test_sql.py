@@ -68,6 +68,64 @@ class TestDetectorConstruction:
             assert detector.conn is not None
 
 
+def _temp_table_count(conn) -> int:
+    (n,) = conn.execute(
+        "SELECT COUNT(*) FROM sqlite_temp_master "
+        "WHERE name LIKE '__tableau%'"
+    ).fetchall()[0]
+    return n
+
+
+class TestConnectionOwnership:
+    """close() must only close connections the detector created itself."""
+
+    def test_owned_connection_closed(self, bank):
+        detector = SQLViolationDetector(db=bank.db)
+        detector.close()
+        with pytest.raises(Exception):
+            detector.conn.execute("SELECT 1")
+
+    def test_attached_connection_left_open(self, bank):
+        conn = connect_memory()
+        load_database(conn, bank.db)
+        detector = SQLViolationDetector(conn=conn)
+        detector.check(bank.constraints)
+        detector.close()
+        # The caller's connection survives close() and still works...
+        (count,) = conn.execute('SELECT COUNT(*) FROM "interest"').fetchall()[0]
+        assert count == 4
+        # ...and the detector's temp tables were cleaned up behind it.
+        assert _temp_table_count(conn) == 0
+        conn.close()
+
+
+class TestTableauTempTables:
+    """Repeated checks must not leak one __tableau_N per CFD per call."""
+
+    def test_repeated_checks_reuse_tableaux(self, bank):
+        conn = connect_memory()
+        load_database(conn, bank.db)
+        with SQLViolationDetector(conn=conn) as detector:
+            detector.check(bank.constraints)
+            after_first = _temp_table_count(conn)
+            assert after_first == len(bank.cfds)
+            for __ in range(3):
+                detector.check(bank.constraints)
+            assert _temp_table_count(conn) == after_first
+        conn.close()
+
+    def test_equal_content_cfds_share_one_table(self, bank):
+        from repro.core.cfd import CFD
+
+        rel = bank.schema.relation("interest")
+        twin_a = CFD(rel, ("ct",), ("rt",), [(("UK",), ("1.5%",))], name="a")
+        twin_b = CFD(rel, ("ct",), ("rt",), [(("UK",), ("1.5%",))], name="b")
+        with SQLViolationDetector(db=bank.db) as detector:
+            detector.cfd_violating_rows(twin_a)
+            detector.cfd_violating_rows(twin_b)
+            assert _temp_table_count(detector.conn) == 1
+
+
 class TestBankCrossValidation:
     """SQL and in-memory engines must agree tuple-for-tuple on Fig. 1."""
 
