@@ -22,12 +22,18 @@ dataset generators and times three evaluations of the same workload:
   session's second ``check()`` (the fingerprint-keyed SQLScanCache skips
   SQL entirely);
 * ``parN``   — ``repro.api.connect(db, sigma, workers=N)``, the facade's
-  parallel scan-group dispatch (fork-based process pool by default;
-  ``--workers 0`` skips it).
+  parallel task-graph dispatch at scan-group granularity (fork-based
+  process pool by default; ``--workers 0`` skips it);
+* ``par-shard`` — the same dispatch with row-range sharding forced on
+  (``--shards S`` shards per scan unit, ``min_shard_rows=1``): one giant
+  scan group splits across workers instead of pinning one. The sharded
+  report is validated *order-sensitively* against naive — shard
+  merge order must reproduce scan order bit-identically.
 
-Every run first cross-validates that engine, warm, parallel, and naive
-produce identical violation lists (engine and warm order-sensitively —
-bit-identical including list order). Exit status is non-zero on mismatch
+Every run first cross-validates that engine, warm, parallel, sharded,
+and naive produce identical violation lists (engine, warm, and sharded
+order-sensitively — bit-identical including list order). Exit status is
+non-zero on mismatch
 or (with ``--min-speedup`` / ``--min-warm-speedup`` /
 ``--min-parallel-speedup``) when a speedup falls short. ``--json PATH``
 writes the rows as machine-readable JSON (the CI regression job keeps
@@ -233,6 +239,7 @@ def run_case(
     repeats: int,
     workers: int = 0,
     executor: str = "auto",
+    shards: int = 0,
 ) -> dict:
     plan = plan_detection(sigma)
     per_rel = constraints_per_relation(sigma)
@@ -289,17 +296,45 @@ def run_case(
         raise AssertionError(f"{label}: count-only total differs")
 
     par_s = None
+    par_shard_s = None
+    effective_executor = None
     if workers > 1:
         options = ExecutionOptions(workers=workers, executor=executor)
-        par_s, par_report = _best_cold_time(
-            db, lambda d: connect(d, sigma, options=options).check(), repeats
-        )
+        seen_executor = []
+
+        def run_parallel(d):
+            session = connect(d, sigma, options=options)
+            seen_executor.append(session.effective_executor)
+            return session.check()
+
+        par_s, par_report = _best_cold_time(db, run_parallel, repeats)
+        effective_executor = seen_executor[-1]
         # The parallel merge rebinds canonical tuples; sets must be equal
         # to the oracle's (ids differ per plan, so compare on values).
         if _value_keys(par_report) != _value_keys(naive_report):
             raise AssertionError(
                 f"{label}: parallel and naive violation sets differ"
             )
+        if shards > 0:
+            # Row-range sharding forced on: every scan unit splits into
+            # `shards` shard tasks regardless of size (min_shard_rows=1).
+            shard_options = ExecutionOptions(
+                workers=workers, executor=executor,
+                shards=shards, min_shard_rows=1,
+            )
+            par_shard_s, par_shard_report = _best_cold_time(
+                db,
+                lambda d: connect(d, sigma, options=shard_options).check(),
+                repeats,
+            )
+            # Sharded dispatch routes merged hits through the serial
+            # assembly, so unlike the value-set check above this holds
+            # order-sensitively: bit-identical including list order.
+            if _ordered_keys(par_shard_report) != expected_ordered:
+                raise AssertionError(
+                    f"{label}: sharded-parallel and naive violation lists "
+                    f"differ (order-sensitive)"
+                )
 
     speedup = naive_s / engine_s if engine_s > 0 else float("inf")
     warm_speedup = engine_s / warm_s if warm_s > 0 else float("inf")
@@ -308,6 +343,9 @@ def run_case(
     )
     par_speedup = (
         engine_s / par_s if par_s else None
+    )
+    par_shard_speedup = (
+        engine_s / par_shard_s if par_shard_s else None
     )
     row = {
         "label": label,
@@ -324,16 +362,25 @@ def run_case(
         "sqlfile_s": sqlfile_s,
         "sqlfile_warm_s": sqlfile_warm_s,
         "par_s": par_s,
+        "par_shard_s": par_shard_s,
+        "shards": shards if par_shard_s is not None else None,
+        "effective_executor": effective_executor,
         "speedup": speedup,
         "warm_speedup": warm_speedup,
         "sqlfile_warm_speedup": sqlfile_warm_speedup,
         "par_speedup": par_speedup,
+        "par_shard_speedup": par_shard_speedup,
     }
     par_part = (
         f" par{workers}={par_s:.3f}s ({par_speedup:.2f}x vs engine)"
         if par_s is not None
         else ""
     )
+    if par_shard_s is not None:
+        par_part += (
+            f" par-shard[{shards}]={par_shard_s:.3f}s "
+            f"({par_shard_speedup:.2f}x vs engine)"
+        )
     print(
         f"{label:<22} tuples={row['tuples']:<8} |Σ|={row['constraints']:<4} "
         f"viol={row['violations']:<6} naive={naive_s:.3f}s "
@@ -364,6 +411,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=4,
         help="parallel scan-group workers to benchmark (0 disables)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shards per scan unit for the par-shard rows (0 disables the "
+        "sharded runs; only meaningful with --workers > 1)",
     )
     parser.add_argument(
         "--executor", choices=("auto", "process", "thread"), default="auto",
@@ -409,11 +461,13 @@ def main(argv: list[str] | None = None) -> int:
     for size in sizes:
         db = scaled_bank_instance(size, error_rate=ERROR_RATE, seed=7)
         rows.append(run_case(f"bank/{size}", db, bank_sigma, repeats,
-                             workers=workers, executor=args.executor))
+                             workers=workers, executor=args.executor,
+                             shards=args.shards))
         db = commerce_instance(n_orders=max(1, size // 2),
                                error_rate=ERROR_RATE, seed=7)
         rows.append(run_case(f"commerce/{size // 2}", db, commerce_sigma,
-                             repeats, workers=workers, executor=args.executor))
+                             repeats, workers=workers, executor=args.executor,
+                             shards=args.shards))
 
     largest = max(rows, key=lambda row: row["tuples"])
     print(
@@ -426,10 +480,18 @@ def main(argv: list[str] | None = None) -> int:
     if largest["par_s"] is not None:
         import os
 
+        shard_part = (
+            f" par-shard[{largest['shards']}]={largest['par_shard_s']:.3f}s "
+            f"({largest['par_shard_speedup']:.2f}x)"
+            if largest["par_shard_s"] is not None
+            else ""
+        )
         print(
-            f"parallel ({workers} workers, {os.cpu_count()} CPU(s) here): "
-            f"engine={largest['engine_s']:.3f}s par={largest['par_s']:.3f}s "
-            f"-> {largest['par_speedup']:.2f}x vs serial engine"
+            f"parallel ({workers} workers on the "
+            f"{largest['effective_executor']} pool, {os.cpu_count()} CPU(s) "
+            f"here): engine={largest['engine_s']:.3f}s "
+            f"par={largest['par_s']:.3f}s "
+            f"-> {largest['par_speedup']:.2f}x vs serial engine{shard_part}"
         )
     if args.json:
         import os
@@ -438,6 +500,7 @@ def main(argv: list[str] | None = None) -> int:
             "benchmark": "bench_detection",
             "cpu_count": os.cpu_count(),
             "workers": workers,
+            "shards": args.shards,
             "sizes": sizes,
             "repeats": repeats,
             "rows": rows,

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.api.options import ExecutionOptions
-from repro.api.parallel import execute_plan_parallel
+from repro.api.parallel import execute_plan_parallel, resolve_executor
 from repro.cleaning.incremental import IncrementalChecker
 from repro.core.cfd import CFDViolation
 from repro.core.cind import CINDViolation
@@ -69,6 +69,7 @@ from repro.sql.loader import (
     connect_file,
     data_version,
     introspect_schema,
+    table_content_fingerprint,
     table_fingerprint,
 )
 from repro.sql.violations import SQLPlanExecutor, SQLViolationDetector
@@ -193,6 +194,14 @@ class MemoryBackend(BaseBackend):
         # across checks and mutations (the repair loop relies on this).
         self._plan = plan_detection(sigma)
         self._cache = ScanCache(self._plan)
+        # Resolve the pool kind once, up front: an explicit "process" on a
+        # fork-less platform warns here (once per session, not per check)
+        # and the concrete choice is recorded for honest reporting.
+        self.effective_executor = (
+            resolve_executor(self.options.executor)
+            if self.options.parallel
+            else None
+        )
 
     @property
     def plan(self):
@@ -202,28 +211,26 @@ class MemoryBackend(BaseBackend):
     def cache(self) -> ScanCache:
         return self._cache
 
+    def _parallel(self, mode: str):
+        return execute_plan_parallel(
+            self._plan,
+            self.db,
+            workers=self.options.workers,
+            mode=mode,
+            executor=self.effective_executor,
+            cache=self._cache,
+            min_shard_rows=self.options.min_shard_rows,
+            shards=self.options.shards,
+        )
+
     def check(self) -> ViolationReport:
         if self.options.parallel:
-            return execute_plan_parallel(
-                self._plan,
-                self.db,
-                workers=self.options.workers,
-                mode="full",
-                executor=self.options.executor,
-                cache=self._cache,
-            )
+            return self._parallel("full")
         return execute_plan(self._plan, self.db, mode="full", cache=self._cache)
 
     def count(self) -> DetectionSummary:
         if self.options.parallel:
-            return execute_plan_parallel(
-                self._plan,
-                self.db,
-                workers=self.options.workers,
-                mode="count",
-                executor=self.options.executor,
-                cache=self._cache,
-            )
+            return self._parallel("count")
         return execute_plan(self._plan, self.db, mode="count", cache=self._cache)
 
     def is_clean(self) -> bool:
@@ -509,6 +516,19 @@ class SQLFileBackend(BaseBackend):
         self._executor = SQLPlanExecutor(self.conn, self._plan)
         self._cache = SQLScanCache()
         self._tables = tuple(sigma.schema.relation_names)
+        # options.fingerprint picks the invalidation detector consulted
+        # after a foreign commit: "rowid" = the O(1) (max rowid, COUNT(*))
+        # heuristic, "content" = a per-row CRC32 sum computed inside SQL
+        # that also catches delete+reinsert writes hiding behind an
+        # unchanged rowid envelope.
+        if self.options.fingerprint == "content":
+            self._fingerprint = lambda table: table_content_fingerprint(
+                self.conn, table
+            )
+        else:
+            self._fingerprint = lambda table: table_fingerprint(
+                self.conn, table
+            )
         self._closed = False
 
     @property
@@ -524,17 +544,23 @@ class SQLFileBackend(BaseBackend):
     def _begin(self) -> None:
         """Sync the cache with the file (one PRAGMA when nothing changed)."""
         self._cache.begin(
-            data_version(self.conn),
-            self._tables,
-            lambda table: table_fingerprint(self.conn, table),
+            data_version(self.conn), self._tables, self._fingerprint
         )
 
     def _touch(self, relation: str) -> None:
-        """Invalidate exactly the touched table after our own DML."""
+        """Invalidate exactly the touched table after our own DML.
+
+        The rowid fingerprint is O(1), so it is refreshed in place; the
+        content fingerprint costs a full-table aggregate scan, so it is
+        *forgotten* instead — mutations stay O(1) and the next foreign
+        commit re-fingerprints (and conservatively re-invalidates) the
+        table in ``begin()``.
+        """
         self._cache.invalidate_table(relation)
-        self._cache.record_fingerprint(
-            relation, table_fingerprint(self.conn, relation)
-        )
+        if self.options.fingerprint == "content":
+            self._cache.forget_fingerprint(relation)
+        else:
+            self._cache.record_fingerprint(relation, self._fingerprint(relation))
 
     # -- scan units (cached) -----------------------------------------------
 

@@ -6,7 +6,9 @@ tolerates (``workers``/``executor``); each backend maps that onto its own
 fast paths. Callers never choose "count-only scan" vs "early-exit scan" vs
 "SQL anti-join" directly — that dispatch is the backend's job, in the
 spirit of BRAVO's single reader API over internally-selected fast/slow
-paths.
+paths. The same applies *within* the parallel path: callers say
+``workers=N`` and the task-graph scheduler decides group- vs shard-level
+dispatch (``min_shard_rows``/``shards`` only tune the split).
 """
 
 from __future__ import annotations
@@ -19,6 +21,9 @@ MODES = ("full", "count", "early-exit")
 #: How parallel scan groups are dispatched (``auto`` picks ``process`` when
 #: fork is available, else ``thread``).
 EXECUTORS = ("auto", "process", "thread")
+
+#: How the ``sqlfile`` backend fingerprints tables for cache invalidation.
+FINGERPRINTS = ("rowid", "content")
 
 
 @dataclass(frozen=True)
@@ -34,18 +39,43 @@ class ExecutionOptions:
         Only :meth:`Session.run` consults it; the explicit ``check`` /
         ``count`` / ``is_clean`` methods ignore it.
     workers:
-        Number of parallel workers for scan-group dispatch. ``1`` (default)
-        runs serially; ``N > 1`` splits the plan's independent scan groups
-        — CFD ``(relation, X)`` group-bys, CIND witness passes, CIND LHS
-        scans — across a pool and merges the results. Only the memory
-        backend (and everything routed through it) parallelizes; other
-        backends ignore the setting.
+        Number of parallel workers for the scan task graph. ``1``
+        (default) runs serially; ``N > 1`` splits the plan's scan units —
+        CFD ``(relation, X)`` group-bys, CIND witness passes, CIND LHS
+        scans — *and, past* ``min_shard_rows``, *the row ranges within
+        each unit* across one pool and merges the partial states. Only
+        the memory backend (and everything routed through it)
+        parallelizes; other backends ignore the setting.
     executor:
         ``"process"`` — fork-based process pool (true CPU parallelism; the
         database is shared with workers copy-on-write, never pickled);
         ``"thread"`` — thread pool (no pickling at all, but GIL-bound);
         ``"auto"`` — process when ``fork`` is available (Linux/macOS),
-        thread otherwise.
+        thread otherwise. A ``"process"`` request on a fork-less platform
+        downgrades to ``"thread"`` with a ``RuntimeWarning``; the session
+        reports the concrete choice as ``Session.effective_executor``.
+    min_shard_rows:
+        Smallest row range worth its own shard task. A scan unit over a
+        relation with ``n`` rows is split into
+        ``min(workers, n // min_shard_rows)`` contiguous shards (at least
+        one), so small relations stay single-shard — per-shard state and
+        merge overhead only ever buys parallelism on scans big enough to
+        need it. Tune down for expensive-per-row workloads, up if merge
+        overhead shows in profiles.
+    shards:
+        Explicit shard count per scan unit (``0`` = size automatically
+        from ``workers`` and ``min_shard_rows``). Mostly for benchmarks
+        and tests that must force a specific split (still capped at one
+        shard per row).
+    fingerprint:
+        How the ``sqlfile`` backend fingerprints tables when validating
+        its cache after a foreign commit: ``"rowid"`` (default) compares
+        cheap ``(max rowid, COUNT(*))`` pairs — O(1) per table but blind
+        to a writer that deletes and re-inserts behind the same rowid
+        envelope; ``"content"`` sums per-row CRC32 hashes inside SQL —
+        one aggregate scan per table per foreign commit, closes the
+        delete+reinsert hole. In-memory backends ignore it (their
+        mutation counters are exact).
     readonly:
         Only meaningful for file-backed backends (``sqlfile``): open the
         database file read-only, so ``insert``/``delete`` fail loudly and
@@ -56,6 +86,9 @@ class ExecutionOptions:
     mode: str = "full"
     workers: int = 1
     executor: str = "auto"
+    min_shard_rows: int = 8192
+    shards: int = 0
+    fingerprint: str = "rowid"
     readonly: bool = False
 
     def __post_init__(self) -> None:
@@ -68,6 +101,21 @@ class ExecutionOptions:
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if not isinstance(self.min_shard_rows, int) or self.min_shard_rows < 1:
+            raise ValueError(
+                f"min_shard_rows must be a positive int, got "
+                f"{self.min_shard_rows!r}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 0:
+            raise ValueError(
+                f"shards must be a non-negative int (0 = auto), got "
+                f"{self.shards!r}"
+            )
+        if self.fingerprint not in FINGERPRINTS:
+            raise ValueError(
+                f"fingerprint must be one of {FINGERPRINTS}, got "
+                f"{self.fingerprint!r}"
             )
         if not isinstance(self.readonly, bool):
             raise ValueError(

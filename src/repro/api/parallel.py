@@ -1,48 +1,78 @@
-"""Parallel scan-group dispatch for the shared-scan detection engine.
+"""Task-graph scan dispatch for the shared-scan detection engine.
 
-A :class:`~repro.engine.planner.DetectionPlan` already factors detection
-into *independent* units of work — CFD ``(relation, X)`` scan groups, CIND
-witness passes per RHS relation, and CIND LHS scans — whose outputs merge
-associatively (violation buckets concatenate per task; witness key sets
-union). This module dispatches those units across a worker pool and
-reassembles a result **identical, including order, to the serial
-executor**: workers return position-indexed payloads, and the parent
-orders them through the same
-:func:`~repro.engine.executor.assemble_from_hits` the serial path uses, so
-completion order never leaks into the output.
+A :class:`~repro.engine.planner.DetectionPlan` factors detection into
+scan units — CFD ``(relation, X)`` scan groups, CIND witness passes per
+RHS relation, and CIND LHS scans — and :mod:`repro.engine.shards` factors
+each unit further into contiguous row-range *shards* with mergeable
+partial states (CFD first-value/disagree joins, witness key-set unions,
+per-task hit-bucket concatenation). This module schedules those shard
+tasks as one dependency graph on one worker pool:
 
-Two pool flavours:
+* **CFD shard tasks** are free-running — no dependencies;
+* **witness shard tasks** are free-running too, but all of them feed a
+  parent-side **merge barrier** (witness sets must be complete before any
+  LHS tuple can be declared witness-less);
+* **CIND probe shard tasks** depend on the barrier and receive the merged
+  witness key sets as explicit arguments.
+
+The scheduler (:func:`_run_graph`) is a plain Kahn topological walk with
+a ready queue: every task whose dependencies are satisfied is submitted
+immediately, parent-side nodes (merges, the barrier) run inline the
+moment they unblock, and one pool serves the whole graph for both the
+``thread`` and ``process`` executors. Shards are sized from
+``ExecutionOptions(workers, min_shard_rows, shards)`` by
+:func:`~repro.engine.shards.make_shards`: small relations stay one shard
+per unit (the task graph degenerates to PR 2's scan-group dispatch), and
+one giant scan group — the common shape on bank/commerce — finally splits
+across cores instead of pinning one.
+
+The result is **identical, including order, to the serial executor**:
+shard states merge in shard order (shard 0 holds the first rows), workers
+return position-indexed plain-value payloads, and the parent routes the
+merged hits through the same
+:func:`~repro.engine.executor.assemble_from_hits` the serial path uses,
+so neither completion order nor the shard split leaks into the output.
+
+Pool flavours:
 
 * ``process`` — a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`.
-  The plan and database are published in module globals *before* the pool
-  forks, so workers inherit them copy-on-write: nothing is pickled on the
-  way in (the parent pre-materializes the columnar views for the same
-  reason — forked workers share them instead of each transposing its own).
-  On the way out workers return only plain values (group keys, tuple
-  values, kinds) — never ``Tuple``/constraint objects — and the parent
-  rebinds them to its own canonical tuples via the relation's hash
-  indexes. CIND scans need the merged witness sets, which only exist after
-  the first phase, so they run on a second pool forked after the merge.
-* ``thread`` — the same orchestration on a
+  The plan and database are published in module globals *before* the first
+  submission (workers fork lazily at that point), so they are inherited
+  copy-on-write: nothing data-sized is pickled on the way in. The one
+  exception is the merged witness key sets, which only exist after the
+  barrier — they travel to CIND probe shards as arguments. On the way out
+  workers return only plain values (group keys, tuple values, kinds,
+  shard-state payloads) — never ``Tuple``/constraint objects — and the
+  parent rebinds them to its own canonical tuples.
+* ``thread`` — the same graph on a
   :class:`~concurrent.futures.ThreadPoolExecutor`. No pickling or forking
   at all, but CPU-bound scans stay GIL-bound; useful on platforms without
   ``fork`` and for exercising the merge logic cheaply.
 
 With a :class:`~repro.engine.cache.ScanCache`, the parent answers warm
-scan units from the cache *before* dispatching — only cold units reach the
-pool — and stores every cold unit's rebound hit list back, so parallel and
-serial execution share one cache and a warm parallel re-check spawns no
-workers at all.
+scan units from the cache *before* building the graph — only cold units
+grow nodes — and stores every cold unit's **merged, group-level** result
+back keyed by relation version exactly as the serial path does: shards
+are an execution detail the cache never sees, and a warm parallel
+re-check spawns no workers at all.
 
 The executor is CPU-parallel only in ``process`` mode; measure with
-``benchmarks/bench_detection.py --workers N``.
+``benchmarks/bench_detection.py --workers N [--shards S]``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import warnings
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import Any, Callable
 
 from repro.engine import DetectionPlan, DetectionSummary, ScanCache
@@ -50,19 +80,33 @@ from repro.engine.executor import (
     _check_cache,
     assemble_from_hits,
     cfd_group_hits,
-    cind_scan_hits,
     release_scan_memos,
-    witness_sets,
+)
+from repro.engine.planner import WitnessSpec
+from repro.engine.shards import (
+    CFDGroupState,
+    CINDScanState,
+    ShardSpec,
+    WitnessState,
+    cfd_finalize,
+    cfd_map_shard,
+    cind_map_shard,
+    make_shards,
+    merge_cfd_states,
+    merge_cind_states,
+    merge_witness_states,
+    shard_columns,
+    shard_key_fn,
+    witness_map_shard,
 )
 from repro.core.violations import ViolationReport
 from repro.relational.instance import DatabaseInstance, Tuple
 
-#: Worker-visible state. Published before the pools are created: forked
-#: process workers inherit it copy-on-write, thread workers share it.
-#: _EXECUTION_LOCK serializes parallel executions within this process so
-#: two concurrent Sessions cannot race on the globals.
+#: Worker-visible state. Published before the pool's first submission:
+#: forked process workers inherit it copy-on-write, thread workers share
+#: it. _EXECUTION_LOCK serializes parallel executions within this process
+#: so two concurrent Sessions cannot race on the globals.
 _STATE: tuple[DetectionPlan, DatabaseInstance] | None = None
-_WITNESSES: dict[Any, set[tuple[Any, ...]]] | None = None
 _EXECUTION_LOCK = threading.Lock()
 
 
@@ -71,24 +115,55 @@ def fork_available() -> bool:
 
 
 def resolve_executor(executor: str) -> str:
-    """Map an ``ExecutionOptions.executor`` value to a concrete pool kind."""
+    """Map an ``ExecutionOptions.executor`` value to a concrete pool kind.
+
+    ``auto`` quietly picks the best available; an *explicit* ``process``
+    request on a fork-less platform downgrades to ``thread`` with a
+    ``RuntimeWarning`` — callers asked for CPU parallelism they will not
+    get, and benchmarks reading ``Session.effective_executor`` should
+    report the pool that actually ran.
+    """
     if executor == "auto":
         return "process" if fork_available() else "thread"
     if executor == "process" and not fork_available():
+        warnings.warn(
+            "executor='process' requested but the 'fork' start method is "
+            "unavailable on this platform; falling back to the GIL-bound "
+            "'thread' pool (no CPU parallelism)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return "thread"
     return executor
 
 
+def _relation_witness_specs(
+    plan: DetectionPlan, relation: str
+) -> list[WitnessSpec]:
+    """The witness specs a relation's CIND tasks consume, in first-use
+    order — the canonical order witness key sets travel in across the
+    process boundary (spec object identity does not survive pickling)."""
+    return list(dict.fromkeys(t.witness for t in plan.cind_scans[relation]))
+
+
+def _shard_columns(instance, start: int, stop: int):
+    """The shard's slice of the instance's columnar view (whole = shared)."""
+    return shard_columns(instance.columns(), start, stop)
+
+
 # -- worker-side payload functions --------------------------------------------
-# Workers return plain values keyed by task position, never live objects:
-# process workers run in a forked copy of the parent, so object identity
-# (and with it the plan's id(task) bucketing) does not survive the trip.
-# Hit payloads are returned in both full and count mode — they are bounded
-# by the violation count and let the parent cache them for either mode.
+# Workers return plain values keyed by task/spec position, never live
+# objects: process workers run in a forked copy of the parent, so object
+# identity (and with it the plan's id(task) bucketing) does not survive
+# the trip. Hit payloads are returned in both full and count mode — they
+# are bounded by the violation count and let the parent cache them for
+# either mode.
 
 
 def _cfd_group_payload(group_index: int) -> list[tuple[int, Any, str]]:
-    """Violating ``(task position, key, kind)`` triples for one scan group."""
+    """Single-shard fast path: the whole group mapped *and* finalized in
+    the worker, returning only violating ``(task position, key, kind)``
+    triples (bounded by the violation count, not the key count)."""
     plan, db = _STATE
     group = plan.cfd_groups[group_index]
     task_pos = {id(task): pos for pos, task in enumerate(group.tasks)}
@@ -98,26 +173,77 @@ def _cfd_group_payload(group_index: int) -> list[tuple[int, Any, str]]:
     ]
 
 
-def _witness_payload(relation: str) -> list[set[tuple[Any, ...]]]:
-    """Witness key sets for every spec of *relation*, in spec-list order."""
+def _cfd_shard_payload(group_index: int, start: int, stop: int) -> dict:
+    """One shard's :class:`CFDGroupState` as plain data (value tuples
+    only); the parent merges shard states in shard order and finalizes."""
+    plan, db = _STATE
+    group = plan.cfd_groups[group_index]
+    columns = _shard_columns(db[group.relation], start, stop)
+    return cfd_map_shard(group, shard_key_fn(columns, stop - start)).payload()
+
+
+def _witness_shard_payload(
+    relation: str, start: int, stop: int
+) -> list[set[tuple[Any, ...]]]:
+    """Witness key sets over one shard's rows, in spec-list order."""
     plan, db = _STATE
     specs = plan.witness_specs[relation]
-    sets = witness_sets(db[relation], specs)
-    return [sets[spec] for spec in specs]
+    columns = _shard_columns(db[relation], start, stop)
+    return witness_map_shard(specs, columns, shard_key_fn(columns, stop - start)).sets
 
 
-def _cind_scan_payload(relation: str) -> list[tuple[int, Any]]:
-    """Violating ``(task position, tuple values)`` pairs for one LHS scan."""
+def _cind_shard_payload(
+    relation: str,
+    start: int,
+    stop: int,
+    witness_sets: list[set[tuple[Any, ...]]],
+) -> list[list[tuple[Any, ...]]]:
+    """Per-task violating tuple *values* over one shard's rows.
+
+    ``witness_sets`` are the merged (whole-relation) witness key sets in
+    :func:`_relation_witness_specs` order — the only data that cannot be
+    inherited copy-on-write, because it exists only after the barrier.
+    """
     plan, db = _STATE
     tasks = plan.cind_scans[relation]
-    task_pos = {id(task): pos for pos, task in enumerate(tasks)}
-    return [
-        (task_pos[id(task)], t.values)
-        for task, t in cind_scan_hits(tasks, db[relation], _WITNESSES)
-    ]
+    witnesses = dict(zip(_relation_witness_specs(plan, relation), witness_sets))
+    instance = db[relation]
+    columns = _shard_columns(instance, start, stop)
+    payload = [t.values for t in instance.rows()[start:stop]]
+    state = cind_map_shard(
+        tasks, columns, payload, witnesses, shard_key_fn(columns, stop - start)
+    )
+    return state.buckets
 
 
-# -- parent-side orchestration -------------------------------------------------
+# -- the task-graph scheduler -------------------------------------------------
+
+
+class _Node:
+    """One vertex of the shard task graph.
+
+    ``fn is None`` marks a parent-side node (merge, barrier) that runs
+    inline the moment its dependencies finish; remote nodes are submitted
+    to the pool with ``make_args()`` evaluated at submission time — which
+    is how CIND probe shards pick up witness sets that did not exist when
+    the graph was built.
+    """
+
+    __slots__ = ("fn", "make_args", "on_done", "deps", "label")
+
+    def __init__(
+        self,
+        fn: Callable[..., Any] | None,
+        make_args: Callable[[], tuple] | None = None,
+        on_done: Callable[[Any], None] | None = None,
+        deps: tuple[int, ...] = (),
+        label: str = "",
+    ):
+        self.fn = fn
+        self.make_args = make_args or (lambda: ())
+        self.on_done = on_done or (lambda result: None)
+        self.deps = deps
+        self.label = label
 
 
 def _make_pool(kind: str, workers: int) -> Executor:
@@ -129,20 +255,58 @@ def _make_pool(kind: str, workers: int) -> Executor:
     return ThreadPoolExecutor(max_workers=workers)
 
 
-def _run_all(
-    pool_kind: str,
-    workers: int,
-    calls: list[tuple[Callable[..., Any], tuple[Any, ...]]],
-) -> list[Any]:
-    """Run *calls* on a fresh pool, returning results in submission order."""
-    if not calls:
-        return []
-    workers = min(workers, len(calls))
-    if workers <= 1 and pool_kind == "thread":
-        return [fn(*args) for fn, args in calls]
-    with _make_pool(pool_kind, workers) as pool:
-        futures = [pool.submit(fn, *args) for fn, args in calls]
-        return [f.result() for f in futures]
+def _run_graph(pool_kind: str, workers: int, nodes: list[_Node]) -> None:
+    """Execute *nodes* in topological order on one shared pool.
+
+    Kahn's algorithm with a ready queue: in-degrees come from each node's
+    ``deps``, satisfied nodes are submitted (remote) or run inline
+    (parent-side) immediately, and every completion decrements its
+    dependents. With one effective thread worker the whole graph runs
+    inline in topological order — the serial path in disguise, which is
+    exactly the degenerate case the merge laws guarantee.
+    """
+    indegree = [len(node.deps) for node in nodes]
+    dependents: list[list[int]] = [[] for __ in nodes]
+    for i, node in enumerate(nodes):
+        for dep in node.deps:
+            dependents[dep].append(i)
+    ready = deque(i for i, deg in enumerate(indegree) if deg == 0)
+    remote = sum(1 for node in nodes if node.fn is not None)
+    inline = remote == 0 or (pool_kind == "thread" and workers <= 1)
+    pool = None if inline else _make_pool(pool_kind, min(workers, remote))
+    futures: dict[Any, int] = {}
+
+    def finish(index: int, result: Any) -> None:
+        nodes[index].on_done(result)
+        for j in dependents[index]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                ready.append(j)
+
+    try:
+        while ready or futures:
+            while ready:
+                i = ready.popleft()
+                node = nodes[i]
+                if node.fn is None:
+                    finish(i, None)
+                elif pool is None:
+                    finish(i, node.fn(*node.make_args()))
+                else:
+                    futures[pool.submit(node.fn, *node.make_args())] = i
+            if futures:
+                done, __ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures.pop(future), future.result())
+        stuck = [n.label for n, deg in zip(nodes, indegree) if deg > 0]
+        if stuck:
+            raise RuntimeError(f"task graph has a dependency cycle: {stuck}")
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+
+# -- parent-side orchestration -------------------------------------------------
 
 
 def execute_plan_parallel(
@@ -152,25 +316,42 @@ def execute_plan_parallel(
     mode: str = "full",
     executor: str = "auto",
     cache: ScanCache | None = None,
+    min_shard_rows: int = 8192,
+    shards: int = 0,
 ) -> ViolationReport | DetectionSummary:
-    """Run *plan* with scan groups dispatched across *workers* workers.
+    """Run *plan* with shard tasks dispatched across *workers* workers.
 
     Output is identical (including violation-list order) to
     ``execute_plan(plan, db, mode)``. ``mode`` is ``"full"`` or ``"count"``;
     early-exit stays serial (see :class:`~repro.api.backends.MemoryBackend`)
     because its whole point is to stop at the first hit, which a fan-out
     would race past. A *cache* (bound to *plan*) short-circuits warm scan
-    units parent-side and absorbs every cold unit's result.
+    units parent-side and absorbs every cold unit's merged result.
+    ``min_shard_rows``/``shards`` control the per-unit row split (see
+    :func:`~repro.engine.shards.make_shards`).
     """
-    global _STATE, _WITNESSES
     if mode not in ("full", "count"):
         raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
     _check_cache(plan, cache, db)
     pool_kind = resolve_executor(executor)
     try:
-        return _execute_parallel(plan, db, workers, mode, pool_kind, cache)
+        return _execute_parallel(
+            plan, db, workers, mode, pool_kind, cache, min_shard_rows, shards
+        )
     finally:
         release_scan_memos(db, cache)
+
+
+def _unit_shards(
+    db: DatabaseInstance,
+    relation: str,
+    workers: int,
+    min_shard_rows: int,
+    shards: int,
+) -> list[ShardSpec]:
+    return make_shards(
+        relation, len(db[relation]), workers, min_shard_rows, shards
+    )
 
 
 def _execute_parallel(
@@ -180,10 +361,12 @@ def _execute_parallel(
     mode: str,
     pool_kind: str,
     cache: ScanCache | None,
+    min_shard_rows: int,
+    shards: int,
 ) -> ViolationReport | DetectionSummary:
-    global _STATE, _WITNESSES
+    global _STATE
 
-    # Resolve warm units from the cache before any dispatch.
+    # Resolve warm units from the cache before building any graph nodes.
     cfd_hit_lists: list[list | None] = []
     cold_groups: list[int] = []
     for i, group in enumerate(plan.cfd_groups):
@@ -196,7 +379,7 @@ def _execute_parallel(
         if hits is None:
             cold_groups.append(i)
 
-    witnesses: dict[Any, set[tuple[Any, ...]]] = {}
+    witnesses: dict[WitnessSpec, set[tuple[Any, ...]]] = {}
     cold_witness_relations: list[str] = []
     for relation, specs in plan.witness_specs.items():
         version = db[relation].version
@@ -210,86 +393,190 @@ def _execute_parallel(
         else:
             cold_witness_relations.append(relation)
 
+    cind_hit_lists: dict[str, list] = {}
+    cold_cind: list[str] = []
+    for relation, tasks in plan.cind_scans.items():
+        if cache is not None:
+            hits = cache.cind_hits(
+                relation,
+                db[relation].version,
+                cache.cind_deps(tasks, db),
+            )
+            if hits is not None:
+                cind_hit_lists[relation] = hits
+                continue
+        cold_cind.append(relation)
+
     # Forked workers inherit the columnar views copy-on-write only if the
     # parent materialized them first; one transpose here saves one per
-    # worker per relation.
+    # worker per relation. Everything must be warm before the *first*
+    # submission — that is when the single pool forks.
     for i in cold_groups:
         db[plan.cfd_groups[i].relation].columns()
     for relation in cold_witness_relations:
         db[relation].columns()
+    for relation in cold_cind:
+        db[relation].columns()
+        db[relation].rows()
 
     _EXECUTION_LOCK.acquire()
     _STATE = (plan, db)
     try:
-        # Phase A: every cold CFD scan group and every cold witness pass is
-        # independent — one pool for all of them.
-        calls: list[tuple[Callable[..., Any], tuple[Any, ...]]] = [
-            (_cfd_group_payload, (i,)) for i in cold_groups
-        ] + [(_witness_payload, (rel,)) for rel in cold_witness_relations]
-        results = _run_all(pool_kind, workers, calls)
-        cfd_payloads = results[: len(cold_groups)]
-        witness_payloads = results[len(cold_groups):]
+        nodes: list[_Node] = []
 
-        for i, payload in zip(cold_groups, cfd_payloads):
+        def add(node: _Node) -> int:
+            nodes.append(node)
+            return len(nodes) - 1
+
+        # CFD scan groups: free-running. One remote node per shard; a
+        # multi-shard group gets a parent-side merge+finalize node.
+        for i in cold_groups:
             group = plan.cfd_groups[i]
-            hits = [(group.tasks[pos], key, kind) for pos, key, kind in payload]
-            cfd_hit_lists[i] = hits
-            if cache is not None:
-                cache.store_cfd_hits(group, db[group.relation].version, hits)
+            unit = _unit_shards(db, group.relation, workers, min_shard_rows, shards)
+            if len(unit) == 1:
 
-        for relation, payload in zip(cold_witness_relations, witness_payloads):
-            version = db[relation].version
-            for spec, key_set in zip(plan.witness_specs[relation], payload):
-                witnesses[spec] = key_set
+                def store_full(payload, i=i):
+                    group = plan.cfd_groups[i]
+                    hits = [
+                        (group.tasks[pos], key, kind)
+                        for pos, key, kind in payload
+                    ]
+                    cfd_hit_lists[i] = hits
+                    if cache is not None:
+                        cache.store_cfd_hits(
+                            group, db[group.relation].version, hits
+                        )
+
+                add(_Node(
+                    _cfd_group_payload,
+                    make_args=lambda i=i: (i,),
+                    on_done=store_full,
+                    label=f"cfd:{group.relation}",
+                ))
+                continue
+            states: list[CFDGroupState | None] = [None] * len(unit)
+            shard_ids = tuple(
+                add(_Node(
+                    _cfd_shard_payload,
+                    make_args=lambda i=i, s=s: (i, s.start, s.stop),
+                    on_done=lambda p, states=states, k=s.index: states.__setitem__(
+                        k, CFDGroupState.from_payload(p)
+                    ),
+                    label=f"cfd:{group.relation}[{s.index}]",
+                ))
+                for s in unit
+            )
+
+            def merge_group(__, i=i, states=states):
+                group = plan.cfd_groups[i]
+                hits = cfd_finalize(group, merge_cfd_states(states))
+                cfd_hit_lists[i] = hits
                 if cache is not None:
-                    cache.store_witness_set(spec, version, key_set)
+                    cache.store_cfd_hits(group, db[group.relation].version, hits)
 
-        # Phase B: CIND LHS scans need the merged witnesses, so their pool
-        # is created (forked) only now, after _WITNESSES is published.
-        _WITNESSES = witnesses
-        cind_hit_lists: dict[str, list] = {}
-        cold_cind: list[str] = []
-        for relation, tasks in plan.cind_scans.items():
-            if cache is not None:
-                hits = cache.cind_hits(
-                    relation,
-                    db[relation].version,
-                    cache.cind_deps(tasks, db),
-                )
-                if hits is not None:
-                    cind_hit_lists[relation] = hits
-                    continue
-            cold_cind.append(relation)
+            add(_Node(
+                None, on_done=merge_group, deps=shard_ids,
+                label=f"cfd-merge:{group.relation}",
+            ))
+
+        # Witness passes: free-running shards, one parent-side merge per
+        # relation, all merges feeding the barrier.
+        witness_merge_ids: list[int] = []
+        for relation in cold_witness_relations:
+            unit = _unit_shards(db, relation, workers, min_shard_rows, shards)
+            states: list[WitnessState | None] = [None] * len(unit)
+            shard_ids = tuple(
+                add(_Node(
+                    _witness_shard_payload,
+                    make_args=lambda relation=relation, s=s: (
+                        relation, s.start, s.stop,
+                    ),
+                    on_done=lambda sets, states=states, k=s.index: states.__setitem__(
+                        k, WitnessState(sets)
+                    ),
+                    label=f"witness:{relation}[{s.index}]",
+                ))
+                for s in unit
+            )
+
+            def merge_witness(__, relation=relation, states=states):
+                specs = plan.witness_specs[relation]
+                merged = merge_witness_states(states)
+                version = db[relation].version
+                for spec, key_set in merged.as_dict(specs).items():
+                    witnesses[spec] = key_set
+                    if cache is not None:
+                        cache.store_witness_set(spec, version, key_set)
+
+            witness_merge_ids.append(add(_Node(
+                None, on_done=merge_witness, deps=shard_ids,
+                label=f"witness-merge:{relation}",
+            )))
+
+        # The merge barrier: CIND probes may only run once every witness
+        # key set is complete (a shard-partial set would fake violations).
+        barrier = add(_Node(
+            None, deps=tuple(witness_merge_ids), label="witness-barrier",
+        ))
+
+        # CIND LHS probes: shards depend on the barrier; witness sets are
+        # resolved at submission time (they exist by then).
         for relation in cold_cind:
-            db[relation].columns()
-        cind_payloads = _run_all(
-            pool_kind,
-            workers,
-            [(_cind_scan_payload, (rel,)) for rel in cold_cind],
-        )
+            tasks = plan.cind_scans[relation]
+            unit = _unit_shards(db, relation, workers, min_shard_rows, shards)
+            buckets: list[list | None] = [None] * len(unit)
+            shard_ids = tuple(
+                add(_Node(
+                    _cind_shard_payload,
+                    make_args=lambda relation=relation, s=s: (
+                        relation, s.start, s.stop,
+                        [
+                            witnesses[spec]
+                            for spec in _relation_witness_specs(plan, relation)
+                        ],
+                    ),
+                    on_done=lambda p, buckets=buckets, k=s.index: buckets.__setitem__(k, p),
+                    deps=(barrier,),
+                    label=f"cind:{relation}[{s.index}]",
+                ))
+                for s in unit
+            )
+
+            def merge_cind(__, relation=relation, buckets=buckets):
+                tasks = plan.cind_scans[relation]
+                merged = merge_cind_states(
+                    [CINDScanState(b) for b in buckets]
+                )
+                if any(merged.buckets):
+                    # Rebind worker values to the parent's canonical tuples.
+                    by_values: dict[tuple[Any, ...], Tuple] = {
+                        t.values: t for t in db[relation]
+                    }
+                    hits = [
+                        (task, by_values[values])
+                        for task, bucket in zip(tasks, merged.buckets)
+                        for values in bucket
+                    ]
+                else:
+                    hits = []
+                cind_hit_lists[relation] = hits
+                if cache is not None:
+                    cache.store_cind_hits(
+                        relation,
+                        db[relation].version,
+                        cache.cind_deps(tasks, db),
+                        hits,
+                    )
+
+            add(_Node(
+                None, on_done=merge_cind, deps=shard_ids,
+                label=f"cind-merge:{relation}",
+            ))
+
+        _run_graph(pool_kind, workers, nodes)
     finally:
         _STATE = None
-        _WITNESSES = None
         _EXECUTION_LOCK.release()
-
-    for relation, payload in zip(cold_cind, cind_payloads):
-        tasks = plan.cind_scans[relation]
-        if payload:
-            # Rebind worker values to the parent's canonical tuples.
-            by_values: dict[tuple[Any, ...], Tuple] = {
-                t.values: t for t in db[relation]
-            }
-            hits = [(tasks[pos], by_values[values]) for pos, values in payload]
-        else:
-            hits = []
-        cind_hit_lists[relation] = hits
-        if cache is not None:
-            cache.store_cind_hits(
-                relation,
-                db[relation].version,
-                cache.cind_deps(tasks, db),
-                hits,
-            )
 
     return assemble_from_hits(
         plan,

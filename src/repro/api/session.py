@@ -92,6 +92,16 @@ class Session:
             )
         return cls(self.db, self.sigma, self.options)
 
+    @property
+    def effective_executor(self) -> str | None:
+        """The concrete pool kind parallel dispatch runs on, for honest
+        reporting: ``"process"``/``"thread"`` on a parallel memory-backend
+        session (an explicit ``executor="process"`` that had to downgrade
+        to ``"thread"`` — no ``fork`` on the platform — shows up here as
+        ``"thread"``, with a ``RuntimeWarning`` at connect time), ``None``
+        for serial sessions and backends that never parallelize."""
+        return getattr(self.backend, "effective_executor", None)
+
     # -- detection ---------------------------------------------------------
 
     def check(self) -> ViolationReport:

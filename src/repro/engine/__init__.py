@@ -88,21 +88,39 @@ from repro.engine.planner import (
     passes,
     plan_detection,
 )
+from repro.engine.shards import (
+    CFDGroupState,
+    CINDScanState,
+    ShardSpec,
+    WitnessState,
+    cfd_finalize,
+    cfd_map_shard,
+    cind_map_shard,
+    make_shards,
+    witness_map_shard,
+)
 from repro.relational.instance import DatabaseInstance
 
 __all__ = [
+    "CFDGroupState",
     "CFDRowTask",
     "CFDScanGroup",
     "CINDRowTask",
+    "CINDScanState",
     "DetectionPlan",
     "DetectionSummary",
     "SQLScanCache",
     "ScanCache",
+    "ShardSpec",
     "WitnessSpec",
+    "WitnessState",
     "assemble_report",
     "assemble_summary",
     "attribute_positions",
+    "cfd_finalize",
     "cfd_group_hits",
+    "cfd_map_shard",
+    "cind_map_shard",
     "cind_scan_hits",
     "compile_checks",
     "count_violations",
@@ -110,11 +128,13 @@ __all__ = [
     "detect",
     "execute_plan",
     "group_tuples_by",
+    "make_shards",
     "passes",
     "plan_detection",
     "plan_has_violation",
     "projection_column_keys",
     "projection_keys",
+    "witness_map_shard",
     "witness_sets",
 ]
 

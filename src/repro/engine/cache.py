@@ -206,10 +206,16 @@ class SQLScanCache:
       DML (a connection's own writes never move its own ``data_version``).
 
     Entries are keyed by scan-unit tuples chosen by the backend; each
-    records the set of tables it was computed from. The fingerprint check
-    is heuristic by design (a foreign writer that restores both max rowid
-    and count — delete-the-last-row-then-insert — slips through); the
-    backend's own mutations always invalidate explicitly and exactly.
+    records the set of tables it was computed from. The *fingerprint*
+    callable is the backend's choice
+    (``ExecutionOptions(fingerprint=...)``): the default ``(max rowid,
+    row count)`` pair is heuristic by design — a foreign writer that
+    restores both, i.e. delete-the-last-row-then-insert, slips through —
+    while the ``"content"`` mode
+    (:func:`repro.sql.loader.table_content_fingerprint`, a per-row CRC32
+    sum computed inside SQL) closes that hole at the cost of one
+    aggregate scan per table per foreign commit. The backend's own
+    mutations always invalidate explicitly and exactly either way.
     """
 
     __slots__ = ("_entries", "_fingerprints", "_data_version", "hits", "misses")
@@ -275,6 +281,19 @@ class SQLScanCache:
         """Refresh *table*'s fingerprint after the backend's own DML (which
         moves the fingerprint but not this connection's data_version)."""
         self._fingerprints[table] = fp
+
+    def forget_fingerprint(self, table: str) -> None:
+        """Drop *table*'s stored fingerprint (recorded as "unknown").
+
+        For fingerprint modes whose computation is O(table) — the content
+        CRC sum — re-fingerprinting after every own-DML statement would
+        make mutations O(table size). Forgetting instead is always safe:
+        :meth:`begin` treats a missing fingerprint as changed, so the
+        table's entries are (re-)invalidated at the next foreign commit —
+        a spurious extra invalidation there, in exchange for O(1) own
+        writes (which already invalidated the table exactly).
+        """
+        self._fingerprints.pop(table, None)
 
     def clear(self) -> None:
         self._entries.clear()

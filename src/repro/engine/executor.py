@@ -23,6 +23,14 @@ projection key list is built once per ``(relation, positions)`` with
 and — when a :class:`~repro.engine.cache.ScanCache` is supplied — memoized
 against the relation's mutation version so a re-check of unchanged data
 skips the scan entirely and replays the cached hit lists.
+
+Scan units are *sharded* underneath (:mod:`repro.engine.shards`): each
+unit is a ``map_shard`` over a row range producing a mergeable partial
+state, a shard-order ``merge``, and a ``finalize`` that evaluates the
+plan's tasks against the merged state. The serial functions here are the
+1-shard case of that pipeline — the parallel dispatcher
+(:mod:`repro.api.parallel`) runs the very same map/merge/finalize over
+many shards on a pool, which is why its output is bit-identical.
 """
 
 from __future__ import annotations
@@ -39,7 +47,15 @@ from repro.engine.planner import (
     CINDRowTask,
     DetectionPlan,
     WitnessSpec,
-    passes,
+)
+from repro.engine.shards import (
+    cfd_finalize,
+    cfd_map_shard,
+    cind_finalize,
+    cind_map_shard,
+    instance_key_fn,
+    shard_key_fn,
+    witness_map_shard,
 )
 from repro.relational.instance import DatabaseInstance, RelationInstance, Tuple
 
@@ -142,20 +158,24 @@ def witness_sets(
     """
     results: dict[WitnessSpec, set[tuple[Any, ...]]] = {}
     version = instance.version
-    columns = None  # materialized on the first cold spec only
+    cold: list[WitnessSpec] = []
     for spec in specs:
         if cache is not None:
             cached = cache.witness_set(spec, version)
             if cached is not None:
                 results[spec] = cached
                 continue
-        if columns is None:
-            columns = instance.columns()
-        y_keys = projection_keys(instance, spec.y_positions, cache)
-        out = set(filter_by_checks(columns, spec.yp_checks, y_keys))
-        results[spec] = out
-        if cache is not None:
-            cache.store_witness_set(spec, version, out)
+        cold.append(spec)
+    if cold:
+        # The 1-shard case of the shard pipeline: map the whole relation
+        # as one row range (projection lists cache-memoized when possible).
+        state = witness_map_shard(
+            cold, instance.columns(), instance_key_fn(instance, cache)
+        )
+        for spec, out in zip(cold, state.sets):
+            results[spec] = out
+            if cache is not None:
+                cache.store_witness_set(spec, version, out)
     return results
 
 
@@ -174,6 +194,12 @@ def cfd_group_hits(
     every distinct RHS variant) is computed exactly once per tuple, and each
     distinct ``key_checks`` filter exactly once per distinct group key. With
     a cache, the whole hit list is memoized against the relation version.
+
+    This is the 1-shard case of the shard pipeline: one
+    :func:`~repro.engine.shards.cfd_map_shard` over the whole relation,
+    no merge, :func:`~repro.engine.shards.cfd_finalize` in place. The
+    parallel dispatcher maps many shards and merges before the same
+    finalize.
     """
     version = instance.version
     if cache is not None:
@@ -181,78 +207,8 @@ def cfd_group_hits(
         if cached is not None:
             return cached
 
-    lhs_positions = group.lhs_positions
-    keys = projection_keys(instance, lhs_positions, cache)
-    # Per distinct RHS variant: the first observed RHS projection per group
-    # key, plus the keys whose groups *disagree* (saw a second distinct
-    # projection). Equivalent to per-key RHS sets but without allocating a
-    # set per group key: disagreement is all the pair-violation test needs,
-    # and a non-disagreeing group's single shared projection is its first.
-    variant_state: dict[
-        tuple[int, ...], tuple[dict[tuple[Any, ...], tuple], set]
-    ] = {}
-    for variant in group.rhs_variants():
-        first: dict[tuple[Any, ...], tuple] = {}
-        disagree: set[tuple[Any, ...]] = set()
-        if variant == lhs_positions:
-            # RHS projection == group key: groups can never disagree.
-            # (dict(zip(..)) keeps first-occurrence insertion order; the
-            # value is the key itself either way.)
-            first = dict(zip(keys, keys))
-        else:
-            rkeys = projection_keys(instance, variant, cache)
-            setdefault = first.setdefault
-            add = disagree.add
-            for key, rkey in zip(keys, rkeys):
-                if setdefault(key, rkey) != rkey:
-                    add(key)
-        variant_state[variant] = (first, disagree)
-
-    # Any variant's first-map lists the distinct group keys in scan order.
-    first_variant = next(iter(variant_state), None)
-    distinct = (
-        variant_state[first_variant][0] if first_variant is not None else {}
-    )
-
-    hits: list[tuple[Any, tuple[Any, ...], str]] = []
-    filtered: dict[tuple, Any] = {}
-    evaluated: dict[tuple, list[tuple[tuple[Any, ...], str]]] = {}
-    for task in group.tasks:
-        # Tasks sharing (key_checks, rhs_positions, rhs_checks) — distinct
-        # CFDs with structurally identical pattern rows — hit the same
-        # (key, kind) pairs: evaluate once, replicate per task.
-        signature = (task.key_checks, task.rhs_positions, task.rhs_checks)
-        pairs = evaluated.get(signature)
-        if pairs is None:
-            key_checks = task.key_checks
-            candidates = filtered.get(key_checks)
-            if candidates is None:
-                if not key_checks:
-                    candidates = distinct
-                elif len(key_checks) == 1:
-                    (pos, const), = key_checks
-                    candidates = [k for k in distinct if k[pos] == const]
-                else:
-                    candidates = [k for k in distinct if passes(k, key_checks)]
-                filtered[key_checks] = candidates
-            first, disagree = variant_state[task.rhs_positions]
-            rhs_checks = task.rhs_checks
-            if rhs_checks:
-                pairs = []
-                for key in candidates:
-                    if key in disagree:
-                        pairs.append((key, "pair"))
-                    elif not passes(first[key], rhs_checks):
-                        # A single shared RHS value only violates when it
-                        # misses a constant of the pattern's RHS.
-                        pairs.append((key, "single"))
-            elif disagree:
-                pairs = [(key, "pair") for key in candidates if key in disagree]
-            else:
-                pairs = []
-            evaluated[signature] = pairs
-        for key, kind in pairs:
-            hits.append((task, key, kind))
+    state = cfd_map_shard(group, instance_key_fn(instance, cache))
+    hits = cfd_finalize(group, state)
 
     if cache is not None:
         cache.store_cfd_hits(group, version, hits)
@@ -275,46 +231,18 @@ def cind_scan_hits(
     sets come from :func:`witness_sets`; any shard's sets can be merged in
     beforehand (set union is the merge operation). Tasks sharing ``X``
     positions share one projection key list.
+
+    The 1-shard case of the shard pipeline: one
+    :func:`~repro.engine.shards.cind_map_shard` over the whole relation
+    with the canonical ``Tuple`` objects as the per-row payload, then the
+    task-major flatten of :func:`~repro.engine.shards.cind_finalize`.
     """
     rows = instance.rows()
     columns = instance.columns()
-    key_lists: dict[tuple[int, ...], list] = {}
-    evaluated: dict[tuple, list[Tuple]] = {}
-    for task in tasks:
-        witness = witnesses[task.witness]
-        # Tasks sharing (lhs_checks, X positions, witness spec) — distinct
-        # CINDs with structurally identical pattern rows — flag the same
-        # tuples: evaluate once, replicate per task.
-        signature = (task.lhs_checks, task.x_positions, task.witness)
-        hit_rows = evaluated.get(signature)
-        if hit_rows is None:
-            if not task.x_positions:
-                # Empty embedded key: every premise-matching tuple shares
-                # the key (), so the witness test is one set probe.
-                if () in witness:
-                    hit_rows = []
-                else:
-                    hit_rows = list(
-                        filter_by_checks(columns, task.lhs_checks, rows)
-                    )
-            else:
-                x_keys = key_lists.get(task.x_positions)
-                if x_keys is None:
-                    x_keys = key_lists[task.x_positions] = (
-                        projection_column_keys(
-                            columns, task.x_positions, len(rows)
-                        )
-                    )
-                hit_rows = [
-                    t
-                    for key, t in filter_by_checks(
-                        columns, task.lhs_checks, zip(x_keys, rows)
-                    )
-                    if key not in witness
-                ]
-            evaluated[signature] = hit_rows
-        for t in hit_rows:
-            yield task, t
+    state = cind_map_shard(
+        tasks, columns, rows, witnesses, shard_key_fn(columns, len(rows))
+    )
+    yield from cind_finalize(tasks, state)
 
 
 def _cind_any_hit(

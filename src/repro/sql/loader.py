@@ -20,6 +20,7 @@ detectors that key the ``sqlfile`` backend's result cache.
 from __future__ import annotations
 
 import sqlite3
+import zlib
 from pathlib import Path
 
 from repro.errors import SQLBackendError
@@ -126,6 +127,51 @@ def table_fingerprint(
         f"SELECT COALESCE(MAX(rowid), 0), COUNT(*) FROM {q(table)}"
     ).fetchall()
     return (row[0], row[1])
+
+
+def _row_crc(*values) -> int:
+    """Order-insensitive-summable CRC32 of one row's values.
+
+    ``repr`` keeps types apart (``1`` vs ``'1'`` vs ``1.0`` hash
+    differently) and CRC32 is stable across processes and Python runs —
+    unlike ``hash()``, whose string salting would make fingerprints
+    incomparable across sessions reading the same file.
+    """
+    return zlib.crc32(repr(values).encode("utf-8", "surrogatepass"))
+
+
+def ensure_content_hash_function(conn: sqlite3.Connection) -> None:
+    """Register the ``repro_row_crc`` SQL function on *conn* (idempotent)."""
+    conn.create_function("repro_row_crc", -1, _row_crc, deterministic=True)
+
+
+def table_content_fingerprint(
+    conn: sqlite3.Connection, table: str
+) -> tuple[str, int, int]:
+    """A content-sensitive change detector: ``(COUNT(*), SUM(row CRC32))``.
+
+    The rowid heuristic of :func:`table_fingerprint` misses a foreign
+    writer that deletes the newest row and re-inserts a different one —
+    sqlite reuses the vacated max rowid, so both components come back
+    unchanged. Summing a per-row CRC32 over the *values* (computed inside
+    one SQL aggregate via a registered deterministic function) closes
+    that hole: any change to any row's content moves the sum with
+    overwhelming probability, and the sum is insertion-order-independent,
+    matching the instance's set semantics. One full-table aggregate scan
+    per call — consulted only after a ``data_version`` bump, i.e. per
+    foreign commit, never on the warm path. Tagged ``"content"`` so a
+    fingerprint from one mode can never compare equal to the other's.
+    """
+    ensure_content_hash_function(conn)
+    cols = ", ".join(
+        q(row[1])
+        for row in conn.execute(f"PRAGMA table_info({q(table)})").fetchall()
+    )
+    [row] = conn.execute(
+        f"SELECT COUNT(*), COALESCE(SUM(repro_row_crc({cols})), 0) "
+        f"FROM {q(table)}"
+    ).fetchall()
+    return ("content", row[0], row[1])
 
 
 def create_database_file(

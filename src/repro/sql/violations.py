@@ -552,10 +552,18 @@ class SQLPlanExecutor:
             f"FROM {q(rhs_rel.name)} t2 WHERE {where}",
             params,
         )
+        # Bulk-build the covering index after the INSERT (cheaper than
+        # per-row maintenance), then ANALYZE: without a sqlite_stat1 row
+        # sqlite has no idea how big the witness table is, and on large
+        # files it can pick a scan-based anti-join over the index seek
+        # this table exists for. Both run before _witness_ready returns,
+        # so every probe compiles with index and stats in place (asserted
+        # via EXPLAIN QUERY PLAN in the test suite).
         key_list = ", ".join(q(f"k{i}") for i in range(len(y_cols)))
         cursor.execute(
             f"CREATE INDEX {q(name + '_idx')} ON {q(name)} ({key_list})"
         )
+        cursor.execute(f"ANALYZE {q(name)}")
         self._witness_tables[spec] = name
 
     def release_witnesses(self) -> None:

@@ -98,11 +98,18 @@ def assert_all_backends_agree(db, sigma, backends=None):
     for name in backends:
         with api.connect(db, sigma, backend=name) as session:
             assert_session_matches_reference(session, reference, name)
-    # Parallel dispatch (thread pool: cheap, exercises the same merge code
-    # as the process pool) must match serial output exactly.
+    # Parallel dispatch (thread pool: cheap, exercises the same task-graph
+    # and merge code as the process pool) must match serial output exactly
+    # — both at scan-group granularity and with row-range sharding forced
+    # on (every unit split in two, so the shard merge paths always run).
     parallel = api.connect(db, sigma, workers=2, executor="thread")
     assert report_key(parallel.check()) == report_key(reference)
     assert parallel.count().by_constraint() == reference.by_constraint()
+    sharded = api.connect(
+        db, sigma, workers=2, executor="thread", shards=2, min_shard_rows=1
+    )
+    assert report_key(sharded.check()) == report_key(reference)
+    assert sharded.count().by_constraint() == reference.by_constraint()
     return reference
 
 

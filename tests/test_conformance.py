@@ -15,6 +15,7 @@ import itertools
 import pytest
 
 from repro import api
+from repro.api.parallel import fork_available
 from repro.sql.loader import create_database_file
 
 from tests.conformance import BackendContract
@@ -57,6 +58,54 @@ class TestParallelMemoryContract(BackendContract):
     @pytest.fixture
     def make_session(self):
         return _simple_factory("memory", workers=2, executor="thread")
+
+
+class TestShardedParallelMemoryContract(BackendContract):
+    """The memory backend with row-range sharding forced *on*: every scan
+    unit splits into three shards (min_shard_rows=1 so even the tiny
+    fixture relations shard), exercising the task-graph scheduler's
+    map/merge/finalize path end to end against the full contract."""
+
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory(
+            "memory", workers=2, executor="thread",
+            shards=3, min_shard_rows=1,
+        )
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+class TestProcessShardedParallelMemoryContract(BackendContract):
+    """The memory backend on the fork-based *process* pool with sharding
+    forced on: shard states and hit payloads cross a real process
+    boundary (pickled plain values, parent-side rebind) and must still
+    satisfy the whole contract bit-identically."""
+
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory(
+            "memory", workers=2, executor="process",
+            shards=2, min_shard_rows=1,
+        )
+
+
+class TestContentFingerprintSQLFileContract(BackendContract):
+    """The out-of-core backend with the content-hash fingerprint mode —
+    the full contract must hold regardless of how cache invalidation
+    detects foreign writes."""
+
+    @pytest.fixture
+    def make_session(self, tmp_path):
+        counter = itertools.count()
+
+        def factory(db, sigma):
+            path = tmp_path / f"content_{next(counter)}.db"
+            create_database_file(path, db)
+            return api.connect(
+                path, sigma, backend="sqlfile", fingerprint="content"
+            )
+
+        return factory
 
 
 class TestSQLFileContract(BackendContract):

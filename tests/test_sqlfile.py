@@ -469,3 +469,197 @@ def test_sqlfile_cold_reports_match_memory(n_accounts, error_rate, seed):
         path = create_database_file(Path(tmp) / "cold.db", db)
         with api.connect(path, sigma, backend="sqlfile") as session:
             assert report_key(session.check()) == expected
+
+
+class TestContentFingerprint:
+    """``fingerprint="content"`` closes the delete+reinsert hole.
+
+    The default ``(max rowid, COUNT(*))`` fingerprint is blind to a
+    foreign writer that deletes the newest row and inserts a different
+    one — sqlite hands the replacement the vacated max rowid, so both
+    components come back unchanged and the cache keeps serving the stale
+    result. The content mode sums per-row CRC32 hashes inside SQL and
+    catches exactly that write.
+    """
+
+    DIRTY = ("GLA", "UK", "checking", "9.9%")
+
+    def _swap_newest_interest_row(self, path):
+        """Delete interest's max-rowid row, insert DIRTY reusing the rowid.
+
+        Returns the replaced row's values. Asserts the write is invisible
+        to the rowid fingerprint — the precondition of the whole test.
+        """
+        other = sqlite3.connect(path)
+        try:
+            before = table_fingerprint(other, "interest")
+            [(victim_rowid,)] = other.execute(
+                'SELECT MAX(rowid) FROM "interest"'
+            ).fetchall()
+            [victim] = other.execute(
+                'SELECT * FROM "interest" WHERE rowid = ?', (victim_rowid,)
+            ).fetchall()
+            other.execute(
+                'DELETE FROM "interest" WHERE rowid = ?', (victim_rowid,)
+            )
+            other.execute(
+                'INSERT INTO "interest" VALUES (?, ?, ?, ?)', self.DIRTY
+            )
+            other.commit()
+            assert table_fingerprint(other, "interest") == before
+            return victim
+        finally:
+            other.close()
+
+    def _mirror(self, bank, victim):
+        ref = bank.clean_db.copy()
+        interest = bank.schema.relation("interest")
+        assert ref["interest"].discard(Tuple(interest, victim))
+        ref["interest"].add(self.DIRTY)
+        return ref
+
+    def test_rowid_mode_misses_the_swap(self, tmp_path, bank):
+        """Documents the hole: the heuristic serves the stale verdict."""
+        path = create_database_file(tmp_path / "hole.db", bank.clean_db)
+        with api.connect(path, bank.constraints, backend="sqlfile") as s:
+            assert s.is_clean()
+            self._swap_newest_interest_row(path)
+            # data_version moved, fingerprints compared — and matched.
+            assert s.is_clean() is True  # stale: the documented hole
+
+    def test_content_mode_catches_the_swap(self, tmp_path, bank):
+        path = create_database_file(tmp_path / "closed.db", bank.clean_db)
+        with api.connect(
+            path, bank.constraints, backend="sqlfile", fingerprint="content"
+        ) as s:
+            assert s.is_clean()
+            victim = self._swap_newest_interest_row(path)
+            ref = self._mirror(bank, victim)
+            oracle = check_database_naive(ref, bank.constraints)
+            assert s.is_clean() is False
+            assert report_key(s.check()) == report_key(oracle)
+
+    def test_content_mode_own_dml_still_exact(self, tmp_path, bank):
+        path = create_database_file(tmp_path / "dml.db", bank.clean_db)
+        with api.connect(
+            path, bank.constraints, backend="sqlfile", fingerprint="content"
+        ) as s:
+            assert s.is_clean()
+            s.insert("interest", dict(zip(("ab", "ct", "at", "rt"), self.DIRTY)))
+            assert not s.is_clean()
+            victim = Tuple(
+                bank.schema.relation("interest"),
+                dict(zip(("ab", "ct", "at", "rt"), self.DIRTY)),
+            )
+            assert s.delete("interest", victim)
+            assert s.is_clean()
+
+    def test_content_fingerprint_is_content_sensitive_and_stable(
+        self, bank_file
+    ):
+        from repro.sql.loader import table_content_fingerprint
+
+        conn = connect_file(bank_file)
+        conn2 = connect_file(bank_file)
+        fp = table_content_fingerprint(conn, "interest")
+        assert fp[0] == "content"
+        # Stable across connections/processes (CRC32, not salted hash()).
+        assert table_content_fingerprint(conn2, "interest") == fp
+        conn2.close()
+        other = sqlite3.connect(bank_file)
+        [(rid,)] = other.execute('SELECT MAX(rowid) FROM "interest"').fetchall()
+        other.execute('DELETE FROM "interest" WHERE rowid = ?', (rid,))
+        other.execute(
+            'INSERT INTO "interest" VALUES (?, ?, ?, ?)',
+            ("ZZZ", "ZZ", "zz", "0.0%"),
+        )
+        other.commit()
+        assert table_fingerprint(other, "interest") == table_fingerprint(
+            conn, "interest"
+        )  # rowid heuristic: blind
+        assert table_content_fingerprint(conn, "interest") != fp  # content: not
+        other.close()
+        conn.close()
+
+
+class TestWitnessProbePlan:
+    """The pushed-down CIND probe must anti-join via the witness index.
+
+    The witness temp tables exist to turn each per-LHS-row ``NOT EXISTS``
+    into an index seek on large files; the covering index is created
+    before any probe compiles and ``ANALYZE`` publishes its stats so
+    sqlite has real row counts to plan with. Asserted through
+    ``EXPLAIN QUERY PLAN`` on a witness table big enough that a scan
+    would genuinely hurt (on the tiny bank fixture sqlite may *correctly*
+    scan a two-row witness table — that is the stats working, not the
+    index failing).
+    """
+
+    @pytest.fixture
+    def wide_cind_file(self, tmp_path):
+        """R1[a] ⊆ R2[b] with an 800-key witness table."""
+        from repro.core.cind import CIND
+        from repro.core.violations import ConstraintSet
+        from repro.relational.schema import (
+            Attribute,
+            DatabaseSchema,
+            RelationSchema,
+        )
+        from repro.relational.values import WILDCARD as _
+
+        schema = DatabaseSchema(
+            [
+                RelationSchema("R1", [Attribute("a")]),
+                RelationSchema("R2", [Attribute("b")]),
+            ]
+        )
+        db = DatabaseInstance(schema)
+        for i in range(800):
+            db.add("R1", (f"v{i}",))
+            db.add("R2", (f"v{i + 3}",))
+        sigma = ConstraintSet(schema)
+        sigma.add_cind(
+            CIND(
+                schema.relation("R1"), ("a",), (), schema.relation("R2"),
+                ("b",), (), [((_,), (_,))], name="psi_big",
+            )
+        )
+        path = create_database_file(tmp_path / "wide.db", db)
+        return path, sigma
+
+    def test_probe_plan_uses_covering_index(self, wide_cind_file):
+        from repro.engine import plan_detection
+        from repro.sql.violations import SQLPlanExecutor
+
+        path, sigma = wide_cind_file
+        conn = connect_file(path)
+        plan = plan_detection(sigma)
+        executor = SQLPlanExecutor(conn, plan)
+        try:
+            [task] = [
+                t
+                for tasks in plan.cind_scans.values()
+                for t in tasks
+                if t.x_positions
+            ]
+            sql, params = executor._cind_sql(task, "t1.*")
+            assert sql is not None
+            detail = " | ".join(
+                str(row[-1])
+                for row in conn.execute(
+                    "EXPLAIN QUERY PLAN " + sql, params
+                ).fetchall()
+            )
+            assert "__witness_" in detail, detail
+            assert "USING COVERING INDEX" in detail, detail
+            assert "SCAN w" not in detail, detail
+            # ANALYZE materialized stats for the witness table, with the
+            # real row count sqlite plans from.
+            [(tbl, __, stat)] = conn.execute(
+                "SELECT * FROM temp.sqlite_stat1"
+            ).fetchall()
+            assert tbl.startswith("__witness_")
+            assert stat.split()[0] == "800"
+        finally:
+            executor.close()
+            conn.close()
