@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Static-analysis (reasoning) benchmark: cold vs incremental re-analysis.
+
+The deployment story behind ``repro.analyze`` is a Σ that *grows*: a data
+steward adds one constraint to a deployed set of hundreds and wants the
+consistency verdict back immediately. This benchmark times exactly that:
+
+* ``cold``  — build a :class:`repro.analyze.SigmaAnalyzer` over Σ from
+  scratch and produce a full report (every relation's CFD set encoded to
+  SAT and solved, duplicates indexed, chain diagnostics run);
+* ``warm``  — the same analyzer after ``add()`` of one more CFD (a
+  structural copy of an existing one, so its constants are already
+  pooled): the kernel appends one selector-guarded clause block and
+  re-solves only the touched relation; labels, duplicate maps, and Σ
+  snapshots are maintained incrementally.
+
+Every run cross-validates: the warm report must equal (``==``, frozen
+dataclasses all the way down) a from-scratch analyzer's report over the
+same extended Σ, and the counters must prove the warm path really was
+incremental (``incremental_adds`` grew, ``rebuilds`` did not). Exit
+status is non-zero on mismatch or (with ``--min-incremental-speedup``)
+when the largest workload's cold/warm ratio falls short — the full-size
+run gates ≥10x at |Σ|=500 and above. ``--json PATH`` writes the rows as
+machine-readable JSON (CI keeps ``BENCH_reasoning.json`` as an artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_reasoning.py              # full
+    PYTHONPATH=src python benchmarks/bench_reasoning.py --quick      # CI
+    PYTHONPATH=src python benchmarks/bench_reasoning.py --implication
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.analyze import SigmaAnalyzer
+from repro.core.violations import ConstraintSet
+from repro.generator import SchemaConfig, consistent_constraints, random_schema
+
+#: Schema shape: enough relations that a cold pass pays for many kernel
+#: encodings, and constant-rich finite domains so each encoding has real
+#: exactly-one structure (pool² clauses per attribute).
+N_RELATIONS = 12
+MAX_ARITY = 8
+FINITE_DOMAIN_SIZE = (20, 40)
+SEED = 42
+
+
+def build_sigma(size: int) -> ConstraintSet:
+    schema = random_schema(SchemaConfig(
+        seed=SEED,
+        n_relations=N_RELATIONS,
+        max_arity=MAX_ARITY,
+        finite_domain_size=FINITE_DOMAIN_SIZE,
+    ))
+    sigma, __ = consistent_constraints(
+        schema, size, rng=random.Random(SEED + size)
+    )
+    return sigma
+
+
+def run_case(size: int, repeats: int, implication: bool) -> dict:
+    sigma = build_sigma(size)
+
+    # Cold: fresh analyzer + full report, genuinely from scratch per repeat.
+    cold_s = float("inf")
+    analyzer = None
+    cold_report = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        candidate = SigmaAnalyzer(sigma)
+        cold_report = candidate.report()
+        cold_s = min(cold_s, time.perf_counter() - start)
+        analyzer = candidate
+    assert analyzer is not None and cold_report is not None
+    rebuilds_before = analyzer.rebuilds
+    adds_before = analyzer.incremental_adds
+
+    # Warm: +1 structural copy, then a full re-report. Each repeat adds
+    # the next copy (Σ grows by `repeats` CFDs — negligible), so every
+    # timed iteration exercises a real add + re-diagnosis of one relation.
+    warm_s = float("inf")
+    warm_report = None
+    extra: list = []
+    for i in range(repeats):
+        copy = sigma.cfds[i % len(sigma.cfds)]
+        extra.append(copy)
+        start = time.perf_counter()
+        analyzer.add(copy)
+        warm_report = analyzer.report()
+        warm_s = min(warm_s, time.perf_counter() - start)
+    assert warm_report is not None
+
+    # The warm path must have been genuinely incremental...
+    if analyzer.rebuilds != rebuilds_before:
+        raise AssertionError(
+            f"|Σ|={size}: adding a structural copy forced "
+            f"{analyzer.rebuilds - rebuilds_before} kernel rebuild(s)"
+        )
+    if analyzer.incremental_adds != adds_before + repeats:
+        raise AssertionError(
+            f"|Σ|={size}: expected {repeats} incremental clause-block "
+            f"add(s), counted {analyzer.incremental_adds - adds_before}"
+        )
+    # ...and exact: equal to a from-scratch analysis of the extended Σ.
+    extended = ConstraintSet(
+        sigma.schema, cfds=list(sigma.cfds) + extra, cinds=list(sigma.cinds)
+    )
+    fresh_report = SigmaAnalyzer(extended).report()
+    if warm_report != fresh_report:
+        raise AssertionError(
+            f"|Σ|={size}: incremental report diverged from from-scratch "
+            f"report on the same Σ"
+        )
+
+    implication_s = None
+    if implication:
+        start = time.perf_counter()
+        analyzer.report(implication=True)
+        implication_s = time.perf_counter() - start
+
+    ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+    row = {
+        "size": size,
+        "n_cfds": sigma_counts(sigma)[0],
+        "n_cinds": sigma_counts(sigma)[1],
+        "relations": N_RELATIONS,
+        "consistent": cold_report.cfds_consistent,
+        "findings": len(cold_report.findings),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "incremental_speedup": ratio,
+        "implication_s": implication_s,
+    }
+    imp_part = (
+        f" implication={implication_s:.3f}s" if implication_s is not None
+        else ""
+    )
+    print(
+        f"|Σ|={size:<5} cfds={row['n_cfds']:<5} cinds={row['n_cinds']:<5} "
+        f"findings={row['findings']:<4} cold={cold_s * 1000:.1f}ms "
+        f"warm(+1)={warm_s * 1000:.2f}ms "
+        f"incremental_speedup={ratio:.1f}x{imp_part}"
+    )
+    return row
+
+
+def sigma_counts(sigma: ConstraintSet) -> tuple[int, int]:
+    return len(sigma.cfds), len(sigma.cinds)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=[100, 500, 2000],
+        help="|Σ| values to benchmark (default: 100 500 2000)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: |Σ|=100 only, 2 repeats",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--implication", action="store_true",
+        help="also time a full report with the implied-constraint tier "
+        "(bounded chase / two-tuple SAT) at each size",
+    )
+    parser.add_argument(
+        "--min-incremental-speedup", type=float, default=0.0,
+        help="fail if the largest |Σ|'s cold/warm ratio is below this "
+        "(the full run gates 10.0 at |Σ|>=500)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write result rows as JSON (e.g. BENCH_reasoning.json)",
+    )
+    args = parser.parse_args(argv)
+    sizes = [100] if args.quick else args.sizes
+    if not sizes:
+        parser.error("--sizes needs at least one value")
+    repeats = 2 if args.quick else args.repeats
+
+    rows = [run_case(size, repeats, args.implication) for size in sizes]
+
+    largest = max(rows, key=lambda row: row["size"])
+    print(
+        f"\nlargest Σ ({largest['size']}): cold "
+        f"{largest['cold_s'] * 1000:.1f}ms, +1-constraint re-analysis "
+        f"{largest['warm_s'] * 1000:.2f}ms -> "
+        f"{largest['incremental_speedup']:.1f}x"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "bench_reasoning",
+            "sizes": sizes,
+            "repeats": repeats,
+            "schema": {
+                "n_relations": N_RELATIONS,
+                "max_arity": MAX_ARITY,
+                "finite_domain_size": list(FINITE_DOMAIN_SIZE),
+                "seed": SEED,
+            },
+            "rows": rows,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if (
+        args.min_incremental_speedup
+        and largest["incremental_speedup"] < args.min_incremental_speedup
+    ):
+        print(
+            f"FAIL: |Σ|={largest['size']} incremental speedup "
+            f"{largest['incremental_speedup']:.1f}x < required "
+            f"{args.min_incremental_speedup:.1f}x (the +1-constraint "
+            f"re-analysis must decisively beat a cold pass)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

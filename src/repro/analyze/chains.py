@@ -1,0 +1,152 @@
+"""CIND chain diagnostics over the dependency graph ``G[Σ]`` (Section 5.3).
+
+Structural hazards — not inconsistencies — that make the chase-based
+reasoning procedures expensive or force them to branch:
+
+* **self-cycles** — a CIND from a relation to itself means every chase
+  step that fires it can fire again on the tuple it just added;
+* **cycles** — a strongly connected component of two or more relations
+  keeps tuples circulating between relations (the paper's preProcessing
+  cannot peel them; they all go to RandomChecking);
+* **deep chains** — the longest acyclic CIND path bounds how many chase
+  rounds a single tuple can trigger transitively;
+* **high fanout** — one relation with many outgoing CIND edges multiplies
+  the witnesses a single witness tuple must drag in.
+
+All of it is graph-only (Tarjan SCCs + a longest-path pass over the
+condensation DAG): no SAT, no chase — cheap enough for ``validate=True``
+at every connect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analyze.report import Finding
+from repro.core.cind import CIND
+from repro.core.violations import ConstraintSet, constraint_labels
+from repro.graph.digraph import DiGraph
+
+#: Chains longer than this draw a ``deep-cind-chain`` warning.
+DEFAULT_MAX_CHAIN = 8
+#: Relations with more outgoing CIND edges than this draw a warning.
+DEFAULT_MAX_FANOUT = 8
+
+
+def cind_graph(cinds: Sequence[CIND]) -> DiGraph[str]:
+    """``G[Σ]`` restricted to what chain analysis needs: relation nodes
+    touched by CINDs, one edge per (src, dst) pair."""
+    graph: DiGraph[str] = DiGraph()
+    for cind in cinds:
+        graph.add_edge(cind.lhs_relation.name, cind.rhs_relation.name)
+    return graph
+
+
+def longest_chain(graph: DiGraph[str]) -> tuple[int, tuple[str, ...]]:
+    """Longest path (in edges) through the condensation DAG of *graph*.
+
+    Cycles collapse to single condensation nodes, so the length is the
+    number of *inter-component* CIND hops on the longest chain; the second
+    element is one representative relation per component along it.
+    """
+    components = graph.strongly_connected_components()
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    # Components come in reverse topological order: every inter-component
+    # edge goes from a later component to an earlier one, so one forward
+    # pass sees each component after all its successors.
+    depth = [0] * len(components)
+    next_hop = [-1] * len(components)
+    for index, component in enumerate(components):
+        for node in component:
+            for succ in graph.successors(node):
+                target = component_of[succ]
+                if target != index and depth[target] + 1 > depth[index]:
+                    depth[index] = depth[target] + 1
+                    next_hop[index] = target
+    if not components:
+        return 0, ()
+    start = max(range(len(components)), key=depth.__getitem__)
+    path = [min(components[start])]
+    cursor = start
+    while next_hop[cursor] != -1:
+        cursor = next_hop[cursor]
+        path.append(min(components[cursor]))
+    return depth[start], tuple(path)
+
+
+def chain_findings(
+    sigma: ConstraintSet,
+    max_chain: int = DEFAULT_MAX_CHAIN,
+    max_fanout: int = DEFAULT_MAX_FANOUT,
+    labels: dict[int, str] | None = None,
+) -> list[Finding]:
+    """Structural warnings for the CINDs of *sigma* (deterministic order)."""
+    if labels is None:
+        labels = constraint_labels(sigma)
+    findings: list[Finding] = []
+    graph = cind_graph(sigma.cinds)
+
+    for cind in sigma.cinds:
+        if cind.lhs_relation.name == cind.rhs_relation.name:
+            findings.append(Finding(
+                severity="warning",
+                code="cind-self-cycle",
+                message=(
+                    f"CIND from {cind.lhs_relation.name!r} to itself: every "
+                    "chase step that fires it can fire again on the tuple "
+                    "it just added (forces branching cutoffs)"
+                ),
+                constraints=(labels[id(cind)],),
+                relation=cind.lhs_relation.name,
+            ))
+
+    for component in graph.strongly_connected_components():
+        names = sorted(component)
+        if len(names) < 2:
+            continue  # self-loops already reported per CIND above
+        members = tuple(
+            labels[id(cind)]
+            for cind in sigma.cinds
+            if cind.lhs_relation.name in component
+            and cind.rhs_relation.name in component
+        )
+        findings.append(Finding(
+            severity="warning",
+            code="cind-cycle",
+            message=(
+                f"CIND cycle through {', '.join(names)}: preProcessing "
+                "cannot peel these relations; they fall through to "
+                "RandomChecking together"
+            ),
+            constraints=members,
+        ))
+
+    depth, path = longest_chain(graph)
+    if depth > max_chain:
+        findings.append(Finding(
+            severity="warning",
+            code="deep-cind-chain",
+            message=(
+                f"CIND chain of {depth} hops "
+                f"({' -> '.join(path)}): one tuple can transitively force "
+                f"witnesses {depth} relations away (chase budget risk)"
+            ),
+        ))
+
+    for relation in sorted(graph.nodes):
+        fanout = graph.out_degree(relation)
+        if fanout > max_fanout:
+            findings.append(Finding(
+                severity="warning",
+                code="high-cind-fanout",
+                message=(
+                    f"{relation!r} has CIND edges into {fanout} relation(s):"
+                    " every tuple matching their premises drags in that many"
+                    " witnesses"
+                ),
+                relation=relation,
+            ))
+    return findings

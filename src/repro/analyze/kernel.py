@@ -1,0 +1,235 @@
+"""Incremental single-relation CFD consistency kernel (selector-SAT).
+
+:func:`repro.consistency.encode.sat_cfd_consistency` is exact but
+monolithic: every query re-encodes Σ from scratch. This kernel makes the
+same reduction *incremental* so the analyzer can answer "is this new
+constraint consistent with the deployed Σ?" in one solver call:
+
+* every CFD's clause block is guarded by a fresh **selector** variable
+  ``s_i`` (each clause becomes ``clause ∨ ¬s_i``), so any subset of Σ is
+  checked by choosing assumptions — no re-encoding, no clause deletion;
+* candidate pools (finite domain values, or Σ-constants + one fresh
+  "none of the above" value) are built once; adding a CFD whose constants
+  are already pooled appends its guarded block to the live solver, and
+  only a CFD introducing new constants forces a rebuild of *this
+  relation's* encoding (other relations are untouched);
+* UNSAT diagnosis runs entirely under assumptions: per-CFD solo checks
+  find statically unsatisfiable CFDs, deletion-based core minimization
+  finds a minimal conflicting group, and pairwise probes inside the core
+  name the conflicting pairs.
+
+Soundness of subset checks with Σ-wide pools: extra candidate values only
+add models (SAT ⇒ consistent), and any value outside the subset's
+constants behaves exactly like the pooled fresh value (UNSAT ⇒
+inconsistent), so every subset verdict is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.consistency.encode import candidate_values
+from repro.consistency.sat import Solver
+from repro.core.cfd import CFD
+from repro.core.normalize import normalize_cfds
+from repro.errors import ConstraintError
+from repro.relational.domains import FiniteDomain
+from repro.relational.schema import RelationSchema
+from repro.relational.values import is_wildcard
+
+
+@dataclass(frozen=True)
+class RelationDiagnosis:
+    """Consistency verdict for one relation's CFD set.
+
+    Indexes are kernel-local (the order CFDs were added); the analyzer
+    maps them back to Σ positions.
+    """
+
+    relation: str
+    consistent: bool
+    #: CFDs unsatisfiable on their own (constant conflicts in the pattern
+    #: tableau, finite-domain exhaustion, ...).
+    unsat_singles: tuple[int, ...] = ()
+    #: A minimal conflicting group among the individually-satisfiable CFDs
+    #: (empty when the singles alone explain the inconsistency).
+    conflict_core: tuple[int, ...] = ()
+    #: Pairs within the core that are already jointly unsatisfiable.
+    conflict_pairs: tuple[tuple[int, int], ...] = ()
+
+
+class RelationKernel:
+    """One relation's CFDs in one persistent assumption-guarded solver."""
+
+    def __init__(self, relation: RelationSchema):
+        self.relation = relation
+        self._cfds: list[CFD] = []
+        self._selectors: list[int] = []
+        self._solver: Solver | None = None
+        self._var_of: dict[tuple[str, Any], int] = {}
+        #: Constants covered by the current pools, per infinite-domain
+        #: attribute (finite-domain pools always cover the whole domain).
+        self._pooled: dict[str, set[Any]] = {}
+        self._stale = True
+        #: Clause blocks appended since the last full rebuild — purely
+        #: informational (lets tests/benchmarks verify incrementality).
+        self.incremental_adds = 0
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._cfds)
+
+    @property
+    def cfds(self) -> tuple[CFD, ...]:
+        return tuple(self._cfds)
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, cfd: CFD) -> None:
+        """Add *cfd*; O(its clause block) when its constants are pooled."""
+        if cfd.relation.name != self.relation.name:
+            raise ConstraintError(
+                f"CFD on {cfd.relation.name!r} added to kernel for "
+                f"{self.relation.name!r}"
+            )
+        self._cfds.append(cfd)
+        if self._stale or not self._covers(cfd):
+            self._stale = True
+            return
+        assert self._solver is not None
+        selector = self._solver.new_var()
+        self._selectors.append(selector)
+        self._encode_block(cfd, selector)
+        self.incremental_adds += 1
+
+    def _covers(self, cfd: CFD) -> bool:
+        """Do the current pools already contain every constant of *cfd*?
+
+        Per-attribute: a constant on an infinite-domain attribute must be
+        in that attribute's pooled constant set (the fresh value was chosen
+        to dodge all pooled constants, so membership keeps it fresh).
+        Finite-domain constants are always pooled — the CFD constructor
+        rejects out-of-domain constants.
+        """
+        for row in cfd.tableau:
+            for attr, value in list(row.lhs.items()) + list(row.rhs.items()):
+                if is_wildcard(value):
+                    continue
+                if attr in self._pooled and value not in self._pooled[attr]:
+                    return False
+        return True
+
+    def _ensure(self) -> None:
+        if not self._stale:
+            return
+        self.rebuilds += 1
+        self._stale = False
+        solver = Solver()
+        pools = candidate_values(self.relation, self._cfds)
+        var_of: dict[tuple[str, Any], int] = {}
+        for attr, pool in pools.items():
+            for value in pool:
+                var_of[(attr, value)] = solver.new_var()
+        # Exactly-one value per attribute (unguarded: structural, shared by
+        # every subset query).
+        for attr, pool in pools.items():
+            solver.add_clause([var_of[(attr, v)] for v in pool])
+            for i in range(len(pool)):
+                for j in range(i + 1, len(pool)):
+                    solver.add_clause(
+                        [-var_of[(attr, pool[i])], -var_of[(attr, pool[j])]]
+                    )
+        self._solver = solver
+        self._var_of = var_of
+        self._pooled = {
+            attr.name: set(pools[attr.name][:-1])  # pool minus the fresh value
+            for attr in self.relation
+            if not isinstance(attr.domain, FiniteDomain)
+        }
+        self._selectors = []
+        for cfd in self._cfds:
+            selector = solver.new_var()
+            self._selectors.append(selector)
+            self._encode_block(cfd, selector)
+
+    def _encode_block(self, cfd: CFD, selector: int) -> None:
+        """Guarded clauses of one CFD: active only under its selector."""
+        assert self._solver is not None
+        for part in normalize_cfds([cfd]):
+            pattern = part.pattern
+            rhs_attr = part.rhs_attribute
+            rhs_value = pattern.rhs_value(rhs_attr)
+            if is_wildcard(rhs_value):
+                continue  # vacuous on a single tuple
+            clause: list[int] = [-selector]
+            premise_possible = True
+            for attr in part.lhs:
+                value = pattern.lhs_value(attr)
+                if is_wildcard(value):
+                    continue
+                key = (attr, value)
+                if key not in self._var_of:
+                    premise_possible = False
+                    break
+                clause.append(-self._var_of[key])
+            if not premise_possible:
+                continue
+            rhs_key = (rhs_attr, rhs_value)
+            if rhs_key in self._var_of:
+                clause.append(self._var_of[rhs_key])
+            self._solver.add_clause(clause)
+
+    # -- queries ------------------------------------------------------------
+
+    def _solve(self, indexes: Iterable[int]) -> bool:
+        assert self._solver is not None
+        assumptions = [self._selectors[i] for i in indexes]
+        return self._solver.solve(assumptions=assumptions).satisfiable
+
+    def consistent(self, indexes: Sequence[int] | None = None) -> bool:
+        """Is the (sub)set of this relation's CFDs satisfiable? Exact."""
+        if not self._cfds:
+            return True
+        self._ensure()
+        if indexes is None:
+            indexes = range(len(self._cfds))
+        return self._solve(indexes)
+
+    def diagnose(self) -> RelationDiagnosis:
+        """Full verdict; on UNSAT, name singles, a minimal core, and pairs."""
+        name = self.relation.name
+        if not self._cfds or self.consistent():
+            return RelationDiagnosis(relation=name, consistent=True)
+        everything = range(len(self._cfds))
+        singles = tuple(i for i in everything if not self._solve([i]))
+        survivors = [i for i in everything if i not in singles]
+        core: tuple[int, ...] = ()
+        pairs: tuple[tuple[int, int], ...] = ()
+        if survivors and not self._solve(survivors):
+            core = self._minimize(survivors)
+            pairs = tuple(
+                (core[a], core[b])
+                for a in range(len(core))
+                for b in range(a + 1, len(core))
+                if not self._solve([core[a], core[b]])
+            )
+        return RelationDiagnosis(
+            relation=name,
+            consistent=False,
+            unsat_singles=singles,
+            conflict_core=core,
+            conflict_pairs=pairs,
+        )
+
+    def _minimize(self, unsat_subset: list[int]) -> tuple[int, ...]:
+        """Deletion-based minimization: every member is necessary."""
+        core = list(unsat_subset)
+        position = 0
+        while position < len(core):
+            trial = core[:position] + core[position + 1:]
+            if trial and not self._solve(trial):
+                core = trial
+            else:
+                position += 1
+        return tuple(core)

@@ -105,6 +105,22 @@ def summarize(report: ViolationReport) -> DetectionSummary:
     )
 
 
+def build_plan(sigma: ConstraintSet, options: ExecutionOptions):
+    """The backend-shared plan builder, honoring ``prune_implied``.
+
+    With ``options.prune_implied`` the static analyzer's safe prune map
+    (structural duplicates only) is compiled into the plan: duplicate
+    constraints keep their report slots but share their twin's scans.
+    The plan-free backends (naive, sql) never call this — pruning is
+    trivially a no-op for them.
+    """
+    if options.prune_implied:
+        from repro.analyze.redundancy import detection_prune_map
+
+        return plan_detection(sigma, analysis=detection_prune_map(sigma))
+    return plan_detection(sigma)
+
+
 class BaseBackend:
     """Shared plumbing: mutation routing plus derived count/is_clean/stream.
 
@@ -192,7 +208,7 @@ class MemoryBackend(BaseBackend):
         super().__init__(db, sigma, options)
         # Plans depend only on Σ, never on the data: build one, keep it
         # across checks and mutations (the repair loop relies on this).
-        self._plan = plan_detection(sigma)
+        self._plan = build_plan(sigma, self.options)
         self._cache = ScanCache(self._plan)
         # Resolve the pool kind once, up front: an explicit "process" on a
         # fork-less platform warns here (once per session, not per check)
@@ -512,7 +528,7 @@ class SQLFileBackend(BaseBackend):
         except SQLBackendError:
             self.conn.close()
             raise
-        self._plan = plan_detection(sigma)
+        self._plan = build_plan(sigma, self.options)
         self._executor = SQLPlanExecutor(self.conn, self._plan)
         self._cache = SQLScanCache()
         self._tables = tuple(sigma.schema.relation_names)
@@ -778,7 +794,7 @@ class IncrementalBackend(BaseBackend):
     def __init__(self, db, sigma, options=None):
         super().__init__(db, sigma, options)
         self._checker: IncrementalChecker | None = None
-        self._plan = plan_detection(sigma)
+        self._plan = build_plan(sigma, self.options)
         self._cache = ScanCache(self._plan)
 
     @property

@@ -81,6 +81,23 @@ class ExecutionOptions:
         database file read-only, so ``insert``/``delete`` fail loudly and
         the session can never write to a file it is only meant to audit.
         In-memory backends ignore it.
+    validate:
+        Run the fast static-analysis tiers over Σ at connect time
+        (consistency kernel, duplicates, chain diagnostics — no
+        implication) and issue a
+        :class:`~repro.analyze.report.SigmaWarning` when Σ has errors,
+        i.e. its CFDs admit no satisfying instance with matching tuples.
+        The session still connects — warnings never block — and the full
+        report stays available via :meth:`Session.analyze`.
+    prune_implied:
+        Let the planner skip scan work for constraints the static
+        analysis proves *violation-equivalent* to an earlier one
+        (structural duplicates: same relations, attribute lists, and
+        pattern tableau). Reports and summaries are reconstructed from
+        the kept twin and are bit-identical — including ordering — to an
+        unpruned run's; merely *implied* constraints are never pruned
+        (their violation lists are their own). No-op on the plan-free
+        ``naive`` and ``sql`` backends.
     """
 
     mode: str = "full"
@@ -90,6 +107,8 @@ class ExecutionOptions:
     shards: int = 0
     fingerprint: str = "rowid"
     readonly: bool = False
+    validate: bool = False
+    prune_implied: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -120,6 +139,14 @@ class ExecutionOptions:
         if not isinstance(self.readonly, bool):
             raise ValueError(
                 f"readonly must be a bool, got {self.readonly!r}"
+            )
+        if not isinstance(self.validate, bool):
+            raise ValueError(
+                f"validate must be a bool, got {self.validate!r}"
+            )
+        if not isinstance(self.prune_implied, bool):
+            raise ValueError(
+                f"prune_implied must be a bool, got {self.prune_implied!r}"
             )
 
     @property

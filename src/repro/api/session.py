@@ -30,7 +30,10 @@ session per (db, Σ) workload rather than reconnecting per call.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.analyze.report import SigmaReport
 
 from repro.api.backends import BACKENDS, Backend, BaseBackend
 from repro.api.options import ExecutionOptions
@@ -61,7 +64,26 @@ class Session:
         self.db = db
         self.sigma = sigma
         self.options = options or ExecutionOptions()
+        self._analysis: dict[bool, "SigmaReport"] = {}
+        if self.options.validate:
+            self._validate_sigma()
         self.backend = self._resolve_backend(backend)
+
+    def _validate_sigma(self) -> None:
+        """Fast static checks at connect; warn (never block) on errors."""
+        import warnings
+
+        from repro.analyze.report import SigmaWarning
+
+        report = self.analyze()
+        if report.errors:
+            lines = "; ".join(str(f) for f in report.errors)
+            warnings.warn(
+                f"Σ is statically inconsistent ({len(report.errors)} "
+                f"error(s)): {lines}",
+                SigmaWarning,
+                stacklevel=4,
+            )
 
     def _resolve_backend(
         self, backend: str | Backend | type[BaseBackend]
@@ -101,6 +123,25 @@ class Session:
         ``"thread"``, with a ``RuntimeWarning`` at connect time), ``None``
         for serial sessions and backends that never parallelize."""
         return getattr(self.backend, "effective_executor", None)
+
+    # -- static analysis ---------------------------------------------------
+
+    def analyze(self, implication: bool = False) -> "SigmaReport":
+        """Static analysis of this session's Σ (no data is scanned).
+
+        Consistency kernel + duplicate detection + CIND chain
+        diagnostics; ``implication=True`` adds the advisory implied-
+        constraint tier (bounded chase / two-tuple SAT — slower on large
+        Σ). Results are memoized per flag value: Σ is immutable for the
+        session's lifetime, so repeated calls are free.
+        """
+        report = self._analysis.get(implication)
+        if report is None:
+            from repro.analyze import analyze_sigma
+
+            report = analyze_sigma(self.sigma, implication=implication)
+            self._analysis[implication] = report
+        return report
 
     # -- detection ---------------------------------------------------------
 
@@ -208,6 +249,13 @@ def connect(
         connect(db, sigma, backend="sql")
         connect("accounts.db", sigma, backend="sqlfile")
         connect(db, sigma, options=ExecutionOptions(mode="count"))
+        connect(db, sigma, validate=True)   # warn if Σ is inconsistent
+        connect(db, sigma, prune_implied=True)  # skip duplicate scans
+
+    ``validate=True`` runs the fast static-analysis tiers over Σ at
+    connect time and issues a :class:`~repro.analyze.report.SigmaWarning`
+    when Σ's CFDs are statically inconsistent; the full report is always
+    available via :meth:`Session.analyze`, with or without the flag.
     """
     if options is not None and option_fields:
         raise ReproError(

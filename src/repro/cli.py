@@ -6,7 +6,9 @@ CSVs (one per relation, named ``<relation>.csv``):
 * ``check``       — report CFD/CIND violations (any ``repro.api`` backend:
   memory, naive, sql, incremental — all print the same report);
 * ``repair``      — write a repaired copy of the data;
-* ``consistency`` — run the heuristic Checking algorithm on Σ itself.
+* ``consistency`` — run the heuristic Checking algorithm on Σ itself;
+* ``lint-sigma``  — static analysis of Σ (no data needed): exact CFD
+  consistency, duplicate/implied constraints, CIND chain diagnostics.
 
 Schema file syntax (one relation per line, ``#`` comments)::
 
@@ -181,6 +183,24 @@ def cmd_consistency(args: argparse.Namespace) -> int:
     return 0 if decision.consistent else 1
 
 
+def cmd_lint_sigma(args: argparse.Namespace) -> int:
+    """Static analysis of Σ. Exit codes: 0 clean, 1 errors, 3 warnings-only
+    (promoted to 1 under --strict); 2 stays the operational-failure code."""
+    from repro.analyze import analyze_sigma
+
+    schema, sigma = _load(args)
+    report = analyze_sigma(sigma, implication=not args.no_implication)
+    if args.json:
+        print(report.to_json_text())
+    else:
+        print(report.render_text())
+    if report.errors:
+        return 1
+    if report.warnings:
+        return 1 if args.strict else 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -233,6 +253,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cons.add_argument("--k", type=int, default=20, help="RandomChecking attempts")
     p_cons.add_argument("--seed", type=int, default=0)
     p_cons.set_defaults(func=cmd_consistency)
+
+    p_lint = sub.add_parser(
+        "lint-sigma",
+        help="static analysis of Σ: consistency, redundancy, CIND chains",
+    )
+    common(p_lint, with_data=False)
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report on stdout instead of text",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on warnings too (default: warnings-only exits 3)",
+    )
+    p_lint.add_argument(
+        "--no-implication", action="store_true",
+        help="skip the implied-constraint tier (bounded chase / two-tuple "
+        "SAT) — faster on large Σ",
+    )
+    p_lint.set_defaults(func=cmd_lint_sigma)
     return parser
 
 

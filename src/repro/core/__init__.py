@@ -14,7 +14,12 @@ from repro.core.consistency import (
     build_cind_witness,
     is_consistent_cinds,
 )
-from repro.core.cover import CoverResult, minimal_cover_cinds
+from repro.core.cover import (
+    CoverResult,
+    Removal,
+    minimal_cover_cfds,
+    minimal_cover_cinds,
+)
 from repro.core.implication import (
     ImplicationResult,
     ImplicationStatus,
@@ -66,6 +71,7 @@ __all__ = [
     "CINDViolation",
     "ConstraintSet",
     "CoverResult",
+    "Removal",
     "Derivation",
     "DerivationStep",
     "ImplicationResult",
@@ -101,6 +107,7 @@ __all__ = [
     "is_normalized_cind_set",
     "matches",
     "matches_all",
+    "minimal_cover_cfds",
     "minimal_cover_cinds",
     "normalize_cfd",
     "normalize_cfds",

@@ -1,31 +1,88 @@
-"""Minimal covers of CIND sets (Section 8, "future work").
+"""Minimal covers of CIND and CFD sets (Section 8, "future work").
 
 A minimal cover ``Σmc`` of Σ is an equivalent subset with no redundant
 member: no ``ψ ∈ Σmc`` with ``Σmc − {ψ} |= ψ``. Computing one exactly
 requires implication tests — undecidable for CFDs + CINDs and EXPTIME for
-CINDs — so, as the paper suggests, we use the *heuristic* (bounded,
-three-valued) implication checker: a dependency is dropped only when the
-checker answers ``IMPLIED``, so the output is always equivalent to the
-input; it merely may keep a redundant member whose redundancy the bounded
-chase could not establish.
+CINDs — so, as the paper suggests, the CIND cover uses the *heuristic*
+(bounded, three-valued) implication checker: a dependency is dropped only
+when the checker answers ``IMPLIED``, so the output is always equivalent to
+the input; it merely may keep a redundant member whose redundancy the
+bounded chase could not establish. The CFD cover uses the **exact**
+two-tuple SAT test of :mod:`repro.consistency.cfd_implication` (implication
+of CFDs alone is coNP-complete, hence decidable), so it has no
+``undecided`` bucket.
+
+Both covers are greedy single-pass eliminations: each candidate is tested
+against the *current* survivor set, so the scan order decides which member
+of a mutually-redundant clique survives. The order is an explicit,
+documented parameter (``"reverse"``, the historical default, tries later —
+typically more specific — dependencies for removal first; ``"forward"``
+scans in insertion order). Each removal records which survivors justified
+it (a :class:`Removal`), which the static analyzer surfaces as the
+implicants of an ``implied-*`` finding.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Generic, Iterable, Sequence, TypeVar
 
+from repro.core.cfd import CFD
 from repro.core.cind import CIND
 from repro.core.implication import ImplicationStatus, implies
-from repro.relational.schema import DatabaseSchema
+from repro.errors import ConstraintError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+C = TypeVar("C", CFD, CIND)
+
+#: Valid scan orders for the greedy elimination.
+COVER_ORDERS = ("reverse", "forward")
+
+
+@dataclass(frozen=True)
+class Removal(Generic[C]):
+    """One eliminated dependency plus the survivors that entail it.
+
+    ``implicants`` is a single structurally-identical or single implying
+    survivor when one suffices (probed first — the cheap, actionable
+    case), otherwise the full survivor set at removal time.
+    """
+
+    candidate: C
+    implicants: tuple[C, ...]
+
+    @property
+    def singleton(self) -> bool:
+        """True when one survivor alone entails the candidate."""
+        return len(self.implicants) == 1
 
 
 @dataclass
-class CoverResult:
-    cover: list[CIND]
-    removed: list[CIND] = field(default_factory=list)
+class CoverResult(Generic[C]):
+    cover: list[C]
+    removed: list[C] = field(default_factory=list)
     #: Members whose redundancy test returned UNKNOWN (kept conservatively).
-    undecided: list[CIND] = field(default_factory=list)
+    undecided: list[C] = field(default_factory=list)
+    #: Per-removal justification, parallel to ``removed``.
+    removals: list[Removal[C]] = field(default_factory=list)
+
+
+def _scan_indexes(count: int, order: str) -> Iterable[int]:
+    if order not in COVER_ORDERS:
+        raise ConstraintError(
+            f"cover order must be one of {COVER_ORDERS}, got {order!r}"
+        )
+    return range(count - 1, -1, -1) if order == "reverse" else range(count)
+
+
+def _structural_implicant(
+    items: Sequence[C], alive: Sequence[bool], candidate: C
+) -> C | None:
+    """A surviving structural duplicate of *candidate*, if any (free)."""
+    for index, other in enumerate(items):
+        if alive[index] and other == candidate:
+            return other
+    return None
 
 
 def minimal_cover_cinds(
@@ -33,28 +90,132 @@ def minimal_cover_cinds(
     cinds: Iterable[CIND],
     max_tuples: int = 200,
     max_branches: int = 128,
-) -> CoverResult:
+    order: str = "reverse",
+    justify: bool = True,
+) -> CoverResult[CIND]:
     """Greedily remove CINDs entailed by the rest.
 
-    Scans in reverse insertion order (later, more specific dependencies are
-    tried for removal first), re-testing against the current survivor set so
-    the result is order-dependent but always sound: ``cover ≡ input``.
+    ``order`` decides which member of a mutually-redundant group survives:
+    ``"reverse"`` (default) tries later, typically more specific,
+    dependencies for removal first; ``"forward"`` scans in insertion
+    order. Either way the result is sound (``cover ≡ input``) — only the
+    choice of surviving representative changes.
+
+    Candidates are tested against the live survivor set via a generator
+    (no per-step list slicing); with ``justify=True`` each removal's
+    :class:`Removal` names an implicant — a surviving structural duplicate
+    or a single implying survivor when one exists, else the survivor set.
     """
-    survivors: list[CIND] = list(cinds)
-    removed: list[CIND] = []
-    undecided: list[CIND] = []
-    index = len(survivors) - 1
-    while index >= 0:
-        candidate = survivors[index]
-        rest = survivors[:index] + survivors[index + 1:]
-        result = implies(
-            schema, rest, candidate,
+    items: list[CIND] = list(cinds)
+    alive = [True] * len(items)
+    result: CoverResult[CIND] = CoverResult(cover=[])
+
+    def survivors() -> Iterable[CIND]:
+        return (item for index, item in enumerate(items) if alive[index])
+
+    for position in _scan_indexes(len(items), order):
+        candidate = items[position]
+        alive[position] = False
+        verdict = implies(
+            schema, survivors(), candidate,
             max_tuples=max_tuples, max_branches=max_branches,
         )
-        if result.status is ImplicationStatus.IMPLIED:
-            removed.append(candidate)
-            survivors.pop(index)
-        elif result.status is ImplicationStatus.UNKNOWN:
-            undecided.append(candidate)
-        index -= 1
-    return CoverResult(cover=survivors, removed=removed, undecided=undecided)
+        if verdict.status is ImplicationStatus.IMPLIED:
+            result.removed.append(candidate)
+            if justify:
+                result.removals.append(
+                    Removal(candidate, _justify_cind(
+                        schema, items, alive, candidate,
+                        max_tuples=max_tuples, max_branches=max_branches,
+                    ))
+                )
+            continue
+        alive[position] = True
+        if verdict.status is ImplicationStatus.UNKNOWN:
+            result.undecided.append(candidate)
+    result.cover = [item for index, item in enumerate(items) if alive[index]]
+    return result
+
+
+def _justify_cind(
+    schema: DatabaseSchema,
+    items: Sequence[CIND],
+    alive: Sequence[bool],
+    candidate: CIND,
+    max_tuples: int,
+    max_branches: int,
+) -> tuple[CIND, ...]:
+    duplicate = _structural_implicant(items, alive, candidate)
+    if duplicate is not None:
+        return (duplicate,)
+    for index, other in enumerate(items):
+        if not alive[index]:
+            continue
+        single = implies(
+            schema, [other], candidate,
+            max_tuples=max_tuples, max_branches=max_branches,
+        )
+        if single.status is ImplicationStatus.IMPLIED:
+            return (other,)
+    return tuple(item for index, item in enumerate(items) if alive[index])
+
+
+def minimal_cover_cfds(
+    relation: RelationSchema,
+    cfds: Iterable[CFD],
+    order: str = "reverse",
+    justify: bool = True,
+) -> CoverResult[CFD]:
+    """Greedily remove CFDs (one relation) entailed by the rest — exactly.
+
+    Same greedy scheme and ``order`` semantics as
+    :func:`minimal_cover_cinds`, but the redundancy test is the exact
+    two-tuple SAT procedure :func:`repro.consistency.cfd_implication.cfd_implies`,
+    so ``undecided`` is always empty and the cover is a true local minimum:
+    no surviving CFD is entailed by the others.
+    """
+    from repro.consistency.cfd_implication import cfd_implies
+
+    items: list[CFD] = list(cfds)
+    for cfd in items:
+        if cfd.relation.name != relation.name:
+            raise ConstraintError(
+                f"minimal_cover_cfds got a CFD on {cfd.relation.name!r}, "
+                f"expected {relation.name!r}"
+            )
+    alive = [True] * len(items)
+    result: CoverResult[CFD] = CoverResult(cover=[])
+
+    def survivors() -> list[CFD]:
+        return [item for index, item in enumerate(items) if alive[index]]
+
+    for position in _scan_indexes(len(items), order):
+        candidate = items[position]
+        alive[position] = False
+        rest = survivors()
+        if cfd_implies(relation, rest, candidate).implied:
+            result.removed.append(candidate)
+            if justify:
+                implicants = _justify_cfd(relation, items, alive, candidate)
+                result.removals.append(Removal(candidate, implicants))
+            continue
+        alive[position] = True
+    result.cover = survivors()
+    return result
+
+
+def _justify_cfd(
+    relation: RelationSchema,
+    items: Sequence[CFD],
+    alive: Sequence[bool],
+    candidate: CFD,
+) -> tuple[CFD, ...]:
+    from repro.consistency.cfd_implication import cfd_implies
+
+    duplicate = _structural_implicant(items, alive, candidate)
+    if duplicate is not None:
+        return (duplicate,)
+    for index, other in enumerate(items):
+        if alive[index] and cfd_implies(relation, [other], candidate).implied:
+            return (other,)
+    return tuple(item for index, item in enumerate(items) if alive[index])

@@ -36,8 +36,9 @@ standard CIND fragment this matches the textbook IND chase construction.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.core.cind import CIND
 from repro.core.normalize import normalize_cinds
@@ -88,27 +89,34 @@ def _branch_insertions(
     relation: RelationSchema,
     fixed: dict[str, Any],
     fresh: _FreshSupply,
-) -> list[dict[str, Any]]:
+) -> Iterator[dict[str, Any]]:
     """All ways to complete *fixed* into a full tuple over *relation*.
 
-    Infinite-domain gaps take one fresh constant; finite-domain gaps fan
-    out over the whole domain (the disjunctive chase).
+    Infinite-domain gaps take one (shared) fresh constant; finite-domain
+    gaps fan out over the whole domain (the disjunctive chase). Lazy on
+    purpose: the fan-out is the *product* of the free finite domains,
+    which can dwarf any branch budget — callers stop consuming once their
+    budget is spent, and completions past that point are never built.
     """
-    completions: list[dict[str, Any]] = [dict(fixed)]
+    base = dict(fixed)
+    finite_attrs = []
     for attr in relation:
-        if attr.name in fixed:
+        if attr.name in base:
             continue
         if isinstance(attr.domain, FiniteDomain):
-            completions = [
-                {**c, attr.name: value}
-                for c in completions
-                for value in attr.domain.values
-            ]
+            finite_attrs.append(attr)
         else:
-            value = fresh.take(attr.domain)
-            for c in completions:
-                c[attr.name] = value
-    return completions
+            base[attr.name] = fresh.take(attr.domain)
+    if not finite_attrs:
+        yield base
+        return
+    for values in itertools.product(
+        *(attr.domain.values for attr in finite_attrs)
+    ):
+        completion = dict(base)
+        for attr, value in zip(finite_attrs, values):
+            completion[attr.name] = value
+        yield completion
 
 
 def _find_unmet(
@@ -180,8 +188,18 @@ def _implies_normal(
             seed[a] = fresh.take(domain)
     # Each branch is (db, canonical_t1). t1 is never rewritten (the
     # CIND-only chase has no FD steps), so its identity persists.
+    # Branch *creation* is capped at max_branches, not just exploration:
+    # a fan-out wider than the budget stops without materializing the
+    # rest (each branch carries a full DatabaseInstance copy). `overflow`
+    # forbids IMPLIED but does not stop the search — a countermodel in
+    # any materialized branch still yields exact NOT_IMPLIED;
+    # `budget_hit` (per-branch tuple budget) aborts the run as before.
     pending: list[tuple[DatabaseInstance, Tuple]] = []
+    overflow = False
     for completion in _branch_insertions(ra, seed, fresh):
+        if len(pending) >= max_branches:
+            overflow = True
+            break
         db = DatabaseInstance(schema)
         t1 = Tuple(ra, completion)
         db[ra.name].add(t1)
@@ -216,15 +234,18 @@ def _implies_normal(
             for b in cind.yp:
                 fixed[b] = cind.pattern.rhs_value(b)
             completions = _branch_insertions(cind.rhs_relation, fixed, fresh)
-            first, rest = completions[0], completions[1:]
-            for completion in rest:
+            first = next(completions)
+            for completion in completions:
+                if explored + len(pending) >= max_branches:
+                    overflow = True
+                    break
                 forked = db.copy()
                 forked[cind.rhs_relation.name].add(completion)
                 pending.append((forked, t1))
             db[cind.rhs_relation.name].add(first)
         if budget_hit:
             break
-    if budget_hit:
+    if budget_hit or overflow:
         return ImplicationResult(
             ImplicationStatus.UNKNOWN, branches_explored=explored
         )

@@ -12,7 +12,7 @@ constraint, which the data-cleaning layer builds on.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.cfd import CFD, CFDViolation
 from repro.core.cind import CIND, CINDViolation
@@ -180,6 +180,7 @@ def _is_wild(value: Any) -> bool:
 
 def constraint_labels(
     constraints: Iterable[CFD | CIND],
+    bases: "Sequence[str] | None" = None,
 ) -> dict[int, str]:
     """Stable display labels for constraints, keyed by object identity.
 
@@ -188,9 +189,20 @@ def constraint_labels(
     its normalized clone, unnamed constraints with equal reprs), each gets
     an index-qualified suffix ``@k`` in iteration order, so counts keyed by
     label never silently merge across constraints.
+
+    ``bases`` lets an incremental caller (the static analyzer) supply the
+    per-constraint base labels it already computed — ``repr`` over a large
+    unnamed Σ is the expensive part of this function.
     """
     items = list(constraints)
-    base = [c.name or repr(c) for c in items]
+    base = (
+        list(bases) if bases is not None
+        else [c.name or repr(c) for c in items]
+    )
+    if len(base) != len(items):
+        raise ValueError(
+            f"{len(base)} base label(s) for {len(items)} constraint(s)"
+        )
     multiplicity: dict[str, int] = {}
     for b in base:
         multiplicity[b] = multiplicity.get(b, 0) + 1

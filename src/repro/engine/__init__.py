@@ -82,6 +82,7 @@ from repro.engine.planner import (
     CFDScanGroup,
     CINDRowTask,
     DetectionPlan,
+    PruneMap,
     WitnessSpec,
     attribute_positions,
     compile_checks,
@@ -109,6 +110,7 @@ __all__ = [
     "CINDScanState",
     "DetectionPlan",
     "DetectionSummary",
+    "PruneMap",
     "SQLScanCache",
     "ScanCache",
     "ShardSpec",

@@ -331,13 +331,45 @@ def assemble_report(
     cfd_buckets: dict[int, list[CFDViolation]],
     cind_buckets: dict[int, list[CINDViolation]],
 ) -> ViolationReport:
-    """Order per-task violation buckets (keyed by ``id(task)``) into a report."""
+    """Order per-task violation buckets (keyed by ``id(task)``) into a report.
+
+    Tasks of pruned (violation-equivalent duplicate) constraints have no
+    bucket of their own: the donor task's bucket is replayed in their
+    report slot with the pruned constraint substituted. The donor's
+    tableau is identical, so key, tuples, row index and kind carry over
+    unchanged — the report is bit-identical to an unpruned run's.
+    """
+    donors = plan.task_donors
     cfd_violations: list[CFDViolation] = []
     for task in plan.cfd_tasks:
-        cfd_violations.extend(cfd_buckets.get(id(task), ()))
+        donor = donors.get(id(task))
+        if donor is None:
+            cfd_violations.extend(cfd_buckets.get(id(task), ()))
+        else:
+            cfd_violations.extend(
+                CFDViolation(
+                    cfd=task.cfd,
+                    pattern_index=task.row_index,
+                    lhs_values=v.lhs_values,
+                    tuples=v.tuples,
+                    kind=v.kind,
+                )
+                for v in cfd_buckets.get(id(donor), ())
+            )
     cind_violations: list[CINDViolation] = []
     for task in plan.cind_tasks:
-        cind_violations.extend(cind_buckets.get(id(task), ()))
+        donor = donors.get(id(task))
+        if donor is None:
+            cind_violations.extend(cind_buckets.get(id(task), ()))
+        else:
+            cind_violations.extend(
+                CINDViolation(
+                    cind=task.cind,
+                    pattern_index=task.row_index,
+                    tuple_=v.tuple_,
+                )
+                for v in cind_buckets.get(id(donor), ())
+            )
     return ViolationReport(
         cfd_violations, cind_violations, constraints=plan.sigma
     )
@@ -348,8 +380,24 @@ def assemble_summary(
     cfd_counts: dict[int, int],
     cind_counts: dict[int, int],
 ) -> DetectionSummary:
-    """Build a :class:`DetectionSummary` from per-constraint-index counts."""
+    """Build a :class:`DetectionSummary` from per-constraint-index counts.
+
+    Pruned duplicates inherit their donor's count (same tableau, same
+    matches), so the summary is identical to an unpruned run's.
+    """
     sigma = plan.sigma
+    if plan.pruned_cfd_donors:
+        cfd_counts = dict(cfd_counts)
+        for pruned, donor in plan.pruned_cfd_donors.items():
+            count = cfd_counts.get(donor)
+            if count:
+                cfd_counts[pruned] = count
+    if plan.pruned_cind_donors:
+        cind_counts = dict(cind_counts)
+        for pruned, donor in plan.pruned_cind_donors.items():
+            count = cind_counts.get(donor)
+            if count:
+                cind_counts[pruned] = count
     labels = constraint_labels(sigma)
     by_constraint: dict[str, int] = {}
     for cfd_index, count in cfd_counts.items():

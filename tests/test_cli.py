@@ -169,3 +169,103 @@ class TestErrorHandling:
         ])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestLintSigmaCommand:
+    def test_clean_rules_exit_zero(self, workspace, capsys):
+        schema_file, rules_file, __, __tmp = workspace
+        code = main([
+            "lint-sigma", "--schema", str(schema_file),
+            "--constraints", str(rules_file),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CFD consistency: ok" in out
+
+    def test_errors_exit_one(self, workspace, tmp_path, capsys):
+        schema_file, __, __data, __tmp = workspace
+        bad_rules = tmp_path / "bad.rules"
+        # Wildcard-premise conflict: every interest tuple would need both.
+        bad_rules.write_text(
+            "interest: nil -> ct='UK'\n"
+            "interest: nil -> ct='US'\n"
+        )
+        code = main([
+            "lint-sigma", "--schema", str(schema_file),
+            "--constraints", str(bad_rules),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INCONSISTENT" in out
+        assert "cfd-conflict" in out
+
+    def test_warnings_exit_three_or_strict_one(
+        self, workspace, tmp_path, capsys
+    ):
+        schema_file, __, __data, __tmp = workspace
+        looped = tmp_path / "loop.rules"
+        looped.write_text(
+            "[self] interest[ab ; nil] <= interest[ab ; nil]\n"
+        )
+        args = [
+            "lint-sigma", "--schema", str(schema_file),
+            "--constraints", str(looped),
+        ]
+        code = main(args)
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "cind-self-cycle" in out
+        assert main(args + ["--strict"]) == 1
+
+    def test_duplicates_are_info_only_exit_zero(
+        self, workspace, tmp_path, capsys
+    ):
+        schema_file, __, __data, __tmp = workspace
+        duped = tmp_path / "dup.rules"
+        duped.write_text(
+            "[orig] interest: ct='UK', at='checking' -> rt='1.5%'\n"
+            "[copy] interest: ct='UK', at='checking' -> rt='1.5%'\n"
+        )
+        code = main([
+            "lint-sigma", "--schema", str(schema_file),
+            "--constraints", str(duped),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "duplicate-cfd" in out
+        assert "copy" in out
+
+    def test_json_output(self, workspace, tmp_path, capsys):
+        import json
+
+        schema_file, __, __data, __tmp = workspace
+        duped = tmp_path / "dup.rules"
+        duped.write_text(
+            "[orig] interest: ct='UK', at='checking' -> rt='1.5%'\n"
+            "[copy] interest: ct='UK', at='checking' -> rt='1.5%'\n"
+        )
+        code = main([
+            "lint-sigma", "--schema", str(schema_file),
+            "--constraints", str(duped), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["cfds_consistent"] is True
+        assert payload["duplicate_cfds"] == {"1": 0}
+        codes = {f["code"] for f in payload["findings"]}
+        assert "duplicate-cfd" in codes
+
+    def test_no_implication_skips_the_expensive_tier(
+        self, workspace, capsys
+    ):
+        import json
+
+        schema_file, rules_file, __, __tmp = workspace
+        code = main([
+            "lint-sigma", "--schema", str(schema_file),
+            "--constraints", str(rules_file), "--no-implication", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["implication_checked"] is False
