@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.api.backends import (
     BACKENDS,
+    ApplyResult,
     Backend,
     BaseBackend,
     IncrementalBackend,
@@ -41,6 +42,7 @@ from repro.api.session import Session, connect
 
 __all__ = [
     "BACKENDS",
+    "ApplyResult",
     "Backend",
     "BaseBackend",
     "ExecutionOptions",

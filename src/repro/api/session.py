@@ -35,13 +35,19 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 if TYPE_CHECKING:
     from repro.analyze.report import SigmaReport
 
-from repro.api.backends import BACKENDS, Backend, BaseBackend
+from repro.api.backends import (
+    BACKENDS,
+    ApplyResult,
+    Backend,
+    BaseBackend,
+    DMLOp,
+)
 from repro.api.options import ExecutionOptions
 from repro.core.cfd import CFDViolation
 from repro.core.cind import CINDViolation
 from repro.core.violations import ConstraintSet, ViolationReport
 from repro.engine import DetectionSummary
-from repro.errors import ReproError
+from repro.errors import ReproError, SessionClosedError
 from repro.relational.instance import DatabaseInstance, Tuple
 
 
@@ -65,6 +71,7 @@ class Session:
         self.sigma = sigma
         self.options = options or ExecutionOptions()
         self._analysis: dict[bool, "SigmaReport"] = {}
+        self._closed = False
         if self.options.validate:
             self._validate_sigma()
         self.backend = self._resolve_backend(backend)
@@ -147,18 +154,22 @@ class Session:
 
     def check(self) -> ViolationReport:
         """Every violation, materialized (identical across backends)."""
+        self._ensure_open()
         return self.backend.check()
 
     def count(self) -> DetectionSummary:
         """Per-constraint violation totals (no violation objects)."""
+        self._ensure_open()
         return self.backend.count()
 
     def is_clean(self) -> bool:
         """``D |= Σ`` via the backend's cheapest verdict path."""
+        self._ensure_open()
         return self.backend.is_clean()
 
     def stream(self) -> Iterator[CFDViolation | CINDViolation]:
         """Violations one at a time, in report order."""
+        self._ensure_open()
         return self.backend.stream()
 
     def run(self) -> ViolationReport | DetectionSummary | bool:
@@ -205,15 +216,50 @@ class Session:
         proportional to the touched groups; other backends apply it to the
         database and drop data-derived caches.
         """
+        self._ensure_open()
         return self.backend.insert(relation, row)
 
     def delete(self, relation: str, row: Tuple) -> bool:
         """Delete a tuple; ``False`` when it was not present."""
+        self._ensure_open()
         return self.backend.delete(relation, row)
+
+    def apply(
+        self, inserts: Sequence[DMLOp] = (), deletes: Sequence[DMLOp] = ()
+    ) -> ApplyResult:
+        """Batch DML: all *deletes*, then all *inserts*, as one commit.
+
+        Each op is a ``(relation, row)`` pair; rows follow the same
+        shapes as :meth:`insert` / :meth:`delete` (delete rows are
+        coerced to canonical tuples). Set semantics per row, and the
+        result counts only the rows that actually changed. The batch
+        pays **one** cache invalidation (and, on ``sqlfile``, one
+        transaction) regardless of its size — the write-path contract
+        the serving layer's throughput rests on.
+        """
+        self._ensure_open()
+        return self.backend.apply(inserts=inserts, deletes=deletes)
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                f"session over backend {self.backend.name!r} is closed "
+                "(it was explicitly closed or evicted from a registry)"
+            )
+
     def close(self) -> None:
+        """Release backend resources. Idempotent: safe to call twice, and
+        every detection/mutation call afterwards raises
+        :class:`~repro.errors.SessionClosedError`."""
+        if self._closed:
+            return
+        self._closed = True
         self.backend.close()
 
     def __enter__(self) -> "Session":

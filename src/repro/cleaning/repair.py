@@ -127,14 +127,27 @@ def repair(
                     value if not is_wildcard(value) else majority[i]
                     for i, value in enumerate(rhs_pattern)
                 )
-            for t in group:
-                if t.project(cfd.rhs) == target or t not in instance:
-                    continue
-                after = t.replace(**dict(zip(cfd.rhs, target)))
-                instance.discard(t)
-                instance.add(after)
-                edits.append(
-                    RepairEdit("modify", cfd.relation.name, t, after, name)
+            # One batch per violated group: the rewrites go through
+            # Session.apply (deletes first, then inserts — the same
+            # discard/add order the per-tuple loop used), so a group of
+            # k tuples costs one invalidation, not k.
+            rewrites = [
+                (t, t.replace(**dict(zip(cfd.rhs, target))))
+                for t in group
+                if t.project(cfd.rhs) != target and t in instance
+            ]
+            if rewrites:
+                session.apply(
+                    inserts=[
+                        (cfd.relation.name, after) for __, after in rewrites
+                    ],
+                    deletes=[
+                        (cfd.relation.name, before) for before, __ in rewrites
+                    ],
+                )
+                edits.extend(
+                    RepairEdit("modify", cfd.relation.name, before, after, name)
+                    for before, after in rewrites
                 )
                 changed = True
 
@@ -148,7 +161,7 @@ def repair(
             if cind.find_witness(work, t1, row) is not None:
                 continue  # an earlier insertion already fixed it
             if cind_policy == "delete":
-                work[cind.lhs_relation.name].discard(t1)
+                session.apply(deletes=[(cind.lhs_relation.name, t1)])
                 edits.append(
                     RepairEdit("delete", cind.lhs_relation.name, t1, None, name)
                 )
@@ -163,7 +176,7 @@ def repair(
                     for attr, value in template.items()
                 }
                 witness = Tuple(cind.rhs_relation, values)
-                work[cind.rhs_relation.name].add(witness)
+                session.apply(inserts=[(cind.rhs_relation.name, witness)])
                 edits.append(
                     RepairEdit(
                         "insert", cind.rhs_relation.name, None, witness, name

@@ -8,7 +8,9 @@ CSVs (one per relation, named ``<relation>.csv``):
 * ``repair``      — write a repaired copy of the data;
 * ``consistency`` — run the heuristic Checking algorithm on Σ itself;
 * ``lint-sigma``  — static analysis of Σ (no data needed): exact CFD
-  consistency, duplicate/implied constraints, CIND chain diagnostics.
+  consistency, duplicate/implied constraints, CIND chain diagnostics;
+* ``serve``       — host the async multi-tenant detection service
+  (line-delimited JSON over TCP; see :mod:`repro.serve`).
 
 Schema file syntax (one relation per line, ``#`` comments)::
 
@@ -201,6 +203,45 @@ def cmd_lint_sigma(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Host the async multi-tenant detection service over TCP.
+
+    The schema/constraint pair is parsed once and shared by every tenant;
+    clients create tenants (inline rows, or a sqlite file path for the
+    ``sqlfile`` backend), apply batches, read reports, and subscribe to
+    violation deltas over line-delimited JSON — see
+    :mod:`repro.serve.protocol` for the op reference and
+    ``examples/serve_demo.py`` for a complete client.
+    """
+    import asyncio
+
+    from repro.serve import DetectionServer, DetectionService
+
+    schema, sigma = _load(args)
+    service = DetectionService(
+        capacity=args.capacity, max_workers=args.workers
+    )
+    server = DetectionServer(
+        service, schema, sigma, host=args.host, port=args.port
+    )
+
+    async def run() -> None:
+        await server.start()
+        host, port = server.address
+        print(f"repro serve: listening on {host}:{port} (NDJSON over TCP)")
+        sys.stdout.flush()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,6 +314,29 @@ def build_parser() -> argparse.ArgumentParser:
         "SAT) — faster on large Σ",
     )
     p_lint.set_defaults(func=cmd_lint_sigma)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host the async multi-tenant detection service "
+        "(line-delimited JSON over TCP)",
+    )
+    common(p_serve, with_data=False)
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=7407,
+        help="TCP port (default 7407; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--capacity", type=_positive_int, default=64,
+        help="max open tenants before LRU eviction (default 64)",
+    )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="thread-executor size for detection/DML work (default 4)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

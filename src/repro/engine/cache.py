@@ -271,10 +271,23 @@ class SQLScanCache:
 
     def invalidate_table(self, table: str) -> None:
         """Drop every entry that was computed from *table*."""
+        self.invalidate_tables((table,))
+
+    def invalidate_tables(self, tables: Iterable[str]) -> None:
+        """Drop every entry computed from *any* of *tables*, in one pass.
+
+        Invalidation rebuilds the entry dict, so a batch mutation that
+        touched N relations must not pay N rebuilds — the batch ``apply``
+        path hands all touched tables over at once and the filter runs
+        exactly once per batch.
+        """
+        touched = frozenset(tables)
+        if not touched:
+            return
         self._entries = {
             key: entry
             for key, entry in self._entries.items()
-            if table not in entry[0]
+            if not (touched & entry[0])
         }
 
     def record_fingerprint(self, table: str, fp: tuple) -> None:

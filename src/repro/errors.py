@@ -61,5 +61,25 @@ class SQLBackendError(ReproError):
     """The sqlite3 violation-detection backend failed."""
 
 
+class SessionClosedError(ReproError):
+    """An operation was attempted on a closed :class:`repro.api.Session`.
+
+    ``Session.close()`` is idempotent; every detection/mutation call after
+    it raises this instead of whatever attribute or sqlite error the dead
+    backend would have produced. The serving layer relies on it: evicting
+    a tenant closes its session while reads may still be in flight, and
+    those readers must get a clear, catchable signal.
+    """
+
+
+class ServeError(ReproError):
+    """The :mod:`repro.serve` service layer failed (unknown tenant,
+    duplicate tenant, closed feed, malformed protocol request, ...)."""
+
+
+class UnknownTenantError(ServeError):
+    """A service call named a tenant the registry does not hold."""
+
+
 class GenerationError(ReproError):
     """The random schema/constraint generator was given impossible parameters."""

@@ -1,0 +1,428 @@
+"""Streaming violation deltas: diff, replay, subscribe, publish.
+
+After every committed batch the service answers "what changed in the
+violation report?" — not by shipping the whole report (bank@50k's report
+can dwarf a 10-row batch) but as a **delta**: which violation records
+disappeared and which appeared, with enough positional information that a
+subscriber replaying deltas over its baseline reconstructs the new report
+*bit-identically, including order*. That replay property is the module's
+contract and the conformance suite's gate: for every backend, cumulative
+deltas after N randomized batches must replay to exactly what a cold
+``check()`` reports.
+
+The pieces:
+
+* :func:`report_records` — a report flattened to hashable records (the
+  same identity-free shape the conformance kit fingerprints on);
+* :func:`diff_records` / :class:`ViolationDelta` / :func:`replay` — an
+  order-preserving patch format (position-tagged records on both sides:
+  removals indexed into the old report, additions into the new one),
+  computed with :class:`difflib.SequenceMatcher` so common violations are
+  never shipped twice;
+* :class:`Subscription` — an ``async for``-able handle over a *bounded*
+  queue. Bounded is the policy, not a tuning knob: a subscriber that
+  cannot keep up is evicted (``reason == "lagging"``) rather than allowed
+  to grow the server's memory without limit;
+* :class:`ViolationFeed` — the per-tenant publisher. ``commit()`` is
+  synchronous CPU-bound work the service runs in its executor *under the
+  tenant's writer lock* (so deltas are totally ordered by commit
+  sequence); ``publish()`` fans the delta out on the event loop.
+
+Deltas are computed by a :class:`DeltaSource`, never by a full re-check
+diff at serve time: tenants on the ``memory``/``incremental`` backends
+re-check their own session (the versioned scan cache makes that
+O(relations touched by the batch)); tenants on re-scan backends
+(``naive``/``sql``/``sqlfile``) mirror each batch into a **shadow
+incremental session** so the delta cost is O(touched groups) regardless
+of how expensive the primary backend's full check is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+from typing import Any, Sequence
+
+from repro.api.backends import DMLOp
+from repro.api.session import Session
+from repro.core.violations import ViolationReport
+from repro.errors import ServeError
+
+#: One violation, flattened to a hashable, backend-independent record.
+#: CFD: ("cfd", label, pattern_index, lhs_values, tuple_values, kind);
+#: CIND: ("cind", label, pattern_index, tuple_values).
+ViolationRecord = tuple[Any, ...]
+
+
+def report_records(report: ViolationReport) -> tuple[ViolationRecord, ...]:
+    """Flatten *report* to the canonical record sequence (report order).
+
+    The shape matches the conformance kit's ``report_key`` fingerprint —
+    two reports are bit-identical iff their record sequences are equal —
+    which is what lets the delta-replay gate compare a subscriber's
+    reconstruction directly against a cold check.
+    """
+    cfds = tuple(
+        (
+            "cfd",
+            report.label_for(v.cfd),
+            v.pattern_index,
+            v.lhs_values,
+            tuple(t.values for t in v.tuples),
+            v.kind,
+        )
+        for v in report.cfd_violations
+    )
+    cinds = tuple(
+        ("cind", report.label_for(v.cind), v.pattern_index, v.tuple_.values)
+        for v in report.cind_violations
+    )
+    return cfds + cinds
+
+
+@dataclass(frozen=True)
+class ViolationDelta:
+    """The change between two consecutive violation reports.
+
+    Both sides are ``(position, record)`` pairs with positions ascending:
+    ``removed`` positions index the **old** record sequence, ``added``
+    positions index the **new** one. Carrying the removal positions (not
+    just the records) keeps replay unambiguous even when a report holds
+    equal records at different positions. ``seq`` is the tenant's commit
+    number — deltas apply in sequence order, no skipping.
+    """
+
+    seq: int
+    removed: tuple[tuple[int, ViolationRecord], ...]
+    added: tuple[tuple[int, ViolationRecord], ...]
+
+    @property
+    def empty(self) -> bool:
+        return not self.removed and not self.added
+
+    def __repr__(self) -> str:
+        return (
+            f"<ViolationDelta seq={self.seq} -{len(self.removed)} "
+            f"+{len(self.added)}>"
+        )
+
+
+def diff_records(
+    old: Sequence[ViolationRecord], new: Sequence[ViolationRecord]
+) -> tuple[
+    tuple[tuple[int, ViolationRecord], ...],
+    tuple[tuple[int, ViolationRecord], ...],
+]:
+    """Order-preserving diff of two record sequences.
+
+    Matching blocks (``SequenceMatcher`` with junk detection off —
+    violation records are data, not prose) are the records a subscriber
+    already holds; everything else ships, position-tagged on both sides.
+    ``replay(old, delta) == new`` holds exactly, including order.
+    """
+    matcher = SequenceMatcher(a=list(old), b=list(new), autojunk=False)
+    removed: list[tuple[int, ViolationRecord]] = []
+    added: list[tuple[int, ViolationRecord]] = []
+    for op, a_lo, a_hi, b_lo, b_hi in matcher.get_opcodes():
+        if op in ("delete", "replace"):
+            removed.extend((i, old[i]) for i in range(a_lo, a_hi))
+        if op in ("insert", "replace"):
+            added.extend((i, new[i]) for i in range(b_lo, b_hi))
+    return tuple(removed), tuple(added)
+
+
+def replay(
+    base: Sequence[ViolationRecord], delta: ViolationDelta
+) -> tuple[ViolationRecord, ...]:
+    """Apply *delta* to *base* and return the new record sequence.
+
+    Removals are verified against *base* (the record at each removed
+    position must match — a mismatch means deltas were applied out of
+    sequence or against the wrong tenant) and deleted highest position
+    first so earlier indices stay valid; additions then insert at their
+    recorded positions ascending. This is the subscriber-side half of
+    the replay contract.
+    """
+    result: list[ViolationRecord] = list(base)
+    for position, record in reversed(delta.removed):
+        if position >= len(result) or result[position] != record:
+            raise ServeError(
+                f"delta seq={delta.seq} removes {record!r} at position "
+                f"{position}, which does not match the baseline — deltas "
+                "applied out of sequence or against the wrong tenant"
+            )
+        del result[position]
+    for position, record in delta.added:
+        if position > len(result):
+            raise ServeError(
+                f"delta seq={delta.seq} inserts at position {position} "
+                f"beyond report length {len(result)}"
+            )
+        result.insert(position, record)
+    return tuple(result)
+
+
+class DeltaSource:
+    """Where a tenant's post-commit violation records come from.
+
+    ``commit(inserts, deletes)`` is called *after* the primary session
+    applied the batch, still inside the writer lock, and returns the new
+    canonical record sequence. Synchronous and CPU-bound by design — the
+    service runs it in its thread executor.
+    """
+
+    def commit(
+        self, inserts: Sequence[DMLOp], deletes: Sequence[DMLOp]
+    ) -> tuple[ViolationRecord, ...]:
+        raise NotImplementedError
+
+    def baseline(self) -> tuple[ViolationRecord, ...]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        return None
+
+
+class SessionDeltaSource(DeltaSource):
+    """Deltas from the tenant's own session (memory/incremental backends).
+
+    The batch is already applied by the time ``commit`` runs, so this is
+    just a re-check — cheap because both backends keep versioned caches:
+    ``memory`` replays memoized scans for untouched relations, and
+    ``incremental`` answers from live violation state in O(touched
+    groups).
+    """
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    def commit(
+        self, inserts: Sequence[DMLOp], deletes: Sequence[DMLOp]
+    ) -> tuple[ViolationRecord, ...]:
+        return report_records(self.session.check())
+
+    def baseline(self) -> tuple[ViolationRecord, ...]:
+        return report_records(self.session.check())
+
+
+class ShadowDeltaSource(DeltaSource):
+    """Deltas from a shadow incremental session mirroring the tenant.
+
+    For backends whose ``check()`` is a full re-scan (``naive``/``sql``)
+    or an out-of-core pass (``sqlfile``), diffing full re-checks per
+    commit would make write latency scale with database size. Instead the
+    service seeds an in-memory incremental session with the same data at
+    tenant creation and mirrors every batch into it — delta cost is then
+    O(touched groups) per commit, independent of the primary backend.
+    The conformance gate still holds the shadow's records bit-identical
+    to the primary's cold check.
+    """
+
+    def __init__(self, shadow: Session):
+        self.shadow = shadow
+
+    def commit(
+        self, inserts: Sequence[DMLOp], deletes: Sequence[DMLOp]
+    ) -> tuple[ViolationRecord, ...]:
+        self.shadow.apply(inserts=inserts, deletes=deletes)
+        return report_records(self.shadow.check())
+
+    def baseline(self) -> tuple[ViolationRecord, ...]:
+        return report_records(self.shadow.check())
+
+    def close(self) -> None:
+        self.shadow.close()
+
+
+#: Terminal marker delivered to a subscription's queue on close.
+_CLOSED = object()
+
+
+class Subscription:
+    """One subscriber's handle: ``async for delta in subscription``.
+
+    Carries the baseline the subscriber replays from (``baseline`` /
+    ``seq``, captured atomically at subscribe time under the tenant's
+    read lock) and a bounded delivery queue. When the feed closes it —
+    tenant evicted (``reason == "closed"``) or the queue overflowed
+    (``reason == "lagging"``) — iteration ends after any already-queued
+    deltas drain.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        seq: int,
+        baseline: tuple[ViolationRecord, ...],
+        maxsize: int,
+    ):
+        self.tenant = tenant
+        self.seq = seq
+        self.baseline = baseline
+        self.reason: str | None = None
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=maxsize)
+
+    @property
+    def closed(self) -> bool:
+        return self.reason is not None
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> ViolationDelta:
+        if self.closed and self._queue.empty():
+            raise StopAsyncIteration
+        item = await self._queue.get()
+        if item is _CLOSED:
+            raise StopAsyncIteration
+        return item  # type: ignore[no-any-return]
+
+    # -- feed-side delivery (event loop only) ------------------------------
+
+    def _deliver(self, delta: ViolationDelta) -> bool:
+        """``False`` when the queue is full — the subscriber is lagging."""
+        try:
+            self._queue.put_nowait(delta)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    def _close(self, reason: str) -> None:
+        if self.closed:
+            return
+        self.reason = reason
+        # The sentinel must land even on a full queue; make room by
+        # dropping the oldest undelivered delta — the subscriber is being
+        # evicted, partial delivery is already void.
+        while True:
+            try:
+                self._queue.put_nowait(_CLOSED)
+                return
+            except asyncio.QueueFull:
+                try:
+                    self._queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - races only
+                    pass
+
+
+class ViolationFeed:
+    """Per-tenant delta publisher.
+
+    The writer half (``commit``) runs in the service's executor while the
+    tenant's writer lock is held — commits are therefore totally ordered
+    and ``seq`` counts them. The subscriber half (``subscribe`` /
+    ``publish``) runs on the event loop. ``current`` is the canonical
+    record sequence after the last commit; a subscriber's baseline +
+    replayed deltas always equals it.
+    """
+
+    #: Default per-subscriber queue bound. Deep enough to absorb bursts,
+    #: shallow enough that one stuck consumer cannot hold commits' worth
+    #: of deltas for long.
+    DEFAULT_QUEUE_SIZE = 256
+
+    def __init__(self, tenant: str, source: DeltaSource):
+        self.tenant = tenant
+        self.source = source
+        self.seq = 0
+        self._current: tuple[ViolationRecord, ...] | None = None
+        self._subscribers: list[Subscription] = []
+        self._closed = False
+        #: Subscribers evicted for lagging (observability + tests).
+        self.evicted = 0
+
+    @property
+    def current(self) -> tuple[ViolationRecord, ...]:
+        """Canonical records as of the last commit (baseline lazily on
+        first use, so tenants that never stream never pay a check)."""
+        if self._current is None:
+            self._current = self.source.baseline()
+        return self._current
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, maxsize: int | None = None) -> Subscription:
+        """Open a subscription whose baseline is the current records.
+
+        Must be called with the tenant's read lock held (the service
+        does): that makes baseline-vs-seq capture atomic with respect to
+        commits, which is what makes replay exact.
+        """
+        if self._closed:
+            raise ServeError(f"feed for tenant {self.tenant!r} is closed")
+        subscription = Subscription(
+            tenant=self.tenant,
+            seq=self.seq,
+            baseline=self.current,
+            maxsize=maxsize or self.DEFAULT_QUEUE_SIZE,
+        )
+        self._subscribers.append(subscription)
+        return subscription
+
+    def commit(
+        self, inserts: Sequence[DMLOp] = (), deletes: Sequence[DMLOp] = ()
+    ) -> ViolationDelta:
+        """Compute the delta for one applied batch (executor, writer lock).
+
+        The primary session has already applied the batch; this advances
+        the delta source, diffs against the previous canonical records,
+        and bumps ``seq``. Every commit yields a delta — an *empty* one
+        when the batch changed no violations — so subscribers can verify
+        they missed nothing by checking seq continuity.
+        """
+        old = self.current
+        new = self.source.commit(inserts, deletes)
+        removed, added = diff_records(old, new)
+        self.seq += 1
+        self._current = new
+        return ViolationDelta(seq=self.seq, removed=removed, added=added)
+
+    def publish(self, delta: ViolationDelta) -> None:
+        """Fan *delta* out to every subscriber (event loop only).
+
+        Delivery is ``put_nowait`` against each bounded queue; a full
+        queue means the consumer fell a whole queue's depth behind, and
+        the policy is eviction — close with ``reason="lagging"`` — not
+        blocking the publisher or buffering without bound.
+        """
+        lagging: list[Subscription] = []
+        for subscription in self._subscribers:
+            if not subscription._deliver(delta):
+                lagging.append(subscription)
+        for subscription in lagging:
+            subscription._close("lagging")
+            self._subscribers.remove(subscription)
+            self.evicted += 1
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Voluntarily drop a subscription (consumer went away cleanly)."""
+        if subscription in self._subscribers:
+            self._subscribers.remove(subscription)
+        subscription._close("closed")
+
+    def close(self) -> None:
+        """Close the feed and every subscription (tenant eviction)."""
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in self._subscribers:
+            subscription._close("closed")
+        self._subscribers.clear()
+        self.source.close()
+
+
+__all__ = [
+    "DeltaSource",
+    "SessionDeltaSource",
+    "ShadowDeltaSource",
+    "Subscription",
+    "ViolationDelta",
+    "ViolationFeed",
+    "ViolationRecord",
+    "diff_records",
+    "replay",
+    "report_records",
+]

@@ -1,0 +1,280 @@
+"""DetectionService: the asyncio facade over per-tenant sessions.
+
+One service instance hosts many tenants, each an independent
+``(database, Σ, backend)`` triple. The event loop does admission control
+only — locks, queues, registry bookkeeping — while every CPU-bound call
+(scans, batch DML, delta computation) runs on a thread executor so one
+tenant's 50k-row check never stalls another tenant's 3-row apply from
+being *scheduled*. Per tenant:
+
+* **writes** (:meth:`apply`) serialize under the tenant's writer lock.
+  The batch, the delta computation, and the feed publish happen as one
+  atomic step from any observer's point of view: the session mutation and
+  the :class:`~repro.serve.feed.ViolationFeed` commit run in the executor
+  while the lock is held, and the delta is fanned out *before* the lock
+  is released — so deltas reach subscribers in exact commit order.
+* **reads** (:meth:`check`/:meth:`count`/:meth:`is_clean`) take the read
+  side of the lock — concurrent with each other, excluded only while a
+  writer holds the lock. ``sqlfile`` tenants do even better: reads fan
+  out over a small pool of ``readonly=True`` connections and skip the
+  tenant lock entirely, because sqlite already isolates readers from the
+  writer at the file level.
+* **streams** (:meth:`subscribe`) capture their baseline under the read
+  lock, so baseline-vs-sequence-number is atomic with respect to commits
+  and the replay contract is exact.
+
+Delta sources are chosen by backend at tenant creation: ``memory`` and
+``incremental`` tenants re-check their own (versioned-cache) session;
+``naive``/``sql``/``sqlfile`` tenants get a **shadow incremental
+session** seeded with the same data, mirroring every batch — delta cost
+is O(touched groups) regardless of the primary backend's check cost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.api import ExecutionOptions, connect
+from repro.api.backends import ApplyResult, DMLOp
+from repro.api.session import Session
+from repro.core.violations import ConstraintSet, ViolationReport
+from repro.engine import DetectionSummary
+from repro.errors import ServeError
+from repro.relational.instance import DatabaseInstance
+from repro.serve.feed import (
+    DeltaSource,
+    SessionDeltaSource,
+    ShadowDeltaSource,
+    Subscription,
+    ViolationDelta,
+    ViolationFeed,
+)
+from repro.serve.registry import ReaderPool, SessionRegistry, TenantHandle
+
+T = TypeVar("T")
+
+#: Backends whose own session doubles as the delta source (cheap
+#: post-mutation re-check via versioned caches / live state).
+_SELF_DELTA_BACKENDS = frozenset({"memory", "incremental"})
+
+
+class DetectionService:
+    """Async multi-tenant detection over the existing backends.
+
+    ``capacity`` bounds the registry (LRU eviction past it),
+    ``max_workers`` sizes the shared thread executor, and
+    ``reader_pool_size`` is how many read-only connections each
+    ``sqlfile`` tenant gets for lock-free reads.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_workers: int = 4,
+        reader_pool_size: int = 2,
+    ):
+        self.registry = SessionRegistry(capacity=capacity)
+        self.reader_pool_size = reader_pool_size
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    async def _run(self, fn: Callable[[], T]) -> T:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServeError("the detection service is closed")
+
+    # -- tenant lifecycle ---------------------------------------------------
+
+    async def create_tenant(
+        self,
+        name: str,
+        db: DatabaseInstance | str | Path,
+        sigma: ConstraintSet,
+        backend: str = "memory",
+        options: ExecutionOptions | None = None,
+    ) -> TenantHandle:
+        """Open a tenant: session + delta source + feed (+ reader pool).
+
+        Session construction (loading a sqlite image, introspecting a
+        file, seeding incremental state) is CPU/IO-bound and runs on the
+        executor. Raises :class:`~repro.errors.ServeError` on a duplicate
+        name; past capacity the least-recently-used tenant is evicted.
+        """
+        self._ensure_open()
+        if name in self.registry:
+            raise ServeError(f"tenant {name!r} already exists")
+
+        def build() -> tuple[Session, DeltaSource, ReaderPool | None]:
+            session = connect(db, sigma, backend=backend, options=options)
+            source = self._build_delta_source(session, db, sigma, backend)
+            readers: ReaderPool | None = None
+            if backend == "sqlfile" and self.reader_pool_size:
+                ro_options = replace(
+                    session.options, readonly=True, validate=False
+                )
+                readers = ReaderPool(
+                    factory=lambda: connect(
+                        db, sigma, backend="sqlfile", options=ro_options
+                    ),
+                    size=self.reader_pool_size,
+                )
+            return session, source, readers
+
+        session, source, readers = await self._run(build)
+        handle = TenantHandle(
+            name=name,
+            session=session,
+            feed=ViolationFeed(name, source),
+            readers=readers,
+        )
+        return self.registry.register(handle)
+
+    def _build_delta_source(
+        self,
+        session: Session,
+        db: DatabaseInstance | str | Path,
+        sigma: ConstraintSet,
+        backend: str,
+    ) -> DeltaSource:
+        if backend in _SELF_DELTA_BACKENDS:
+            return SessionDeltaSource(session)
+        if isinstance(db, (str, Path)):
+            # sqlfile: snapshot the file into an in-memory instance (rowid
+            # order preserves report order) and keep it live incrementally.
+            from repro.sql.loader import read_database_file
+
+            shadow_db = read_database_file(db, sigma.schema)
+        else:
+            shadow_db = db.copy()
+        shadow = connect(
+            shadow_db, sigma, backend="incremental", options=ExecutionOptions()
+        )
+        return ShadowDeltaSource(shadow)
+
+    async def evict(self, tenant: str) -> bool:
+        """Close and drop *tenant* (writer lock held, so never mid-commit);
+        ``False`` when unknown. In-flight pool-reads surface
+        ``SessionClosedError``."""
+        self._ensure_open()
+        if tenant not in self.registry:
+            return False
+        handle = self.registry.get(tenant)
+        async with handle.lock.writing():
+            return self.registry.evict(tenant)
+
+    def tenants(self) -> list[str]:
+        return self.registry.tenants()
+
+    # -- writes -------------------------------------------------------------
+
+    async def apply(
+        self,
+        tenant: str,
+        inserts: Sequence[DMLOp] = (),
+        deletes: Sequence[DMLOp] = (),
+    ) -> tuple[ApplyResult, ViolationDelta]:
+        """Apply one batch and stream its violation delta.
+
+        Under the tenant's writer lock: the session applies the batch
+        (one invalidation / one transaction — the ``Session.apply``
+        contract), the feed computes the delta, and the delta is
+        published to subscribers *before* the lock drops, so subscribers
+        observe commits in exactly the order they serialized.
+        """
+        self._ensure_open()
+        handle = self.registry.get(tenant)
+        inserts = list(inserts)
+        deletes = list(deletes)
+
+        def commit() -> tuple[ApplyResult, ViolationDelta]:
+            # Pin the pre-batch records first: with a session-backed delta
+            # source, materializing the baseline lazily *after* the apply
+            # would diff the new state against itself (empty delta).
+            handle.feed.current
+            result = handle.session.apply(inserts=inserts, deletes=deletes)
+            delta = handle.feed.commit(inserts, deletes)
+            return result, delta
+
+        async with handle.lock.writing():
+            result, delta = await self._run(commit)
+            handle.commits += 1
+            handle.feed.publish(delta)
+        return result, delta
+
+    # -- reads --------------------------------------------------------------
+
+    async def _read(self, tenant: str, call: Callable[[Session], T]) -> T:
+        handle = self.registry.get(tenant)
+        if handle.readers is not None:
+            # File-backed tenants: read-only pooled connections, no tenant
+            # lock — sqlite file locking isolates them from the writer.
+            async with handle.readers.acquire() as session:
+                return await self._run(lambda: call(session))
+        async with handle.lock.reading():
+            return await self._run(lambda: call(handle.session))
+
+    async def check(self, tenant: str) -> ViolationReport:
+        """Full violation report (bit-identical to a direct session)."""
+        self._ensure_open()
+        return await self._read(tenant, lambda s: s.check())
+
+    async def count(self, tenant: str) -> DetectionSummary:
+        self._ensure_open()
+        return await self._read(tenant, lambda s: s.count())
+
+    async def is_clean(self, tenant: str) -> bool:
+        self._ensure_open()
+        return await self._read(tenant, lambda s: s.is_clean())
+
+    # -- streaming ----------------------------------------------------------
+
+    async def subscribe(
+        self, tenant: str, maxsize: int | None = None
+    ) -> Subscription:
+        """Open a violation-delta subscription on *tenant*.
+
+        The baseline records and sequence number are captured under the
+        tenant's read lock — no commit can slip between them — which is
+        what makes ``baseline + replayed deltas == current report`` exact.
+        The baseline check itself runs on the executor.
+        """
+        self._ensure_open()
+        handle = self.registry.get(tenant)
+        async with handle.lock.reading():
+            await self._run(lambda: handle.feed.current)
+            return handle.feed.subscribe(maxsize=maxsize)
+
+    def unsubscribe(self, tenant: str, subscription: Subscription) -> None:
+        if tenant in self.registry:
+            self.registry.get(tenant).feed.unsubscribe(subscription)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Evict every tenant and stop the executor. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.registry.close()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "DetectionService":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return f"<DetectionService {self.registry!r}>"
+
+
+__all__ = ["DetectionService"]

@@ -7,17 +7,24 @@ from repro.sql.ddl import (
     quote_identifier,
     sql_type,
 )
-from repro.sql.loader import connect_memory, load_database
+from repro.sql.loader import (
+    connect_memory,
+    create_database_file,
+    load_database,
+    read_database_file,
+)
 from repro.sql.violations import SQLViolationDetector, sql_check_database
 
 __all__ = [
     "SQLViolationDetector",
     "connect_memory",
+    "create_database_file",
     "create_schema_sql",
     "create_table_sql",
     "insert_sql",
     "load_database",
     "quote_identifier",
+    "read_database_file",
     "sql_check_database",
     "sql_type",
 ]

@@ -31,8 +31,16 @@ from repro.sql.ddl import quote_identifier as q
 
 
 def connect_memory() -> sqlite3.Connection:
-    """A fresh in-memory sqlite connection."""
-    return sqlite3.connect(":memory:")
+    """A fresh in-memory sqlite connection.
+
+    ``check_same_thread=False``: the serving layer runs detection calls on
+    a thread pool, so a session's connection legitimately migrates between
+    executor threads (creation in one, queries or ``close()`` in another).
+    sqlite itself is compiled in serialized mode — per-connection mutexes
+    make cross-thread use safe; the service's per-tenant locks order the
+    accesses that must not interleave.
+    """
+    return sqlite3.connect(":memory:", check_same_thread=False)
 
 
 def connect_file(
@@ -54,7 +62,12 @@ def connect_file(
     mode = "ro" if readonly else "rw"
     try:
         return sqlite3.connect(
-            f"file:{path}?mode={mode}", uri=True, isolation_level=None
+            f"file:{path}?mode={mode}",
+            uri=True,
+            isolation_level=None,
+            # The serving layer moves sessions between executor threads;
+            # sqlite's serialized mode makes that safe (see connect_memory).
+            check_same_thread=False,
         )
     except sqlite3.OperationalError as exc:
         raise SQLBackendError(
@@ -172,6 +185,33 @@ def table_content_fingerprint(
         f"FROM {q(table)}"
     ).fetchall()
     return ("content", row[0], row[1])
+
+
+def read_database_file(
+    path: str | Path, schema: DatabaseSchema
+) -> DatabaseInstance:
+    """Load a sqlite database file into an in-memory instance.
+
+    The inverse of :func:`create_database_file`: rows are read in rowid
+    order, so tuple insertion order — and therefore every order-sensitive
+    detection report over the loaded instance — matches what the
+    file-backed ``sqlfile`` backend produces over the file itself. The
+    serving layer uses this to build the in-memory shadow that computes
+    violation deltas for file-backed tenants.
+    """
+    conn = connect_file(path, readonly=True)
+    try:
+        introspect_schema(conn, schema)
+        db = DatabaseInstance(schema)
+        for relation in schema:
+            instance = db[relation.name]
+            for row in conn.execute(
+                f"SELECT * FROM {q(relation.name)} ORDER BY rowid"
+            ):
+                instance.add(tuple(row))
+    finally:
+        conn.close()
+    return db
 
 
 def create_database_file(

@@ -30,12 +30,18 @@ factories may consume ``db`` destructively.
 
 from __future__ import annotations
 
+import asyncio
+
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import api
 from repro.core.violations import check_database_naive
 from repro.datasets.commerce import commerce_constraints, commerce_instance
+from repro.errors import SessionClosedError, UnknownTenantError
 from repro.relational.instance import Tuple
+from repro.serve import DetectionService, replay, report_records
 
 
 def in_memory_backend_names() -> tuple[str, ...]:
@@ -248,3 +254,245 @@ class BackendContract:
                 oracle = check_database_naive(reference, bank.constraints)
                 assert report_key(session.check()) == report_key(oracle)
                 assert session.count().by_constraint() == oracle.by_constraint()
+
+
+#: Interest-relation rows drawn from small pools so batches collide with
+#: the CFD/CIND patterns (and each other) frequently.
+_INTEREST_ROW = st.fixed_dictionaries(
+    {
+        "ab": st.sampled_from(("GLA", "EDI", "NYC")),
+        "ct": st.sampled_from(("UK", "US")),
+        "at": st.sampled_from(("saving", "checking")),
+        "rt": st.sampled_from(("1.5%", "9.9%", "0.0%")),
+    }
+)
+
+#: One randomized apply batch: (inserts, deletes). Either side may be
+#: empty; deletes may name absent rows (set-semantics no-ops).
+_APPLY_BATCH = st.tuples(
+    st.lists(_INTEREST_ROW, max_size=3), st.lists(_INTEREST_ROW, max_size=3)
+)
+
+
+class ServiceContract:
+    """Serving-layer conformance: register one ``make_tenant`` fixture.
+
+    ``make_tenant(service, name, db, sigma)`` is an *async* factory that
+    opens a tenant on *service* over data equivalent to the in-memory
+    instance ``db``, using the backend under test (file-backed backends
+    materialize ``db`` into a sqlite file first; tests always pass a
+    private copy, so factories may consume it). The suite then holds the
+    service to the same bar the :class:`BackendContract` holds sessions
+    to — reads and batch writes through :class:`repro.serve
+    .DetectionService` agree bit-identically with direct sessions — plus
+    the streaming contract: cumulative violation deltas replayed over a
+    subscriber's baseline reconstruct every cold ``check()`` exactly,
+    including order, under randomized batches (Hypothesis) and under
+    concurrent readers/writers (the asyncio stress test).
+    """
+
+    DIRTY_ROW = BackendContract.DIRTY_ROW
+
+    @pytest.fixture
+    def make_tenant(self):
+        raise NotImplementedError(
+            "register an async make_tenant(service, name, db, sigma) "
+            "fixture for the backend"
+        )
+
+    # -- reads through the service ------------------------------------------
+
+    def test_reads_match_direct_session(self, bank, make_tenant):
+        async def scenario():
+            async with DetectionService() as service:
+                await make_tenant(
+                    service, "t", bank.db.copy(), bank.constraints
+                )
+                return (
+                    await service.check("t"),
+                    await service.count("t"),
+                    await service.is_clean("t"),
+                )
+
+        report, summary, clean = asyncio.run(scenario())
+        reference = check_database_naive(bank.db, bank.constraints)
+        assert report_key(report) == report_key(reference)
+        assert summary.by_constraint() == reference.by_constraint()
+        assert clean == reference.is_clean
+
+    def test_concurrent_reads_agree(self, bank, make_tenant):
+        async def scenario():
+            async with DetectionService(max_workers=4) as service:
+                await make_tenant(
+                    service, "t", bank.db.copy(), bank.constraints
+                )
+                reports = await asyncio.gather(
+                    *(service.check("t") for __ in range(4))
+                )
+                return reports
+
+        reports = asyncio.run(scenario())
+        keys = {str(report_key(r)) for r in reports}
+        assert len(keys) == 1
+        reference = check_database_naive(bank.db, bank.constraints)
+        assert report_key(reports[0]) == report_key(reference)
+
+    # -- batch writes through the service -----------------------------------
+
+    def test_apply_matches_direct_session(self, bank, make_tenant):
+        extra = {"ab": "EDI", "ct": "US", "at": "saving", "rt": "0.0%"}
+
+        async def scenario():
+            async with DetectionService() as service:
+                await make_tenant(
+                    service, "t", bank.clean_db.copy(), bank.constraints
+                )
+                result, delta = await service.apply(
+                    "t",
+                    inserts=[
+                        ("interest", dict(self.DIRTY_ROW)),
+                        ("interest", dict(extra)),
+                        ("interest", dict(extra)),  # duplicate: no-op
+                    ],
+                )
+                return result, delta, await service.check("t")
+
+        result, delta, report = asyncio.run(scenario())
+        assert (result.inserted, result.deleted) == (2, 0)
+        assert delta.seq == 1
+        mirror = bank.clean_db.copy()
+        mirror["interest"].add(dict(self.DIRTY_ROW))
+        mirror["interest"].add(dict(extra))
+        oracle = check_database_naive(mirror, bank.constraints)
+        assert report_key(report) == report_key(oracle)
+        assert report_records(report) == replay(
+            report_records(check_database_naive(bank.clean_db, bank.constraints)),
+            delta,
+        )
+
+    # -- the delta-replay gate (randomized, per ISSUE acceptance) ------------
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        # function_scoped_fixture: every example builds a fresh service
+        # from factory fixtures, so examples never share state.
+        # differing_executors: the one contract method deliberately runs
+        # under each registered subclass (that is the whole pattern).
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.differing_executors,
+        ],
+    )
+    @given(batches=st.lists(_APPLY_BATCH, min_size=1, max_size=4))
+    def test_delta_replay_bit_identical(self, bank, make_tenant, batches):
+        """After every randomized batch, baseline + streamed deltas ==
+        a cold check() — bit-identical, including order."""
+
+        async def scenario():
+            async with DetectionService() as service:
+                await make_tenant(
+                    service, "t", bank.db.copy(), bank.constraints
+                )
+                sub = await service.subscribe("t")
+                records = sub.baseline
+                assert records == report_records(await service.check("t"))
+                for inserts, deletes in batches:
+                    await service.apply(
+                        "t",
+                        inserts=[("interest", dict(r)) for r in inserts],
+                        deletes=[("interest", dict(r)) for r in deletes],
+                    )
+                    delta = await sub.__anext__()
+                    records = replay(records, delta)
+                    cold = report_records(await service.check("t"))
+                    assert records == cold
+
+        asyncio.run(scenario())
+
+    # -- the asyncio stress test ---------------------------------------------
+
+    def test_stream_exact_under_concurrency(self, bank, make_tenant):
+        """Interleave apply batches, concurrent reads, and a delta
+        subscriber; cross-validate the stream against full re-check
+        reports recorded after each commit."""
+        pool = [
+            {"ab": ab, "ct": ct, "at": "checking", "rt": rt}
+            for ab in ("GLA", "EDI", "NYC")
+            for ct, rt in (("UK", "1.5%"), ("UK", "9.9%"), ("US", "0.0%"))
+        ]
+
+        async def scenario():
+            async with DetectionService(max_workers=4) as service:
+                await make_tenant(
+                    service, "t", bank.db.copy(), bank.constraints
+                )
+                sub = await service.subscribe("t")
+                truth = {}
+
+                async def writer():
+                    for i in range(6):
+                        inserts = [("interest", dict(pool[i % len(pool)]))]
+                        deletes = (
+                            [("interest", dict(pool[(i * 2) % len(pool)]))]
+                            if i % 2
+                            else []
+                        )
+                        __, delta = await service.apply(
+                            "t", inserts=inserts, deletes=deletes
+                        )
+                        # Single writer: no commit can slip between this
+                        # apply and the check, so the report is seq's truth.
+                        truth[delta.seq] = report_records(
+                            await service.check("t")
+                        )
+
+                async def reader():
+                    for __ in range(8):
+                        summary = await service.count("t")
+                        assert summary.total >= 0
+                        await service.is_clean("t")
+
+                replayed = []
+
+                async def consumer():
+                    records = sub.baseline
+                    async for delta in sub:
+                        records = replay(records, delta)
+                        replayed.append((delta.seq, records))
+
+                consumer_task = asyncio.create_task(consumer())
+                await asyncio.gather(writer(), reader(), reader())
+                service.unsubscribe("t", sub)
+                await consumer_task
+                return truth, replayed
+
+        truth, replayed = asyncio.run(scenario())
+        assert [seq for seq, __ in replayed] == sorted(truth)
+        for seq, records in replayed:
+            assert records == truth[seq], f"stream diverged at seq {seq}"
+
+    # -- eviction and the close-path contract --------------------------------
+
+    def test_evicted_tenant_raises(self, bank, make_tenant):
+        async def scenario():
+            async with DetectionService() as service:
+                handle = await make_tenant(
+                    service, "t", bank.db.copy(), bank.constraints
+                )
+                sub = await service.subscribe("t")
+                assert await service.evict("t") is True
+                assert await service.evict("t") is False
+                with pytest.raises(UnknownTenantError):
+                    await service.check("t")
+                # The evicted tenant's session is *closed*, not leaked:
+                # direct use now fails loudly and predictably.
+                assert handle.session.closed
+                with pytest.raises(SessionClosedError):
+                    handle.session.check()
+                # ... and its subscriptions terminate cleanly.
+                with pytest.raises(StopAsyncIteration):
+                    await sub.__anext__()
+                assert sub.reason == "closed"
+
+        asyncio.run(scenario())

@@ -155,10 +155,11 @@ class TestSQLBackendAdapter:
     def test_violating_rows_keys_every_constraint(self, bank):
         with api.connect(bank.db, bank.constraints, backend="sql") as session:
             rows = session.backend.violating_rows()
+            report = session.check()
         labels = set(constraint_labels(bank.constraints).values())
         assert set(rows) == labels  # empty-entry normalization
         violated = {name for name, r in rows.items() if r}
-        assert violated == set(session.check().by_constraint())
+        assert violated == set(report.by_constraint())
 
     def test_rows_match_canonical_tuples(self, bank):
         with api.connect(bank.db, bank.constraints, backend="sql") as session:

@@ -6,6 +6,13 @@ instance into an on-disk sqlite file first, and a parallel-dispatch
 variant of the memory backend to show option combinations register just
 as easily. This file is the entry bar for new backends: add a class,
 inherit the contract, done.
+
+The second half registers every backend against the
+:class:`~tests.conformance.ServiceContract` — the same bar, but through
+:class:`repro.serve.DetectionService`: async reads/batch-writes must
+agree bit-identically with direct sessions, and streamed violation
+deltas must replay to every cold check exactly (randomized batches +
+concurrent interleavings).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from repro import api
 from repro.api.parallel import fork_available
 from repro.sql.loader import create_database_file
 
-from tests.conformance import BackendContract
+from tests.conformance import BackendContract, ServiceContract
 
 
 def _simple_factory(name, **options):
@@ -119,5 +126,61 @@ class TestSQLFileContract(BackendContract):
             path = tmp_path / f"contract_{next(counter)}.db"
             create_database_file(path, db)
             return api.connect(path, sigma, backend="sqlfile")
+
+        return factory
+
+
+# -- the serving layer: every backend behind DetectionService ---------------
+
+
+def _service_tenant_factory(backend):
+    async def factory(service, name, db, sigma):
+        return await service.create_tenant(name, db, sigma, backend=backend)
+
+    return factory
+
+
+class TestMemoryServiceContract(ServiceContract):
+    @pytest.fixture
+    def make_tenant(self):
+        return _service_tenant_factory("memory")
+
+
+class TestNaiveServiceContract(ServiceContract):
+    """The oracle behind the service: deltas come from a shadow
+    incremental session, never from diffing naive re-checks."""
+
+    @pytest.fixture
+    def make_tenant(self):
+        return _service_tenant_factory("naive")
+
+
+class TestSQLServiceContract(ServiceContract):
+    @pytest.fixture
+    def make_tenant(self):
+        return _service_tenant_factory("sql")
+
+
+class TestIncrementalServiceContract(ServiceContract):
+    @pytest.fixture
+    def make_tenant(self):
+        return _service_tenant_factory("incremental")
+
+
+class TestSQLFileServiceContract(ServiceContract):
+    """The out-of-core backend behind the service: tenants live in real
+    sqlite files, reads fan out over the read-only connection pool, and
+    the delta shadow is seeded by loading the file back (rowid order)."""
+
+    @pytest.fixture
+    def make_tenant(self, tmp_path):
+        counter = itertools.count()
+
+        async def factory(service, name, db, sigma):
+            path = tmp_path / f"svc_{next(counter)}.db"
+            create_database_file(path, db)
+            return await service.create_tenant(
+                name, str(path), sigma, backend="sqlfile"
+            )
 
         return factory

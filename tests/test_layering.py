@@ -56,10 +56,34 @@ class TestLayeringRule:
         )
         assert violations == []
 
+    @pytest.mark.parametrize("stmt", [
+        "import repro.serve",
+        "from repro.serve import DetectionService",
+        "from repro import serve",
+    ])
+    @pytest.mark.parametrize("rel", [
+        "src/repro/api/session.py",      # the facade may not know serve
+        "src/repro/engine/mod.py",       # nor anything under it
+        "src/repro/core/mod.py",
+    ])
+    def test_serve_layer_is_import_terminal(self, tmp_path, rel, stmt):
+        violations = _lint_snippet(tmp_path, rel, stmt + "\n")
+        assert [v.rule for v in violations] == ["layering"]
+
+    @pytest.mark.parametrize("rel, stmt", [
+        # serve sits above the facade: importing api is its whole job
+        ("src/repro/serve/service.py", "from repro.api import connect"),
+        # the CLI is the one module allowed to import both layers
+        ("src/repro/cli.py", "from repro.serve import DetectionServer"),
+        ("src/repro/cli.py", "from repro.api import connect"),
+    ])
+    def test_serve_and_cli_edges_allowed(self, tmp_path, rel, stmt):
+        assert _lint_snippet(tmp_path, rel, stmt + "\n") == []
+
     def test_low_layers_cover_the_real_tree(self):
         """Every library package under src/repro is in LOW_LAYERS (new
         packages must be classified, not silently unlinted)."""
-        exempt = {"api", "cleaning"}
+        exempt = {"api", "cleaning", "serve"}
         packages = {
             p.name
             for p in (REPO_ROOT / "src" / "repro").iterdir()

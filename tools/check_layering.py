@@ -4,14 +4,17 @@
 Three rule families, each encoding an invariant the test suite relies on
 but ordinary linters don't know about:
 
-* **layering** — ``repro.api`` (the Session facade) and ``repro.cli`` sit
-  *on top of* the library. The core layers (``LOW_LAYERS``: ``core``,
-  ``engine``, ``consistency``, ``relational``, ``sql``, ``graph``,
-  ``analyze``, ``generator``, ``datasets``, ``logic``) importing them
-  would invert the dependency stack and eventually cycle. The package
-  root (which re-exports the facade), ``__main__``, and ``cleaning``
-  (which *orchestrates* sessions) are deliberately above the facade and
-  exempt.
+* **layering** — ``repro.api`` (the Session facade), ``repro.cli``, and
+  ``repro.serve`` (the service layer) sit *on top of* the library. The
+  core layers (``LOW_LAYERS``: ``core``, ``engine``, ``consistency``,
+  ``relational``, ``sql``, ``graph``, ``analyze``, ``generator``,
+  ``datasets``, ``logic``) importing them would invert the dependency
+  stack and eventually cycle. Within the top of the stack there is one
+  more edge: ``repro.serve`` imports ``repro.api``, never the reverse —
+  the facade must stay hostable without knowing about the service. The
+  package root (which re-exports the facade), ``__main__``, and
+  ``cleaning`` (which *orchestrates* sessions) are deliberately above
+  the facade and exempt.
 
 * **mutable-default** — a ``def f(x=[])``-style default is shared across
   calls; every instance found in review so far was a latent bug. Literal
@@ -44,7 +47,15 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: The top of the stack: nothing in LOW_LAYERS may import these.
-TOP_LAYERS = ("repro.api", "repro.cli")
+TOP_LAYERS = ("repro.api", "repro.cli", "repro.serve")
+
+#: The serving layer sits *above* the Session facade: ``repro.serve``
+#: may import ``repro.api``, but the facade (and, via LOW_LAYERS,
+#: everything under it — engine, core, ...) must never import
+#: ``repro.serve``: the library cannot depend on the service hosting it.
+#: ``repro.cli`` is the one module allowed to import both.
+SERVE_LAYER = "repro.serve"
+SERVE_FORBIDDEN_IMPORTERS = ("repro.api",)
 
 #: The library layers underneath the facade. Anything else under repro/
 #: (the package root, __main__, cleaning) is allowed to sit on top of it.
@@ -123,7 +134,17 @@ class _Linter(ast.NodeVisitor):
             self._flag(
                 node, "layering",
                 f"{self.module or self.path} imports {target!r}: core layers "
-                "must not depend on the api/cli layer",
+                "must not depend on the api/cli/serve layer",
+            )
+        if (
+            target.startswith(SERVE_LAYER)
+            and self.module is not None
+            and self.module.startswith(SERVE_FORBIDDEN_IMPORTERS)
+        ):
+            self._flag(
+                node, "layering",
+                f"{self.module} imports {target!r}: the Session facade must "
+                "not depend on the serving layer built on top of it",
             )
 
     def visit_Import(self, node: ast.Import) -> None:
