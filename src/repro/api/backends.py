@@ -48,7 +48,11 @@ from typing import (
 )
 
 from repro.api.options import ExecutionOptions
-from repro.api.parallel import execute_plan_parallel, resolve_executor
+from repro.api.parallel import (
+    execute_plan_parallel,
+    execute_sqlfile_windows,
+    resolve_executor,
+)
 from repro.cleaning.incremental import IncrementalChecker
 from repro.core.cfd import CFDViolation
 from repro.core.cind import CINDViolation
@@ -555,11 +559,14 @@ class SQLFileBackend(BaseBackend):
     ``:memory:`` database, this backend attaches to a file and runs
     detection where the data lives: the plan's shared scan groups are
     pushed down as SQL by a :class:`~repro.sql.violations.SQLPlanExecutor`
-    (one ``GROUP BY`` per CFD group, one witness anti-join per CIND
-    bucket, count-only and ``EXISTS`` early-exit variants), and the hits
-    are assembled through the engine's serial assembly so reports are
-    bit-identical — including list order — to the memory backend over
-    equivalent data (rowid order standing in for tuple insertion order).
+    (a one-pass prefilter + window-function scan per CFD group when the
+    sqlite library supports it — ``options.window_functions`` controls the
+    dispatch, with automatic fallback to the legacy GROUP-BY-then-join SQL
+    on older builds — one witness anti-join per CIND bucket, count-only
+    and ``EXISTS`` early-exit variants), and the hits are assembled
+    through the engine's serial assembly so reports are bit-identical —
+    including list order — to the memory backend over equivalent data
+    (rowid order standing in for tuple insertion order).
 
     Repeated checks are nearly free: a :class:`~repro.engine.cache.SQLScanCache`
     keyed by sqlite's ``PRAGMA data_version`` plus per-table
@@ -569,8 +576,17 @@ class SQLFileBackend(BaseBackend):
     invalidate only the touched table's entries; writes committed by
     *other* connections are caught by the ``data_version`` bump on the
     next call. ``options.readonly`` opens the file read-only and makes
-    mutations fail loudly. ``options.workers`` is ignored — sqlite is the
-    scan parallelism here.
+    mutations fail loudly.
+
+    ``options.workers > 1`` makes ``check``/``count`` split every *cold*
+    scan unit into contiguous rowid windows run concurrently on a bounded
+    pool of read-only connections
+    (:func:`~repro.api.parallel.execute_sqlfile_windows`; sqlite releases
+    the GIL inside queries, so the pool is always thread-based regardless
+    of ``options.executor``) and merge the partial states bit-identically;
+    the merged group-level results land in the cache under exactly the
+    serial keys, so a warm re-check is still one PRAGMA.
+    ``options.shards`` forces the per-relation window count.
     """
 
     name = "sqlfile"
@@ -598,7 +614,10 @@ class SQLFileBackend(BaseBackend):
             self.conn.close()
             raise
         self._plan = build_plan(sigma, self.options)
-        self._executor = SQLPlanExecutor(self.conn, self._plan)
+        self._executor = SQLPlanExecutor(
+            self.conn, self._plan,
+            window_functions=self.options.window_functions,
+        )
         self._cache = SQLScanCache()
         self._tables = tuple(sigma.schema.relation_names)
         # options.fingerprint picks the invalidation detector consulted
@@ -657,6 +676,58 @@ class SQLFileBackend(BaseBackend):
 
     # -- scan units (cached) -----------------------------------------------
 
+    def _prefetch_parallel(self) -> None:
+        """Fill the cache's cold scan units via rowid-window dispatch.
+
+        Only with ``options.workers > 1``, and only for units the cache
+        cannot answer (``peek`` leaves the hit/miss counters alone —
+        prefetch is an execution strategy, not a cache consumer). Merged
+        group-level hits are stored under exactly the keys the serial
+        methods below use, so after a prefetch they find every unit warm;
+        a fully-warm call skips the pool entirely and ``is_clean`` stays
+        serial — its point is to stop at the first hit, which a fan-out
+        would race past.
+        """
+        if self.options.workers <= 1:
+            return
+        cold_groups = [
+            i
+            for i, group in enumerate(self._plan.cfd_groups)
+            if self._cache.peek(
+                ("cfd", group.relation, group.lhs_positions)
+            ) is None
+        ]
+        cold_cind = [
+            relation
+            for relation in self._plan.cind_scans
+            if self._cache.peek(("cind", relation)) is None
+        ]
+        if not cold_groups and not cold_cind:
+            return
+        cfd_hits, cind_hits = execute_sqlfile_windows(
+            self._plan,
+            self.sigma.schema,
+            self.path,
+            cold_groups,
+            cold_cind,
+            workers=self.options.workers,
+            min_shard_rows=self.options.min_shard_rows,
+            shards=self.options.shards,
+        )
+        for i, hits in cfd_hits.items():
+            group = self._plan.cfd_groups[i]
+            self._cache.store(
+                ("cfd", group.relation, group.lhs_positions),
+                (group.relation,),
+                hits,
+            )
+        for relation, hits in cind_hits.items():
+            self._cache.store(
+                ("cind", relation),
+                self._cind_deps(relation, self._plan.cind_scans[relation]),
+                hits,
+            )
+
     def _cfd_hits(self, group) -> list:
         key = ("cfd", group.relation, group.lhs_positions)
         hits = self._cache.get(key)
@@ -692,6 +763,7 @@ class SQLFileBackend(BaseBackend):
 
     def check(self) -> ViolationReport:
         self._begin()
+        self._prefetch_parallel()
         try:
             cfd_buckets: dict[int, list[CFDViolation]] = {}
             for group in self._plan.cfd_groups:
@@ -729,6 +801,7 @@ class SQLFileBackend(BaseBackend):
     def count(self) -> DetectionSummary:
         # Count-only: the same cached hit lists, no group-tuple fetches.
         self._begin()
+        self._prefetch_parallel()
         try:
             cfd_counts: dict[int, int] = {}
             for group in self._plan.cfd_groups:

@@ -25,6 +25,12 @@ EXECUTORS = ("auto", "process", "thread")
 #: How the ``sqlfile`` backend fingerprints tables for cache invalidation.
 FINGERPRINTS = ("rowid", "content")
 
+#: Whether the ``sqlfile`` backend may use sqlite window functions for its
+#: one-pass CFD detection queries (``auto`` probes the library at connect
+#: time and silently falls back to the legacy GROUP-BY-then-join SQL when
+#: the sqlite build predates window functions, i.e. < 3.25).
+WINDOW_FUNCTIONS = ("auto", "off", "require")
+
 
 @dataclass(frozen=True)
 class ExecutionOptions:
@@ -43,9 +49,14 @@ class ExecutionOptions:
         (default) runs serially; ``N > 1`` splits the plan's scan units —
         CFD ``(relation, X)`` group-bys, CIND witness passes, CIND LHS
         scans — *and, past* ``min_shard_rows``, *the row ranges within
-        each unit* across one pool and merges the partial states. Only
-        the memory backend (and everything routed through it)
-        parallelizes; other backends ignore the setting.
+        each unit* across one pool and merges the partial states. The
+        memory backend (and everything routed through it) parallelizes
+        over Python rows; the ``sqlfile`` backend parallelizes *inside
+        sqlite*: each scan unit splits into contiguous rowid windows run
+        concurrently on a bounded pool of read-only connections (sqlite
+        releases the GIL inside queries, so the pool is always
+        thread-based) and the partial states merge bit-identically.
+        Other backends ignore the setting.
     executor:
         ``"process"`` — fork-based process pool (true CPU parallelism; the
         database is shared with workers copy-on-write, never pickled);
@@ -66,7 +77,17 @@ class ExecutionOptions:
         Explicit shard count per scan unit (``0`` = size automatically
         from ``workers`` and ``min_shard_rows``). Mostly for benchmarks
         and tests that must force a specific split (still capped at one
-        shard per row).
+        shard per row). For ``sqlfile`` this is the rowid-window count
+        per relation scan.
+    window_functions:
+        Whether the ``sqlfile`` backend's CFD detection may use sqlite
+        window functions (``MIN(rhs) OVER (PARTITION BY X)`` one-pass
+        queries): ``"auto"`` (default) probes the sqlite library at
+        connect time and falls back to the legacy GROUP-BY-then-join SQL
+        when unavailable (< 3.25); ``"off"`` forces the legacy SQL
+        (benchmark baselines, differential tests); ``"require"`` raises
+        :class:`~repro.errors.SQLBackendError` instead of falling back.
+        Results are bit-identical either way. Other backends ignore it.
     fingerprint:
         How the ``sqlfile`` backend fingerprints tables when validating
         its cache after a foreign commit: ``"rowid"`` (default) compares
@@ -105,6 +126,7 @@ class ExecutionOptions:
     executor: str = "auto"
     min_shard_rows: int = 8192
     shards: int = 0
+    window_functions: str = "auto"
     fingerprint: str = "rowid"
     readonly: bool = False
     validate: bool = False
@@ -130,6 +152,11 @@ class ExecutionOptions:
             raise ValueError(
                 f"shards must be a non-negative int (0 = auto), got "
                 f"{self.shards!r}"
+            )
+        if self.window_functions not in WINDOW_FUNCTIONS:
+            raise ValueError(
+                f"window_functions must be one of {WINDOW_FUNCTIONS}, got "
+                f"{self.window_functions!r}"
             )
         if self.fingerprint not in FINGERPRINTS:
             raise ValueError(

@@ -90,6 +90,7 @@ from repro.engine.shards import (
     WitnessState,
     cfd_finalize,
     cfd_map_shard,
+    cind_finalize,
     cind_map_shard,
     make_shards,
     merge_cfd_states,
@@ -101,6 +102,14 @@ from repro.engine.shards import (
 )
 from repro.core.violations import ViolationReport
 from repro.relational.instance import DatabaseInstance, Tuple
+from repro.sql.windows import (
+    ReadonlyConnectionPool,
+    SeededWitnesses,
+    cfd_window_state,
+    cind_window_state,
+    plan_rowid_windows,
+    witness_window_set,
+)
 
 #: Worker-visible state. Published before the pool's first submission:
 #: forked process workers inherit it copy-on-write, thread workers share
@@ -585,3 +594,211 @@ def _execute_parallel(
         [(rel, cind_hit_lists[rel]) for rel in plan.cind_scans],
         mode,
     )
+
+# -- rowid-window dispatch for the sqlfile backend ------------------------------
+
+
+def execute_sqlfile_windows(
+    plan: DetectionPlan,
+    schema,
+    path,
+    cold_groups: list[int],
+    cold_cind: list[str],
+    workers: int,
+    min_shard_rows: int = 8192,
+    shards: int = 0,
+) -> tuple[dict[int, list], dict[str, list]]:
+    """Run the cold scan units of a ``sqlfile`` check as rowid windows.
+
+    The file-side twin of :func:`execute_plan_parallel`: each cold scan
+    unit's relation is split into contiguous rowid windows
+    (:func:`~repro.sql.windows.plan_rowid_windows`), per-window queries
+    run concurrently on a bounded pool of read-only connections — sqlite
+    releases the GIL inside a query, so the pool is always thread-based —
+    and the partial states merge in window order through the exact
+    machinery the in-memory parallel path uses
+    (:class:`~repro.engine.shards.CFDGroupState` /
+    :class:`~repro.engine.shards.WitnessState` /
+    :class:`~repro.engine.shards.CINDScanState`), so hit lists are
+    bit-identical — including order — to the serial executor's.
+
+    Same task-graph shape as the in-memory dispatcher: CFD window nodes
+    are free-running; witness window nodes all feed a merge **barrier**
+    (a window-partial witness set would fake violations); CIND probe
+    window nodes depend on the barrier and seed the merged witness keys
+    into per-connection indexed temp tables on first probe
+    (:class:`~repro.sql.windows.SeededWitnesses`).
+
+    Returns ``(cfd hits by group index, cind hits by relation)`` for the
+    requested cold units — shaped exactly like the serial executor's
+    ``cfd_group_hits`` / ``cind_relation_hits`` results, so the caller
+    caches them under the same keys.
+    """
+    pool = ReadonlyConnectionPool(path, workers)
+    try:
+        window_plans: dict[str, list] = {}
+
+        def windows_for(conn, relation: str):
+            if relation not in window_plans:
+                window_plans[relation] = plan_rowid_windows(
+                    conn, relation, workers, min_shard_rows, shards
+                )
+            return window_plans[relation]
+
+        #: Witness specs the cold CIND relations consume, by RHS relation
+        #: (identity-keyed dicts double as ordered sets, like the plan's).
+        specs_by_rhs: dict[str, dict[WitnessSpec, None]] = {}
+        for relation in cold_cind:
+            for task in plan.cind_scans[relation]:
+                specs_by_rhs.setdefault(
+                    task.witness.rhs_relation, {}
+                )[task.witness] = None
+
+        with pool.connection() as conn:
+            for i in cold_groups:
+                windows_for(conn, plan.cfd_groups[i].relation)
+            for rhs_relation in specs_by_rhs:
+                windows_for(conn, rhs_relation)
+            for relation in cold_cind:
+                windows_for(conn, relation)
+
+        nodes: list[_Node] = []
+        cfd_hits: dict[int, list] = {}
+        cind_hits: dict[str, list] = {}
+        witnesses: dict[WitnessSpec, set] = {}
+        seeded = SeededWitnesses()
+
+        def add(node: _Node) -> int:
+            nodes.append(node)
+            return len(nodes) - 1
+
+        # CFD windows: free-running; merge in window order, finalize.
+        for i in cold_groups:
+            group = plan.cfd_groups[i]
+            rel = schema.relation(group.relation)
+            windows = window_plans[group.relation]
+            states: list[CFDGroupState | None] = [None] * len(windows)
+
+            def cfd_window(rel=rel, group=group):
+                def run(window):
+                    with pool.connection() as conn:
+                        return cfd_window_state(conn, rel, group, window)
+                return run
+
+            run_window = cfd_window()
+            shard_ids = tuple(
+                add(_Node(
+                    run_window,
+                    make_args=lambda w=window: (w,),
+                    on_done=lambda s, states=states, k=window.index: (
+                        states.__setitem__(k, s)
+                    ),
+                    label=f"cfd-window:{group.relation}[{window.index}]",
+                ))
+                for window in windows
+            )
+
+            def merge_group(__, i=i, group=group, states=states):
+                cfd_hits[i] = cfd_finalize(group, merge_cfd_states(states))
+
+            add(_Node(
+                None, on_done=merge_group, deps=shard_ids,
+                label=f"cfd-window-merge:{group.relation}",
+            ))
+
+        # Witness windows: free-running, per-RHS-relation merges feeding
+        # the barrier (per-spec merge is set union, window order moot).
+        witness_merge_ids: list[int] = []
+        for rhs_relation, spec_set in specs_by_rhs.items():
+            rel = schema.relation(rhs_relation)
+            specs = list(spec_set)
+            windows = window_plans[rhs_relation]
+            partials: list[list[set] | None] = [None] * len(windows)
+
+            def witness_window(rel=rel, specs=specs):
+                def run(window):
+                    with pool.connection() as conn:
+                        return [
+                            witness_window_set(conn, rel, spec, window)
+                            for spec in specs
+                        ]
+                return run
+
+            run_window = witness_window()
+            shard_ids = tuple(
+                add(_Node(
+                    run_window,
+                    make_args=lambda w=window: (w,),
+                    on_done=lambda sets, partials=partials, k=window.index: (
+                        partials.__setitem__(k, sets)
+                    ),
+                    label=f"witness-window:{rhs_relation}[{window.index}]",
+                ))
+                for window in windows
+            )
+
+            def merge_witness(__, specs=specs, partials=partials):
+                for pos, spec in enumerate(specs):
+                    merged: set = set()
+                    for sets in partials:
+                        merged |= sets[pos]
+                    witnesses[spec] = merged
+
+            witness_merge_ids.append(add(_Node(
+                None, on_done=merge_witness, deps=shard_ids,
+                label=f"witness-window-merge:{rhs_relation}",
+            )))
+
+        barrier = add(_Node(
+            None, deps=tuple(witness_merge_ids), label="witness-barrier",
+        ))
+
+        # CIND probe windows: after the barrier, each borrows a pooled
+        # connection, lazily seeds the merged witness keys on it, probes
+        # its window; merge in window order, finalize task-major.
+        for relation in cold_cind:
+            rel = schema.relation(relation)
+            tasks = plan.cind_scans[relation]
+            relation_specs = list(dict.fromkeys(t.witness for t in tasks))
+            windows = window_plans[relation]
+            states: list[CINDScanState | None] = [None] * len(windows)
+
+            def cind_window(rel=rel, tasks=tasks, relation_specs=relation_specs):
+                def run(window):
+                    with pool.connection() as conn:
+                        tables = seeded.ensure(
+                            conn,
+                            {spec: witnesses[spec] for spec in relation_specs},
+                        )
+                        return cind_window_state(
+                            conn, rel, tasks, window, tables
+                        )
+                return run
+
+            run_window = cind_window()
+            shard_ids = tuple(
+                add(_Node(
+                    run_window,
+                    make_args=lambda w=window: (w,),
+                    on_done=lambda s, states=states, k=window.index: (
+                        states.__setitem__(k, s)
+                    ),
+                    deps=(barrier,),
+                    label=f"cind-window:{relation}[{window.index}]",
+                ))
+                for window in windows
+            )
+
+            def merge_cind(__, relation=relation, tasks=tasks, states=states):
+                merged = merge_cind_states(states)
+                cind_hits[relation] = list(cind_finalize(tasks, merged))
+
+            add(_Node(
+                None, on_done=merge_cind, deps=shard_ids,
+                label=f"cind-window-merge:{relation}",
+            ))
+
+        _run_graph("thread", workers, nodes)
+    finally:
+        pool.close()
+    return cfd_hits, cind_hits

@@ -266,6 +266,17 @@ class SQLScanCache:
         self.hits += 1
         return entry[1]
 
+    def peek(self, key: Any) -> Any | None:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        The parallel rowid-window prefetch uses it to decide which scan
+        units still need computing; the decision is bookkeeping, not a
+        read, and must not skew the cache statistics the benchmarks and
+        tests assert on.
+        """
+        entry = self._entries.get(key)
+        return None if entry is None else entry[1]
+
     def store(self, key: Any, tables: Iterable[str], value: Any) -> None:
         self._entries[key] = (frozenset(tables), value)
 

@@ -81,5 +81,17 @@ class UnknownTenantError(ServeError):
     """A service call named a tenant the registry does not hold."""
 
 
+class ServiceOverloadedError(ServeError):
+    """A tenant's bounded pending-write queue is full.
+
+    Raised by :meth:`repro.serve.DetectionService.apply` *before* the
+    batch starts queueing on the tenant's writer lock when the service was
+    configured with ``max_pending_writes`` and that many batches are
+    already waiting or committing. Fail-fast backpressure: the caller gets
+    a typed, retryable signal instead of an unbounded wait (and the NDJSON
+    protocol maps it to an ``{"ok": false, "kind":
+    "ServiceOverloadedError"}`` envelope automatically)."""
+
+
 class GenerationError(ReproError):
     """The random schema/constraint generator was given impossible parameters."""

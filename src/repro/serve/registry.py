@@ -139,6 +139,12 @@ class TenantHandle:
     readers: ReaderPool | None = None
     #: Commits applied through the service (mirrors the feed's sequence).
     commits: int = 0
+    #: Batches admitted to :meth:`DetectionService.apply` and not yet
+    #: committed — waiting on (or holding) the writer lock. Admission
+    #: control compares this against ``max_pending_writes`` *before*
+    #: queueing, so an overloaded tenant fails fast instead of growing an
+    #: unbounded lock queue.
+    pending_writes: int = 0
     closed: bool = False
 
     def close(self) -> None:

@@ -43,7 +43,7 @@ from repro.api.backends import ApplyResult, DMLOp
 from repro.api.session import Session
 from repro.core.violations import ConstraintSet, ViolationReport
 from repro.engine import DetectionSummary
-from repro.errors import ServeError
+from repro.errors import ServeError, ServiceOverloadedError
 from repro.relational.instance import DatabaseInstance
 from repro.serve.feed import (
     DeltaSource,
@@ -68,7 +68,14 @@ class DetectionService:
     ``capacity`` bounds the registry (LRU eviction past it),
     ``max_workers`` sizes the shared thread executor, and
     ``reader_pool_size`` is how many read-only connections each
-    ``sqlfile`` tenant gets for lock-free reads.
+    ``sqlfile`` tenant gets for lock-free reads. ``max_pending_writes``
+    (``None`` = unbounded, the historical behaviour) caps how many
+    :meth:`apply` batches may be queued on one tenant's writer lock at
+    once — batch N+1 fails fast with
+    :class:`~repro.errors.ServiceOverloadedError` instead of joining an
+    unbounded queue, giving callers a typed, retryable backpressure
+    signal (the NDJSON protocol maps it to an ``{"ok": false, "kind":
+    "ServiceOverloadedError"}`` envelope).
     """
 
     def __init__(
@@ -76,9 +83,16 @@ class DetectionService:
         capacity: int = 64,
         max_workers: int = 4,
         reader_pool_size: int = 2,
+        max_pending_writes: int | None = None,
     ):
+        if max_pending_writes is not None and max_pending_writes < 1:
+            raise ServeError(
+                f"max_pending_writes must be >= 1 (or None for unbounded), "
+                f"got {max_pending_writes}"
+            )
         self.registry = SessionRegistry(capacity=capacity)
         self.reader_pool_size = reader_pool_size
+        self.max_pending_writes = max_pending_writes
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -189,9 +203,23 @@ class DetectionService:
         contract), the feed computes the delta, and the delta is
         published to subscribers *before* the lock drops, so subscribers
         observe commits in exactly the order they serialized.
+
+        Admission control runs *before* the lock: when the service was
+        configured with ``max_pending_writes`` and that many batches are
+        already pending on this tenant (waiting or committing), the call
+        raises :class:`~repro.errors.ServiceOverloadedError` immediately —
+        the batch is rejected untouched, nothing was applied, and the
+        caller may retry once the queue drains.
         """
         self._ensure_open()
         handle = self.registry.get(tenant)
+        limit = self.max_pending_writes
+        if limit is not None and handle.pending_writes >= limit:
+            raise ServiceOverloadedError(
+                f"tenant {tenant!r} has {handle.pending_writes} pending "
+                f"write batch(es) (max_pending_writes={limit}); retry "
+                "after the queue drains"
+            )
         inserts = list(inserts)
         deletes = list(deletes)
 
@@ -204,10 +232,17 @@ class DetectionService:
             delta = handle.feed.commit(inserts, deletes)
             return result, delta
 
-        async with handle.lock.writing():
-            result, delta = await self._run(commit)
-            handle.commits += 1
-            handle.feed.publish(delta)
+        # The admission check and this increment run in one event-loop
+        # step (no await in between), so concurrent apply() calls cannot
+        # slip past the limit together.
+        handle.pending_writes += 1
+        try:
+            async with handle.lock.writing():
+                result, delta = await self._run(commit)
+                handle.commits += 1
+                handle.feed.publish(delta)
+        finally:
+            handle.pending_writes -= 1
         return result, delta
 
     # -- reads --------------------------------------------------------------

@@ -52,6 +52,7 @@ from repro.relational.values import is_wildcard
 from repro.sql.ddl import distinct_count_expr, row_predicate, select_columns
 from repro.sql.ddl import quote_identifier as q
 from repro.sql.loader import connect_memory, load_database
+from repro.sql.windows import cfd_onepass_hits, supports_window_functions
 
 
 class TableauCache:
@@ -340,14 +341,23 @@ class SQLPlanExecutor:
     Where :class:`SQLViolationDetector` issues per-constraint queries, this
     executor pushes the plan's shared scan units down whole:
 
-    * **CFD scan groups** — per ``(relation, X)`` group, one ``GROUP BY X``
-      query per distinct RHS variant finds the keys whose groups *disagree*
-      on the RHS, and one tableau-join query per CFD in the group (reusing
-      the group's cached tableau temp tables) finds the keys whose shared
-      RHS misses a pattern constant. Both return only *candidate* keys plus
-      their first-occurrence rowid, so the Python side touches O(violations)
-      rows, not O(tuples); task evaluation over the candidates replays the
-      in-memory engine's semantics exactly.
+    * **CFD scan groups** — by default (``window_functions="auto"`` on a
+      sqlite with window functions) each group runs the *one-pass* path of
+      :func:`repro.sql.windows.cfd_onepass_hits`: one aggregate prefilter
+      scan yields a candidate-key superset, and one window-function scan
+      over the (typically empty) candidates derives the exact violations —
+      replacing the legacy per-variant ``GROUP BY`` queries and per-CFD
+      tableau self-joins with one scan on clean data. The legacy path —
+      one ``GROUP BY X`` query per distinct RHS variant for the keys whose
+      groups *disagree*, plus one tableau-join query per CFD (reusing the
+      group's cached tableau temp tables) for the keys whose shared RHS
+      misses a pattern constant — remains the automatic fallback when the
+      sqlite build predates window functions (< 3.25), when the caller
+      forces ``window_functions="off"``, or when a group is dirty past the
+      bounded refinement. Both paths return only *candidate* keys plus
+      their first-occurrence rowid, so the Python side touches
+      O(violations) rows, not O(tuples), and both replay the in-memory
+      engine's semantics exactly — reports are bit-identical either way.
     * **CIND buckets** — one witness anti-join per deduplicated task
       signature ``(premise checks, X positions, witness spec)``; rows come
       back in rowid order (= the engine's scan order for files written by
@@ -363,10 +373,25 @@ class SQLPlanExecutor:
     variant for ``is_clean``.
     """
 
-    def __init__(self, conn: sqlite3.Connection, plan: DetectionPlan):
+    def __init__(
+        self,
+        conn: sqlite3.Connection,
+        plan: DetectionPlan,
+        window_functions: str = "auto",
+    ):
         self.conn = conn
         self.plan = plan
         self.schema = plan.sigma.schema
+        if window_functions == "off":
+            self.use_window_functions = False
+        else:
+            self.use_window_functions = supports_window_functions(conn)
+            if window_functions == "require" and not self.use_window_functions:
+                raise SQLBackendError(
+                    "window_functions='require' but this sqlite library "
+                    f"(version {sqlite3.sqlite_version}) does not support "
+                    "window functions (needs >= 3.25)"
+                )
         self._tableaux = TableauCache(conn)
         #: Per-execution witness materializations (see _witness_table):
         #: spec -> temp table name (non-empty Y) or spec -> bool (empty Y).
@@ -450,8 +475,17 @@ class SQLPlanExecutor:
     ) -> list[tuple[Any, tuple[Any, ...], str]]:
         """One pushed-down scan of *group*: every violating
         ``(task, key, kind)``, tasks in group order, keys in
-        first-occurrence rowid order — the in-memory executor's order."""
+        first-occurrence rowid order — the in-memory executor's order.
+
+        Dispatches to the one-pass prefilter + window-function path when
+        the connection supports it (``None`` from the one-pass scan means
+        the group exceeded the bounded refinement — rare, and the legacy
+        queries below answer it identically)."""
         rel = self.schema.relation(group.relation)
+        if self.use_window_functions:
+            hits = cfd_onepass_hits(self.conn, rel, group)
+            if hits is not None:
+                return hits
         disagree = {
             variant: self._disagree_keys(rel, group, variant)
             for variant in group.rhs_variants()

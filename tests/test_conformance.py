@@ -130,6 +130,50 @@ class TestSQLFileContract(BackendContract):
         return factory
 
 
+class TestWindowedSQLFileContract(BackendContract):
+    """The out-of-core backend under rowid-window parallel dispatch:
+    every cold scan unit splits into three contiguous rowid windows
+    (min_shard_rows=1 so even the tiny fixture relations split) run
+    concurrently on a pool of read-only connections, and the merged
+    partial states must satisfy the whole contract bit-identically —
+    including violation-list order."""
+
+    @pytest.fixture
+    def make_session(self, tmp_path):
+        counter = itertools.count()
+
+        def factory(db, sigma):
+            path = tmp_path / f"windowed_{next(counter)}.db"
+            create_database_file(path, db)
+            return api.connect(
+                path, sigma, backend="sqlfile",
+                workers=2, executor="thread",
+                shards=3, min_shard_rows=1,
+            )
+
+        return factory
+
+
+class TestLegacySQLFileContract(BackendContract):
+    """The out-of-core backend with ``window_functions="off"`` — the
+    GROUP-BY-then-self-join SQL that is also the automatic fallback when
+    the sqlite library lacks window functions must keep satisfying the
+    full contract on its own."""
+
+    @pytest.fixture
+    def make_session(self, tmp_path):
+        counter = itertools.count()
+
+        def factory(db, sigma):
+            path = tmp_path / f"legacy_{next(counter)}.db"
+            create_database_file(path, db)
+            return api.connect(
+                path, sigma, backend="sqlfile", window_functions="off"
+            )
+
+        return factory
+
+
 # -- the serving layer: every backend behind DetectionService ---------------
 
 

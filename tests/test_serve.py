@@ -22,6 +22,7 @@ from repro import api
 from repro.errors import (
     ReproError,
     ServeError,
+    ServiceOverloadedError,
     SessionClosedError,
     UnknownTenantError,
 )
@@ -675,5 +676,189 @@ class TestDetectionService:
                 assert seqs == list(range(1, 9))
                 assert handle.commits == 8
                 assert handle.feed.seq == 8
+
+        run(scenario())
+
+
+# -- write admission control -------------------------------------------------
+
+
+class TestAdmissionControl:
+    """``max_pending_writes``: bounded per-tenant write queues that fail
+    fast with a typed, retryable error instead of growing an unbounded
+    writer-lock queue."""
+
+    @staticmethod
+    def _row(i):
+        return {"ab": f"B{i}", "ct": "US", "at": "saving", "rt": "1%"}
+
+    def test_overload_fails_fast_and_typed(self, bank):
+        """With a limit of 1, a burst of concurrent applies admits exactly
+        one batch; every other caller gets ServiceOverloadedError before
+        anything of theirs is applied."""
+
+        async def scenario():
+            async with DetectionService(max_pending_writes=1) as service:
+                handle = await service.create_tenant(
+                    "t", bank.clean_db.copy(), bank.constraints
+                )
+                results = await asyncio.gather(
+                    *(
+                        service.apply(
+                            "t", inserts=[("interest", dict(self._row(i)))]
+                        )
+                        for i in range(5)
+                    ),
+                    return_exceptions=True,
+                )
+                ok = [r for r in results if not isinstance(r, Exception)]
+                rejected = [r for r in results if isinstance(r, Exception)]
+                assert len(ok) == 1
+                assert len(rejected) == 4
+                assert all(
+                    isinstance(r, ServiceOverloadedError) for r in rejected
+                )
+                # Rejected batches were never applied: one commit only.
+                assert handle.commits == 1
+                assert handle.feed.seq == 1
+
+        run(scenario())
+
+    def test_queue_drains_and_recovers(self, bank):
+        """Overload is transient: once the admitted batch commits, the
+        counter is back to zero and later applies succeed."""
+
+        async def scenario():
+            async with DetectionService(max_pending_writes=1) as service:
+                handle = await service.create_tenant(
+                    "t", bank.clean_db.copy(), bank.constraints
+                )
+                await asyncio.gather(
+                    *(
+                        service.apply(
+                            "t", inserts=[("interest", dict(self._row(i)))]
+                        )
+                        for i in range(3)
+                    ),
+                    return_exceptions=True,
+                )
+                assert handle.pending_writes == 0
+                __, delta = await service.apply(
+                    "t", inserts=[("interest", dict(self._row(99)))]
+                )
+                assert delta.seq == handle.feed.seq
+                assert handle.pending_writes == 0
+
+        run(scenario())
+
+    def test_unbounded_by_default(self, bank):
+        """No limit configured (the historical behaviour): every batch in
+        a burst queues on the writer lock and commits."""
+
+        async def scenario():
+            async with DetectionService() as service:
+                handle = await service.create_tenant(
+                    "t", bank.clean_db.copy(), bank.constraints
+                )
+                results = await asyncio.gather(
+                    *(
+                        service.apply(
+                            "t", inserts=[("interest", dict(self._row(i)))]
+                        )
+                        for i in range(5)
+                    )
+                )
+                assert len(results) == 5
+                assert handle.commits == 5
+
+        run(scenario())
+
+    def test_limit_is_per_tenant(self, bank):
+        """One tenant saturating its queue never consumes another
+        tenant's admission budget."""
+
+        async def scenario():
+            async with DetectionService(max_pending_writes=1) as service:
+                await service.create_tenant(
+                    "a", bank.clean_db.copy(), bank.constraints
+                )
+                await service.create_tenant(
+                    "b", bank.clean_db.copy(), bank.constraints
+                )
+                burst = [
+                    service.apply(
+                        "a", inserts=[("interest", dict(self._row(i)))]
+                    )
+                    for i in range(4)
+                ] + [
+                    service.apply(
+                        "b", inserts=[("interest", dict(self._row(0)))]
+                    )
+                ]
+                results = await asyncio.gather(*burst, return_exceptions=True)
+                # Tenant b's lone batch is admitted regardless of a's burst.
+                assert not isinstance(results[-1], Exception)
+
+        run(scenario())
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ServeError):
+            DetectionService(max_pending_writes=0)
+        with pytest.raises(ServeError):
+            DetectionService(max_pending_writes=-3)
+
+    def test_overloaded_error_is_serve_error(self):
+        """The protocol maps (ReproError, ServeError) to typed envelopes;
+        subclassing ServeError is what makes the overload signal arrive
+        as {"ok": false, "kind": "ServiceOverloadedError"} for free."""
+        assert issubclass(ServiceOverloadedError, ServeError)
+
+    def test_protocol_envelope_kind(self, bank, bank_rows):
+        """Over the NDJSON protocol an overloaded tenant yields the typed
+        envelope, and the connection stays usable (retryable)."""
+
+        async def scenario():
+            service = DetectionService(capacity=8, max_pending_writes=1)
+            server = await DetectionServer(
+                service, bank.db.schema, bank.constraints, port=0
+            ).start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                await _rpc(
+                    reader, writer,
+                    {"op": "create", "tenant": "w", "rows": bank_rows},
+                )
+                # Saturate the tenant's queue from the side: the next
+                # apply must be rejected at admission, not queued.
+                service.registry.get("w").pending_writes = 1
+                resp = await _rpc(
+                    reader, writer,
+                    {
+                        "op": "apply",
+                        "tenant": "w",
+                        "inserts": [
+                            ["interest", ["GLA", "UK", "checking", "9.9%"]]
+                        ],
+                    },
+                )
+                assert resp["ok"] is False
+                assert resp["kind"] == "ServiceOverloadedError"
+                # Queue drains -> the very same request now succeeds.
+                service.registry.get("w").pending_writes = 0
+                resp = await _rpc(
+                    reader, writer,
+                    {
+                        "op": "apply",
+                        "tenant": "w",
+                        "inserts": [
+                            ["interest", ["GLA", "UK", "checking", "9.9%"]]
+                        ],
+                    },
+                )
+                assert resp["ok"] is True
+            finally:
+                writer.close()
+                await server.stop()
 
         run(scenario())

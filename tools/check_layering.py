@@ -16,6 +16,16 @@ but ordinary linters don't know about:
   ``cleaning`` (which *orchestrates* sessions) are deliberately above
   the facade and exempt.
 
+* **layering** also enforces per-module *import allowlists*
+  (``MODULE_IMPORT_ALLOWLISTS``) for modules whose dependency surface is
+  deliberately narrow. ``repro.sql.windows`` — the rowid-window planner
+  and window-function scan kernels — may reach only the engine's shard
+  policy/mergeable states, the planner's scan-group types, the
+  relational schema/instance types, and its sql siblings (ddl, loader);
+  growing an import there (say, on the columnar views or the matching
+  layer) widens what a windowed scan can observe and must be a reviewed
+  decision, not drift.
+
 * **mutable-default** — a ``def f(x=[])``-style default is shared across
   calls; every instance found in review so far was a latent bug. Literal
   list/dict/set displays and zero-argument ``list()``/``dict()``/
@@ -74,6 +84,24 @@ LOW_LAYERS = (
     "repro.sql",
     "repro.views",
 )
+
+#: Modules pinned to an explicit set of allowed ``repro.*`` import
+#: prefixes. Keyed by dotted module name; any ``repro.*`` import from
+#: that module whose target matches none of the prefixes is flagged.
+#: ``repro.sql.windows`` runs partial scans over arbitrary database
+#: files on pooled read-only connections — its inputs are meant to be
+#: *only* plan types, shard policy, schema/tuple types, and the sql
+#: layer's own DDL/URI helpers, so merged window results provably
+#: depend on nothing the serial executor doesn't also see.
+MODULE_IMPORT_ALLOWLISTS: dict[str, tuple[str, ...]] = {
+    "repro.sql.windows": (
+        "repro.engine.planner",
+        "repro.engine.shards",
+        "repro.relational",
+        "repro.sql.ddl",
+        "repro.sql.loader",
+    ),
+}
 
 #: ``random`` attributes that are deterministic to *construct* — seeded
 #: generator classes; everything else on the module is global state.
@@ -145,6 +173,19 @@ class _Linter(ast.NodeVisitor):
                 node, "layering",
                 f"{self.module} imports {target!r}: the Session facade must "
                 "not depend on the serving layer built on top of it",
+            )
+        allowed = MODULE_IMPORT_ALLOWLISTS.get(self.module or "")
+        if (
+            allowed is not None
+            and target.startswith("repro")
+            and not target.startswith(allowed)
+        ):
+            self._flag(
+                node, "layering",
+                f"{self.module} imports {target!r}, outside its pinned "
+                f"allowlist ({', '.join(allowed)}); widening this module's "
+                "dependency surface is a reviewed decision — see "
+                "MODULE_IMPORT_ALLOWLISTS",
             )
 
     def visit_Import(self, node: ast.Import) -> None:
