@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Repair-engine benchmark: violations-fixed/sec, delta vs full rounds.
+
+The delta-driven repair engine's contract has two halves, and this
+benchmark measures and gates both:
+
+* **Batched rounds** — every round plans all of its CFD rewrites and
+  CIND inserts/deletes up front and applies them as one ``Session.apply``
+  batch (one invalidation / one transaction), where the historical loop
+  paid one apply per violated group. Reported as end-to-end
+  ``violations-fixed/sec`` per backend at bank@``--size``.
+* **Delta-driven worklists** — on the incremental backend, the next
+  round's worklist comes from the live checker's maintained violation
+  state (O(violations) to read) instead of a from-scratch
+  ``session.check()`` scan (O(database), since the round's own batch
+  invalidated the versioned cache). The gate compares the per-round
+  worklist-construction time of ``mode="delta"`` against
+  ``mode="full"`` on the same backend and data:
+  ``--min-delta-repair-speedup X`` fails the run (exit 1) below X (CI
+  passes 3.0). Session setup is excluded from both sides — it is the
+  same ``connect()`` machinery, paid once, and on the primary
+  incremental path the checker exists for DML regardless of repair.
+
+Every row is **cross-validated before any number is reported**: the
+engine's final database must be bit-identical (content and iteration
+order) to the historical eager repair loop — transcribed below as
+``seed_eager_repair`` — and the repaired database must be verified clean
+by the naive oracle (``check_database``). The fast path cannot drift
+from the slow one and still produce a number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_repair.py                 # bank@50k
+    PYTHONPATH=src python benchmarks/bench_repair.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_repair.py --json BENCH_repair.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cleaning.repair import RepairResult, repair
+from repro.core.violations import check_database
+from repro.datasets.bank import bank_constraints, scaled_bank_instance
+
+#: Backends reported in the violations-fixed/sec table. ``naive``/``sql``
+#: follow the same engine path as ``memory``; ``sqlfile`` pays file
+#: staging and is benchmarked separately in bench_serving.
+THROUGHPUT_BACKENDS = ("memory", "incremental")
+
+
+def seed_eager_repair(db, sigma, cind_policy="insert", max_rounds=10):
+    """The historical repair loop, kept verbatim as the reference.
+
+    One full ``check_database`` per round, one mutation per violated
+    group/tuple, ``Counter`` insertion-order tie-breaks — the semantics
+    the delta engine must reproduce bit-for-bit (its default
+    ``tie_break="first"`` is exactly this loop's implicit tie rule).
+    """
+    from collections import Counter
+
+    from repro.cleaning.planner import default_fill
+    from repro.relational.instance import Tuple
+    from repro.relational.values import is_wildcard
+
+    work = db.copy()
+    edits = []
+    counter = [0]
+    for __round_no in range(1, max(0, max_rounds) + 1):
+        report = check_database(work, sigma)
+        if report.is_clean:
+            return work, edits, True
+        for violation in report.cfd_violations:
+            cfd = violation.cfd
+            instance = work[cfd.relation.name]
+            group = [t for t in violation.tuples if t in instance]
+            if not group:
+                continue
+            row = cfd.tableau[violation.pattern_index]
+            rhs_pattern = row.rhs_projection(cfd.rhs)
+            constants = [v for v in rhs_pattern if not is_wildcard(v)]
+            if len(constants) == len(rhs_pattern):
+                target = tuple(rhs_pattern)
+            else:
+                votes = Counter(t.project(cfd.rhs) for t in group)
+                majority = votes.most_common(1)[0][0]
+                target = tuple(
+                    v if not is_wildcard(v) else majority[i]
+                    for i, v in enumerate(rhs_pattern)
+                )
+            for t in group:
+                if t.project(cfd.rhs) == target:
+                    continue
+                after = t.replace(**dict(zip(cfd.rhs, target)))
+                instance.discard(t)
+                instance.add(after)
+                edits.append(("modify", cfd.relation.name, t, after))
+        for violation in report.cind_violations:
+            cind = violation.cind
+            t1 = violation.tuple_
+            if t1 not in work[cind.lhs_relation.name]:
+                continue
+            row = cind.tableau[violation.pattern_index]
+            if cind.find_witness(work, t1, row) is not None:
+                continue
+            template = cind.required_rhs_template(t1, row)
+            values = {
+                attr: (
+                    default_fill(cind.rhs_relation, attr, counter)
+                    if is_wildcard(value)
+                    else value
+                )
+                for attr, value in template.items()
+            }
+            work[cind.rhs_relation.name].add(Tuple(cind.rhs_relation, values))
+            edits.append(("insert", cind.rhs_relation.name, None, values))
+    return work, edits, check_database(work, sigma).is_clean
+
+
+def snapshot(db):
+    return {name: list(inst.rows()) for name, inst in db.relations().items()}
+
+
+def cross_validate(result: RepairResult, reference_snap, sigma) -> None:
+    if snapshot(result.db) != reference_snap:
+        raise AssertionError(
+            f"{result.backend}/{result.mode}: final database differs from "
+            "the historical eager repair loop"
+        )
+    oracle_clean = check_database(result.db, sigma).is_clean
+    if result.clean != oracle_clean or not oracle_clean:
+        raise AssertionError(
+            f"{result.backend}/{result.mode}: clean={result.clean} but the "
+            f"naive oracle says clean={oracle_clean}"
+        )
+
+
+def bench_throughput(
+    db, sigma, backend: str, reference_snap, initial_violations: int
+) -> dict:
+    start = time.perf_counter()
+    result = repair(db.copy(), sigma, backend=backend)
+    elapsed = time.perf_counter() - start
+    cross_validate(result, reference_snap, sigma)
+    return {
+        "backend": backend,
+        "mode": result.mode,
+        "rounds": result.rounds,
+        "edits": result.cost,
+        "violations_fixed": initial_violations,
+        "repair_s": elapsed,
+        "violations_fixed_per_s": (
+            initial_violations / elapsed if elapsed > 0 else float("inf")
+        ),
+        "cross_validated": True,
+    }
+
+
+def bench_delta_vs_full(db, sigma, reference_snap) -> dict:
+    """Per-round worklist time, delta vs full, on the incremental backend."""
+    rows = {}
+    for mode in ("full", "delta"):
+        start = time.perf_counter()
+        result = repair(db.copy(), sigma, backend="incremental", mode=mode)
+        elapsed = time.perf_counter() - start
+        cross_validate(result, reference_snap, sigma)
+        rows[mode] = {
+            "repair_s": elapsed,
+            "rounds": result.rounds,
+            "worklist_s": sum(s.worklist_s for s in result.round_stats),
+            "apply_s": sum(s.apply_s for s in result.round_stats),
+        }
+    full_w, delta_w = rows["full"]["worklist_s"], rows["delta"]["worklist_s"]
+    return {
+        "backend": "incremental",
+        "full": rows["full"],
+        "delta": rows["delta"],
+        "delta_round_speedup": (
+            full_w / delta_w if delta_w > 0 else float("inf")
+        ),
+        "cross_validated": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=50_000,
+        help="bank accounts in the dirty instance (default 50000)",
+    )
+    parser.add_argument(
+        "--error-rate", type=float, default=0.05,
+        help="fraction of seeded errors (default 0.05)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke size: bank@2000",
+    )
+    parser.add_argument(
+        "--min-delta-repair-speedup", type=float, default=0.0,
+        help="fail if delta-driven rounds are not at least this many times "
+        "faster than full-re-scan rounds on the incremental backend "
+        "(the delta-repair gate; CI passes 3.0)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write results as JSON to PATH (e.g. BENCH_repair.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.size = 2_000
+
+    sigma = bank_constraints()
+    db = scaled_bank_instance(args.size, error_rate=args.error_rate, seed=7)
+    initial_violations = check_database(db, sigma).total
+    print(
+        f"bank@{args.size} error_rate={args.error_rate}: "
+        f"{initial_violations} initial violations"
+    )
+
+    start = time.perf_counter()
+    reference_db, reference_edits, reference_clean = seed_eager_repair(
+        db, sigma
+    )
+    seed_s = time.perf_counter() - start
+    if not reference_clean:
+        raise AssertionError("the reference eager loop did not converge")
+    reference_snap = snapshot(reference_db)
+    print(
+        f"reference eager loop: {len(reference_edits)} edits in {seed_s:.3f}s"
+    )
+
+    throughput_rows = []
+    for backend in THROUGHPUT_BACKENDS:
+        row = bench_throughput(
+            db, sigma, backend, reference_snap, initial_violations
+        )
+        throughput_rows.append(row)
+        print(
+            f"repair/{backend:<12} ({row['mode']}): {row['rounds']} rounds, "
+            f"{row['edits']} edits, {row['repair_s']:.3f}s -> "
+            f"{row['violations_fixed_per_s']:.0f} violations-fixed/s "
+            f"(eager loop: {initial_violations / seed_s:.0f}/s)"
+        )
+
+    delta_row = bench_delta_vs_full(db, sigma, reference_snap)
+    print(
+        f"incremental rounds: full worklists "
+        f"{delta_row['full']['worklist_s'] * 1000:.2f}ms, delta worklists "
+        f"{delta_row['delta']['worklist_s'] * 1000:.2f}ms -> "
+        f"{delta_row['delta_round_speedup']:.1f}x"
+    )
+
+    if args.json:
+        payload = {
+            "benchmark": "bench_repair",
+            "size": args.size,
+            "error_rate": args.error_rate,
+            "initial_violations": initial_violations,
+            "seed_loop_s": seed_s,
+            "throughput": throughput_rows,
+            "delta_vs_full": delta_row,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.min_delta_repair_speedup:
+        if delta_row["delta_round_speedup"] < args.min_delta_repair_speedup:
+            print(
+                f"FAIL: delta-driven repair rounds are only "
+                f"{delta_row['delta_round_speedup']:.2f}x faster than "
+                f"full-re-scan rounds < required "
+                f"{args.min_delta_repair_speedup:.2f}x (worklists must come "
+                "from the live checker's state, not a from-scratch scan)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

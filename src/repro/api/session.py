@@ -191,18 +191,19 @@ class Session:
         """Run :func:`repro.cleaning.repair.repair` on this session's data.
 
         Repair works on a copy; the repaired database comes back in the
-        ``RepairResult``, the session's own database is untouched. The
-        session's ``options.workers`` carries over to the per-round
-        detection unless overridden explicitly.
+        ``RepairResult``, the session's own database (or file) is
+        untouched. The repair engine opens its own session over the copy:
+        ``backend`` defaults to this session's backend (a file-backed
+        session repairs out-of-core via a staged temporary file) and
+        ``mode`` defaults to ``"auto"`` — delta-driven worklists wherever
+        a full re-check is not already the cheap path. The session's
+        ``options.workers`` carries over to the per-round detection
+        unless overridden explicitly.
         """
         from repro.cleaning.repair import repair as run_repair
 
-        if not isinstance(self.db, DatabaseInstance):
-            raise ReproError(
-                "repair needs an in-memory database; load the file first "
-                "(e.g. via CSV import) and open a memory-backed session"
-            )
         kwargs.setdefault("workers", self.options.workers)
+        kwargs.setdefault("backend", self.backend.name)
         return run_repair(self.db, self.sigma, **kwargs)
 
     # -- mutation ----------------------------------------------------------

@@ -9,17 +9,28 @@ from repro.cleaning.detect import (
     is_clean,
 )
 from repro.cleaning.incremental import IncrementalChecker
-from repro.cleaning.repair import RepairEdit, RepairResult, repair
+from repro.cleaning.planner import RepairPlanner, RoundPlan
+from repro.cleaning.repair import (
+    RepairEdit,
+    RepairResult,
+    RoundStats,
+    repair,
+    replay_edits,
+)
 
 __all__ = [
     "DetectionResult",
     "IncrementalChecker",
     "RepairEdit",
+    "RepairPlanner",
     "RepairResult",
+    "RoundPlan",
+    "RoundStats",
     "build_detection_result",
     "compare_with_traditional",
     "detect_errors",
     "detect_errors_sql",
     "is_clean",
     "repair",
+    "replay_edits",
 ]

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.cfd import CFD
 from repro.core.cind import CIND
@@ -285,6 +285,36 @@ class IncrementalChecker:
         for s in self._cind_states:
             out.update(s.violating_tuples())
         return out
+
+    def violated_cfd_groups(self) -> "Iterator[tuple[CFD, frozenset[tuple]]]":
+        """Per normalized CFD, the currently violated group keys.
+
+        Yields one ``(cfd, keys)`` pair per CFD of ``self.sigma`` (the
+        *normalized* Σ), aligned with ``self.sigma.cfds`` order, so a
+        consumer can map child constraints back to the original Σ by
+        position. The key sets are snapshots — safe to hold across
+        subsequent inserts/deletes. This is the delta-driven repair
+        engine's worklist source: after a batch of edits, only these
+        maintained sets are consulted, never a fresh scan.
+        """
+        by_id = {
+            id(state.cfd): state
+            for states in self._cfd_states.values()
+            for state in states
+        }
+        for cfd in self.sigma.cfds:
+            yield cfd, frozenset(by_id[id(cfd)].violated)
+
+    def violated_cind_entries(self) -> "Iterator[tuple[CIND, tuple[Tuple, ...]]]":
+        """Per normalized CIND, the currently violating premise tuples.
+
+        Aligned with ``self.sigma.cinds`` order (one entry per normalized
+        child, i.e. per pattern row of the original CIND). Tuple order
+        within an entry is unspecified — callers that need scan order
+        (the repair engine does) must re-order against their instance.
+        """
+        for state in self._cind_states:
+            yield state.cind, tuple(state.violating_tuples())
 
     # -- CFD bookkeeping ----------------------------------------------------------
 

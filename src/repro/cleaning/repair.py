@@ -1,4 +1,4 @@
-"""Heuristic repair of CFD/CIND violations.
+"""Delta-driven heuristic repair of CFD/CIND violations.
 
 Constraint-based repairing (the paper's related work [8, 13]) finds a
 database close to the original that satisfies Σ. We implement the two
@@ -9,43 +9,104 @@ classic local moves, iterated to a fixpoint:
   the pattern constant. For a pair violation (wildcard RHS), rewrite the
   minority tuples of the group to the group's most frequent RHS value
   (cost = number of changed cells, following [8]'s cost intuition).
+  Majority ties break by explicit policy (``tie_break=``, see
+  :class:`~repro.cleaning.planner.RepairPlanner`).
 * **CIND repairs** — by policy, either *insert* the missing witness tuple
   on the RHS (``policy="insert"``; unconstrained columns take values from
   a fill function) or *delete* the violating LHS tuple
   (``policy="delete"``, the minimal-change tuple-deletion semantics of
   [13]).
 
+The engine is **round-batched and delta-driven**. Each round, the full
+worklist of current violations is planned up front
+(:class:`~repro.cleaning.planner.RepairPlanner`) and applied as *one*
+``Session.apply`` batch — one cache invalidation, one sqlite transaction
+on file backends — where the historical loop paid one apply per violated
+group. Between rounds, the next worklist comes from one of two sources,
+mirroring ``repro.serve``'s delta-source split:
+
+* ``mode="delta"`` on the ``incremental`` backend reads the live
+  checker's maintained violation state (updated in O(touched groups) by
+  the batch itself — no scan ever runs); on the re-scan backends
+  (``naive``/``sql``/``sqlfile``) a *shadow* incremental session mirrors
+  each batch and provides the same state.
+* ``mode="full"`` re-checks the session every round (the ``memory``
+  backend's versioned ``ScanCache`` makes this the natural self-serve
+  path, so ``mode="auto"`` picks it there).
+
+Both sources produce the worklist in exactly the engine's report order
+(constraints in Σ order, pattern rows in tableau order, groups and
+tuples in scan order), so the two modes — and the historical eager loop
+— produce bit-identical final databases and edit logs; the benchmark
+(``benchmarks/bench_repair.py``) cross-validates this every run.
+
 Repairing is not confluent and may not terminate on adversarial Σ (repair
 moves can re-violate other constraints), so rounds are capped; the result
-reports whether a clean database was reached.
+reports whether a clean database was reached and — truthfully — how many
+repair rounds actually executed.
 """
 
 from __future__ import annotations
 
 import random
-from collections import Counter
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
-from repro.core.violations import ConstraintSet
-from repro.relational.domains import FiniteDomain
+from repro.cleaning.planner import (
+    CFDWork,
+    CINDWork,
+    RepairEdit,
+    RepairPlanner,
+    RoundPlan,
+    WorkItem,
+    default_fill,
+)
+from repro.core.violations import ConstraintSet, constraint_labels
+from repro.errors import ReproError
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.relational.schema import RelationSchema
-from repro.relational.values import is_wildcard
+
+if TYPE_CHECKING:
+    from repro.api.session import Session
+    from repro.cleaning.incremental import IncrementalChecker
+
+#: Backends whose own per-round re-check *is* the cheap path (versioned
+#: scan cache), mirroring ``repro.serve``'s self-delta classification.
+#: ``incremental`` feeds repair from its live checker instead; everything
+#: else gets a shadow incremental session under ``mode="delta"``.
+_SELF_CHECK_BACKENDS = frozenset({"memory"})
+
+_MODES = ("auto", "delta", "full")
 
 
 @dataclass
-class RepairEdit:
-    """One applied repair operation."""
+class RoundStats:
+    """Observability record for one executed repair round.
 
-    kind: str                 # "modify" | "insert" | "delete"
-    relation: str
-    before: Tuple | None
-    after: Tuple | None
-    constraint: str
+    ``delta_removed``/``delta_added`` are the violation-delta sizes the
+    round's batch caused (violations resolved / newly introduced); they
+    are filled in when the *next* worklist is built and stay ``-1`` when
+    that never happens (the round cap was hit on a full-scan source,
+    where measuring would cost an extra check).
+    """
 
-    def __repr__(self) -> str:
-        return f"<{self.kind} {self.relation}: {self.before!r} -> {self.after!r} [{self.constraint}]>"
+    round_no: int
+    worklist_size: int
+    cfd_items: int
+    cind_items: int
+    edits: dict[str, int]
+    batch_deletes: int
+    batch_inserts: int
+    applied_deletes: int
+    applied_inserts: int
+    cache_hits: int
+    cache_misses: int
+    worklist_s: float = 0.0
+    apply_s: float = 0.0
+    delta_removed: int = -1
+    delta_added: int = -1
 
 
 @dataclass
@@ -54,139 +115,502 @@ class RepairResult:
     edits: list[RepairEdit] = field(default_factory=list)
     clean: bool = False
     rounds: int = 0
+    backend: str = "memory"
+    mode: str = "full"
+    round_stats: list[RoundStats] = field(default_factory=list)
 
     @property
     def cost(self) -> int:
         """Number of edit operations applied."""
         return len(self.edits)
 
+    def edits_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for edit in self.edits:
+            out[edit.kind] = out.get(edit.kind, 0) + 1
+        return out
 
-def default_fill(relation: RelationSchema, attribute: str, counter: list[int]) -> Any:
-    """Fill value for unconstrained columns of inserted witness tuples."""
-    attr = relation.attribute(attribute)
-    if isinstance(attr.domain, FiniteDomain):
-        return attr.domain.values[0]
-    counter[0] += 1
-    return f"repair#{counter[0]}"
+
+def replay_edits(db: DatabaseInstance, edits: list[RepairEdit]) -> DatabaseInstance:
+    """Apply a repair edit log to a copy of *db* and return it.
+
+    Replay is uniform across edit kinds: discard ``before``, add
+    ``after``. Replaying ``RepairResult.edits`` onto a fresh copy of the
+    repair input reproduces ``RepairResult.db`` exactly, including
+    relation iteration order — the property suite holds repair to this.
+    """
+    out = db.copy()
+    for edit in edits:
+        instance = out[edit.relation]
+        if edit.before is not None:
+            instance.discard(edit.before)
+        if edit.after is not None:
+            instance.add(edit.after)
+    return out
+
+
+# -- worklist ordering --------------------------------------------------------
+
+
+class _PositionIndex:
+    """Scan-order positions of live tuples, maintained across batches.
+
+    The engine reports CFD group keys in first-occurrence scan order and
+    CIND tuples in scan order. A checker-fed worklist has only *sets*, so
+    this index re-derives that order: every tuple gets a monotonically
+    increasing ticket at insertion, deletes retire tickets, and a
+    re-inserted tuple gets a fresh (higher) ticket — exactly matching the
+    insertion-ordered relation dict (and sqlite rowid order) the scans
+    iterate.
+    """
+
+    def __init__(self, db: DatabaseInstance):
+        self._pos: dict[str, dict[Tuple, int]] = {}
+        self._next = 0
+        for name, instance in db.relations().items():
+            positions = self._pos[name] = {}
+            for t in instance.rows():
+                positions[t] = self._next
+                self._next += 1
+
+    def note_batch(
+        self,
+        deletes: list[tuple[str, Tuple]],
+        inserts: list[tuple[str, Tuple]],
+    ) -> None:
+        """Record one applied batch (deletes first, then inserts — the
+        ``Session.apply`` order)."""
+        for relation, t in deletes:
+            self._pos[relation].pop(t, None)
+        for relation, t in inserts:
+            positions = self._pos[relation]
+            if t not in positions:
+                positions[t] = self._next
+                self._next += 1
+
+    def of(self, relation: str, t: Tuple) -> int:
+        return self._pos[relation].get(t, self._next)
+
+
+def _normalized_alignment(
+    sigma: ConstraintSet, checker: "IncrementalChecker"
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Map the checker's normalized children back to original Σ slots.
+
+    Returns ``(cfd_map, cind_map)`` where entry ``j`` of each list is the
+    ``(original constraint index, pattern row index)`` that normalized
+    child ``j`` came from. Normalization is positional and deterministic:
+    ``to_normal_form`` emits one CFD child per (row, RHS attribute) in
+    row-major order, ``normalize_cind`` one child per row.
+    """
+    cfd_map: list[tuple[int, int]] = []
+    for index, cfd in enumerate(sigma.cfds):
+        for row in range(len(cfd.tableau)):
+            cfd_map.extend((index, row) for __ in cfd.rhs)
+    cind_map: list[tuple[int, int]] = []
+    for index, cind in enumerate(sigma.cinds):
+        cind_map.extend((index, row) for row in range(len(cind.tableau)))
+    if len(cfd_map) != len(checker.sigma.cfds) or len(cind_map) != len(
+        checker.sigma.cinds
+    ):
+        raise ReproError(
+            "normalized Σ does not align with the original constraint set "
+            f"({len(cfd_map)}/{len(checker.sigma.cfds)} CFD children, "
+            f"{len(cind_map)}/{len(checker.sigma.cinds)} CIND children); "
+            "the repair engine's child-to-parent mapping assumes "
+            "normalize_cfds/normalize_cinds emit children positionally"
+        )
+    return cfd_map, cind_map
+
+
+class _ReportSource:
+    """Full-re-scan worklists: one ``session.check()`` per round."""
+
+    def __init__(
+        self, session: "Session", labels: dict[int, str]
+    ):
+        self.session = session
+        self.labels = labels
+
+    def _label(self, constraint: Any) -> str:
+        return (
+            self.labels.get(id(constraint))
+            or constraint.name
+            or repr(constraint)
+        )
+
+    def worklist(self) -> list[WorkItem]:
+        report = self.session.check()
+        items: list[WorkItem] = []
+        for cfd_violation in report.cfd_violations:
+            items.append(
+                CFDWork(
+                    cfd=cfd_violation.cfd,
+                    pattern_index=cfd_violation.pattern_index,
+                    label=self._label(cfd_violation.cfd),
+                    group=tuple(cfd_violation.tuples),
+                )
+            )
+        for cind_violation in report.cind_violations:
+            items.append(
+                CINDWork(
+                    cind=cind_violation.cind,
+                    pattern_index=cind_violation.pattern_index,
+                    label=self._label(cind_violation.cind),
+                    tuple_=cind_violation.tuple_,
+                )
+            )
+        return items
+
+    def commit(self, plan: RoundPlan) -> None:
+        pass  # the primary session saw the batch; next check() re-scans
+
+    def final_clean(self) -> bool:
+        # Count-only fast path: the final verdict needs no violation
+        # objects, and a warm versioned cache answers it without a scan
+        # when the last round changed nothing.
+        return self.session.count().is_clean
+
+    def close(self) -> None:
+        pass
+
+
+class _CheckerSource:
+    """Delta-driven worklists from a live :class:`IncrementalChecker`.
+
+    The checker belongs either to the primary session (``incremental``
+    backend) or to a shadow incremental session mirroring the primary's
+    batches (re-scan backends). Either way, the next round's worklist is
+    assembled from the checker's *maintained* violation state — updated
+    in O(touched groups) by the batch itself — then ordered against the
+    planning instance so it is bit-identical to what a full re-scan
+    would report.
+    """
+
+    def __init__(
+        self,
+        checker: "IncrementalChecker",
+        sigma: ConstraintSet,
+        plan_db: DatabaseInstance,
+        positions: _PositionIndex,
+        labels: dict[int, str],
+        shadow: "Session | None" = None,
+    ):
+        self.checker = checker
+        self.sigma = sigma
+        self.plan_db = plan_db
+        self.positions = positions
+        self.labels = labels
+        self.shadow = shadow
+        self.cfd_map, self.cind_map = _normalized_alignment(sigma, checker)
+
+    def worklist(self) -> list[WorkItem]:
+        # Union the per-child violated keys into original (cfd, row) slots:
+        # a multi-attribute RHS normalizes into one child per attribute,
+        # and the original task's violated keys are exactly their union.
+        per_task: dict[tuple[int, int], set[tuple]] = {}
+        for (child, violated), slot in zip(
+            self.checker.violated_cfd_groups(), self.cfd_map
+        ):
+            if violated:
+                per_task.setdefault(slot, set()).update(violated)
+        items: list[WorkItem] = []
+        for index, cfd in enumerate(self.sigma.cfds):
+            relation = cfd.relation.name
+            instance = self.plan_db[relation]
+            label = self.labels[id(cfd)]
+            for row in range(len(cfd.tableau)):
+                keys = per_task.get((index, row))
+                if not keys:
+                    continue
+                groups = {
+                    key: instance.lookup(cfd.lhs, key) for key in keys
+                }
+                for key in sorted(
+                    keys,
+                    key=lambda k: self.positions.of(relation, groups[k][0]),
+                ):
+                    items.append(
+                        CFDWork(
+                            cfd=cfd,
+                            pattern_index=row,
+                            label=label,
+                            group=tuple(groups[key]),
+                        )
+                    )
+        per_cind: dict[tuple[int, int], tuple[Tuple, ...]] = {}
+        for (child, tuples), slot in zip(
+            self.checker.violated_cind_entries(), self.cind_map
+        ):
+            if tuples:
+                per_cind[slot] = tuples
+        for index, cind in enumerate(self.sigma.cinds):
+            relation = cind.lhs_relation.name
+            label = self.labels[id(cind)]
+            for row in range(len(cind.tableau)):
+                tuples = per_cind.get((index, row))
+                if not tuples:
+                    continue
+                for t in sorted(
+                    tuples, key=lambda t: self.positions.of(relation, t)
+                ):
+                    items.append(
+                        CINDWork(
+                            cind=cind, pattern_index=row, label=label, tuple_=t
+                        )
+                    )
+        return items
+
+    def commit(self, plan: RoundPlan) -> None:
+        if self.shadow is not None:
+            self.shadow.apply(inserts=plan.inserts, deletes=plan.deletes)
+
+    def final_clean(self) -> bool:
+        return self.checker.violation_count == 0
+
+    def close(self) -> None:
+        if self.shadow is not None:
+            self.shadow.close()
+
+
+# -- engine -------------------------------------------------------------------
+
+
+def _resolve_mode(mode: str, backend: str) -> str:
+    if mode not in _MODES:
+        raise ValueError(
+            f"mode must be one of {'|'.join(_MODES)}, got {mode!r}"
+        )
+    if mode != "auto":
+        return mode
+    if backend in _SELF_CHECK_BACKENDS:
+        return "full"
+    return "delta"
+
+
+def _cache_counters(session: "Session") -> tuple[int, int]:
+    cache = getattr(session.backend, "cache", None)
+    if cache is None:
+        cache = getattr(session.backend, "_cache", None)
+    if cache is None:
+        return (0, 0)
+    return (getattr(cache, "hits", 0), getattr(cache, "misses", 0))
+
+
+def _work_signatures(worklist: list[WorkItem]) -> set[tuple]:
+    """Stable identities of worklist items, for violation-delta sizing."""
+    out: set[tuple] = set()
+    for item in worklist:
+        if isinstance(item, CFDWork):
+            key = item.group[0].project(item.cfd.lhs) if item.group else ()
+            out.add(("cfd", item.label, item.pattern_index, key))
+        else:
+            out.add(("cind", item.label, item.pattern_index, item.tuple_))
+    return out
 
 
 def repair(
-    db: DatabaseInstance,
+    db: DatabaseInstance | str | Path,
     sigma: ConstraintSet,
     cind_policy: str = "insert",
     max_rounds: int = 10,
     rng: random.Random | None = None,
     fill: Callable[[RelationSchema, str, list[int]], Any] | None = None,
     workers: int = 1,
+    backend: str = "memory",
+    mode: str = "auto",
+    tie_break: str = "first",
 ) -> RepairResult:
     """Iteratively repair *db* (on a copy) until clean or out of rounds.
+
+    ``db`` may be a :class:`DatabaseInstance` or the path of a sqlite
+    database file; file inputs are loaded (never mutated) and the repair
+    runs on the copy. ``backend`` picks the detection/apply engine for
+    the repair session (``sqlfile`` stages the working copy into a
+    temporary database file and repairs it out-of-core). ``mode`` picks
+    the worklist source: ``"full"`` re-checks every round, ``"delta"``
+    maintains the violation set incrementally (live checker on the
+    ``incremental`` backend, shadow incremental session elsewhere);
+    ``"auto"`` chooses ``"full"`` for the memory backend (its versioned
+    scan cache already makes re-checks cheap) and ``"delta"`` for the
+    rest. Both modes produce bit-identical results — the choice is a
+    performance decision.
+
+    ``tie_break`` makes CFD majority-vote ties explicit: ``"first"``
+    (default; first tied value in group scan order — the historical
+    behaviour), ``"lexicographic"`` (smallest under a type-stable key),
+    or ``"random"`` (drawn with *rng*, the only use of it; a default
+    ``random.Random(0)`` keeps even that deterministic run-to-run).
+
+    ``rounds`` on the result is the number of repair rounds that actually
+    executed — reaching the fixpoint early no longer misreports the
+    round cap, and ``max_rounds <= 0`` truthfully reports ``0``.
 
     ``workers > 1`` runs each round's detection with parallel scan-group
     dispatch (see :mod:`repro.api.parallel`).
     """
     from repro.api import ExecutionOptions, connect
 
-    if cind_policy not in ("insert", "delete"):
-        raise ValueError(f"cind_policy must be insert|delete, got {cind_policy!r}")
-    rng = rng or random.Random(0)
-    fill = fill or default_fill
+    planner_db: DatabaseInstance
+    if isinstance(db, (str, Path)):
+        from repro.sql.loader import read_database_file
+
+        work = read_database_file(db, sigma.schema)
+    else:
+        work = db.copy()
+
+    resolved_mode = _resolve_mode(mode, backend)
+    labels = constraint_labels(list(sigma))
     counter = [0]
-    work = db.copy()
-    edits: list[RepairEdit] = []
-    # One session (and so one shared-scan plan for Σ and one versioned
-    # ScanCache), re-checked once per repair round against the mutating
-    # working copy: each round re-scans only the relations the previous
-    # round's edits actually touched and replays cached hit lists for the
-    # rest — including the final count-only verdict, which is free when
-    # the last round changed nothing.
-    session = connect(work, sigma, options=ExecutionOptions(workers=workers))
+    planner = RepairPlanner(
+        work,
+        cind_policy=cind_policy,
+        fill=fill,
+        counter=counter,
+        tie_break=tie_break,
+        rng=rng,
+    )
 
-    for round_no in range(1, max_rounds + 1):
-        report = session.check()
-        if report.is_clean:
-            return RepairResult(work, edits, clean=True, rounds=round_no - 1)
-        changed = False
+    tmpdir: Any = None
+    mirror_file = backend == "sqlfile"
+    options = ExecutionOptions(workers=workers)
+    if mirror_file:
+        # Stage the working copy into a temp sqlite file: detection and
+        # DML run out-of-core while `work` stays the planning mirror
+        # (kept in lockstep batch by batch, same deletes-then-inserts
+        # order, so mirror iteration order == file rowid order).
+        import tempfile
 
-        for violation in report.cfd_violations:
-            cfd = violation.cfd
-            name = report.label_for(cfd)
-            instance = work[cfd.relation.name]
-            row = cfd.tableau[violation.pattern_index]
-            rhs_pattern = row.rhs_projection(cfd.rhs)
-            group = [t for t in violation.tuples if t in instance]
-            if not group:
-                continue  # already rewritten this round
-            constants = [v for v in rhs_pattern if not is_wildcard(v)]
-            if len(constants) == len(rhs_pattern):
-                target = tuple(rhs_pattern)
-            else:
-                # Wildcard positions: majority vote within the group.
-                votes = Counter(t.project(cfd.rhs) for t in group)
-                majority = votes.most_common(1)[0][0]
-                target = tuple(
-                    value if not is_wildcard(value) else majority[i]
-                    for i, value in enumerate(rhs_pattern)
-                )
-            # One batch per violated group: the rewrites go through
-            # Session.apply (deletes first, then inserts — the same
-            # discard/add order the per-tuple loop used), so a group of
-            # k tuples costs one invalidation, not k.
-            rewrites = [
-                (t, t.replace(**dict(zip(cfd.rhs, target))))
-                for t in group
-                if t.project(cfd.rhs) != target and t in instance
-            ]
-            if rewrites:
-                session.apply(
-                    inserts=[
-                        (cfd.relation.name, after) for __, after in rewrites
-                    ],
-                    deletes=[
-                        (cfd.relation.name, before) for before, __ in rewrites
-                    ],
-                )
-                edits.extend(
-                    RepairEdit("modify", cfd.relation.name, before, after, name)
-                    for before, after in rewrites
-                )
-                changed = True
+        from repro.sql.loader import create_database_file
 
-        for violation in report.cind_violations:
-            cind = violation.cind
-            name = report.label_for(cind)
-            t1 = violation.tuple_
-            if t1 not in work[cind.lhs_relation.name]:
-                continue  # removed by an earlier repair
-            row = cind.tableau[violation.pattern_index]
-            if cind.find_witness(work, t1, row) is not None:
-                continue  # an earlier insertion already fixed it
-            if cind_policy == "delete":
-                session.apply(deletes=[(cind.lhs_relation.name, t1)])
-                edits.append(
-                    RepairEdit("delete", cind.lhs_relation.name, t1, None, name)
-                )
-            else:
-                template = cind.required_rhs_template(t1, row)
-                values = {
-                    attr: (
-                        fill(cind.rhs_relation, attr, counter)
-                        if is_wildcard(value)
-                        else value
-                    )
-                    for attr, value in template.items()
-                }
-                witness = Tuple(cind.rhs_relation, values)
-                session.apply(inserts=[(cind.rhs_relation.name, witness)])
-                edits.append(
-                    RepairEdit(
-                        "insert", cind.rhs_relation.name, None, witness, name
-                    )
-                )
-            changed = True
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-repair-")
+        staged = Path(tmpdir.name) / "repair.sqlite"
+        create_database_file(staged, work)
+        session = connect(staged, sigma, backend=backend, options=options)
+    else:
+        session = connect(work, sigma, backend=backend, options=options)
 
-        if not changed:
-            break
+    shadow: "Session | None" = None
+    source: _ReportSource | _CheckerSource
+    try:
+        if resolved_mode == "full":
+            source = _ReportSource(session, labels)
+        elif backend == "incremental":
+            source = _CheckerSource(
+                session.backend.checker,
+                sigma,
+                work,
+                _PositionIndex(work),
+                labels,
+            )
+        else:
+            shadow = connect(
+                work.copy(), sigma, backend="incremental",
+                options=ExecutionOptions(),
+            )
+            source = _CheckerSource(
+                shadow.backend.checker,
+                sigma,
+                work,
+                _PositionIndex(work),
+                labels,
+                shadow=shadow,
+            )
 
-    # Count-only fast path: the final verdict needs no violation objects.
-    final = session.count()
-    return RepairResult(work, edits, clean=final.is_clean, rounds=max_rounds)
+        edits: list[RepairEdit] = []
+        stats: list[RoundStats] = []
+        previous_sigs: set[tuple] | None = None
+        rounds_executed = 0
+        clean = False
+
+        for round_no in range(1, max(0, max_rounds) + 1):
+            worklist_start = time.perf_counter()
+            worklist = source.worklist()
+            worklist_s = time.perf_counter() - worklist_start
+            sigs = _work_signatures(worklist)
+            if stats and previous_sigs is not None:
+                stats[-1].delta_removed = len(previous_sigs - sigs)
+                stats[-1].delta_added = len(sigs - previous_sigs)
+            previous_sigs = sigs
+            if not worklist:
+                clean = True
+                break
+            plan = planner.plan_round(worklist)
+            if plan.is_empty:
+                # Defensive: violations remain but nothing is plannable.
+                # Unreachable from a fresh worklist with the current
+                # repair moves; the truthful round count still holds.
+                break
+            hits_before, misses_before = _cache_counters(session)
+            apply_start = time.perf_counter()
+            applied = session.apply(
+                inserts=plan.inserts, deletes=plan.deletes
+            )
+            apply_s = time.perf_counter() - apply_start
+            if mirror_file:
+                for relation, t in plan.deletes:
+                    work[relation].discard(t)
+                for relation, t in plan.inserts:
+                    work[relation].add(t)
+            if isinstance(source, _CheckerSource):
+                source.positions.note_batch(plan.deletes, plan.inserts)
+            source.commit(plan)
+            edits.extend(plan.edits)
+            rounds_executed = round_no
+            hits_after, misses_after = _cache_counters(session)
+            stats.append(
+                RoundStats(
+                    round_no=round_no,
+                    worklist_size=len(worklist),
+                    cfd_items=sum(
+                        1 for item in worklist if isinstance(item, CFDWork)
+                    ),
+                    cind_items=sum(
+                        1 for item in worklist if isinstance(item, CINDWork)
+                    ),
+                    edits=plan.counts_by_kind(),
+                    batch_deletes=len(plan.deletes),
+                    batch_inserts=len(plan.inserts),
+                    applied_deletes=applied.deleted,
+                    applied_inserts=applied.inserted,
+                    cache_hits=hits_after - hits_before,
+                    cache_misses=misses_after - misses_before,
+                    worklist_s=worklist_s,
+                    apply_s=apply_s,
+                )
+            )
+
+        if not clean:
+            clean = source.final_clean()
+            if isinstance(source, _CheckerSource) and stats:
+                # The checker makes the final delta free to measure.
+                final_sigs = _work_signatures(source.worklist())
+                if previous_sigs is not None:
+                    stats[-1].delta_removed = len(previous_sigs - final_sigs)
+                    stats[-1].delta_added = len(final_sigs - previous_sigs)
+        return RepairResult(
+            work,
+            edits,
+            clean=clean,
+            rounds=rounds_executed,
+            backend=backend,
+            mode=resolved_mode,
+            round_stats=stats,
+        )
+    finally:
+        source_obj = locals().get("source")
+        if isinstance(source_obj, (_ReportSource, _CheckerSource)):
+            source_obj.close()
+        session.close()
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+__all__ = [
+    "RepairEdit",
+    "RepairResult",
+    "RoundStats",
+    "default_fill",
+    "repair",
+    "replay_edits",
+]

@@ -148,17 +148,50 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_repair(args: argparse.Namespace) -> int:
     schema, sigma = _load(args)
-    db = _load_data(schema, args)
+    # Mirror cmd_check's source split: the sqlfile engine repairs a sqlite
+    # database file out-of-core (the input file is loaded read-only and
+    # never mutated; the engine stages its own working copy).
+    if args.engine == "sqlfile":
+        source = Path(args.data)
+        if source.is_dir():
+            raise ReproError(
+                "--engine sqlfile expects --data to be a sqlite database "
+                "file, not a CSV directory (build one with "
+                "repro.relational.csvio.database_csv_to_sqlite)"
+            )
+    else:
+        source = _load_data(schema, args)
     result = run_repair(
-        db,
+        source,
         sigma,
         cind_policy=args.cind_policy,
         max_rounds=args.max_rounds,
         workers=args.workers,
+        backend=args.engine,
+        mode=args.mode,
+        tie_break=args.tie_break,
+        rng=random.Random(args.seed),
     )
-    print(f"clean: {result.clean}; {result.cost} edit(s) in "
-          f"{result.rounds} round(s)")
+    kinds = result.edits_by_kind()
+    kinds_text = (
+        " (" + ", ".join(f"{k}={n}" for k, n in sorted(kinds.items())) + ")"
+        if kinds
+        else ""
+    )
+    print(
+        f"clean: {result.clean}; {result.cost} edit(s){kinds_text} in "
+        f"{result.rounds} round(s) [engine={result.backend}, "
+        f"mode={result.mode}]"
+    )
     if args.verbose:
+        for stats in result.round_stats:
+            print(
+                f"  round {stats.round_no}: worklist={stats.worklist_size} "
+                f"({stats.cfd_items} cfd, {stats.cind_items} cind), "
+                f"batch={stats.batch_deletes}del/{stats.batch_inserts}ins, "
+                f"delta=-{stats.delta_removed}/+{stats.delta_added}, "
+                f"cache={stats.cache_hits}h/{stats.cache_misses}m"
+            )
         for edit in result.edits:
             print(f"  {edit}")
     write_database_csv(result.db, args.out)
@@ -286,6 +319,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument(
         "--workers", type=_positive_int, default=1,
         help="parallel scan-group workers for each detection round",
+    )
+    p_repair.add_argument(
+        "--engine",
+        choices=tuple(sorted(BACKENDS)),
+        default="memory",
+        help="detection/apply engine for the repair session (default "
+        "memory); sqlfile repairs a sqlite database file out-of-core "
+        "(--data names the file, which is never mutated). All engines "
+        "produce bit-identical repairs.",
+    )
+    p_repair.add_argument(
+        "--mode",
+        choices=("auto", "delta", "full"),
+        default="auto",
+        help="worklist source per round: delta = maintained violation "
+        "state (live incremental checker, or a shadow one on re-scan "
+        "engines); full = re-check every round; auto picks delta "
+        "everywhere except the memory engine (its versioned cache makes "
+        "re-checks the cheap path). Purely a performance choice.",
+    )
+    p_repair.add_argument(
+        "--tie-break",
+        choices=("first", "lexicographic", "random"),
+        default="first",
+        help="CFD majority-vote tie policy: first tied value in scan "
+        "order (default, the historical behaviour), smallest under a "
+        "type-stable sort, or drawn with the --seed RNG",
+    )
+    p_repair.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for --tie-break random (default 0)",
     )
     p_repair.set_defaults(func=cmd_repair)
 

@@ -132,8 +132,17 @@ class DetectionService:
             source = self._build_delta_source(session, db, sigma, backend)
             readers: ReaderPool | None = None
             if backend == "sqlfile" and self.reader_pool_size:
+                # Pooled readers see every tenant write as a *foreign*
+                # commit, validated by fingerprint alone — the O(1) rowid
+                # heuristic misses delete-last-row-then-reinsert sequences
+                # (same max rowid and count, different content), so a
+                # reader that skipped a commit would serve stale scans.
+                # The content CRC fingerprint is collision-proof there.
                 ro_options = replace(
-                    session.options, readonly=True, validate=False
+                    session.options,
+                    readonly=True,
+                    validate=False,
+                    fingerprint="content",
                 )
                 readers = ReaderPool(
                     factory=lambda: connect(

@@ -126,6 +126,47 @@ class TestRepairCommand:
         ])
         assert code == 0
 
+    def test_engine_and_mode_flags(self, workspace, capsys):
+        schema_file, rules_file, data_dir, tmp_path = workspace
+        out_dir = tmp_path / "repaired_incremental"
+        code = main([
+            "repair", "--schema", str(schema_file),
+            "--constraints", str(rules_file), "--data", str(data_dir),
+            "--out", str(out_dir), "--engine", "incremental",
+            "--mode", "delta", "--tie-break", "first", "-v",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine=incremental" in out and "mode=delta" in out
+        assert "round 1:" in out  # per-round observability under -v
+
+    def test_sqlfile_engine_repairs_database_file(
+        self, workspace, capsys, tmp_path
+    ):
+        from repro.relational.csvio import database_csv_to_sqlite
+
+        schema_file, rules_file, data_dir, __ = workspace
+        schema = parse_schema_text(SCHEMA_TEXT)
+        db_file = tmp_path / "bank.sqlite"
+        database_csv_to_sqlite(schema, data_dir, db_file)
+        before = db_file.read_bytes()
+        out_dir = tmp_path / "repaired_sqlfile"
+        code = main([
+            "repair", "--schema", str(schema_file),
+            "--constraints", str(rules_file), "--data", str(db_file),
+            "--out", str(out_dir), "--engine", "sqlfile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clean: True" in out
+        # Out-of-core repair stages a working copy; the input is pristine.
+        assert db_file.read_bytes() == before
+        code = main([
+            "check", "--schema", str(schema_file),
+            "--constraints", str(rules_file), "--data", str(out_dir),
+        ])
+        assert code == 0
+
 
 class TestConsistencyCommand:
     def test_consistent_rules(self, workspace, capsys):

@@ -104,10 +104,14 @@ class TestAttachAndIntrospect:
         with api.connect(bank_file, bank.constraints, backend="sqlfile") as s:
             assert s.is_clean()
 
-    def test_repair_requires_in_memory_db(self, bank_file, bank):
+    def test_repair_runs_out_of_core_on_file_sessions(self, bank_file, bank):
+        before = bank_file.read_bytes()
         with api.connect(bank_file, bank.constraints, backend="sqlfile") as s:
-            with pytest.raises(ReproError, match="in-memory"):
-                s.repair()
+            result = s.repair()
+        assert result.clean
+        assert result.backend == "sqlfile"
+        # Repair stages a working copy; the attached file stays pristine.
+        assert bank_file.read_bytes() == before
 
 
 class TestValueRoundTrip:

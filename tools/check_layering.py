@@ -101,6 +101,15 @@ MODULE_IMPORT_ALLOWLISTS: dict[str, tuple[str, ...]] = {
         "repro.sql.ddl",
         "repro.sql.loader",
     ),
+    # The repair planner is pure decision logic: constraint types,
+    # pattern matching, and relational values in — a RoundPlan out. It
+    # must never touch a Session, a backend, or the checker; keeping it
+    # side-effect-free is what makes planned batches provably equivalent
+    # to the historical eager loop (and trivially testable).
+    "repro.cleaning.planner": (
+        "repro.core",
+        "repro.relational",
+    ),
 }
 
 #: ``random`` attributes that are deterministic to *construct* — seeded
