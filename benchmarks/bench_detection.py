@@ -39,7 +39,19 @@ dataset generators and times three evaluations of the same workload:
   (``--shards S`` shards per scan unit, ``min_shard_rows=1``): one giant
   scan group splits across workers instead of pinning one. The sharded
   report is validated *order-sensitively* against naive — shard
-  merge order must reproduce scan order bit-identically.
+  merge order must reproduce scan order bit-identically;
+* ``par-persistent`` — the session-persistent fork pool vs the
+  ``pool="per-call"`` opt-out on a *warm DML/check loop* (small
+  insert/delete batches on the tiny ``interest`` relation, so the
+  versioned ScanCache leaves only a sliver of cold work and per-check
+  pool setup dominates). This is a **setup-amortization** ratio, not a
+  parallelism ratio: a persistent pool forks once and reuses its
+  workers (shipping the drifted relation through shared memory), while
+  per-call dispatch re-forks the pool inside every ``check()`` — so the
+  gate (``--min-persistent-speedup``) is meaningful at any
+  ``cpu_count``, including 1. Both sessions' reports are validated
+  order-sensitively against each other on every iteration and against
+  the serial engine at the end.
 
 Every run first cross-validates that engine, warm, parallel, sharded,
 and naive produce identical violation lists (engine, warm, and sharded
@@ -508,6 +520,103 @@ def run_case(
     return row
 
 
+def run_persistent_case(
+    label: str,
+    db,
+    sigma: ConstraintSet,
+    repeats: int,
+    workers: int,
+    executor: str,
+    shards: int,
+) -> dict:
+    """The ``par-persistent`` row: one pool for the session vs one per call.
+
+    Drives both sessions through an identical warm DML/check loop on the
+    bank workload: each iteration inserts a fresh ``interest`` row,
+    checks, deletes it again, and checks — so every check is cache-cold
+    on exactly one tiny relation and the measured time is dominated by
+    what it costs to *stand up* the workers, which is the thing a
+    persistent pool amortizes. The first (untimed) check pays the
+    persistent pool's one-time fork; after that its PIDs never change,
+    while the per-call session re-forks inside every check.
+    """
+    iterations = max(3, repeats)
+    options = dict(
+        workers=workers, executor=executor,
+        shards=shards, min_shard_rows=1,
+    )
+    sessions = {
+        "persistent": connect(db.copy(), sigma, pool="persistent", **options),
+        "per-call": connect(db.copy(), sigma, pool="per-call", **options),
+    }
+    baselines = {
+        name: _ordered_keys(s.check()) for name, s in sessions.items()
+    }
+    if baselines["persistent"] != baselines["per-call"]:
+        raise AssertionError(
+            f"{label}: persistent and per-call baseline reports differ"
+        )
+
+    attrs = ("ab", "ct", "at", "rt")
+    totals = {name: 0.0 for name in sessions}
+    for i in range(iterations):
+        row = {"ab": f"PBENCH{i}", "ct": "UK", "at": "checking", "rt": "9.9%"}
+        canonical = tuple(row[a] for a in attrs)
+        step = {}
+        for name, session in sessions.items():
+            session.insert("interest", dict(row))
+            start = time.perf_counter()
+            inserted = session.check()
+            totals[name] += time.perf_counter() - start
+            if not session.apply(deletes=[("interest", canonical)]).deleted:
+                raise AssertionError(
+                    f"{label}: failed to delete the benchmark row again"
+                )
+            start = time.perf_counter()
+            deleted = session.check()
+            totals[name] += time.perf_counter() - start
+            step[name] = (_ordered_keys(inserted), _ordered_keys(deleted))
+        if step["persistent"] != step["per-call"]:
+            raise AssertionError(
+                f"{label}: persistent and per-call reports differ "
+                f"(order-sensitive) at iteration {i}"
+            )
+    # Every insert was deleted again, so both sessions are back at the
+    # original content *and order* — the serial engine is their oracle.
+    final = _ordered_keys(sessions["persistent"].check())
+    if final != _ordered_keys(detect(db.copy(), sigma)):
+        raise AssertionError(
+            f"{label}: persistent-pool report and serial engine differ "
+            f"(order-sensitive)"
+        )
+
+    row = {
+        "label": label,
+        "tuples": db.total_tuples(),
+        "cpu_count": os.cpu_count() or 1,
+        "iterations": iterations,
+        "checks_timed": 2 * iterations,
+        "par_persistent_s": totals["persistent"],
+        "par_percall_s": totals["per-call"],
+        "par_persistent_speedup": (
+            totals["per-call"] / totals["persistent"]
+            if totals["persistent"] > 0 else float("inf")
+        ),
+        "persistent_executor": sessions["persistent"].effective_executor,
+        "percall_executor": sessions["per-call"].effective_executor,
+    }
+    for session in sessions.values():
+        session.close()
+    print(
+        f"{label:<22} par-persistent: {row['checks_timed']} warm DML checks "
+        f"persistent={row['par_persistent_s']:.3f}s "
+        f"({row['persistent_executor']}) "
+        f"per-call={row['par_percall_s']:.3f}s ({row['percall_executor']}) "
+        f"-> {row['par_persistent_speedup']:.2f}x setup amortization"
+    )
+    return row
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -541,6 +650,13 @@ def main(argv: list[str] | None = None) -> int:
         "--min-parallel-speedup", type=float, default=0.0,
         help="fail if the largest workload's parallel-vs-engine speedup is "
         "below this (only meaningful on multi-core machines)",
+    )
+    parser.add_argument(
+        "--min-persistent-speedup", type=float, default=0.0,
+        help="fail if the par-persistent row's warm-DML-loop speedup over "
+        "per-call fork pools is below this (a setup-amortization gate, "
+        "meaningful at any cpu_count; skipped when fork is unavailable "
+        "and the pools downgrade to threads)",
     )
     parser.add_argument(
         "--min-warm-speedup", type=float, default=0.0,
@@ -592,6 +708,15 @@ def main(argv: list[str] | None = None) -> int:
                              repeats, workers=workers, executor=args.executor,
                              shards=args.shards))
 
+    persistent_row = None
+    if workers > 1:
+        size = max(sizes)
+        db = scaled_bank_instance(size, error_rate=ERROR_RATE, seed=7)
+        persistent_row = run_persistent_case(
+            f"bank/{size}", db, bank_sigma, repeats,
+            workers=workers, executor=args.executor, shards=args.shards,
+        )
+
     largest = max(rows, key=lambda row: row["tuples"])
     print(
         f"\nlargest workload ({largest['label']}): {largest['speedup']:.1f}x "
@@ -624,6 +749,7 @@ def main(argv: list[str] | None = None) -> int:
             "sizes": sizes,
             "repeats": repeats,
             "rows": rows,
+            "persistent_row": persistent_row,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -686,6 +812,26 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_persistent_speedup and persistent_row is not None:
+        if not persistent_row["persistent_executor"].startswith("process"):
+            print(
+                "note: persistent-pool gate skipped — fork is unavailable "
+                f"here and the pools ran as "
+                f"{persistent_row['persistent_executor']!r} (the gate "
+                "measures fork amortization)"
+            )
+        elif (
+            persistent_row["par_persistent_speedup"]
+            < args.min_persistent_speedup
+        ):
+            print(
+                f"FAIL: {persistent_row['label']} persistent-pool speedup "
+                f"{persistent_row['par_persistent_speedup']:.2f}x < required "
+                f"{args.min_persistent_speedup:.2f}x over per-call fork "
+                f"pools on the warm DML/check loop",
+                file=sys.stderr,
+            )
+            return 1
     # Self-activating honesty gate: with real cores available, forced
     # row-range sharding on the largest workload must actually beat the
     # serial engine. On a 1-CPU box the assertion is physically

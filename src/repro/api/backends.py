@@ -53,6 +53,7 @@ from repro.api.parallel import (
     execute_sqlfile_windows,
     resolve_executor,
 )
+from repro.api.workerpool import WorkerPool
 from repro.cleaning.incremental import IncrementalChecker
 from repro.core.cfd import CFDViolation
 from repro.core.cind import CINDViolation
@@ -86,6 +87,7 @@ from repro.sql.loader import (
     table_fingerprint,
 )
 from repro.sql.violations import SQLPlanExecutor, SQLViolationDetector
+from repro.sql.windows import ReadonlyConnectionPool
 
 
 #: One batch-DML operation: ``(relation name, row)``. Inserts take any row
@@ -285,11 +287,25 @@ class MemoryBackend(BaseBackend):
         self._cache = ScanCache(self._plan)
         # Resolve the pool kind once, up front: an explicit "process" on a
         # fork-less platform warns here (once per session, not per check)
-        # and the concrete choice is recorded for honest reporting.
-        self.effective_executor = (
+        # and the concrete choice is recorded for honest reporting. With
+        # the default pool="persistent" the session owns one WorkerPool
+        # reused by every check; per-call keeps the resolved kind and
+        # rebuilds the executor inside each call.
+        self._pool_kind = (
             resolve_executor(self.options.executor)
             if self.options.parallel
             else None
+        )
+        self._pool = (
+            WorkerPool(self._pool_kind, self.options.workers)
+            if self._pool_kind is not None
+            and self.options.pool == "persistent"
+            else None
+        )
+        self.effective_executor = (
+            f"{self._pool_kind}-persistent"
+            if self._pool is not None
+            else self._pool_kind
         )
 
     @property
@@ -306,10 +322,12 @@ class MemoryBackend(BaseBackend):
             self.db,
             workers=self.options.workers,
             mode=mode,
-            executor=self.effective_executor,
+            executor=self._pool_kind,
             cache=self._cache,
             min_shard_rows=self.options.min_shard_rows,
             shards=self.options.shards,
+            pool=self._pool,
+            steal_granularity=self.options.steal_granularity,
         )
 
     def check(self) -> ViolationReport:
@@ -327,6 +345,12 @@ class MemoryBackend(BaseBackend):
         # first hit, which a fan-out would race past. Warm cache entries
         # answer without scanning at all.
         return not plan_has_violation(self._plan, self.db, cache=self._cache)
+
+    def close(self) -> None:
+        # The persistent pool holds worker processes and /dev/shm
+        # segments; Session.close() is where they die.
+        if self._pool is not None:
+            self._pool.close()
 
 
 class NaiveBackend(BaseBackend):
@@ -633,6 +657,18 @@ class SQLFileBackend(BaseBackend):
             self._fingerprint = lambda table: table_fingerprint(
                 self.conn, table
             )
+        # options.pool == "persistent": one read-only connection pool for
+        # every windowed prefetch this session runs (built lazily on the
+        # first cold parallel call; warm traffic stops paying per-call
+        # connect cost). The window pool is always thread-based, so the
+        # session reports "thread-persistent"/"thread" when parallel.
+        self._window_pool: ReadonlyConnectionPool | None = None
+        self.effective_executor = (
+            ("thread-persistent" if self.options.pool == "persistent"
+             else "thread")
+            if self.options.parallel
+            else None
+        )
         self._closed = False
 
     @property
@@ -704,6 +740,10 @@ class SQLFileBackend(BaseBackend):
         ]
         if not cold_groups and not cold_cind:
             return
+        if self.options.pool == "persistent" and self._window_pool is None:
+            self._window_pool = ReadonlyConnectionPool(
+                self.path, self.options.workers
+            )
         cfd_hits, cind_hits = execute_sqlfile_windows(
             self._plan,
             self.sigma.schema,
@@ -713,6 +753,8 @@ class SQLFileBackend(BaseBackend):
             workers=self.options.workers,
             min_shard_rows=self.options.min_shard_rows,
             shards=self.options.shards,
+            conn_pool=self._window_pool,
+            steal_granularity=self.options.steal_granularity,
         )
         for i, hits in cfd_hits.items():
             group = self._plan.cfd_groups[i]
@@ -974,6 +1016,9 @@ class SQLFileBackend(BaseBackend):
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self._window_pool is not None:
+                self._window_pool.close()
+                self._window_pool = None
             self.conn.close()
 
     def __repr__(self) -> str:

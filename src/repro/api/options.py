@@ -31,6 +31,11 @@ FINGERPRINTS = ("rowid", "content")
 #: the sqlite build predates window functions, i.e. < 3.25).
 WINDOW_FUNCTIONS = ("auto", "off", "require")
 
+#: Worker-pool lifecycle for parallel sessions: ``persistent`` keeps one
+#: pool (and its shared-memory segments / pooled connections) alive for
+#: the whole session; ``per-call`` rebuilds it inside every check.
+POOLS = ("persistent", "per-call")
+
 
 @dataclass(frozen=True)
 class ExecutionOptions:
@@ -57,6 +62,30 @@ class ExecutionOptions:
         releases the GIL inside queries, so the pool is always
         thread-based) and the partial states merge bit-identically.
         Other backends ignore the setting.
+    pool:
+        Worker-pool lifecycle. ``"persistent"`` (default) gives the
+        session one long-lived pool — a fork pool whose workers (and
+        published shared-memory column segments) survive across
+        ``check()``/``count()``/``is_clean()``/``stream()`` calls,
+        re-forked only when the relation version counters show the
+        parent drifted too far for copy-on-write + shared memory to stay
+        exact; for ``sqlfile``, one long-lived read-only connection
+        pool. Warm repeated checks stop paying fork/connect cost.
+        ``"per-call"`` restores the old behavior: build a pool inside
+        every call, tear it down on the way out — useful for one-shot
+        batch runs that should release every worker immediately. Serial
+        sessions ignore it.
+    steal_granularity:
+        Work-stealing shard granularity. ``0`` (default) keeps the
+        classic split: at most one shard per worker per scan unit.
+        ``N >= 1`` over-partitions each scan unit into up to
+        ``workers * N`` shards (still bounded by ``min_shard_rows`` and
+        the row count) so idle workers steal fine-grained shards from
+        the scheduler's ready deque when group sizes are skewed —
+        partial states merge in shard-index order, so reports stay
+        bit-identical including order. Applies to both the memory
+        backend's row shards and the ``sqlfile`` backend's rowid
+        windows. An explicit ``shards`` count still wins.
     executor:
         ``"process"`` — fork-based process pool (true CPU parallelism; the
         database is shared with workers copy-on-write, never pickled);
@@ -124,6 +153,8 @@ class ExecutionOptions:
     mode: str = "full"
     workers: int = 1
     executor: str = "auto"
+    pool: str = "persistent"
+    steal_granularity: int = 0
     min_shard_rows: int = 8192
     shards: int = 0
     window_functions: str = "auto"
@@ -142,6 +173,18 @@ class ExecutionOptions:
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.pool not in POOLS:
+            raise ValueError(
+                f"pool must be one of {POOLS}, got {self.pool!r}"
+            )
+        if (
+            not isinstance(self.steal_granularity, int)
+            or self.steal_granularity < 0
+        ):
+            raise ValueError(
+                f"steal_granularity must be a non-negative int (0 = off), "
+                f"got {self.steal_granularity!r}"
             )
         if not isinstance(self.min_shard_rows, int) or self.min_shard_rows < 1:
             raise ValueError(

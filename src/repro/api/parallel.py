@@ -49,6 +49,26 @@ Pool flavours:
   at all, but CPU-bound scans stay GIL-bound; useful on platforms without
   ``fork`` and for exercising the merge logic cheaply.
 
+Either flavour can be **session-persistent**: the caller passes a
+:class:`~repro.api.workerpool.WorkerPool` and the graph runs on its
+long-lived executor instead of a per-call pool. For persistent process
+pools the copy-on-write snapshot workers inherited at first fork goes
+stale under DML, so each execution brackets itself with
+``pool.prepare()``/``pool.finish()``: relations whose version counters
+drifted since the fork are published into shared-memory segments
+(:class:`~repro.api.workerpool.ShmRef` arguments the payload functions
+resolve worker-side), and a drift too large to ship triggers an epoch
+re-fork. Merged witness key sets ride the same segments, keyed by the
+RHS relations' versions so warm executions re-lease them without
+re-pickling.
+
+**Work stealing** falls out of the scheduler shape: shard tasks live in
+the ready deque and only up to ``2 * workers`` are in flight at once, so
+the tail of an over-partitioned scan unit (``steal_granularity`` in
+:class:`~repro.api.options.ExecutionOptions`) is claimed by whichever
+worker idles first instead of being pre-assigned. Partial states still
+merge in shard-index order, so the schedule never shows in the output.
+
 With a :class:`~repro.engine.cache.ScanCache`, the parent answers warm
 scan units from the cache *before* building the graph — only cold units
 grow nodes — and stores every cold unit's **merged, group-level** result
@@ -100,6 +120,7 @@ from repro.engine.shards import (
     shard_key_fn,
     witness_map_shard,
 )
+from repro.api.workerpool import ShmRef, WorkerPool, fetch_payload
 from repro.core.violations import ViolationReport
 from repro.relational.instance import DatabaseInstance, Tuple
 from repro.sql.windows import (
@@ -114,9 +135,16 @@ from repro.sql.windows import (
 #: Worker-visible state. Published before the pool's first submission:
 #: forked process workers inherit it copy-on-write, thread workers share
 #: it. _EXECUTION_LOCK serializes parallel executions within this process
-#: so two concurrent Sessions cannot race on the globals.
+#: so two concurrent Sessions cannot race on the globals (and guards
+#: persistent WorkerPool state: prepare/finish run under it).
 _STATE: tuple[DetectionPlan, DatabaseInstance] | None = None
 _EXECUTION_LOCK = threading.Lock()
+
+#: Test seam: when set, the scheduler picks the next ready node via
+#: ``hook(len(ready)) -> index`` instead of popping the deque head. The
+#: Hypothesis permutation suite drives it to prove reports are invariant
+#: under every stealing schedule. Never set in production.
+_SCHEDULE_HOOK: Callable[[int], int] | None = None
 
 
 def fork_available() -> bool:
@@ -167,37 +195,60 @@ def _shard_columns(instance, start: int, stop: int):
 # the trip. Hit payloads are returned in both full and count mode — they
 # are bounded by the violation count and let the parent cache them for
 # either mode.
+#
+# A non-None ``ref`` (persistent pools only) means the relation drifted
+# since this worker forked: its copy-on-write snapshot is stale and the
+# current columnar views are fetched from the named shared-memory
+# segment instead. ``witness_ref`` carries the merged witness key sets
+# the same way.
 
 
-def _cfd_group_payload(group_index: int) -> list[tuple[int, Any, str]]:
+def _cfd_group_payload(
+    group_index: int, ref: ShmRef | None = None
+) -> list[tuple[int, Any, str]]:
     """Single-shard fast path: the whole group mapped *and* finalized in
     the worker, returning only violating ``(task position, key, kind)``
     triples (bounded by the violation count, not the key count)."""
     plan, db = _STATE
     group = plan.cfd_groups[group_index]
     task_pos = {id(task): pos for pos, task in enumerate(group.tasks)}
-    return [
-        (task_pos[id(task)], key, kind)
-        for task, key, kind in cfd_group_hits(group, db[group.relation])
-    ]
+    if ref is not None:
+        # Stale snapshot: map+finalize from the shared columns — exactly
+        # what cfd_group_hits does over the live instance.
+        columns = fetch_payload(ref)
+        n_rows = len(columns[0]) if columns else 0
+        hits = cfd_finalize(
+            group, cfd_map_shard(group, shard_key_fn(columns, n_rows))
+        )
+    else:
+        hits = cfd_group_hits(group, db[group.relation])
+    return [(task_pos[id(task)], key, kind) for task, key, kind in hits]
 
 
-def _cfd_shard_payload(group_index: int, start: int, stop: int) -> dict:
+def _cfd_shard_payload(
+    group_index: int, start: int, stop: int, ref: ShmRef | None = None
+) -> dict:
     """One shard's :class:`CFDGroupState` as plain data (value tuples
     only); the parent merges shard states in shard order and finalizes."""
     plan, db = _STATE
     group = plan.cfd_groups[group_index]
-    columns = _shard_columns(db[group.relation], start, stop)
+    if ref is not None:
+        columns = shard_columns(fetch_payload(ref), start, stop)
+    else:
+        columns = _shard_columns(db[group.relation], start, stop)
     return cfd_map_shard(group, shard_key_fn(columns, stop - start)).payload()
 
 
 def _witness_shard_payload(
-    relation: str, start: int, stop: int
+    relation: str, start: int, stop: int, ref: ShmRef | None = None
 ) -> list[set[tuple[Any, ...]]]:
     """Witness key sets over one shard's rows, in spec-list order."""
     plan, db = _STATE
     specs = plan.witness_specs[relation]
-    columns = _shard_columns(db[relation], start, stop)
+    if ref is not None:
+        columns = shard_columns(fetch_payload(ref), start, stop)
+    else:
+        columns = _shard_columns(db[relation], start, stop)
     return witness_map_shard(specs, columns, shard_key_fn(columns, stop - start)).sets
 
 
@@ -205,20 +256,33 @@ def _cind_shard_payload(
     relation: str,
     start: int,
     stop: int,
-    witness_sets: list[set[tuple[Any, ...]]],
+    witness_sets: list[set[tuple[Any, ...]]] | None,
+    ref: ShmRef | None = None,
+    witness_ref: ShmRef | None = None,
 ) -> list[list[tuple[Any, ...]]]:
     """Per-task violating tuple *values* over one shard's rows.
 
     ``witness_sets`` are the merged (whole-relation) witness key sets in
     :func:`_relation_witness_specs` order — the only data that cannot be
     inherited copy-on-write, because it exists only after the barrier.
+    Persistent process pools ship them as *witness_ref* (one shared
+    segment per relation, reused across shards and warm executions)
+    instead of pickling them per task.
     """
     plan, db = _STATE
     tasks = plan.cind_scans[relation]
+    if witness_ref is not None:
+        witness_sets = fetch_payload(witness_ref)
     witnesses = dict(zip(_relation_witness_specs(plan, relation), witness_sets))
-    instance = db[relation]
-    columns = _shard_columns(instance, start, stop)
-    payload = [t.values for t in instance.rows()[start:stop]]
+    if ref is not None:
+        columns = shard_columns(fetch_payload(ref), start, stop)
+        payload = list(zip(*columns)) if columns else [
+            () for __ in range(stop - start)
+        ]
+    else:
+        instance = db[relation]
+        columns = _shard_columns(instance, start, stop)
+        payload = [t.values for t in instance.rows()[start:stop]]
     state = cind_map_shard(
         tasks, columns, payload, witnesses, shard_key_fn(columns, stop - start)
     )
@@ -264,15 +328,32 @@ def _make_pool(kind: str, workers: int) -> Executor:
     return ThreadPoolExecutor(max_workers=workers)
 
 
-def _run_graph(pool_kind: str, workers: int, nodes: list[_Node]) -> None:
-    """Execute *nodes* in topological order on one shared pool.
+def _run_graph(
+    pool_kind: str,
+    workers: int,
+    nodes: list[_Node],
+    pool: WorkerPool | None = None,
+) -> None:
+    """Execute *nodes* in topological order on one shared executor.
 
-    Kahn's algorithm with a ready queue: in-degrees come from each node's
-    ``deps``, satisfied nodes are submitted (remote) or run inline
-    (parent-side) immediately, and every completion decrements its
-    dependents. With one effective thread worker the whole graph runs
-    inline in topological order — the serial path in disguise, which is
-    exactly the degenerate case the merge laws guarantee.
+    Kahn's algorithm with a ready deque: in-degrees come from each node's
+    ``deps``, parent-side nodes run inline the moment they unblock, and
+    every completion decrements its dependents. With one effective thread
+    worker the whole graph runs inline in topological order — the serial
+    path in disguise, which is exactly the degenerate case the merge laws
+    guarantee.
+
+    Remote nodes are **work-stolen** rather than pre-assigned: at most
+    ``2 * workers`` are in flight at once, the rest wait in the ready
+    deque, and each completion lets the scheduler hand the next shard to
+    whichever worker just idled. With over-partitioned scan units
+    (``steal_granularity``) this is what keeps a skewed shard from
+    pinning one worker while the others drain. ``_SCHEDULE_HOOK`` (tests
+    only) permutes the pick to prove the schedule never shows in the
+    output.
+
+    A persistent *pool* supplies the executor and survives this call;
+    otherwise a per-call executor is built and shut down here.
     """
     indegree = [len(node.deps) for node in nodes]
     dependents: list[list[int]] = [[] for __ in nodes]
@@ -281,9 +362,26 @@ def _run_graph(pool_kind: str, workers: int, nodes: list[_Node]) -> None:
             dependents[dep].append(i)
     ready = deque(i for i, deg in enumerate(indegree) if deg == 0)
     remote = sum(1 for node in nodes if node.fn is not None)
-    inline = remote == 0 or (pool_kind == "thread" and workers <= 1)
-    pool = None if inline else _make_pool(pool_kind, min(workers, remote))
+    inline = remote == 0 or (
+        pool is None and pool_kind == "thread" and workers <= 1
+    )
+    if inline:
+        executor, owned = None, False
+    elif pool is not None:
+        executor, owned = pool.executor(), False
+    else:
+        executor, owned = _make_pool(pool_kind, min(workers, remote)), True
     futures: dict[Any, int] = {}
+    in_flight_limit = max(1, 2 * workers)
+
+    def take() -> int:
+        hook = _SCHEDULE_HOOK
+        if hook is None:
+            return ready.popleft()
+        k = hook(len(ready))
+        i = ready[k]
+        del ready[k]
+        return i
 
     def finish(index: int, result: Any) -> None:
         nodes[index].on_done(result)
@@ -294,15 +392,21 @@ def _run_graph(pool_kind: str, workers: int, nodes: list[_Node]) -> None:
 
     try:
         while ready or futures:
+            deferred: list[int] = []
             while ready:
-                i = ready.popleft()
+                i = take()
                 node = nodes[i]
                 if node.fn is None:
                     finish(i, None)
-                elif pool is None:
+                elif executor is None:
                     finish(i, node.fn(*node.make_args()))
+                elif len(futures) < in_flight_limit:
+                    futures[executor.submit(node.fn, *node.make_args())] = i
                 else:
-                    futures[pool.submit(node.fn, *node.make_args())] = i
+                    # Leave the shard in the deque: whichever worker
+                    # finishes first steals it via the next submit.
+                    deferred.append(i)
+            ready.extendleft(reversed(deferred))
             if futures:
                 done, __ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -311,8 +415,8 @@ def _run_graph(pool_kind: str, workers: int, nodes: list[_Node]) -> None:
         if stuck:
             raise RuntimeError(f"task graph has a dependency cycle: {stuck}")
     finally:
-        if pool is not None:
-            pool.shutdown()
+        if owned and executor is not None:
+            executor.shutdown()
 
 
 # -- parent-side orchestration -------------------------------------------------
@@ -327,6 +431,8 @@ def execute_plan_parallel(
     cache: ScanCache | None = None,
     min_shard_rows: int = 8192,
     shards: int = 0,
+    pool: WorkerPool | None = None,
+    steal_granularity: int = 0,
 ) -> ViolationReport | DetectionSummary:
     """Run *plan* with shard tasks dispatched across *workers* workers.
 
@@ -336,16 +442,24 @@ def execute_plan_parallel(
     because its whole point is to stop at the first hit, which a fan-out
     would race past. A *cache* (bound to *plan*) short-circuits warm scan
     units parent-side and absorbs every cold unit's merged result.
-    ``min_shard_rows``/``shards`` control the per-unit row split (see
-    :func:`~repro.engine.shards.make_shards`).
+    ``min_shard_rows``/``shards``/``steal_granularity`` control the
+    per-unit row split (see :func:`~repro.engine.shards.make_shards`).
+
+    A persistent *pool* (see :class:`~repro.api.workerpool.WorkerPool`)
+    supplies a long-lived executor reused across calls; its ``kind`` is
+    already resolved, so ``executor`` is ignored — which is also what
+    makes the fork-less downgrade warning fire once per session instead
+    of once per call. Without one, a per-call executor is built and torn
+    down inside this call.
     """
     if mode not in ("full", "count"):
         raise ValueError(f"mode must be 'full' or 'count', got {mode!r}")
     _check_cache(plan, cache, db)
-    pool_kind = resolve_executor(executor)
+    pool_kind = pool.kind if pool is not None else resolve_executor(executor)
     try:
         return _execute_parallel(
-            plan, db, workers, mode, pool_kind, cache, min_shard_rows, shards
+            plan, db, workers, mode, pool_kind, cache, min_shard_rows,
+            shards, pool, steal_granularity,
         )
     finally:
         release_scan_memos(db, cache)
@@ -357,9 +471,11 @@ def _unit_shards(
     workers: int,
     min_shard_rows: int,
     shards: int,
+    granularity: int = 0,
 ) -> list[ShardSpec]:
     return make_shards(
-        relation, len(db[relation]), workers, min_shard_rows, shards
+        relation, len(db[relation]), workers, min_shard_rows, shards,
+        granularity,
     )
 
 
@@ -372,6 +488,8 @@ def _execute_parallel(
     cache: ScanCache | None,
     min_shard_rows: int,
     shards: int,
+    pool: WorkerPool | None = None,
+    steal_granularity: int = 0,
 ) -> ViolationReport | DetectionSummary:
     global _STATE
 
@@ -431,6 +549,20 @@ def _execute_parallel(
     _EXECUTION_LOCK.acquire()
     _STATE = (plan, db)
     try:
+        # Persistent process pools: reconcile the workers' copy-on-write
+        # snapshot with the live database. Relations that drifted since
+        # the pool forked get shared-memory column refs (or, past the
+        # drift threshold, the pool re-forks and the map comes back
+        # empty). Must happen under the lock, before the first submit.
+        shm_refs: dict[str, ShmRef] = {}
+        if pool is not None:
+            scan_relations = dict.fromkeys(
+                [plan.cfd_groups[i].relation for i in cold_groups]
+                + cold_witness_relations
+                + cold_cind
+            )
+            shm_refs = pool.prepare(db, scan_relations)
+
         nodes: list[_Node] = []
 
         def add(node: _Node) -> int:
@@ -441,7 +573,11 @@ def _execute_parallel(
         # multi-shard group gets a parent-side merge+finalize node.
         for i in cold_groups:
             group = plan.cfd_groups[i]
-            unit = _unit_shards(db, group.relation, workers, min_shard_rows, shards)
+            unit = _unit_shards(
+                db, group.relation, workers, min_shard_rows, shards,
+                steal_granularity,
+            )
+            ref = shm_refs.get(group.relation)
             if len(unit) == 1:
 
                 def store_full(payload, i=i):
@@ -458,7 +594,7 @@ def _execute_parallel(
 
                 add(_Node(
                     _cfd_group_payload,
-                    make_args=lambda i=i: (i,),
+                    make_args=lambda i=i, ref=ref: (i, ref),
                     on_done=store_full,
                     label=f"cfd:{group.relation}",
                 ))
@@ -467,7 +603,9 @@ def _execute_parallel(
             shard_ids = tuple(
                 add(_Node(
                     _cfd_shard_payload,
-                    make_args=lambda i=i, s=s: (i, s.start, s.stop),
+                    make_args=lambda i=i, s=s, ref=ref: (
+                        i, s.start, s.stop, ref,
+                    ),
                     on_done=lambda p, states=states, k=s.index: states.__setitem__(
                         k, CFDGroupState.from_payload(p)
                     ),
@@ -492,13 +630,17 @@ def _execute_parallel(
         # relation, all merges feeding the barrier.
         witness_merge_ids: list[int] = []
         for relation in cold_witness_relations:
-            unit = _unit_shards(db, relation, workers, min_shard_rows, shards)
+            unit = _unit_shards(
+                db, relation, workers, min_shard_rows, shards,
+                steal_granularity,
+            )
+            ref = shm_refs.get(relation)
             states: list[WitnessState | None] = [None] * len(unit)
             shard_ids = tuple(
                 add(_Node(
                     _witness_shard_payload,
-                    make_args=lambda relation=relation, s=s: (
-                        relation, s.start, s.stop,
+                    make_args=lambda relation=relation, s=s, ref=ref: (
+                        relation, s.start, s.stop, ref,
                     ),
                     on_done=lambda sets, states=states, k=s.index: states.__setitem__(
                         k, WitnessState(sets)
@@ -530,19 +672,41 @@ def _execute_parallel(
 
         # CIND LHS probes: shards depend on the barrier; witness sets are
         # resolved at submission time (they exist by then).
+        def make_cind_args(relation: str, s: ShardSpec, ref: ShmRef | None):
+            # Evaluated at submission time, after the barrier: the merged
+            # witness sets exist by then. Persistent process pools park
+            # them in one shared segment per relation, keyed by the RHS
+            # relations' versions so warm executions re-lease it; every
+            # other pool passes them as pickled arguments.
+            specs = _relation_witness_specs(plan, relation)
+            if pool is not None and pool.kind == "process" and specs:
+                deps = tuple(dict.fromkeys(
+                    (spec.rhs_relation, db[spec.rhs_relation].version)
+                    for spec in specs
+                ))
+                witness_ref = pool.witness_ref(
+                    relation, deps,
+                    lambda: [witnesses[spec] for spec in specs],
+                )
+                return (relation, s.start, s.stop, None, ref, witness_ref)
+            return (
+                relation, s.start, s.stop,
+                [witnesses[spec] for spec in specs], ref, None,
+            )
+
         for relation in cold_cind:
             tasks = plan.cind_scans[relation]
-            unit = _unit_shards(db, relation, workers, min_shard_rows, shards)
+            unit = _unit_shards(
+                db, relation, workers, min_shard_rows, shards,
+                steal_granularity,
+            )
+            ref = shm_refs.get(relation)
             buckets: list[list | None] = [None] * len(unit)
             shard_ids = tuple(
                 add(_Node(
                     _cind_shard_payload,
-                    make_args=lambda relation=relation, s=s: (
-                        relation, s.start, s.stop,
-                        [
-                            witnesses[spec]
-                            for spec in _relation_witness_specs(plan, relation)
-                        ],
+                    make_args=lambda relation=relation, s=s, ref=ref: (
+                        make_cind_args(relation, s, ref)
                     ),
                     on_done=lambda p, buckets=buckets, k=s.index: buckets.__setitem__(k, p),
                     deps=(barrier,),
@@ -582,8 +746,10 @@ def _execute_parallel(
                 label=f"cind-merge:{relation}",
             ))
 
-        _run_graph(pool_kind, workers, nodes)
+        _run_graph(pool_kind, workers, nodes, pool)
     finally:
+        if pool is not None:
+            pool.finish()
         _STATE = None
         _EXECUTION_LOCK.release()
 
@@ -607,6 +773,8 @@ def execute_sqlfile_windows(
     workers: int,
     min_shard_rows: int = 8192,
     shards: int = 0,
+    conn_pool: ReadonlyConnectionPool | None = None,
+    steal_granularity: int = 0,
 ) -> tuple[dict[int, list], dict[str, list]]:
     """Run the cold scan units of a ``sqlfile`` check as rowid windows.
 
@@ -633,15 +801,28 @@ def execute_sqlfile_windows(
     requested cold units — shaped exactly like the serial executor's
     ``cfd_group_hits`` / ``cind_relation_hits`` results, so the caller
     caches them under the same keys.
+
+    A persistent *conn_pool* (the backend's session-scoped
+    :class:`~repro.sql.windows.ReadonlyConnectionPool`) is borrowed and
+    left open — warm traffic stops paying per-call connect cost; the
+    seeded witness temp tables are dropped from it before returning so
+    the next execution can re-seed the same connections. Without one, a
+    per-call pool is built and closed here. ``steal_granularity``
+    over-partitions the rowid windows exactly like the in-memory shards.
     """
-    pool = ReadonlyConnectionPool(path, workers)
+    pool = conn_pool if conn_pool is not None else (
+        ReadonlyConnectionPool(path, workers)
+    )
+    owned = conn_pool is None
+    seeded = SeededWitnesses()
     try:
         window_plans: dict[str, list] = {}
 
         def windows_for(conn, relation: str):
             if relation not in window_plans:
                 window_plans[relation] = plan_rowid_windows(
-                    conn, relation, workers, min_shard_rows, shards
+                    conn, relation, workers, min_shard_rows, shards,
+                    steal_granularity,
                 )
             return window_plans[relation]
 
@@ -666,7 +847,6 @@ def execute_sqlfile_windows(
         cfd_hits: dict[int, list] = {}
         cind_hits: dict[str, list] = {}
         witnesses: dict[WitnessSpec, set] = {}
-        seeded = SeededWitnesses()
 
         def add(node: _Node) -> int:
             nodes.append(node)
@@ -800,5 +980,11 @@ def execute_sqlfile_windows(
 
         _run_graph("thread", workers, nodes)
     finally:
-        pool.close()
+        if owned:
+            pool.close()
+        else:
+            # Borrowed connections go back with their witness temp
+            # tables dropped: the next execution builds fresh ones (its
+            # witness sets may differ) without temp-table name clashes.
+            seeded.drop_all()
     return cfd_hits, cind_hits

@@ -123,12 +123,16 @@ class Session:
 
     @property
     def effective_executor(self) -> str | None:
-        """The concrete pool kind parallel dispatch runs on, for honest
-        reporting: ``"process"``/``"thread"`` on a parallel memory-backend
-        session (an explicit ``executor="process"`` that had to downgrade
-        to ``"thread"`` — no ``fork`` on the platform — shows up here as
-        ``"thread"``, with a ``RuntimeWarning`` at connect time), ``None``
-        for serial sessions and backends that never parallelize."""
+        """The concrete pool parallel dispatch runs on, for honest
+        reporting: ``"process-persistent"``/``"thread-persistent"`` when
+        the session owns a long-lived worker pool (the default,
+        ``pool="persistent"``), plain ``"process"``/``"thread"`` with
+        ``pool="per-call"``; the parallel ``sqlfile`` backend reports its
+        thread-based window pool the same way. An explicit
+        ``executor="process"`` that had to downgrade to ``thread`` — no
+        ``fork`` on the platform — shows up here truthfully, with one
+        ``RuntimeWarning`` at connect time (never per call). ``None`` for
+        serial sessions and backends that never parallelize."""
         return getattr(self.backend, "effective_executor", None)
 
     # -- static analysis ---------------------------------------------------

@@ -97,7 +97,11 @@ class ShardSpec:
 
 
 def resolve_shard_count(
-    n_rows: int, workers: int, min_shard_rows: int, shards: int = 0
+    n_rows: int,
+    workers: int,
+    min_shard_rows: int,
+    shards: int = 0,
+    granularity: int = 0,
 ) -> int:
     """How many shards one scan unit over *n_rows* rows should use.
 
@@ -105,12 +109,17 @@ def resolve_shard_count(
     the unit is split ``min(workers, n_rows // min_shard_rows)`` ways — a
     shard never holds fewer than *min_shard_rows* rows, so small relations
     stay single-shard and per-shard state overhead cannot dominate the
-    scan it parallelizes. Always at least 1, never more than ``n_rows``.
+    scan it parallelizes. A *granularity* ``N >= 1`` raises the worker
+    bound to ``workers * N``, over-partitioning the unit into finer
+    shards that idle workers can steal when group sizes are skewed (the
+    ``min_shard_rows`` floor still applies). Always at least 1, never
+    more than ``n_rows``.
     """
     if shards > 0:
         wanted = shards
     else:
-        wanted = min(workers, max(1, n_rows // max(1, min_shard_rows)))
+        target = workers * granularity if granularity > 0 else workers
+        wanted = min(target, max(1, n_rows // max(1, min_shard_rows)))
     return max(1, min(wanted, n_rows)) if n_rows > 0 else 1
 
 
@@ -133,10 +142,14 @@ def make_shards(
     workers: int,
     min_shard_rows: int,
     shards: int = 0,
+    granularity: int = 0,
 ) -> list[ShardSpec]:
     """The :class:`ShardSpec` list for one scan unit over *relation*."""
     ranges = plan_shard_ranges(
-        n_rows, resolve_shard_count(n_rows, workers, min_shard_rows, shards)
+        n_rows,
+        resolve_shard_count(
+            n_rows, workers, min_shard_rows, shards, granularity
+        ),
     )
     count = len(ranges)
     return [

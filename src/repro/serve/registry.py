@@ -41,36 +41,110 @@ from repro.serve.feed import ViolationFeed
 
 
 class ReadWriteLock:
-    """An asyncio reader/writer lock biased toward readers.
+    """An asyncio reader/writer lock biased toward readers, BRAVO-style.
 
-    Readers acquire by bumping a counter when no writer *holds* the lock
-    — writers merely waiting do not block them (read preference, the
-    read-mostly-audit bias BRAVO argues for). A writer waits until the
-    reader count drains to zero, then holds exclusively. All state lives
-    on the event loop, so admission control costs no OS synchronization.
+    Two read paths, selected per acquisition exactly as in BRAVO (Dice &
+    Kogan — biased reader/writer locks over an existing slow lock):
+
+    * the **fast path** — while read bias is on and no writer holds the
+      lock, a reader publishes itself in a fixed *visible-readers* slot
+      array (slot = task id modulo table size) and proceeds. No
+      Condition acquire, no wakeup bookkeeping: the whole admission is
+      synchronous code on the event loop, so the warm read-mostly
+      traffic the serving layer lives on costs a couple of list writes.
+      A slot collision (two tasks hashing to one slot) simply falls
+      through to the slow path — correctness never depends on the table
+      size.
+    * the **slow path** — the original Condition-guarded reader counter,
+      kept verbatim. Fast and slow readers coexist; ``readers`` counts
+      both.
+
+    An arriving writer **revokes the bias** first, then runs the
+    revocation barrier: it waits until the slow counter drains *and*
+    every occupied slot empties, with fast releases nudging the
+    Condition only while a revocation is underway. Readers arriving
+    mid-revocation fail the fast check and fall to the slow path — where
+    they are still *admitted* while the writer merely waits (read
+    preference, the read-mostly-audit bias BRAVO argues for; exactly the
+    original lock's contract). Only a writer that actually *holds* the
+    lock blocks readers. Releasing the write restores the bias unless
+    another writer is already queued.
+
+    ``fast_reads``/``slow_reads``/``revocations`` are observability
+    counters for tests and the service's stats endpoint.
     """
 
-    __slots__ = ("_cond", "_readers", "_writer")
+    __slots__ = (
+        "_cond", "_readers", "_writer", "_rbias", "_slots",
+        "_writers_waiting", "fast_reads", "slow_reads", "revocations",
+    )
+
+    #: Visible-readers table size. Collisions only cost a slow-path
+    #: detour, so this merely bounds per-lock memory.
+    SLOT_COUNT = 16
 
     def __init__(self) -> None:
         self._cond = asyncio.Condition()
         self._readers = 0
         self._writer = False
+        self._rbias = True
+        self._slots: list[object | None] = [None] * self.SLOT_COUNT
+        self._writers_waiting = 0
+        self.fast_reads = 0
+        self.slow_reads = 0
+        self.revocations = 0
 
     @property
     def readers(self) -> int:
-        return self._readers
+        return self._readers + sum(
+            1 for slot in self._slots if slot is not None
+        )
 
     @property
     def write_held(self) -> bool:
         return self._writer
 
+    @property
+    def read_biased(self) -> bool:
+        return self._rbias
+
+    def _try_fast_read(self) -> int | None:
+        """Claim a visible-readers slot, or ``None`` → take the slow path.
+
+        Purely synchronous: the event loop cannot interleave another task
+        between the checks and the slot write, which is what makes the
+        recheck-after-publish of the original protocol (store slot, then
+        re-examine the bias) collapse into straight-line code here.
+        """
+        if not self._rbias or self._writer:
+            return None
+        task = asyncio.current_task()
+        index = id(task) % len(self._slots)
+        if self._slots[index] is not None:
+            return None
+        self._slots[index] = task
+        return index
+
     @asynccontextmanager
     async def reading(self) -> AsyncIterator[None]:
+        index = self._try_fast_read()
+        if index is not None:
+            self.fast_reads += 1
+            try:
+                yield
+            finally:
+                self._slots[index] = None
+                if not self._rbias:
+                    # A writer is mid-revocation, parked on the barrier:
+                    # wake it so it can re-scan the slot table.
+                    async with self._cond:
+                        self._cond.notify_all()
+            return
         async with self._cond:
             while self._writer:
                 await self._cond.wait()
             self._readers += 1
+            self.slow_reads += 1
         try:
             yield
         finally:
@@ -82,14 +156,30 @@ class ReadWriteLock:
     @asynccontextmanager
     async def writing(self) -> AsyncIterator[None]:
         async with self._cond:
-            while self._writer or self._readers:
-                await self._cond.wait()
+            # Revoke the read bias up front: from here new readers take
+            # the slow path (where a merely-waiting writer still admits
+            # them — read preference is enforced there, on _writer, not
+            # here). Then the revocation barrier: wait until the slow
+            # counter drains and every visible-readers slot empties.
+            self._writers_waiting += 1
+            self._rbias = False
+            self.revocations += 1
+            try:
+                while self._writer or self._readers or any(
+                    slot is not None for slot in self._slots
+                ):
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
             self._writer = True
         try:
             yield
         finally:
             async with self._cond:
                 self._writer = False
+                if self._writers_waiting == 0:
+                    # No writer queued behind us: re-arm the fast path.
+                    self._rbias = True
                 self._cond.notify_all()
 
 

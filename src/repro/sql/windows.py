@@ -128,20 +128,24 @@ def plan_rowid_windows(
     workers: int,
     min_window_rows: int = 8192,
     shards: int = 0,
+    granularity: int = 0,
 ) -> list[RowidWindow]:
     """Contiguous rowid windows covering *relation*, sized like shards.
 
     Reuses the engine's :func:`~repro.engine.shards.resolve_shard_count`
     policy (explicit *shards* wins; otherwise ``min(workers, rows //
-    min_window_rows)``), then splits the ``[min, max]`` rowid span into
-    equal contiguous ranges. Files written by
-    :func:`~repro.sql.loader.create_database_file` have dense sequential
-    rowids, so equal spans carry equal row shares; sparse files merely
-    skew the split — every rowid is still covered by exactly one window,
-    which is all correctness needs.
+    min_window_rows)``, with *granularity* raising the worker bound to
+    ``workers * granularity`` for work stealing), then splits the
+    ``[min, max]`` rowid span into equal contiguous ranges. Files written
+    by :func:`~repro.sql.loader.create_database_file` have dense
+    sequential rowids, so equal spans carry equal row shares; sparse
+    files merely skew the split — every rowid is still covered by exactly
+    one window, which is all correctness needs.
     """
     lo, hi, n_rows = table_rowid_bounds(conn, relation)
-    count = resolve_shard_count(n_rows, workers, min_window_rows, shards)
+    count = resolve_shard_count(
+        n_rows, workers, min_window_rows, shards, granularity
+    )
     if n_rows == 0 or count <= 1:
         return [RowidWindow(relation, 0, lo, hi)]
     span = hi - lo + 1
@@ -570,12 +574,17 @@ class SeededWitnesses:
         #: id(conn) -> {spec: temp table name (non-empty Y) | bool (empty Y)}
         self._tables: dict[int, dict[WitnessSpec, Any]] = {}
         self._counters: dict[int, int] = {}
+        #: id(conn) -> the connection itself, so :meth:`drop_all` can
+        #: reach every connection this instance seeded (persistent
+        #: connection pools outlive one execution; the tables must not).
+        self._conns: dict[int, sqlite3.Connection] = {}
 
     def ensure(
         self,
         conn: sqlite3.Connection,
         merged: dict[WitnessSpec, set],
     ) -> dict[WitnessSpec, Any]:
+        self._conns[id(conn)] = conn
         tables = self._tables.setdefault(id(conn), {})
         for spec, keys in merged.items():
             if spec in tables:
@@ -601,6 +610,28 @@ class SeededWitnesses:
             cursor.execute(f"ANALYZE {q(name)}")
             tables[spec] = name
         return tables
+
+    def drop_all(self) -> None:
+        """Drop every temp table this instance seeded, on every connection.
+
+        Required when the connections come from a session-persistent pool:
+        the pool (and its connections) outlive this execution, but the
+        witness sets they were seeded with may not survive the next DML —
+        and a fresh ``SeededWitnesses`` restarts its per-connection name
+        counter, so stale tables would collide with the next execution's
+        ``CREATE TEMP TABLE``. Per-call pools skip this: closing the
+        connection drops its temp tables wholesale.
+        """
+        for conn_id, tables in self._tables.items():
+            conn = self._conns.get(conn_id)
+            if conn is None:
+                continue
+            for name in tables.values():
+                if isinstance(name, str):
+                    conn.execute(f"DROP TABLE IF EXISTS {q(name)}")
+        self._tables.clear()
+        self._counters.clear()
+        self._conns.clear()
 
 
 def cind_window_state(

@@ -96,6 +96,37 @@ class TestProcessShardedParallelMemoryContract(BackendContract):
         )
 
 
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+class TestPersistentPoolMemoryContract(BackendContract):
+    """The session-persistent fork pool with work stealing forced on:
+    one pool serves every check/count/is_clean in a contract scenario,
+    DML between calls drives the drift protocol (shared-memory column
+    segments or epoch re-forks), and over-partitioned shards
+    (``steal_granularity``) make idle workers steal — all while every
+    report stays bit-identical to the serial oracle, list order
+    included."""
+
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory(
+            "memory", workers=2, executor="process",
+            pool="persistent", steal_granularity=2, min_shard_rows=1,
+        )
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+class TestPerCallPoolMemoryContract(BackendContract):
+    """``pool="per-call"`` keeps the historical fork-per-check dispatch
+    alive as an explicit opt-out; it must stay on the same contract."""
+
+    @pytest.fixture
+    def make_session(self):
+        return _simple_factory(
+            "memory", workers=2, executor="process",
+            pool="per-call", shards=2, min_shard_rows=1,
+        )
+
+
 class TestContentFingerprintSQLFileContract(BackendContract):
     """The out-of-core backend with the content-hash fingerprint mode —
     the full contract must hold regardless of how cache invalidation
@@ -149,6 +180,29 @@ class TestWindowedSQLFileContract(BackendContract):
                 path, sigma, backend="sqlfile",
                 workers=2, executor="thread",
                 shards=3, min_shard_rows=1,
+            )
+
+        return factory
+
+
+class TestPersistentWindowedSQLFileContract(BackendContract):
+    """The out-of-core backend with its persistent window connection
+    pool and stealing-grade rowid windows: read-only connections live
+    for the session (seeded witness tables dropped between executions),
+    and over-partitioned windows merge in index order — the contract
+    must hold across repeated checks and DML on one session."""
+
+    @pytest.fixture
+    def make_session(self, tmp_path):
+        counter = itertools.count()
+
+        def factory(db, sigma):
+            path = tmp_path / f"persistent_{next(counter)}.db"
+            create_database_file(path, db)
+            return api.connect(
+                path, sigma, backend="sqlfile",
+                workers=2, executor="thread", pool="persistent",
+                steal_granularity=2, min_shard_rows=1,
             )
 
         return factory

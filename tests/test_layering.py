@@ -80,6 +80,33 @@ class TestLayeringRule:
     def test_serve_and_cli_edges_allowed(self, tmp_path, rel, stmt):
         assert _lint_snippet(tmp_path, rel, stmt + "\n") == []
 
+    @pytest.mark.parametrize("stmt", [
+        "from repro.engine.shards import resolve_shard_count",
+        "from repro.relational.instance import DatabaseInstance",
+    ])
+    def test_workerpool_pin_allows_engine_surface(self, tmp_path, stmt):
+        """``repro.api.workerpool`` is pinned to the engine/relational
+        surface — the imports it actually needs stay clean."""
+        assert _lint_snippet(
+            tmp_path, "src/repro/api/workerpool.py", stmt + "\n"
+        ) == []
+
+    @pytest.mark.parametrize("stmt", [
+        "from repro.serve import DetectionService",
+        "from repro.api.session import Session",
+        "import repro.cli",
+    ])
+    def test_workerpool_pin_blocks_upper_layers(self, tmp_path, stmt):
+        """The pin is an allowlist: anything outside the engine surface
+        — the facade, serve, the CLI — is a layering violation even
+        though workerpool lives inside the api package."""
+        violations = _lint_snippet(
+            tmp_path, "src/repro/api/workerpool.py", stmt + "\n"
+        )
+        # (a serve import also trips the serve-terminal rule — every
+        # violation must still be a layering one)
+        assert violations and {v.rule for v in violations} == {"layering"}
+
     def test_low_layers_cover_the_real_tree(self):
         """Every library package under src/repro is in LOW_LAYERS (new
         packages must be classified, not silently unlinted)."""

@@ -135,6 +135,110 @@ class TestReadWriteLock:
         order = run(scenario())
         assert order.index("r2-in") < order.index("w-in")
 
+    def test_uncontended_reads_take_the_fast_path(self):
+        """With no writer in sight, every read is a slot claim — no
+        Condition, no slow counter (the BRAVO fast path)."""
+
+        async def scenario():
+            lock = ReadWriteLock()
+            for __ in range(5):
+                async with lock.reading():
+                    assert lock.readers == 1
+            return lock.fast_reads, lock.slow_reads, lock.revocations
+
+        assert run(scenario()) == (5, 0, 0)
+
+    def test_writer_revokes_bias_and_restores_it(self):
+        """A writer flips ``read_biased`` off for its whole critical
+        section (readers behind it go slow), then re-arms it on release
+        — after which reads are fast again."""
+
+        async def scenario():
+            lock = ReadWriteLock()
+            observed = []
+
+            async def writer():
+                async with lock.writing():
+                    observed.append(lock.read_biased)
+                    await asyncio.sleep(0.01)
+
+            async def reader(tag):
+                async with lock.reading():
+                    observed.append(tag)
+
+            assert lock.read_biased
+            w = asyncio.create_task(writer())
+            await asyncio.sleep(0)            # writer holds the lock
+            await asyncio.gather(reader("during"), w)
+            slow_after_revoke = lock.slow_reads
+            assert lock.read_biased           # re-armed on release
+            await reader("after")
+            return observed, slow_after_revoke, lock.fast_reads
+
+        observed, slow, fast = run(scenario())
+        assert observed == [False, "during", "after"]
+        assert slow == 1                      # the blocked reader went slow
+        assert fast == 1                      # the post-release reader is fast
+        # and the writer paid exactly one revocation
+        # (fast/slow split is observable, so assert it stays stable)
+
+    def test_bias_stays_revoked_while_writers_queue(self):
+        """Back-to-back writers: the first release must not re-arm the
+        fast path while a second writer is already waiting, or that
+        writer's revocation barrier would race fresh fast readers."""
+
+        async def scenario():
+            lock = ReadWriteLock()
+            biases = []
+
+            async def writer():
+                async with lock.writing():
+                    biases.append(lock.read_biased)
+                    await asyncio.sleep(0.005)
+
+            await asyncio.gather(writer(), writer())
+            return biases, lock.read_biased, lock.revocations
+
+        biases, final, revocations = run(scenario())
+        assert biases == [False, False]
+        assert final is True
+        assert revocations == 2
+
+    def test_fast_and_slow_readers_agree_on_exclusion(self):
+        """Cross-validation: force a slot collision so one reader goes
+        slow while another is fast — both count in ``readers`` and both
+        hold off a writer until they drain."""
+
+        async def scenario():
+            lock = ReadWriteLock()
+            lock._slots = [None]              # 1 slot → second reader collides
+            release = asyncio.Event()
+            order = []
+
+            async def reader(tag):
+                async with lock.reading():
+                    order.append(tag)
+                    await release.wait()
+
+            async def writer():
+                async with lock.writing():
+                    order.append("w")
+
+            r1 = asyncio.create_task(reader("fast"))
+            await asyncio.sleep(0)
+            r2 = asyncio.create_task(reader("slow"))
+            await asyncio.sleep(0)
+            assert lock.fast_reads == 1 and lock.slow_reads == 1
+            assert lock.readers == 2
+            w = asyncio.create_task(writer())
+            await asyncio.sleep(0.005)
+            assert order == ["fast", "slow"]  # writer still barred
+            release.set()
+            await asyncio.gather(r1, r2, w)
+            return order
+
+        assert run(scenario()) == ["fast", "slow", "w"]
+
 
 # -- SessionRegistry and ReaderPool -----------------------------------------
 

@@ -379,8 +379,24 @@ class TestEffectiveExecutor:
             session = api.connect(
                 bank.db, bank.constraints, workers=2, executor="process"
             )
-        assert session.effective_executor == "thread"
+        assert session.effective_executor == "thread-persistent"
         # The session still works — and does not warn again per check.
+        with warnings_as_errors():
+            report = session.check()
+        assert report.total == 2
+
+    def test_per_call_downgrade_warns_once_per_session(self, bank, monkeypatch):
+        import repro.api.parallel as parallel
+
+        monkeypatch.setattr(parallel, "fork_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            session = api.connect(
+                bank.db, bank.constraints, workers=2, executor="process",
+                pool="per-call",
+            )
+        assert session.effective_executor == "thread"
+        # The kind was resolved at connect time; per-call checks reuse it
+        # and must not re-warn.
         with warnings_as_errors():
             report = session.check()
         assert report.total == 2
@@ -393,7 +409,7 @@ class TestEffectiveExecutor:
             session = api.connect(
                 bank.db, bank.constraints, workers=2, executor="auto"
             )
-        assert session.effective_executor == "thread"
+        assert session.effective_executor == "thread-persistent"
 
     def test_serial_sessions_report_none(self, bank):
         assert api.connect(bank.db, bank.constraints).effective_executor is None
@@ -412,7 +428,12 @@ class TestEffectiveExecutor:
         session = api.connect(
             bank.db, bank.constraints, workers=2, executor="process"
         )
-        assert session.effective_executor == "process"
+        assert session.effective_executor == "process-persistent"
+        per_call = api.connect(
+            bank.db, bank.constraints, workers=2, executor="process",
+            pool="per-call",
+        )
+        assert per_call.effective_executor == "process"
 
 
 class warnings_as_errors:

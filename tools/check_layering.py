@@ -110,6 +110,16 @@ MODULE_IMPORT_ALLOWLISTS: dict[str, tuple[str, ...]] = {
         "repro.core",
         "repro.relational",
     ),
+    # The persistent worker pool manages process lifecycles and
+    # /dev/shm segments for *any* dispatcher. Its only repro inputs are
+    # the relation version counters (relational) and the shard-state
+    # machinery its payloads feed (engine.shards); importing the facade,
+    # the CLI, or the serving layer from here would let pool plumbing
+    # observe — and eventually depend on — the layers hosting it.
+    "repro.api.workerpool": (
+        "repro.engine.shards",
+        "repro.relational",
+    ),
 }
 
 #: ``random`` attributes that are deterministic to *construct* — seeded
